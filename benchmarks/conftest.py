@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``test_e*`` module regenerates one table or figure of the
+reconstructed mmTag evaluation (see DESIGN.md's experiment index and
+EXPERIMENTS.md for paper-vs-measured).  Benchmarks print their table /
+ASCII figure, so ``pytest benchmarks/ --benchmark-only -s`` reproduces
+the full evaluation in one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`run_once`."""
+
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

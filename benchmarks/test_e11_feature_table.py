@@ -1,0 +1,41 @@
+"""E11 — feature comparison table (the paper's Table-1 analog).
+
+mmTag versus Millimetro, OmniScatter, and an active mmWave radio, on
+the axes the paper compares: uplink, localization, downlink,
+orientation sensing, and energy per bit.  The mmTag row's facts are the
+attributable ones (uplink-only, 2.4 nJ/bit).
+"""
+
+from repro.baselines.features import FEATURE_MATRIX
+from repro.sim.results import ResultTable
+
+
+def _experiment():
+    table = ResultTable(
+        "E11: mmWave backscatter systems compared",
+        ["system", "uplink", "localization", "downlink", "orientation", "nJ/bit"],
+    )
+    for features in FEATURE_MATRIX:
+        table.add_row(*features.row())
+    return table
+
+
+def test_e11_feature_table(once):
+    table = once(_experiment)
+    print()
+    print(table.to_text())
+    print()
+    for features in FEATURE_MATRIX:
+        if features.notes:
+            print(f"  {features.name}: {features.notes}")
+
+    mmtag = next(f for f in FEATURE_MATRIX if "mmTag" in f.name)
+    assert mmtag.uplink and not (
+        mmtag.downlink or mmtag.localization or mmtag.orientation_sensing
+    )
+    assert mmtag.energy_per_bit_nj == 2.4
+    # mmTag is the lowest-energy mmWave system in the table
+    mmwave_energies = [
+        f.energy_per_bit_nj for f in FEATURE_MATRIX if f.energy_per_bit_nj is not None
+    ]
+    assert min(mmwave_energies) == mmtag.energy_per_bit_nj

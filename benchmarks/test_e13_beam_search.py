@@ -1,0 +1,81 @@
+"""E13 (extension) — AP beam-search cost and accuracy.
+
+A deployable mmTag AP must point a phased array at the tag before
+communicating (the prototype steered a horn by hand).  The tag's
+retro-directivity keeps the search one-sided; this bench measures the
+remaining cost: probe slots and residual pointing loss for exhaustive
+versus hierarchical search across array sizes.
+
+Expected shape: exhaustive probes grow linearly with array size (beam
+count), hierarchical logarithmically; both land within a fraction of a
+beamwidth, so pointing loss stays under ~1 dB.
+"""
+
+import numpy as np
+
+from repro.core.beamsearch import BeamSearchConfig, BeamSearcher
+from repro.em.antenna import patch_element
+from repro.em.array import UniformLinearArray
+from repro.sim.results import ResultTable
+
+_ELEMENT_COUNTS = [8, 16, 32, 64]
+_TAG_DIRECTIONS_DEG = [-45.0, -15.0, 10.0, 40.0]
+
+
+def _experiment():
+    rows = []
+    for elements in _ELEMENT_COUNTS:
+        config = BeamSearchConfig(
+            ap_array=UniformLinearArray(
+                num_elements=elements, element=patch_element(5.0)
+            )
+        )
+        ex_probes, hi_probes, ex_loss, hi_loss = [], [], [], []
+        for seed, direction in enumerate(_TAG_DIRECTIONS_DEG):
+            searcher = BeamSearcher(
+                config, tag_direction_deg=direction, aligned_snr_db=25.0
+            )
+            exhaustive = searcher.exhaustive_search(rng=seed)
+            hierarchical = searcher.hierarchical_search(rng=seed)
+            ex_probes.append(exhaustive.num_probes)
+            hi_probes.append(hierarchical.num_probes)
+            ex_loss.append(exhaustive.pointing_loss_db)
+            hi_loss.append(hierarchical.pointing_loss_db)
+        rows.append(
+            (
+                elements,
+                config.beamwidth_deg(),
+                float(np.mean(ex_probes)),
+                float(np.mean(hi_probes)),
+                float(np.mean(ex_loss)),
+                float(np.mean(hi_loss)),
+            )
+        )
+    return rows
+
+
+def test_e13_beam_search(once):
+    rows = once(_experiment)
+
+    table = ResultTable(
+        "E13: beam-search cost vs AP array size (mean over 4 tag bearings)",
+        ["elements", "beamwidth_deg", "exhaustive_probes", "hier_probes",
+         "exhaustive_loss_db", "hier_loss_db"],
+    )
+    for row in rows:
+        table.add_row(
+            row[0], round(row[1], 2), row[2], row[3], round(row[4], 2), round(row[5], 2)
+        )
+    print()
+    print(table.to_text())
+
+    by_elements = {row[0]: row for row in rows}
+    # exhaustive probes scale ~linearly with elements (beam count)
+    assert by_elements[64][2] / by_elements[8][2] > 4.0
+    # hierarchical grows much slower
+    assert by_elements[64][3] / by_elements[8][3] < 3.0
+    # and is always cheaper at scale
+    assert by_elements[64][3] < by_elements[64][2] / 3.0
+    # both point well: mean loss under 1.5 dB everywhere
+    for row in rows:
+        assert row[4] < 1.5 and row[5] < 1.5

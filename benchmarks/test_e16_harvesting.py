@@ -1,0 +1,89 @@
+"""E16 (extension) — the battery-free envelope.
+
+Harvest-versus-consume across distance: what duty cycle (and hence
+average bit rate) the AP's own illumination can sustain on a
+battery-less tag.  Expected shape — and the honest finding the model
+surfaces: with mW-class active power and a -20 dBm rectifier knee,
+battery-free operation is a sub-2-metre affair at kbps rates; beyond
+that the 2.4 nJ/bit figure is spent from a battery or supercap.
+"""
+
+from repro.core.harvesting import HarvestingBudget, Rectifier
+from repro.sim.plotting import ascii_plot
+from repro.sim.results import ResultTable
+
+_DISTANCES_M = [0.3, 0.5, 0.8, 1.0, 1.3, 1.6, 2.0, 3.0]
+
+
+def _experiment():
+    default = HarvestingBudget()
+    better_rectifier = HarvestingBudget(
+        rectifier=Rectifier(sensitivity_dbm=-30.0, peak_efficiency=0.45)
+    )
+    rows = []
+    for distance in _DISTANCES_M:
+        rows.append(
+            (
+                distance,
+                default.incident_power_dbm(distance),
+                default.harvested_power_w(distance) * 1e6,
+                default.max_duty_cycle(distance),
+                default.sustainable_bit_rate_hz(distance) / 1e3,
+                better_rectifier.sustainable_bit_rate_hz(distance) / 1e3,
+            )
+        )
+    ranges = {
+        "default rectifier": default.battery_free_range_m(5e-5),
+        "-30 dBm rectifier": better_rectifier.battery_free_range_m(5e-5),
+    }
+    return rows, ranges
+
+
+def test_e16_battery_free_envelope(once):
+    rows, ranges = once(_experiment)
+
+    table = ResultTable(
+        "E16: harvest vs distance (QPSK 10 Msym/s when active)",
+        ["distance_m", "incident_dbm", "harvest_uw", "max_duty",
+         "rate_kbps", "rate_kbps_-30dBm_rect"],
+    )
+    for row in rows:
+        table.add_row(
+            row[0], round(row[1], 1), round(row[2], 2),
+            f"{row[3]:.2e}", round(row[4], 2), round(row[5], 2),
+        )
+    print()
+    print(table.to_text())
+
+    range_table = ResultTable(
+        "E16b: battery-free range at kbps-class duty (5e-5)",
+        ["rectifier", "range_m"],
+    )
+    for name, value in ranges.items():
+        range_table.add_row(name, round(value, 2))
+    print()
+    print(range_table.to_text())
+    print()
+    print(
+        ascii_plot(
+            {
+                "sustainable kbps": (
+                    [r[0] for r in rows],
+                    [max(r[4], 1e-3) for r in rows],
+                )
+            },
+            log_y=True,
+            title="E16: battery-free sustainable rate vs distance",
+            x_label="distance [m]",
+            y_label="kbps",
+        )
+    )
+
+    # monotone decay, hard zero beyond the rectifier knee
+    duties = [r[3] for r in rows]
+    assert all(a >= b for a, b in zip(duties, duties[1:]))
+    assert duties[-1] == 0.0
+    # the honest headline: default battery-free range under 2.5 m
+    assert 0.5 < ranges["default rectifier"] < 2.5
+    # a better rectifier stretches it, but not to the 8 m comms range
+    assert ranges["default rectifier"] < ranges["-30 dBm rectifier"] < 6.0

@@ -1,0 +1,78 @@
+"""E17 (extension) — AP receive diversity.
+
+MRC across the AP's receive antennas: combining gain versus branch
+count and the range it buys near the sensitivity cliff.  Expected
+shape: ~10*log10(N) dB of combining gain in the noise-limited regime,
+which translates to ~N^(1/4) range extension through the d^-4 law.
+"""
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.core.diversity import simulate_diversity_link
+from repro.core.link import LinkConfig
+from repro.sim.results import ResultTable
+
+_BRANCH_COUNTS = [1, 2, 4]
+_DISTANCE_M = 6.0
+
+
+def _experiment():
+    config = LinkConfig(distance_m=_DISTANCE_M, environment=Environment.typical_office())
+    rows = []
+    for branches in _BRANCH_COUNTS:
+        snrs = []
+        for seed in range(4):
+            result = simulate_diversity_link(
+                config, num_branches=branches, num_payload_bits=2048, rng=seed
+            )
+            if result.combined.snr_estimate_db is not None:
+                snrs.append(result.combined.snr_estimate_db)
+        rows.append((branches, float(np.mean(snrs))))
+
+    # cliff rescue: success rate at a marginal distance
+    edge = LinkConfig(distance_m=14.5, environment=Environment.typical_office())
+    rescue = {}
+    for branches in (1, 2):
+        successes = 0
+        for seed in range(8):
+            result = simulate_diversity_link(
+                edge, num_branches=branches, num_payload_bits=2048, rng=seed
+            )
+            successes += int(result.combined.success)
+        rescue[branches] = successes / 8.0
+    return rows, rescue
+
+
+def test_e17_receive_diversity(once):
+    rows, rescue = once(_experiment)
+
+    table = ResultTable(
+        "E17: MRC combining at 6 m (QPSK)",
+        ["rx_branches", "combined_snr_db", "gain_vs_single_db"],
+    )
+    single = rows[0][1]
+    for branches, snr in rows:
+        table.add_row(branches, round(snr, 2), round(snr - single, 2))
+    print()
+    print(table.to_text())
+
+    rescue_table = ResultTable(
+        "E17b: frame success at the 14.5 m cliff",
+        ["rx_branches", "success_rate"],
+    )
+    for branches, rate in rescue.items():
+        rescue_table.add_row(branches, rate)
+    print()
+    print(rescue_table.to_text())
+
+    by_branches = dict(rows)
+    # ~3 dB per doubling
+    assert by_branches[2] - by_branches[1] == np.clip(
+        by_branches[2] - by_branches[1], 2.0, 4.0
+    )
+    assert by_branches[4] - by_branches[2] == np.clip(
+        by_branches[4] - by_branches[2], 2.0, 4.0
+    )
+    # diversity rescues the cliff
+    assert rescue[2] > rescue[1]

@@ -1,0 +1,64 @@
+"""E1 — Van Atta retro-reflection pattern (paper's tag-microbenchmark figure).
+
+Monostatic (retro-reflected) gain versus incidence angle for 2/4/8-pair
+Van Atta arrays against a single-antenna (non-retro-directive) tag.
+Expected shape: the Van Atta curves are flat apart from the element
+roll-off and sit ``(N_elem)^2`` above the single antenna; the baseline
+collapses off broadside.
+"""
+
+import numpy as np
+
+from repro.baselines.single_antenna_tag import SingleAntennaTag
+from repro.em.vanatta import VanAttaArray
+from repro.sim.plotting import ascii_plot
+from repro.sim.results import ResultTable
+
+
+def _experiment():
+    angles_deg = np.linspace(-60.0, 60.0, 25)
+    angles_rad = np.radians(angles_deg)
+    curves = {}
+    for pairs in (2, 4, 8):
+        array = VanAttaArray(num_pairs=pairs)
+        gains = array.retro_pattern(angles_rad)
+        curves[f"van-atta {pairs} pairs"] = 10.0 * np.log10(gains)
+    single = SingleAntennaTag()
+    with np.errstate(divide="ignore"):
+        curves["single antenna"] = 10.0 * np.log10(single.retro_pattern(angles_rad))
+    return angles_deg, curves
+
+
+def test_e1_vanatta_pattern(once):
+    angles_deg, curves = once(_experiment)
+
+    table = ResultTable(
+        "E1: retro-reflected (round-trip) gain [dB] vs incidence angle",
+        ["angle_deg"] + list(curves),
+    )
+    for i, angle in enumerate(angles_deg):
+        table.add_row(float(angle), *[float(c[i]) for c in curves.values()])
+    print()
+    print(table.to_text())
+    print()
+    print(
+        ascii_plot(
+            {name: (angles_deg, curve) for name, curve in curves.items()},
+            title="E1: Van Atta retro-gain vs angle (dB)",
+            x_label="incidence angle [deg]",
+            y_label="round-trip gain dB",
+        )
+    )
+
+    # Shape assertions (the "who wins" claims of the figure):
+    broadside = len(angles_deg) // 2
+    assert curves["van-atta 8 pairs"][broadside] > curves["van-atta 4 pairs"][broadside]
+    assert curves["van-atta 4 pairs"][broadside] > curves["single antenna"][broadside]
+    # Van Atta at 45 degrees retains most of its gain relative to its own
+    # broadside (element roll-off only, squared).
+    at_45 = np.argmin(np.abs(angles_deg - 45.0))
+    van_drop = curves["van-atta 4 pairs"][broadside] - curves["van-atta 4 pairs"][at_45]
+    assert van_drop < 12.0
+    # The N_elem^2 spacing between 4-pair array and single antenna:
+    spacing = curves["van-atta 4 pairs"][broadside] - curves["single antenna"][broadside]
+    assert 16.0 < spacing < 20.0

@@ -1,0 +1,81 @@
+"""E4 — BER versus distance at several data rates (paper's range figure).
+
+Full-chain Monte-Carlo BER across distance for 20, 80 and 160 Mbps
+(QPSK at 10/40/80 Msym/s).  Expected shape: each curve is a cliff; the
+cliff moves closer as rate rises (noise bandwidth grows), and the
+20 Mbps link is still clean at 8 m — the paper's headline range class.
+"""
+
+from dataclasses import replace
+
+from repro.channel.environment import Environment
+from repro.core.link import LinkConfig
+from repro.core.tag import TagConfig
+from repro.sim.monte_carlo import estimate_link_ber
+from repro.sim.plotting import ascii_plot
+from repro.sim.results import ResultTable
+
+_DISTANCES_M = [2.0, 6.0, 10.0, 14.0, 18.0, 22.0]
+_RATES = [
+    ("20 Mbps", 10e6),
+    ("80 Mbps", 40e6),
+    ("160 Mbps", 80e6),
+]
+
+
+def _experiment():
+    curves = {}
+    for label, symbol_rate in _RATES:
+        bers = []
+        for distance in _DISTANCES_M:
+            config = LinkConfig(
+                distance_m=distance,
+                tag=TagConfig(symbol_rate_hz=symbol_rate, samples_per_symbol=4),
+                environment=Environment.typical_office(),
+            )
+            estimate = estimate_link_ber(
+                config,
+                target_errors=40,
+                max_bits=24_000,
+                bits_per_frame=3000,
+                seed=int(distance),
+            )
+            bers.append(max(estimate.ber, 1e-6))  # floor for log plotting
+        curves[label] = bers
+    return curves
+
+
+def test_e4_ber_vs_distance(once):
+    curves = once(_experiment)
+
+    table = ResultTable(
+        "E4: BER vs distance per data rate (QPSK)",
+        ["distance_m"] + list(curves),
+    )
+    for i, distance in enumerate(_DISTANCES_M):
+        table.add_row(distance, *[curves[label][i] for label in curves])
+    print()
+    print(table.to_text())
+    print()
+    print(
+        ascii_plot(
+            {label: (_DISTANCES_M, bers) for label, bers in curves.items()},
+            log_y=True,
+            title="E4: BER vs distance",
+            x_label="distance [m]",
+            y_label="BER",
+        )
+    )
+
+    def range_at(label, threshold=1e-3):
+        bers = curves[label]
+        usable = [d for d, b in zip(_DISTANCES_M, bers) if b <= threshold]
+        return max(usable) if usable else 0.0
+
+    r20, r80, r160 = (range_at(label) for label, _ in _RATES)
+    # the cliff moves in as the rate rises
+    assert r20 >= r80 >= r160
+    # the paper's class of operating point: clean at >= 8 m at 20 Mbps
+    assert r20 >= 10.0
+    # the fastest rate still works at short range
+    assert curves["160 Mbps"][0] < 1e-3

@@ -1,0 +1,81 @@
+"""E9 — switching-speed limit: link quality versus symbol rate.
+
+The tag's RF switch rise time low-pass-filters the reflection
+trajectory; as the symbol period approaches the rise time, the eye
+closes.  Expected shape: EVM flat until the symbol rate nears
+``0.35 / t_rise``, then a sharp knee — this is what caps mmTag's
+uplink rate, and why a faster switch buys rate directly.
+"""
+
+from dataclasses import replace
+
+from repro.channel.environment import Environment
+from repro.core.link import LinkConfig, simulate_link
+from repro.core.tag import TagConfig
+from repro.rf.components import RFSwitch
+from repro.sim.plotting import ascii_plot
+from repro.sim.results import ResultTable
+
+_SYMBOL_RATES = [5e6, 10e6, 20e6, 40e6, 80e6]
+_RISE_TIMES = [("1 ns switch", 1e-9), ("10 ns switch", 10e-9), ("40 ns switch", 40e-9)]
+_DISTANCE_M = 2.0
+
+
+def _experiment():
+    curves = {}
+    for label, rise_time in _RISE_TIMES:
+        evms = []
+        for symbol_rate in _SYMBOL_RATES:
+            config = LinkConfig(
+                distance_m=_DISTANCE_M,
+                tag=TagConfig(
+                    symbol_rate_hz=symbol_rate,
+                    samples_per_symbol=16,
+                    switch=RFSwitch(rise_time_s=rise_time),
+                ),
+                environment=Environment.anechoic(),
+                include_noise=False,
+                phase_noise=None,
+            )
+            result = simulate_link(config, num_payload_bits=1024, rng=3)
+            evms.append(result.evm if result.evm is not None else 1.0)
+        curves[label] = evms
+    return curves
+
+
+def test_e9_switch_speed_limit(once):
+    curves = once(_experiment)
+
+    table = ResultTable(
+        "E9: EVM vs symbol rate by switch rise time (noise-free)",
+        ["symbol_rate_msps"] + list(curves),
+    )
+    for i, rate in enumerate(_SYMBOL_RATES):
+        table.add_row(rate / 1e6, *[round(curves[label][i], 4) for label in curves])
+    print()
+    print(table.to_text())
+    print()
+    print(
+        ascii_plot(
+            {
+                label: ([r / 1e6 for r in _SYMBOL_RATES], evms)
+                for label, evms in curves.items()
+            },
+            title="E9: EVM vs symbol rate",
+            x_label="symbol rate [Msym/s]",
+            y_label="EVM",
+        )
+    )
+
+    fast = curves["1 ns switch"]
+    slow = curves["40 ns switch"]
+    # the fast switch is transparent across the whole sweep
+    assert all(evm < 0.12 for evm in fast)
+    # the slow switch collapses at high rates ...
+    assert slow[-1] > 3 * slow[0]
+    assert slow[-1] > 0.3
+    # ... and EVM grows monotonically with rate for the slow switch
+    assert all(a <= b + 0.02 for a, b in zip(slow, slow[1:]))
+    # mid-speed switch sits between
+    mid = curves["10 ns switch"]
+    assert fast[-1] <= mid[-1] <= slow[-1]

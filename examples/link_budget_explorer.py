@@ -1,0 +1,106 @@
+"""Link-budget explorer: how each design knob moves the range.
+
+Walks the backscatter radar equation term by term for the default
+operating point, then sweeps the knobs a deployment engineer would turn
+— TX power, AP antenna gain, Van Atta size, symbol rate — and prints
+the achievable QPSK range for each setting.
+
+Run:  python examples/link_budget_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import LinkConfig, VanAttaArray, link_snr_db
+from repro.core.adaptation import snr_threshold_db
+from repro.core.modulation import QPSK
+from repro.core.tag import TagConfig
+from repro.core.ap import APConfig
+from repro.em.propagation import free_space_path_loss_db
+from repro.sim.plotting import ascii_plot
+from repro.sim.results import ResultTable
+
+TARGET_SNR_DB = snr_threshold_db(QPSK, target_ber=1e-3) + 3.0  # with margin
+
+
+def range_for(config: LinkConfig) -> float:
+    """Distance where the analytic SNR crosses the QPSK threshold."""
+    snr_at_1m = link_snr_db(config.with_distance(1.0))
+    return 10.0 ** ((snr_at_1m - TARGET_SNR_DB) / 40.0)
+
+
+def print_budget_walk() -> None:
+    config = LinkConfig(distance_m=4.0)
+    fspl = free_space_path_loss_db(4.0, config.ap.carrier_hz)
+    print("link budget at 4 m (QPSK, 10 Msym/s):")
+    rows = [
+        ("TX power", f"+{config.ap.tx_power_dbm:.0f} dBm"),
+        ("AP TX antenna", f"+{config.ap.tx_gain_dbi:.0f} dBi"),
+        ("path loss out", f"-{fspl:.1f} dB"),
+        ("tag round-trip gain", "+28.1 dB (8-element Van Atta)"),
+        ("path loss back", f"-{fspl:.1f} dB"),
+        ("AP RX antenna", f"+{config.ap.rx_gain_dbi:.0f} dBi"),
+        ("line + switch loss", "-3.0 dB"),
+        ("implementation loss", f"-{config.implementation_loss_db:.0f} dB"),
+        ("noise floor (10 MHz, NF 6)", "-98.0 dBm"),
+        ("=> SNR", f"{link_snr_db(config):.1f} dB"),
+    ]
+    for name, value in rows:
+        print(f"  {name:28s} {value}")
+    print()
+
+
+def main() -> None:
+    print("=== link budget explorer ===\n")
+    print_budget_walk()
+
+    base = LinkConfig(distance_m=1.0)
+    table = ResultTable(
+        f"QPSK range at BER 1e-3 + 3 dB margin (threshold {TARGET_SNR_DB:.1f} dB)",
+        ["knob", "setting", "range_m"],
+    )
+    table.add_row("baseline", "defaults", round(range_for(base), 1))
+    for tx_power in (10.0, 27.0):
+        config = LinkConfig(distance_m=1.0, ap=APConfig(tx_power_dbm=tx_power))
+        table.add_row("TX power", f"{tx_power:.0f} dBm", round(range_for(config), 1))
+    for gain in (10.0, 30.0):
+        config = LinkConfig(
+            distance_m=1.0, ap=APConfig(tx_gain_dbi=gain, rx_gain_dbi=gain)
+        )
+        table.add_row("AP antennas", f"{gain:.0f} dBi", round(range_for(config), 1))
+    for pairs in (2, 8, 16):
+        config = LinkConfig(
+            distance_m=1.0, tag=TagConfig(array=VanAttaArray(num_pairs=pairs))
+        )
+        table.add_row("Van Atta pairs", str(pairs), round(range_for(config), 1))
+    for rate in (1e6, 40e6, 100e6):
+        config = LinkConfig(
+            distance_m=1.0, tag=TagConfig(symbol_rate_hz=rate, samples_per_symbol=4)
+        )
+        table.add_row(
+            "symbol rate", f"{rate / 1e6:.0f} Msym/s", round(range_for(config), 1)
+        )
+    print(table.to_text())
+
+    # range vs array size, as a picture
+    pair_counts = [1, 2, 4, 8, 16, 32]
+    ranges = [
+        range_for(
+            LinkConfig(distance_m=1.0, tag=TagConfig(array=VanAttaArray(num_pairs=p)))
+        )
+        for p in pair_counts
+    ]
+    print()
+    print(
+        ascii_plot(
+            {"QPSK range": (pair_counts, ranges)},
+            title="range vs Van Atta pairs",
+            x_label="pairs",
+            y_label="range m",
+        )
+    )
+
+    assert ranges == sorted(ranges), "range must grow with array size"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Tag discovery, end to end: beam search + arbitration + reliable readout.
+
+The full life of a deployment from cold start:
+
+1. the AP **beam-searches** its sector to find where tags respond;
+2. an **arbitration session** (Gen2-style Q protocol) singulates the
+   unknown population;
+3. reads run over **stop-and-wait ARQ**, with per-read success wired
+   to each tag's actual link quality.
+
+Run:  python examples/tag_discovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Environment, LinkConfig, link_snr_db
+from repro.core.arq import ArqAnalysis, frame_success_probability
+from repro.core.beamsearch import BeamSearchConfig, BeamSearcher
+from repro.core.inventory import InventorySession, QAlgorithm
+from repro.core.modulation import get_scheme
+from repro.sim.results import ResultTable
+
+TAGS = [
+    # (tag_id, distance_m, bearing_deg)
+    (1, 2.2, -25.0),
+    (2, 3.0, -22.0),
+    (3, 4.5, 10.0),
+    (4, 6.0, 14.0),
+    (5, 7.5, 12.0),
+]
+FRAME_BITS = 2048
+
+
+def main() -> None:
+    print("=== cold-start tag discovery ===\n")
+
+    # -- step 1: beam search per cluster ------------------------------------
+    print("step 1: beam search (16-element AP array, 120 deg sector)")
+    config = BeamSearchConfig()
+    clusters = sorted({round(bearing / 15) * 15 for _, _, bearing in TAGS})
+    search_table = ResultTable(
+        "beam search per response cluster",
+        ["true_deg", "found", "steer_deg", "probes", "loss_db"],
+    )
+    total_probes = 0
+    for cluster_deg in clusters:
+        searcher = BeamSearcher(
+            config, tag_direction_deg=float(cluster_deg), aligned_snr_db=22.0
+        )
+        result = searcher.hierarchical_search(rng=cluster_deg + 100)
+        total_probes += result.num_probes
+        search_table.add_row(
+            cluster_deg,
+            result.found,
+            round(result.best_steer_deg, 1),
+            result.num_probes,
+            round(result.pointing_loss_db, 2),
+        )
+    print(search_table.to_text())
+    print(f"search air time: {total_probes * config.probe_slot_duration_s * 1e3:.2f} ms\n")
+
+    # -- step 2: arbitration --------------------------------------------------
+    print("step 2: arbitration (Q protocol)")
+    link_quality = {}
+    for tag_id, distance, bearing in TAGS:
+        link = LinkConfig(
+            distance_m=distance,
+            incidence_angle_deg=bearing,
+            environment=Environment.typical_office(),
+        )
+        snr = link_snr_db(link)
+        ber = get_scheme("QPSK").theoretical_ber(snr)
+        link_quality[tag_id] = frame_success_probability(ber, FRAME_BITS)
+
+    worst_read_probability = min(link_quality.values())
+    session = InventorySession(
+        [tag_id for tag_id, _, _ in TAGS],
+        read_success_probability=worst_read_probability,
+        controller=QAlgorithm(q_float=3.0),
+    )
+    stats = session.run_until_complete(rng=42)
+    print(f"  read all {len(TAGS)} tags in {stats.slots_total} slots "
+          f"({stats.rounds} rounds)")
+    print(f"  slot mix: {stats.slots_single} single / "
+          f"{stats.slots_collision} collision / {stats.slots_idle} idle")
+    print(f"  protocol efficiency: {stats.efficiency:.2f} reads/slot\n")
+
+    # -- step 3: reliable readout ---------------------------------------------
+    print("step 3: sustained readout with stop-and-wait ARQ")
+    arq_table = ResultTable(
+        "per-tag delivery with 3-transmission budget",
+        ["tag_id", "snr_db", "frame_success", "arq_delivery", "arq_goodput"],
+    )
+    for tag_id, distance, bearing in TAGS:
+        link = LinkConfig(
+            distance_m=distance,
+            incidence_angle_deg=bearing,
+            environment=Environment.typical_office(),
+        )
+        p_frame = link_quality[tag_id]
+        analysis = ArqAnalysis(
+            frame_error_rate=1.0 - p_frame, max_transmissions=3
+        )
+        arq_table.add_row(
+            tag_id,
+            round(link_snr_db(link), 1),
+            round(p_frame, 4),
+            round(analysis.delivery_probability(), 6),
+            round(analysis.goodput_fraction(), 4),
+        )
+    print(arq_table.to_text())
+
+    assert stats.slots_single >= len(TAGS)
+    assert all(p > 0.9 for p in link_quality.values())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Wearable telemetry: a moving, sometimes-blocked tag with rate adaptation.
+
+A battery-free wearable streams sensor frames while its wearer walks
+away from the AP.  Each epoch the AP re-measures SNR, the adapter picks
+the densest sustainable constellation (with hysteresis), and the chain
+is verified at the waveform level — including a mid-walk hand-blockage
+event that forces a downshift.
+
+Run:  python examples/wearable_telemetry.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import Environment, LinkConfig, RateAdapter, link_snr_db, simulate_link
+from repro.channel.blockage import BlockageEvent
+from repro.sim.results import ResultTable
+
+WALK_EPOCHS = [
+    # (time_s, distance_m, blocked)
+    (0.0, 1.5, False),
+    (1.0, 2.5, False),
+    (2.0, 4.0, False),
+    (3.0, 5.5, True),   # a hand crosses the link
+    (4.0, 7.0, False),
+    (5.0, 9.0, False),
+    (6.0, 12.0, False),
+]
+
+BLOCKAGE_ONE_WAY_DB = 5.0
+
+
+def main() -> None:
+    adapter = RateAdapter(hysteresis_db=1.0)
+    environment = Environment.typical_office()
+    current_mcs: str | None = None
+
+    log = ResultTable(
+        "wearable telemetry walk-away",
+        ["t_s", "distance_m", "blocked", "snr_db", "mcs", "rate_mbps", "frame_ok"],
+    )
+    delivered_bits = 0
+
+    for time_s, distance, blocked in WALK_EPOCHS:
+        config = LinkConfig(
+            distance_m=distance,
+            environment=environment,
+            radial_velocity_m_s=1.5,  # walking away: ~240 Hz of Doppler
+        )
+        snr = link_snr_db(config)
+        if blocked:
+            snr -= 2 * BLOCKAGE_ONE_WAY_DB  # round-trip blockage loss
+
+        entry = adapter.select(snr, current=current_mcs)
+        if entry is None:
+            log.add_row(time_s, distance, blocked, round(snr, 1), "-", 0.0, False)
+            current_mcs = None
+            continue
+        current_mcs = entry.modulation
+
+        run_config = config.with_modulation(entry.modulation)
+        if blocked:
+            run_config = replace(
+                run_config,
+                blockage_events=(
+                    BlockageEvent(0.0, 1.0, attenuation_db=BLOCKAGE_ONE_WAY_DB),
+                ),
+            )
+        result = simulate_link(run_config, num_payload_bits=2048, rng=int(time_s * 10))
+        if result.frame_success:
+            delivered_bits += result.num_payload_bits
+        log.add_row(
+            time_s,
+            distance,
+            blocked,
+            round(snr, 1),
+            entry.modulation,
+            round(run_config.tag.bit_rate_hz() / 1e6, 0),
+            result.frame_success,
+        )
+
+    print("=== wearable telemetry ===")
+    print(log.to_text())
+    print(f"\ndelivered: {delivered_bits} bits over {WALK_EPOCHS[-1][0]:.0f} s walk")
+
+    rows = log.rows
+    # the story the scenario tells: dense MCS near the AP, downshift on
+    # blockage and with distance, frames keep flowing
+    assert rows[0][4] == "16QAM"
+    assert rows[-1][4] in ("BPSK", "QPSK", "OOK")
+    assert sum(1 for row in rows if row[6]) >= 5
+    assert delivered_bits > 0
+
+
+if __name__ == "__main__":
+    main()

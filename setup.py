@@ -1,0 +1,12 @@
+"""Setuptools shim for offline legacy editable installs.
+
+The environment ships setuptools 65 without the ``wheel`` package, so
+PEP-517 editable installs fail with "invalid command 'bdist_wheel'".
+``pip install -e . --no-build-isolation`` falls back to this setup.py
+(via --no-use-pep517) and works offline.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""mmtag-repro: a reproduction of *mmTag: A Millimeter Wave Backscatter
+Network* (SIGCOMM 2021).
+
+The public API re-exports the pieces a downstream user composes:
+
+>>> from repro import LinkConfig, simulate_link
+>>> result = simulate_link(LinkConfig(distance_m=4.0), rng=0)
+>>> result.frame_success
+True
+
+Packages
+--------
+``repro.core``
+    The mmTag system: tag, AP, modulation, framing, link simulation,
+    energy model, rate adaptation, multi-tag network.
+``repro.dsp`` / ``repro.rf`` / ``repro.em`` / ``repro.channel``
+    The substrates: comms DSP, behavioural RF components,
+    antennas/arrays/propagation, and channel impairments.
+``repro.baselines``
+    Comparison systems: active mmWave radio, 900 MHz RFID backscatter,
+    WiFi-band backscatter, and a non-retroreflective tag.
+``repro.sim``
+    Monte-Carlo engine, parameter sweeps, result tables, ASCII plots.
+"""
+
+from repro.constants import (
+    DEFAULT_CARRIER_HZ,
+    DEFAULT_WAVELENGTH_M,
+    SPEED_OF_LIGHT,
+    wavelength,
+)
+from repro.core.adaptation import DEFAULT_MCS_TABLE, McsEntry, RateAdapter
+from repro.core.ap import AccessPoint, APConfig, ReceiverResult
+from repro.core.energy import EnergyReport, TagEnergyModel
+from repro.core.framing import Frame, FrameHeader
+from repro.core.link import LinkConfig, LinkResult, link_snr_db, simulate_link
+from repro.core.modulation import (
+    BPSK,
+    OOK,
+    PSK8,
+    QAM16,
+    QPSK,
+    ModulationScheme,
+    available_schemes,
+    get_scheme,
+)
+from repro.core.network import (
+    FdmaPlan,
+    InventoryResult,
+    MmTagNetwork,
+    NetworkTag,
+    TdmaSchedule,
+)
+from repro.core.tag import Tag, TagConfig
+from repro.channel.environment import ClutterReflector, Environment
+from repro.em.vanatta import VanAttaArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "DEFAULT_CARRIER_HZ",
+    "DEFAULT_WAVELENGTH_M",
+    "wavelength",
+    "AccessPoint",
+    "APConfig",
+    "ReceiverResult",
+    "Tag",
+    "TagConfig",
+    "Frame",
+    "FrameHeader",
+    "LinkConfig",
+    "LinkResult",
+    "simulate_link",
+    "link_snr_db",
+    "ModulationScheme",
+    "available_schemes",
+    "get_scheme",
+    "OOK",
+    "BPSK",
+    "QPSK",
+    "PSK8",
+    "QAM16",
+    "TagEnergyModel",
+    "EnergyReport",
+    "RateAdapter",
+    "McsEntry",
+    "DEFAULT_MCS_TABLE",
+    "MmTagNetwork",
+    "NetworkTag",
+    "FdmaPlan",
+    "TdmaSchedule",
+    "InventoryResult",
+    "Environment",
+    "ClutterReflector",
+    "VanAttaArray",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline systems the paper's evaluation compares against.
+
+* :mod:`repro.baselines.active_radio` — an active mmWave IoT radio
+  (mmX-class): generates its own carrier, pays for oscillator, mixer,
+  PA and phased array, but enjoys one-way (d^-2) path loss.
+* :mod:`repro.baselines.rfid` — 900 MHz UHF RFID backscatter: the
+  incumbent low-power technology; long range per dB but kbps-class
+  rates and no spatial reuse.
+* :mod:`repro.baselines.wifi_backscatter` — WiFi-band (2.4 GHz)
+  backscatter with Mbps-class rates.
+* :mod:`repro.baselines.single_antenna_tag` — an mmWave tag *without*
+  the Van Atta array: shows why retro-directivity is load-bearing.
+"""
+
+from repro.baselines.active_radio import ActiveMmWaveRadio
+from repro.baselines.rfid import RfidBackscatter
+from repro.baselines.wifi_backscatter import WifiBackscatter
+from repro.baselines.single_antenna_tag import SingleAntennaTag
+from repro.baselines.features import FEATURE_MATRIX, SystemFeatures
+
+__all__ = [
+    "ActiveMmWaveRadio",
+    "RfidBackscatter",
+    "WifiBackscatter",
+    "SingleAntennaTag",
+    "FEATURE_MATRIX",
+    "SystemFeatures",
+]

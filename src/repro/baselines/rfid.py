@@ -1,0 +1,63 @@
+"""900 MHz UHF RFID backscatter baseline.
+
+The incumbent backscatter technology: EPC Gen2 readers at 915 MHz with
+~36 dBm EIRP, tags with a single dipole (~2 dBi).  Long wavelength
+means gentle path loss per metre, but the regulatory bandwidth caps
+data rates at hundreds of kbps and a single reader antenna offers no
+spatial reuse — the two axes on which mmTag wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import THERMAL_NOISE_DBM_HZ
+from repro.em.propagation import backscatter_received_power_dbm
+
+__all__ = ["RfidBackscatter"]
+
+
+@dataclass(frozen=True)
+class RfidBackscatter:
+    """An EPC Gen2-class RFID link."""
+
+    tx_power_dbm: float = 30.0
+    reader_gain_dbi: float = 6.0
+    tag_gain_dbi: float = 2.0
+    carrier_hz: float = 915e6
+    noise_figure_db: float = 8.0
+    max_bit_rate_hz: float = 640e3  # FM0 at max BLF
+    tag_power_w: float = 20e-6  # semi-passive tag logic
+
+    def snr_db(self, distance_m: float, bandwidth_hz: float | None = None) -> float:
+        """Backscatter SNR at the reader."""
+        bandwidth = bandwidth_hz or self.max_bit_rate_hz
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        received = backscatter_received_power_dbm(
+            self.tx_power_dbm,
+            self.reader_gain_dbi,
+            self.reader_gain_dbi,
+            2.0 * self.tag_gain_dbi,  # receive + re-radiate through the dipole
+            distance_m,
+            self.carrier_hz,
+            modulation_loss_db=3.0,  # OOK-style Gen2 modulation
+        )
+        noise = THERMAL_NOISE_DBM_HZ + 10.0 * math.log10(bandwidth) + self.noise_figure_db
+        return received - noise
+
+    def energy_per_bit_j(self, bit_rate_hz: float | None = None) -> float:
+        """Tag energy per bit (semi-passive tag)."""
+        rate = bit_rate_hz or self.max_bit_rate_hz
+        if rate <= 0:
+            raise ValueError(f"bit rate must be positive, got {rate}")
+        if rate > self.max_bit_rate_hz:
+            raise ValueError(
+                f"rate {rate:g} exceeds the Gen2 maximum {self.max_bit_rate_hz:g}"
+            )
+        return self.tag_power_w / rate
+
+    def energy_per_bit_nj(self, bit_rate_hz: float | None = None) -> float:
+        """Tag energy per bit in nanojoules."""
+        return self.energy_per_bit_j(bit_rate_hz) * 1e9

@@ -1,0 +1,43 @@
+"""A non-retro-reflective mmWave tag: the ablation that motivates Van Atta.
+
+A single patch antenna re-radiates with the *element* pattern only.  At
+broadside it loses the array factor (N_elem^2 in round-trip power); off
+broadside it additionally loses the element roll-off twice, with no
+retro-directive recovery.  Comparing this against
+:class:`repro.em.vanatta.VanAttaArray` is experiment E1/E6's baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.em.antenna import AntennaElement, patch_element
+
+__all__ = ["SingleAntennaTag"]
+
+
+@dataclass(frozen=True)
+class SingleAntennaTag:
+    """A backscatter tag with one patch antenna and a switch."""
+
+    element: AntennaElement = field(default_factory=patch_element)
+
+    def monostatic_gain(self, theta_rad: float) -> float:
+        """Round-trip power gain (receive times re-radiate), linear."""
+        gain = float(self.element.gain(theta_rad))
+        return gain * gain
+
+    def monostatic_gain_db(self, theta_rad: float) -> float:
+        """Round-trip power gain in dB."""
+        gain = self.monostatic_gain(theta_rad)
+        if gain <= 0.0:
+            return -math.inf
+        return 10.0 * math.log10(gain)
+
+    def retro_pattern(self, theta_grid_rad: np.ndarray) -> np.ndarray:
+        """Monostatic gain across incidence angles (E1's baseline curve)."""
+        grid = np.asarray(theta_grid_rad, dtype=np.float64)
+        return np.array([self.monostatic_gain(float(t)) for t in grid])

@@ -1,0 +1,75 @@
+"""WiFi-band (2.4 GHz) backscatter baseline.
+
+HitchHike/WiTAG-class systems piggyback on WiFi transmissions.  They
+reach Mbps-class rates at low tag power, but operate in the congested
+sub-6 GHz band with a shared 20 MHz channel and omnidirectional links
+— no spatial reuse, and throughput bounded by the ambient WiFi frame
+budget.  The model exposes SNR vs distance and energy/bit plus a simple
+channel-sharing throughput cap for the feature comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import THERMAL_NOISE_DBM_HZ
+from repro.em.propagation import backscatter_received_power_dbm
+
+__all__ = ["WifiBackscatter"]
+
+
+@dataclass(frozen=True)
+class WifiBackscatter:
+    """A HitchHike-class 2.4 GHz backscatter link."""
+
+    tx_power_dbm: float = 20.0
+    helper_gain_dbi: float = 2.0
+    tag_gain_dbi: float = 2.0
+    carrier_hz: float = 2.44e9
+    noise_figure_db: float = 7.0
+    max_bit_rate_hz: float = 2e6  # codeword-translation systems top out here
+    tag_power_w: float = 33e-6
+    channel_share: float = 0.1  # fraction of airtime the helper can donate
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.channel_share <= 1.0:
+            raise ValueError(
+                f"channel share must be in (0, 1], got {self.channel_share}"
+            )
+
+    def snr_db(self, distance_m: float, bandwidth_hz: float | None = None) -> float:
+        """Backscatter SNR at the receiver."""
+        bandwidth = bandwidth_hz or self.max_bit_rate_hz
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        received = backscatter_received_power_dbm(
+            self.tx_power_dbm,
+            self.helper_gain_dbi,
+            self.helper_gain_dbi,
+            2.0 * self.tag_gain_dbi,
+            distance_m,
+            self.carrier_hz,
+            modulation_loss_db=3.0,
+        )
+        noise = THERMAL_NOISE_DBM_HZ + 10.0 * math.log10(bandwidth) + self.noise_figure_db
+        return received - noise
+
+    def effective_throughput_hz(self) -> float:
+        """Throughput after the WiFi channel-sharing haircut."""
+        return self.max_bit_rate_hz * self.channel_share
+
+    def energy_per_bit_j(self, bit_rate_hz: float | None = None) -> float:
+        """Tag energy per bit."""
+        rate = bit_rate_hz or self.max_bit_rate_hz
+        if rate <= 0:
+            raise ValueError(f"bit rate must be positive, got {rate}")
+        if rate > self.max_bit_rate_hz:
+            raise ValueError(
+                f"rate {rate:g} exceeds the system maximum {self.max_bit_rate_hz:g}"
+            )
+        return self.tag_power_w / rate
+
+    def energy_per_bit_nj(self, bit_rate_hz: float | None = None) -> float:
+        """Tag energy per bit in nanojoules."""
+        return self.energy_per_bit_j(bit_rate_hz) * 1e9

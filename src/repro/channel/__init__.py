@@ -1,0 +1,29 @@
+"""Channel simulation: multipath, clutter/self-interference, mobility.
+
+The backscatter receiver sees, after self-coherent downconversion,
+
+``y(t) = leak + sum(clutter) + h * Gamma(t) + n(t)``
+
+— a strong static term from TX-RX leakage and environment reflections
+(all at DC because they are unmodulated copies of the transmit tone), a
+weak modulated term from the tag, and noise.  This package synthesises
+each of those pieces.
+"""
+
+from repro.channel.multipath import MultipathChannel, PathComponent, rician_channel
+from repro.channel.environment import ClutterReflector, Environment
+from repro.channel.mobility import doppler_shift_hz, LinearMotion, apply_doppler
+from repro.channel.blockage import BlockageEvent, apply_blockage
+
+__all__ = [
+    "MultipathChannel",
+    "PathComponent",
+    "rician_channel",
+    "ClutterReflector",
+    "Environment",
+    "doppler_shift_hz",
+    "LinearMotion",
+    "apply_doppler",
+    "BlockageEvent",
+    "apply_blockage",
+]

@@ -1,0 +1,69 @@
+"""Tag mobility: Doppler shifts and linear motion.
+
+A moving tag imposes a *double* Doppler shift on its backscatter
+(the wave is shifted once on the way in and once on the way out),
+so ``f_d = 2 * v_radial / lambda``.  At 24 GHz walking speed is about
+160 Hz — far inside any practical symbol rate, but enough to matter
+for long coherent integration, so the network layer budgets for it.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from repro.constants import DEFAULT_CARRIER_HZ, wavelength
+from repro.dsp.signal import Signal
+
+__all__ = ["doppler_shift_hz", "LinearMotion", "apply_doppler"]
+
+
+def doppler_shift_hz(
+    radial_velocity_m_s: float, carrier_hz: float = DEFAULT_CARRIER_HZ
+) -> float:
+    """Round-trip (backscatter) Doppler shift for a radial velocity.
+
+    Positive velocity means the tag approaches the AP, raising the
+    received frequency.
+    """
+    lam = wavelength(carrier_hz)
+    return 2.0 * radial_velocity_m_s / lam
+
+
+@dataclass(frozen=True)
+class LinearMotion:
+    """Constant-velocity radial motion of a tag."""
+
+    start_distance_m: float
+    radial_velocity_m_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_distance_m <= 0:
+            raise ValueError(
+                f"start distance must be positive, got {self.start_distance_m}"
+            )
+
+    def distance_at(self, time_s: float) -> float:
+        """Distance at ``time_s``; raises if the tag would pass the AP."""
+        distance = self.start_distance_m + self.radial_velocity_m_s * time_s
+        if distance <= 0:
+            raise ValueError(
+                f"tag reaches the AP at t <= {time_s}s; shorten the simulation"
+            )
+        return distance
+
+    def doppler_hz(self, carrier_hz: float = DEFAULT_CARRIER_HZ) -> float:
+        """Backscatter Doppler of this motion.
+
+        ``radial_velocity_m_s`` is the rate of change of distance, so a
+        negative value (closing in) yields a positive Doppler shift.
+        """
+        return doppler_shift_hz(-self.radial_velocity_m_s, carrier_hz)
+
+
+def apply_doppler(
+    sig: Signal, radial_velocity_m_s: float, carrier_hz: float = DEFAULT_CARRIER_HZ
+) -> Signal:
+    """Apply the round-trip Doppler of a constant radial velocity."""
+    shift = doppler_shift_hz(radial_velocity_m_s, carrier_hz)
+    return sig.frequency_shift(shift)

@@ -1,0 +1,134 @@
+"""Random-waypoint mobility traces.
+
+Generates the (distance, angle) trajectory of a tag carried around a
+room: pick a random waypoint, walk to it at a random speed, pause,
+repeat.  The link layer consumes the sampled trace to run epoch-by-
+epoch simulations of a mobile tag (the wearable example and the
+mobility ablation use this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TracePoint", "RandomWaypointModel"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of a mobility trace, in AP-centred polar terms."""
+
+    time_s: float
+    x_m: float
+    y_m: float
+
+    @property
+    def distance_m(self) -> float:
+        """Range from the AP at the origin."""
+        return math.hypot(self.x_m, self.y_m)
+
+    @property
+    def azimuth_deg(self) -> float:
+        """Bearing from the AP boresight (+x axis)."""
+        return math.degrees(math.atan2(self.y_m, self.x_m))
+
+
+@dataclass(frozen=True)
+class RandomWaypointModel:
+    """Random-waypoint motion inside a rectangular room.
+
+    The AP sits at the origin looking along +x; the walkable area is
+    ``[x_min, x_max] x [y_min, y_max]`` and must exclude the origin
+    (keep ``x_min > 0``) so distances stay positive.
+    """
+
+    x_min: float = 1.0
+    x_max: float = 8.0
+    y_min: float = -3.0
+    y_max: float = 3.0
+    speed_min_m_s: float = 0.5
+    speed_max_m_s: float = 1.5
+    pause_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.x_min <= 0:
+            raise ValueError(f"x_min must be positive (AP at origin), got {self.x_min}")
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ValueError("area bounds must be non-degenerate")
+        if not 0 < self.speed_min_m_s <= self.speed_max_m_s:
+            raise ValueError("speeds must satisfy 0 < min <= max")
+        if self.pause_max_s < 0:
+            raise ValueError(f"pause must be >= 0, got {self.pause_max_s}")
+
+    def _random_point(self, rng: np.random.Generator) -> tuple[float, float]:
+        return (
+            float(rng.uniform(self.x_min, self.x_max)),
+            float(rng.uniform(self.y_min, self.y_max)),
+        )
+
+    def generate_trace(
+        self,
+        duration_s: float,
+        sample_interval_s: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[TracePoint]:
+        """Sample a trajectory every ``sample_interval_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        if sample_interval_s <= 0:
+            raise ValueError(
+                f"sample interval must be positive, got {sample_interval_s}"
+            )
+        rng = np.random.default_rng(rng)
+        position = self._random_point(rng)
+        target = self._random_point(rng)
+        speed = float(rng.uniform(self.speed_min_m_s, self.speed_max_m_s))
+        pause_left = 0.0
+
+        trace: list[TracePoint] = []
+        steps = int(math.ceil(duration_s / sample_interval_s))
+        for k in range(steps + 1):
+            t = k * sample_interval_s
+            trace.append(TracePoint(time_s=t, x_m=position[0], y_m=position[1]))
+            remaining = sample_interval_s
+            while remaining > 0:
+                if pause_left > 0:
+                    dwell = min(pause_left, remaining)
+                    pause_left -= dwell
+                    remaining -= dwell
+                    continue
+                dx = target[0] - position[0]
+                dy = target[1] - position[1]
+                gap = math.hypot(dx, dy)
+                if gap < 1e-9:
+                    target = self._random_point(rng)
+                    speed = float(rng.uniform(self.speed_min_m_s, self.speed_max_m_s))
+                    pause_left = float(rng.uniform(0.0, self.pause_max_s))
+                    continue
+                step = min(gap, speed * remaining)
+                position = (
+                    position[0] + dx / gap * step,
+                    position[1] + dy / gap * step,
+                )
+                remaining -= step / speed
+        return trace
+
+    def radial_velocity_at(
+        self, trace: list[TracePoint], index: int
+    ) -> float:
+        """Rate of change of AP distance at trace sample ``index``."""
+        if not 0 <= index < len(trace):
+            raise ValueError(f"index {index} outside trace of {len(trace)} points")
+        if len(trace) < 2:
+            return 0.0
+        if index == 0:
+            a, b = trace[0], trace[1]
+        else:
+            a, b = trace[index - 1], trace[index]
+        dt = b.time_s - a.time_s
+        if dt <= 0:
+            return 0.0
+        return (b.distance_m - a.distance_m) / dt

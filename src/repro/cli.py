@@ -1,0 +1,326 @@
+"""Command-line interface: drive the stack without writing a script.
+
+``python -m repro <command>``:
+
+* ``link``        one uplink burst at an operating point
+* ``sweep``       SNR / BER across distances
+* ``energy``      node power / energy-per-bit table (+ battery life)
+* ``network``     TDMA inventory of an N-tag deployment
+* ``beamsearch``  AP beam-search strategies toward a tag
+* ``schemes``     modulation table with SNR thresholds
+
+All commands take ``--seed``; identical invocations print identical
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.core.adaptation import snr_threshold_db
+from repro.core.beamsearch import BeamSearchConfig, BeamSearcher
+from repro.core.energy import TagEnergyModel
+from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.core.modulation import available_schemes, get_scheme
+from repro.core.network import MmTagNetwork, NetworkTag
+from repro.core.tag import TagConfig
+from repro.sim.monte_carlo import estimate_link_ber
+from repro.sim.plotting import ascii_plot
+from repro.sim.results import ResultTable
+
+__all__ = ["main", "build_parser"]
+
+
+def _environment(name: str) -> Environment:
+    if name == "office":
+        return Environment.typical_office()
+    if name == "anechoic":
+        return Environment.anechoic()
+    raise argparse.ArgumentTypeError(f"unknown environment {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="mmTag reproduction: mmWave backscatter simulation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    link = sub.add_parser("link", help="simulate one uplink burst")
+    link.add_argument("--distance", type=float, default=4.0, help="tag range [m]")
+    link.add_argument("--angle", type=float, default=0.0, help="incidence angle [deg]")
+    link.add_argument("--modulation", default="QPSK", choices=available_schemes())
+    link.add_argument("--symbol-rate", type=float, default=10e6, help="[sym/s]")
+    link.add_argument("--bits", type=int, default=2048, help="payload bits")
+    link.add_argument("--environment", default="office", choices=["office", "anechoic"])
+    link.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="sweep metric vs distance")
+    sweep.add_argument("--metric", default="snr", choices=["snr", "ber"])
+    sweep.add_argument("--start", type=float, default=1.0)
+    sweep.add_argument("--stop", type=float, default=12.0)
+    sweep.add_argument("--points", type=int, default=8)
+    sweep.add_argument("--modulation", default="QPSK", choices=available_schemes())
+    sweep.add_argument("--seed", type=int, default=0)
+
+    energy = sub.add_parser("energy", help="node power / energy table")
+    energy.add_argument("--symbol-rate", type=float, default=10e6)
+    energy.add_argument("--duty-cycle", type=float, default=None,
+                        help="optional duty cycle for battery-life rows")
+    energy.add_argument("--battery-j", type=float, default=2400.0,
+                        help="battery energy [J] (CR2032 ~ 2400 J)")
+
+    network = sub.add_parser("network", help="TDMA inventory of N tags")
+    network.add_argument("--tags", type=int, default=4)
+    network.add_argument("--rounds", type=int, default=50)
+    network.add_argument("--max-distance", type=float, default=6.0)
+    network.add_argument("--seed", type=int, default=0)
+
+    beam = sub.add_parser("beamsearch", help="AP beam search toward a tag")
+    beam.add_argument("--direction", type=float, default=20.0, help="true tag bearing [deg]")
+    beam.add_argument("--snr", type=float, default=25.0, help="aligned SNR [dB]")
+    beam.add_argument("--elements", type=int, default=16)
+    beam.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("schemes", help="modulation table with SNR thresholds")
+    sub.add_parser("experiments", help="list the reproduction experiment suite")
+    return parser
+
+
+_EXPERIMENT_INDEX = [
+    ("E1", "Van Atta retro-gain vs incidence angle", "test_e1_vanatta_pattern"),
+    ("E2", "uplink SNR vs distance (d^-4 law)", "test_e2_snr_vs_distance"),
+    ("E3", "BER waterfalls vs theory", "test_e3_ber_waterfall"),
+    ("E4", "BER vs distance per data rate", "test_e4_ber_vs_distance"),
+    ("E5", "rate-adapted goodput vs distance", "test_e5_throughput"),
+    ("E6", "angular coverage: retro vs fixed beam", "test_e6_angle_coverage"),
+    ("E7", "multi-tag FDMA + TDMA scaling", "test_e7_multitag"),
+    ("E8", "power & energy table (2.4 nJ/bit)", "test_e8_energy_table"),
+    ("E9", "switch rise time vs symbol rate", "test_e9_switch_speed"),
+    ("E10", "self-interference rejection + DC-block ablation", "test_e10_interference"),
+    ("E11", "feature matrix vs prior systems", "test_e11_feature_table"),
+    ("E12", "ablations: array size / tolerance / coding", "test_e12_ablations"),
+    ("E13", "AP beam-search cost (extension)", "test_e13_beam_search"),
+    ("E14", "coding gain ladder (extension)", "test_e14_coding_gain"),
+    ("E15", "spatial reuse SINR (extension)", "test_e15_spatial_reuse"),
+    ("E16", "battery-free envelope (extension)", "test_e16_harvesting"),
+    ("E17", "AP receive diversity / MRC (extension)", "test_e17_diversity"),
+]
+
+
+# -- command implementations --------------------------------------------------
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    config = LinkConfig(
+        distance_m=args.distance,
+        incidence_angle_deg=args.angle,
+        tag=TagConfig(modulation=args.modulation, symbol_rate_hz=args.symbol_rate),
+        environment=_environment(args.environment),
+    )
+    result = simulate_link(config, num_payload_bits=args.bits, rng=args.seed)
+    print(f"analytic SNR : {link_snr_db(config):8.2f} dB")
+    measured = result.snr_measured_db
+    print(f"measured SNR : {measured:8.2f} dB" if measured is not None
+          else "measured SNR :     lost")
+    print(f"detected     : {result.detected}")
+    print(f"frame OK     : {result.frame_success}")
+    print(f"BER          : {result.ber:.3e}  ({result.bit_errors}/{result.num_payload_bits})")
+    print(f"tag power    : {result.energy.total_power_w * 1e3:8.2f} mW")
+    print(f"energy/bit   : {result.energy.energy_per_bit_nj:8.2f} nJ")
+    return 0 if result.frame_success else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.points < 2 or args.stop <= args.start:
+        print("sweep needs stop > start and points >= 2", file=sys.stderr)
+        return 2
+    distances = list(np.linspace(args.start, args.stop, args.points))
+    table = ResultTable(
+        f"{args.metric} vs distance ({args.modulation})",
+        ["distance_m", args.metric],
+    )
+    values = []
+    for distance in distances:
+        config = LinkConfig(
+            distance_m=float(distance),
+            tag=TagConfig(modulation=args.modulation),
+            environment=Environment.typical_office(),
+        )
+        if args.metric == "snr":
+            value = link_snr_db(config)
+        else:
+            value = estimate_link_ber(
+                config, target_errors=30, max_bits=20_000,
+                bits_per_frame=2048, seed=args.seed,
+            ).ber
+        values.append(value)
+        table.add_row(round(float(distance), 2), value)
+    print(table.to_text())
+    print()
+    print(
+        ascii_plot(
+            {args.metric: (distances, values)},
+            log_y=(args.metric == "ber"),
+            x_label="distance [m]",
+            y_label=args.metric,
+        )
+    )
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    model = TagEnergyModel()
+    table = ResultTable(
+        f"tag energy at {args.symbol_rate / 1e6:g} Msym/s",
+        ["modulation", "bit_rate_mbps", "power_mw", "nj_per_bit"],
+    )
+    for name in available_schemes():
+        report = model.report(name, args.symbol_rate)
+        table.add_row(
+            name,
+            report.bit_rate_hz / 1e6,
+            round(report.total_power_w * 1e3, 2),
+            round(report.energy_per_bit_nj, 3),
+        )
+    print(table.to_text())
+    if args.duty_cycle is not None:
+        print()
+        life = ResultTable(
+            f"battery life at duty {args.duty_cycle:g} "
+            f"({args.battery_j:g} J store)",
+            ["modulation", "avg_power_mw", "lifetime_days"],
+        )
+        for name in available_schemes():
+            power = model.duty_cycled_power_w(name, args.symbol_rate, args.duty_cycle)
+            seconds = model.battery_lifetime_s(
+                args.battery_j, name, args.symbol_rate, args.duty_cycle
+            )
+            life.add_row(name, round(power * 1e3, 3), round(seconds / 86_400, 1))
+        print(life.to_text())
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    if args.tags < 1:
+        print("need at least one tag", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    tags = [
+        NetworkTag(
+            config=TagConfig(tag_id=i),
+            distance_m=float(rng.uniform(1.5, args.max_distance)),
+            incidence_angle_deg=float(rng.uniform(-30, 30)),
+        )
+        for i in range(args.tags)
+    ]
+    network = MmTagNetwork(tags, environment=Environment.typical_office())
+    inventory = network.tdma_inventory(num_rounds=args.rounds, rng=args.seed)
+    table = ResultTable(
+        f"TDMA inventory: {args.tags} tags x {args.rounds} rounds",
+        ["tag_id", "distance_m", "snr_db", "goodput_kbps"],
+    )
+    snrs = network.per_tag_snr_db()
+    per_tag = inventory.per_tag_goodput_bps()
+    for tag in network.tags:
+        table.add_row(
+            tag.config.tag_id,
+            round(tag.distance_m, 2),
+            round(snrs[tag.config.tag_id], 1),
+            round(per_tag[tag.config.tag_id] / 1e3, 1),
+        )
+    print(table.to_text())
+    print(f"\naggregate goodput: {inventory.aggregate_goodput_bps / 1e6:.2f} Mbps")
+    print(f"fairness (Jain):   {inventory.jain_fairness():.3f}")
+    return 0
+
+
+def _cmd_beamsearch(args: argparse.Namespace) -> int:
+    from repro.em.antenna import patch_element
+    from repro.em.array import UniformLinearArray
+
+    config = BeamSearchConfig(
+        ap_array=UniformLinearArray(
+            num_elements=args.elements, element=patch_element(5.0)
+        )
+    )
+    searcher = BeamSearcher(
+        config, tag_direction_deg=args.direction, aligned_snr_db=args.snr
+    )
+    table = ResultTable(
+        f"beam search: tag at {args.direction:g} deg, {args.elements} elements "
+        f"(beamwidth {config.beamwidth_deg():.1f} deg)",
+        ["strategy", "probes", "time_ms", "best_deg", "error_deg", "loss_db"],
+    )
+    for label, result in (
+        ("exhaustive", searcher.exhaustive_search(rng=args.seed)),
+        ("hierarchical", searcher.hierarchical_search(rng=args.seed)),
+    ):
+        table.add_row(
+            label,
+            result.num_probes,
+            round(result.search_time_s(config.probe_slot_duration_s) * 1e3, 3),
+            round(result.best_steer_deg, 2),
+            round(result.pointing_error_deg, 2),
+            round(result.pointing_loss_db, 2),
+        )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_schemes(_args: argparse.Namespace) -> int:
+    table = ResultTable(
+        "modulation schemes (thresholds at BER 1e-3)",
+        ["name", "bits_per_symbol", "switch_lines", "mod_loss_db", "snr_threshold_db"],
+    )
+    for name in available_schemes():
+        scheme = get_scheme(name)
+        table.add_row(
+            scheme.name,
+            scheme.bits_per_symbol,
+            scheme.num_lines,
+            round(scheme.modulation_loss_db(), 2),
+            round(snr_threshold_db(scheme), 2),
+        )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    table = ResultTable(
+        "experiment suite (run: pytest benchmarks/ --benchmark-only -s)",
+        ["id", "what it regenerates", "bench module"],
+    )
+    for exp_id, title, module in _EXPERIMENT_INDEX:
+        table.add_row(exp_id, title, f"benchmarks/{module}.py")
+    print(table.to_text())
+    print("\npaper-vs-measured notes: EXPERIMENTS.md")
+    return 0
+
+
+_COMMANDS = {
+    "link": _cmd_link,
+    "sweep": _cmd_sweep,
+    "energy": _cmd_energy,
+    "network": _cmd_network,
+    "beamsearch": _cmd_beamsearch,
+    "schemes": _cmd_schemes,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Physical constants and mmTag system defaults.
+
+All values are SI unless the name says otherwise (``*_dbm``, ``*_dbi``,
+``*_db``, ``*_ghz``).  The mmTag defaults follow DESIGN.md's calibration
+table: they are chosen so that the default tag configuration reproduces
+the one energy figure attributable to the paper (2.4 nJ/bit) and a
+realistic 24 GHz ISM-band link budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380_649e-23
+
+#: Standard noise reference temperature [K].
+T0_KELVIN = 290.0
+
+#: Thermal noise power spectral density at T0 [dBm/Hz] (-173.98).
+THERMAL_NOISE_DBM_HZ = 10.0 * math.log10(BOLTZMANN * T0_KELVIN * 1e3)
+
+# ---------------------------------------------------------------------------
+# mmTag band plan (24 GHz ISM)
+# ---------------------------------------------------------------------------
+
+#: Default carrier frequency [Hz]: centre of the 24.0-24.25 GHz ISM band.
+DEFAULT_CARRIER_HZ = 24.125e9
+
+#: Carrier wavelength at the default carrier [m] (about 12.43 mm).
+DEFAULT_WAVELENGTH_M = SPEED_OF_LIGHT / DEFAULT_CARRIER_HZ
+
+# ---------------------------------------------------------------------------
+# Access point defaults
+# ---------------------------------------------------------------------------
+
+#: AP transmit power [dBm].
+DEFAULT_AP_TX_POWER_DBM = 20.0
+
+#: AP horn antenna gain, transmit and receive [dBi].
+DEFAULT_AP_ANTENNA_GAIN_DBI = 20.0
+
+#: AP receiver noise figure [dB].
+DEFAULT_AP_NOISE_FIGURE_DB = 6.0
+
+# ---------------------------------------------------------------------------
+# Tag defaults
+# ---------------------------------------------------------------------------
+
+#: Number of Van Atta antenna pairs on the default tag.
+DEFAULT_VAN_ATTA_PAIRS = 4
+
+#: Gain of one tag patch element [dBi].
+DEFAULT_TAG_ELEMENT_GAIN_DBI = 5.0
+
+#: One-way transmission-line loss inside the Van Atta network [dB].
+DEFAULT_TAG_LINE_LOSS_DB = 1.0
+
+#: RF switch 10-90% rise time [s] (ADRF5020-class part).
+DEFAULT_SWITCH_RISE_TIME_S = 1e-9
+
+#: Energy drawn by the modulator per symbol transition [J].
+#: Calibrated so QPSK at 10 Msym/s (20 Mbps) costs 2.4 nJ/bit total.
+DEFAULT_SWITCH_ENERGY_PER_TRANSITION_J = 4.0e-9
+
+#: Static power of the tag's control logic while communicating [W].
+DEFAULT_TAG_STATIC_POWER_W = 8.0e-3
+
+# ---------------------------------------------------------------------------
+# Waveform defaults
+# ---------------------------------------------------------------------------
+
+#: Default symbol rate [symbols/s].
+DEFAULT_SYMBOL_RATE_HZ = 10e6
+
+#: Default root-raised-cosine roll-off factor.
+DEFAULT_RRC_ROLLOFF = 0.35
+
+#: Default oversampling factor (samples per symbol).
+DEFAULT_SAMPLES_PER_SYMBOL = 8
+
+
+def wavelength(carrier_hz: float) -> float:
+    """Return the free-space wavelength [m] for ``carrier_hz`` [Hz].
+
+    >>> round(wavelength(24.125e9) * 1e3, 2)
+    12.43
+    """
+    if carrier_hz <= 0:
+        raise ValueError(f"carrier frequency must be positive, got {carrier_hz}")
+    return SPEED_OF_LIGHT / carrier_hz

@@ -1,0 +1,136 @@
+"""mmTag core: the paper's primary contribution.
+
+Assembles the substrates into the mmTag system — the Van Atta tag with
+its switched-line modulator, the self-coherent AP receiver, framing and
+coding, the end-to-end link simulator, rate adaptation, the tag energy
+model, and the multi-tag network layer.
+"""
+
+from repro.core.modulation import (
+    Constellation,
+    TagState,
+    ModulationScheme,
+    get_scheme,
+    available_schemes,
+    OOK,
+    BPSK,
+    QPSK,
+    PSK8,
+    QAM16,
+)
+from repro.core.coding import (
+    crc16,
+    crc32,
+    append_crc16,
+    check_crc16,
+    hamming74_encode,
+    hamming74_decode,
+    repetition_encode,
+    repetition_decode,
+    block_interleave,
+    block_deinterleave,
+)
+from repro.core.framing import Frame, FrameHeader, PREAMBLE_SYMBOLS, bits_from_bytes, bytes_from_bits
+from repro.core.tag import Tag, TagConfig
+from repro.core.ap import AccessPoint, APConfig, ReceiverResult
+from repro.core.link import LinkConfig, LinkResult, simulate_link, link_snr_db
+from repro.core.energy import TagEnergyModel, EnergyReport
+from repro.core.adaptation import RateAdapter, McsEntry, DEFAULT_MCS_TABLE
+from repro.core.network import (
+    NetworkTag,
+    MmTagNetwork,
+    FdmaPlan,
+    TdmaSchedule,
+    InventoryResult,
+)
+from repro.core.beamsearch import (
+    BeamSearchConfig,
+    BeamSearcher,
+    BeamSearchResult,
+    ProbeRecord,
+)
+from repro.core.convolutional import ConvolutionalCode, K7_CODE
+from repro.core.arq import ArqAnalysis, StopAndWaitSession, frame_success_probability
+from repro.core.harvesting import HarvestingBudget, Rectifier
+from repro.core.sdm import SdmCell, SdmLink, SdmReport
+from repro.core.session import EpochRecord, MobileSession, SessionSummary
+from repro.core.diversity import DiversityResult, mrc_combine, simulate_diversity_link
+from repro.core.inventory import (
+    InventorySession,
+    ProtocolTag,
+    QAlgorithm,
+    SlotOutcome,
+    TagProtocolState,
+)
+
+__all__ = [
+    "Constellation",
+    "TagState",
+    "ModulationScheme",
+    "get_scheme",
+    "available_schemes",
+    "OOK",
+    "BPSK",
+    "QPSK",
+    "PSK8",
+    "QAM16",
+    "crc16",
+    "crc32",
+    "append_crc16",
+    "check_crc16",
+    "hamming74_encode",
+    "hamming74_decode",
+    "repetition_encode",
+    "repetition_decode",
+    "block_interleave",
+    "block_deinterleave",
+    "Frame",
+    "FrameHeader",
+    "PREAMBLE_SYMBOLS",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "Tag",
+    "TagConfig",
+    "AccessPoint",
+    "APConfig",
+    "ReceiverResult",
+    "LinkConfig",
+    "LinkResult",
+    "simulate_link",
+    "link_snr_db",
+    "TagEnergyModel",
+    "EnergyReport",
+    "RateAdapter",
+    "McsEntry",
+    "DEFAULT_MCS_TABLE",
+    "NetworkTag",
+    "MmTagNetwork",
+    "FdmaPlan",
+    "TdmaSchedule",
+    "InventoryResult",
+    "BeamSearchConfig",
+    "BeamSearcher",
+    "BeamSearchResult",
+    "ProbeRecord",
+    "ConvolutionalCode",
+    "K7_CODE",
+    "ArqAnalysis",
+    "StopAndWaitSession",
+    "frame_success_probability",
+    "HarvestingBudget",
+    "Rectifier",
+    "SdmCell",
+    "SdmLink",
+    "SdmReport",
+    "EpochRecord",
+    "MobileSession",
+    "SessionSummary",
+    "InventorySession",
+    "ProtocolTag",
+    "QAlgorithm",
+    "SlotOutcome",
+    "TagProtocolState",
+    "DiversityResult",
+    "mrc_combine",
+    "simulate_diversity_link",
+]

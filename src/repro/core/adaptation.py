@@ -1,0 +1,146 @@
+"""Rate adaptation: pick the densest constellation the SNR supports.
+
+The AP measures per-tag SNR on every burst (decision-directed) and
+announces the next burst's modulation in its query.  The adapter keeps
+a table of schemes with SNR thresholds derived from each scheme's
+theoretical BER curve at a target BER plus a fade margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.modulation import ModulationScheme, available_schemes, get_scheme
+
+__all__ = ["McsEntry", "RateAdapter", "DEFAULT_MCS_TABLE", "snr_threshold_db"]
+
+
+def snr_threshold_db(
+    scheme: ModulationScheme, target_ber: float = 1e-3
+) -> float:
+    """SNR at which ``scheme`` first meets ``target_ber`` (bisection).
+
+    Searches the scheme's theoretical BER curve over [-10, 60] dB;
+    raises if the target is unreachable in that span.
+    """
+    if not 0.0 < target_ber < 0.5:
+        raise ValueError(f"target BER must be in (0, 0.5), got {target_ber}")
+    low, high = -10.0, 60.0
+    if scheme.theoretical_ber(high) > target_ber:
+        raise ValueError(
+            f"{scheme.name} cannot reach BER {target_ber} below {high} dB SNR"
+        )
+    if scheme.theoretical_ber(low) <= target_ber:
+        return low
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        if scheme.theoretical_ber(mid) > target_ber:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the rate-adaptation table."""
+
+    modulation: str
+    min_snr_db: float
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits per symbol of this entry's scheme."""
+        return get_scheme(self.modulation).bits_per_symbol
+
+
+def _build_default_table(target_ber: float = 1e-3, margin_db: float = 3.0) -> tuple[McsEntry, ...]:
+    entries = []
+    for name in available_schemes():
+        scheme = get_scheme(name)
+        entries.append(
+            McsEntry(
+                modulation=scheme.name,
+                min_snr_db=snr_threshold_db(scheme, target_ber) + margin_db,
+            )
+        )
+    # Ascending spectral efficiency, ties broken by lower threshold.
+    entries.sort(key=lambda e: (e.bits_per_symbol, e.min_snr_db))
+    return tuple(entries)
+
+
+DEFAULT_MCS_TABLE: tuple[McsEntry, ...] = _build_default_table()
+
+
+@dataclass(frozen=True)
+class RateAdapter:
+    """Threshold-based modulation selection with hysteresis.
+
+    ``hysteresis_db`` keeps the current choice until the SNR moves that
+    far past a boundary, preventing flapping between adjacent schemes
+    on noisy SNR estimates.
+    """
+
+    table: tuple[McsEntry, ...] = field(default_factory=lambda: DEFAULT_MCS_TABLE)
+    hysteresis_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise ValueError("MCS table must not be empty")
+        if self.hysteresis_db < 0:
+            raise ValueError(f"hysteresis must be >= 0, got {self.hysteresis_db}")
+
+    def select(self, snr_db: float, current: str | None = None) -> McsEntry | None:
+        """Best entry the SNR supports, or None (outage).
+
+        Picks the highest spectral efficiency whose threshold is met;
+        among equal efficiencies the lowest-threshold entry wins.  With
+        ``current`` set, a switch happens only if the newly preferred
+        entry clears its threshold by the hysteresis margin (upgrade) or
+        the current entry's threshold is violated (downgrade).
+        """
+        feasible = [e for e in self.table if snr_db >= e.min_snr_db]
+        if not feasible:
+            return None
+        best = max(feasible, key=lambda e: (e.bits_per_symbol, -e.min_snr_db))
+        if current is None:
+            return best
+        current_entry = self._entry(current)
+        if best.bits_per_symbol > current_entry.bits_per_symbol:
+            if snr_db >= best.min_snr_db + self.hysteresis_db:
+                return best
+            if snr_db >= current_entry.min_snr_db:
+                return current_entry
+            return best
+        if snr_db < current_entry.min_snr_db:
+            return best
+        return current_entry
+
+    def goodput_bps(
+        self,
+        snr_db: float,
+        symbol_rate_hz: float,
+        frame_bits: int = 2048,
+    ) -> float:
+        """Expected goodput at an SNR: bit rate times frame success rate.
+
+        Frame success is ``(1 - BER)^frame_bits`` from the selected
+        scheme's theoretical BER — the standard uncoded abstraction.
+        """
+        if symbol_rate_hz <= 0:
+            raise ValueError(f"symbol rate must be positive, got {symbol_rate_hz}")
+        if frame_bits < 1:
+            raise ValueError(f"frame bits must be >= 1, got {frame_bits}")
+        entry = self.select(snr_db)
+        if entry is None:
+            return 0.0
+        scheme = get_scheme(entry.modulation)
+        ber = scheme.theoretical_ber(snr_db)
+        frame_success = (1.0 - ber) ** frame_bits
+        return symbol_rate_hz * scheme.bits_per_symbol * frame_success
+
+    def _entry(self, modulation: str) -> McsEntry:
+        for entry in self.table:
+            if entry.modulation == modulation.upper():
+                return entry
+        raise KeyError(f"{modulation!r} is not in the MCS table")

@@ -1,0 +1,328 @@
+"""The mmTag access point: illumination and the self-coherent receiver.
+
+The AP transmits a continuous-wave query tone and receives the tag's
+modulated reflection with the *same* oscillator, so downconversion by
+its own tone collapses every unmodulated reflection (TX leakage, wall
+and furniture clutter) to DC while the tag's switched reflection lands
+at baseband.  The receive chain is::
+
+    DC block -> [subcarrier de-hop] -> integrate-and-dump matched filter
+    -> preamble correlation (burst detect + timing)
+    -> one-tap channel estimate from the preamble
+    -> header decode (BPSK, CRC-16) -> payload demap (header MCS, CRC-32)
+
+The simulation operates directly at complex baseband (see DESIGN.md):
+the input to :meth:`AccessPoint.receive_burst` is the post-mixer
+waveform, which the link layer composes from the tag waveform, the
+link-budget amplitude, interference and noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_AP_ANTENNA_GAIN_DBI,
+    DEFAULT_AP_NOISE_FIGURE_DB,
+    DEFAULT_AP_TX_POWER_DBM,
+    DEFAULT_CARRIER_HZ,
+)
+from repro.core.coding import check_crc32
+from repro.core.framing import FrameHeader, HEADER_TOTAL_BITS, PREAMBLE_SYMBOLS
+from repro.core.modulation import BPSK, get_scheme
+from repro.dsp.filters import dc_block, design_fir_lowpass, fir_filter, moving_average
+from repro.dsp.measure import evm_rms, measure_snr
+from repro.dsp.signal import Signal
+from repro.dsp.sync import detect_frame_start
+from repro.rf.quantize import ADC
+
+__all__ = ["APConfig", "AccessPoint", "ReceiverResult"]
+
+
+@dataclass(frozen=True)
+class APConfig:
+    """Access point configuration."""
+
+    tx_power_dbm: float = DEFAULT_AP_TX_POWER_DBM
+    tx_gain_dbi: float = DEFAULT_AP_ANTENNA_GAIN_DBI
+    rx_gain_dbi: float = DEFAULT_AP_ANTENNA_GAIN_DBI
+    noise_figure_db: float = DEFAULT_AP_NOISE_FIGURE_DB
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+    use_dc_block: bool = True
+    dc_block_pole: float = 0.99999
+    adc: ADC | None = field(default_factory=lambda: ADC(bits=12))
+    sync_threshold_ratio: float = 5.0
+    channel_filter_cutoff_factor: float = 1.5
+    """Cutoff of the post-de-hop channel-select FIR, as a multiple of
+    the symbol rate.  Wider passes more of the rectangular-pulse
+    spectrum (less self-ISI) but less adjacent-tag rejection."""
+    channel_filter_taps: int = 257
+    equalizer_taps: int = 0
+    """When > 0, an LMS equalizer of this many symbol-spaced taps is
+    trained on the preamble+header and applied to the payload —
+    worthwhile on heavy-multipath links; the default one-tap correction
+    is exact for LOS."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.dc_block_pole < 1.0:
+            raise ValueError(f"dc_block_pole must be in (0,1), got {self.dc_block_pole}")
+        if self.sync_threshold_ratio <= 1.0:
+            raise ValueError(
+                f"sync threshold ratio must exceed 1, got {self.sync_threshold_ratio}"
+            )
+
+    def tx_amplitude(self) -> float:
+        """Transmit tone amplitude in sqrt-watts (so |a|^2 is watts)."""
+        return 10.0 ** ((self.tx_power_dbm - 30.0) / 20.0)
+
+
+@dataclass
+class ReceiverResult:
+    """Outcome of one burst reception."""
+
+    detected: bool
+    header: FrameHeader | None = None
+    header_ok: bool = False
+    payload_bits: np.ndarray | None = None
+    payload_crc_ok: bool = False
+    start_sample: int | None = None
+    payload_symbols: np.ndarray | None = None
+    snr_estimate_db: float | None = None
+    evm: float | None = None
+
+    @property
+    def success(self) -> bool:
+        """True when the header parsed and the payload CRC checked."""
+        return self.header_ok and self.payload_crc_ok
+
+
+class AccessPoint:
+    """The mmTag AP: front-end conditioning plus the burst receiver."""
+
+    def __init__(self, config: APConfig | None = None) -> None:
+        self.config = config or APConfig()
+
+    # -- analog front end ----------------------------------------------------
+
+    def condition(self, sig: Signal) -> Signal:
+        """Front-end conditioning: DC block then ADC quantization.
+
+        The DC block is the analog high-pass ahead of the digitiser; it
+        is what keeps the (orders-of-magnitude stronger) leakage from
+        consuming the ADC's dynamic range.  With it disabled, the ADC
+        auto-ranges on the composite signal, and the tag's reflection
+        must fit within the quantizer's residual resolution — the E12c
+        ablation measures exactly that penalty.
+        """
+        out = sig
+        if self.config.use_dc_block:
+            out = dc_block(out, pole=self.config.dc_block_pole)
+        if self.config.adc is not None:
+            adc = self.config.adc.auto_ranged(out)
+            out = adc.quantize(out)
+        return out
+
+    # -- digital receiver -------------------------------------------------------
+
+    def receive_burst(
+        self,
+        sig: Signal,
+        samples_per_symbol: int,
+        subcarrier_hz: float = 0.0,
+        skip_conditioning: bool = False,
+    ) -> ReceiverResult:
+        """Demodulate one uplink burst out of a baseband capture.
+
+        Parameters
+        ----------
+        sig:
+            Post-mixer complex baseband capture.
+        samples_per_symbol:
+            Oversampling factor of the capture relative to the symbol
+            rate (the AP knows the network's symbol rate).
+        subcarrier_hz:
+            The tag's square-wave subcarrier, if any; the receiver
+            de-hops by remultiplying with the (time-aligned) square
+            wave, exactly undoing the tag-side ±1 modulation.
+        skip_conditioning:
+            Set when the caller already ran :meth:`condition` (the
+            network receiver conditions once, then de-hops per tag).
+        """
+        captured = self.capture_symbols(
+            sig, samples_per_symbol, subcarrier_hz, skip_conditioning
+        )
+        if captured is None:
+            return ReceiverResult(detected=False)
+        start, symbols = captured
+        return self.decode_symbol_stream(symbols, start)
+
+    def capture_symbols(
+        self,
+        sig: Signal,
+        samples_per_symbol: int,
+        subcarrier_hz: float = 0.0,
+        skip_conditioning: bool = False,
+    ) -> tuple[int, np.ndarray] | None:
+        """Front half of the receiver: capture -> aligned symbol stream.
+
+        Conditioning, optional subcarrier de-hop + channel-select FIR,
+        integrate-and-dump, burst detection, and residual-DC removal.
+        Returns ``(start_sample, symbols)`` or ``None`` when no burst is
+        found — exposed separately so diversity combining can run it on
+        several antenna branches before a single decode.
+        """
+        if samples_per_symbol < 2:
+            raise ValueError(
+                f"need >= 2 samples per symbol, got {samples_per_symbol}"
+            )
+        work = sig if skip_conditioning else self.condition(sig)
+
+        if subcarrier_hz > 0.0:
+            from repro.core.tag import square_subcarrier_wave
+
+            square = square_subcarrier_wave(
+                work.num_samples, work.sample_rate, subcarrier_hz
+            )
+            work = Signal(work.samples * square, work.sample_rate)
+            # Channel-select low-pass: the boxcar matched filter alone
+            # leaks square-wave harmonic cross-products of *other* tags
+            # (its sidelobes sit at -13 dB); a proper FIR cuts them out
+            # before symbol integration.
+            symbol_rate = work.sample_rate / samples_per_symbol
+            cutoff = self.config.channel_filter_cutoff_factor * symbol_rate
+            if cutoff < work.sample_rate / 2.0:
+                taps = design_fir_lowpass(
+                    cutoff, work.sample_rate, num_taps=self.config.channel_filter_taps
+                )
+                work = fir_filter(work, taps)
+
+        filtered = moving_average(work, samples_per_symbol)
+
+        start = detect_frame_start(
+            work,
+            PREAMBLE_SYMBOLS,
+            samples_per_symbol,
+            threshold_ratio=self.config.sync_threshold_ratio,
+        )
+        if start is None:
+            return None
+
+        # Residual-DC estimate from the quiet samples ahead of the burst
+        # (whatever leakage survived the analog DC block shows up there).
+        lead_in = work.samples[: max(0, start - samples_per_symbol)]
+        if lead_in.size >= 4 * samples_per_symbol:
+            residual_dc = complex(np.mean(lead_in))
+            filtered = Signal(
+                filtered.samples - residual_dc, filtered.sample_rate
+            )
+
+        symbols = self._sample_symbols(filtered, start, samples_per_symbol)
+        num_preamble = PREAMBLE_SYMBOLS.size
+        if symbols.size < num_preamble + HEADER_TOTAL_BITS:
+            return None
+        return start, symbols
+
+    @staticmethod
+    def preamble_gain(symbols: np.ndarray) -> complex:
+        """One-tap channel estimate from the known (zero-mean) preamble."""
+        reference = PREAMBLE_SYMBOLS.astype(np.complex128)
+        preamble_rx = symbols[: reference.size]
+        return complex(
+            np.sum(preamble_rx * np.conj(reference)) / np.sum(np.abs(reference) ** 2)
+        )
+
+    def decode_symbol_stream(
+        self, symbols: np.ndarray, start: int
+    ) -> ReceiverResult:
+        """Back half of the receiver: symbol stream -> decoded frame."""
+        num_preamble = PREAMBLE_SYMBOLS.size
+        if symbols.size < num_preamble + HEADER_TOTAL_BITS:
+            return ReceiverResult(detected=False)
+
+        gain = self.preamble_gain(symbols)
+        if gain == 0:
+            return ReceiverResult(detected=True, start_sample=start)
+
+        equalised = symbols / gain
+
+        header_symbols = equalised[num_preamble : num_preamble + HEADER_TOTAL_BITS]
+        header_bits = BPSK.constellation.demodulate(header_symbols)
+        header = FrameHeader.from_bits(header_bits)
+        if header is None:
+            return ReceiverResult(detected=True, start_sample=start)
+
+        scheme = get_scheme(header.modulation)
+        num_payload_symbols = (
+            header.payload_length_bits + 32
+        ) // scheme.bits_per_symbol
+        payload_start = num_preamble + HEADER_TOTAL_BITS
+        payload_symbols = equalised[
+            payload_start : payload_start + num_payload_symbols
+        ]
+
+        if self.config.equalizer_taps > 0 and payload_symbols.size:
+            from repro.dsp.equalizer import LmsEqualizer
+
+            training_reference = np.concatenate(
+                [
+                    PREAMBLE_SYMBOLS.astype(np.complex128),
+                    BPSK.constellation.modulate(header.to_bits()),
+                ]
+            )
+            equalizer = LmsEqualizer(num_taps=self.config.equalizer_taps)
+            equalizer.train(equalised[:payload_start], training_reference)
+            payload_symbols = equalizer.apply(payload_symbols)
+        if payload_symbols.size < num_payload_symbols:
+            return ReceiverResult(
+                detected=True, header=header, header_ok=True, start_sample=start
+            )
+
+        # Residual-offset correction for biased constellations (OOK,
+        # anything whose mean the analog DC block partially removed).
+        mean_point = scheme.constellation.mean_point()
+        if abs(mean_point) > 1e-3:
+            offset = np.mean(payload_symbols) - mean_point
+            payload_symbols = payload_symbols - offset
+
+        protected_bits = scheme.constellation.demodulate(payload_symbols)
+        payload_bits = protected_bits[:-32]
+        crc_ok = check_crc32(protected_bits)
+
+        # Decision-directed link quality: compare against the re-modulated
+        # hard decisions (exact when decisions are correct, slightly
+        # optimistic near sensitivity — the standard receiver estimate).
+        reference_symbols = scheme.constellation.modulate(protected_bits)
+        snr_est = measure_snr(payload_symbols, reference_symbols)
+        evm = evm_rms(payload_symbols, reference_symbols)
+
+        return ReceiverResult(
+            detected=True,
+            header=header,
+            header_ok=True,
+            payload_bits=payload_bits,
+            payload_crc_ok=crc_ok,
+            start_sample=start,
+            payload_symbols=payload_symbols,
+            snr_estimate_db=snr_est,
+            evm=evm,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _sample_symbols(
+        filtered: Signal, start: int, samples_per_symbol: int
+    ) -> np.ndarray:
+        """Read symbol decisions off the integrate-and-dump output.
+
+        The moving-average at index ``n`` spans samples
+        ``[n - sps + 1, n]``, so symbol ``k`` (raw samples
+        ``[start + k*sps, start + (k+1)*sps)``) is fully integrated at
+        index ``start + (k+1)*sps - 1``.
+        """
+        first = start + samples_per_symbol - 1
+        if first >= filtered.num_samples:
+            return np.zeros(0, dtype=np.complex128)
+        return filtered.samples[first::samples_per_symbol]

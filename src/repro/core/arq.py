@@ -1,0 +1,125 @@
+"""Stop-and-wait ARQ over the backscatter uplink.
+
+The CRC already tells the AP when a frame died; ARQ is what turns that
+into reliability: the AP's next query acknowledges the previous burst,
+and the tag retransmits unacknowledged frames up to a retry budget.
+Stop-and-wait is the right flavour here — the tag has no memory to keep
+a window, and every exchange is AP-clocked anyway.
+
+Two layers:
+
+* :func:`frame_success_probability` / :class:`ArqAnalysis` — closed-form
+  goodput/latency of stop-and-wait given a frame error rate;
+* :class:`StopAndWaitSession` — an event-count simulation against the
+  waveform-level link (or any frame oracle), producing delivered/
+  retransmitted/abandoned counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["frame_success_probability", "ArqAnalysis", "StopAndWaitSession"]
+
+
+def frame_success_probability(ber: float, frame_bits: int) -> float:
+    """Probability an uncoded frame of ``frame_bits`` survives at ``ber``."""
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError(f"BER must be in [0, 1], got {ber}")
+    if frame_bits < 1:
+        raise ValueError(f"frame must have >= 1 bit, got {frame_bits}")
+    return (1.0 - ber) ** frame_bits
+
+
+@dataclass(frozen=True)
+class ArqAnalysis:
+    """Closed-form stop-and-wait behaviour at a fixed frame error rate."""
+
+    frame_error_rate: float
+    max_transmissions: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frame_error_rate < 1.0:
+            raise ValueError(
+                f"frame error rate must be in [0, 1), got {self.frame_error_rate}"
+            )
+        if self.max_transmissions < 1:
+            raise ValueError(
+                f"need at least one transmission, got {self.max_transmissions}"
+            )
+
+    def delivery_probability(self) -> float:
+        """P(delivered within the retry budget)."""
+        return 1.0 - self.frame_error_rate**self.max_transmissions
+
+    def expected_transmissions(self) -> float:
+        """Mean transmissions per frame (including abandoned frames)."""
+        p = self.frame_error_rate
+        n = self.max_transmissions
+        # sum_{k=1..n} k * P(exactly k) + n * P(all fail)
+        total = sum(k * (p ** (k - 1)) * (1 - p) for k in range(1, n + 1))
+        return total + n * p**n
+
+    def goodput_fraction(self) -> float:
+        """Delivered frames per transmission — the ARQ efficiency."""
+        return self.delivery_probability() / self.expected_transmissions()
+
+
+class StopAndWaitSession:
+    """Simulated stop-and-wait delivery over a frame oracle.
+
+    Parameters
+    ----------
+    frame_oracle:
+        ``frame_oracle(attempt_index, rng) -> bool`` decides whether a
+        given transmission survives.  Wire it to
+        :func:`repro.core.link.simulate_link` for waveform-level truth,
+        or to a Bernoulli draw for fast protocol studies.
+    max_transmissions:
+        Retry budget per frame (1 = no retries).
+    """
+
+    def __init__(
+        self,
+        frame_oracle: Callable[[int, np.random.Generator], bool],
+        max_transmissions: int = 4,
+    ) -> None:
+        if max_transmissions < 1:
+            raise ValueError(
+                f"need at least one transmission, got {max_transmissions}"
+            )
+        self.frame_oracle = frame_oracle
+        self.max_transmissions = max_transmissions
+        self.delivered = 0
+        self.abandoned = 0
+        self.transmissions = 0
+
+    def send_frames(
+        self, num_frames: int, rng: np.random.Generator | int | None = None
+    ) -> None:
+        """Push ``num_frames`` through the ARQ loop."""
+        if num_frames < 1:
+            raise ValueError(f"num_frames must be >= 1, got {num_frames}")
+        rng = np.random.default_rng(rng)
+        for _frame in range(num_frames):
+            for attempt in range(self.max_transmissions):
+                self.transmissions += 1
+                if self.frame_oracle(attempt, rng):
+                    self.delivered += 1
+                    break
+            else:
+                self.abandoned += 1
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of offered frames delivered."""
+        offered = self.delivered + self.abandoned
+        return self.delivered / offered if offered else 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Delivered frames per transmission."""
+        return self.delivered / self.transmissions if self.transmissions else 0.0

@@ -1,0 +1,242 @@
+"""AP-side beam search: finding a tag with a steerable directional beam.
+
+The mmTag prototype steered its horn mechanically; a deployable AP uses
+a phased array, and before any communication it must point that array
+at the tag.  The tag's retro-directivity makes this a *one-sided*
+search — only the AP scans; the tag needs no alignment — which is a
+large part of the system's practicality.
+
+This module implements the two standard strategies:
+
+* **exhaustive scan** — probe every beam position in the sector on a
+  fixed grid (one probe slot each), pick the strongest response;
+* **hierarchical scan** (802.11ad-style sector sweep) — probe with
+  progressively narrower synthesised beams, descending into the best
+  half each level; O(log) probes instead of O(N).
+
+A probe slot transmits the query tone in the candidate direction and
+measures the tag's backscatter response power; the response model is
+the radar link budget with the AP array's pattern applied on both TX
+and RX (the beam is used both ways, so pointing error is paid twice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.em.antenna import patch_element
+from repro.em.array import UniformLinearArray
+
+__all__ = ["BeamSearchConfig", "ProbeRecord", "BeamSearchResult", "BeamSearcher"]
+
+
+@dataclass(frozen=True)
+class BeamSearchConfig:
+    """Geometry and protocol parameters of a beam search."""
+
+    ap_array: UniformLinearArray = field(
+        default_factory=lambda: UniformLinearArray(
+            num_elements=16, element=patch_element(5.0)
+        )
+    )
+    sector_deg: float = 120.0
+    probe_slot_duration_s: float = 20e-6
+    snr_floor_db: float = 0.0
+    """Probes whose response falls below this SNR read as noise."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sector_deg <= 180.0:
+            raise ValueError(f"sector must be in (0, 180] deg, got {self.sector_deg}")
+        if self.probe_slot_duration_s <= 0:
+            raise ValueError(
+                f"slot duration must be positive, got {self.probe_slot_duration_s}"
+            )
+
+    def beamwidth_deg(self) -> float:
+        """-3 dB beamwidth of the full array."""
+        return self.ap_array.beamwidth_deg()
+
+    def grid_points(self) -> int:
+        """Exhaustive-scan grid size: two probes per beamwidth."""
+        return max(2, int(math.ceil(2.0 * self.sector_deg / self.beamwidth_deg())))
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe slot of a search."""
+
+    steer_deg: float
+    response_snr_db: float
+    num_elements_used: int
+
+
+@dataclass
+class BeamSearchResult:
+    """Outcome of a beam search."""
+
+    found: bool
+    best_steer_deg: float
+    probes: list[ProbeRecord]
+    pointing_error_deg: float
+    pointing_loss_db: float
+
+    @property
+    def num_probes(self) -> int:
+        """Probe slots consumed."""
+        return len(self.probes)
+
+    def search_time_s(self, slot_duration_s: float) -> float:
+        """Air time of the search."""
+        return self.num_probes * slot_duration_s
+
+
+class BeamSearcher:
+    """Runs beam searches against a tag at a given true direction.
+
+    The response model: probe SNR equals a supplied boresight-aligned
+    reference SNR plus the AP array's *two-way* relative gain toward
+    the tag at the probed steering angle, plus measurement noise.
+    """
+
+    def __init__(
+        self,
+        config: BeamSearchConfig,
+        tag_direction_deg: float,
+        aligned_snr_db: float,
+        measurement_noise_db: float = 0.5,
+    ) -> None:
+        if abs(tag_direction_deg) > config.sector_deg / 2.0:
+            raise ValueError(
+                f"tag at {tag_direction_deg} deg lies outside the "
+                f"+-{config.sector_deg / 2:.0f} deg sector"
+            )
+        if measurement_noise_db < 0:
+            raise ValueError(
+                f"measurement noise must be >= 0 dB, got {measurement_noise_db}"
+            )
+        self.config = config
+        self.tag_direction_deg = tag_direction_deg
+        self.aligned_snr_db = aligned_snr_db
+        self.measurement_noise_db = measurement_noise_db
+
+    # -- the probe primitive ---------------------------------------------
+
+    def probe(
+        self,
+        steer_deg: float,
+        rng: np.random.Generator,
+        num_elements: int | None = None,
+    ) -> ProbeRecord:
+        """Measure the tag's response with the beam at ``steer_deg``.
+
+        ``num_elements`` probes with a shortened (wider-beam) array —
+        the hierarchical search uses this for its coarse levels.
+        """
+        array = self.config.ap_array
+        if num_elements is not None:
+            if not 1 <= num_elements <= array.num_elements:
+                raise ValueError(
+                    f"num_elements must be in [1, {array.num_elements}], "
+                    f"got {num_elements}"
+                )
+            array = UniformLinearArray(
+                num_elements=num_elements,
+                spacing_m=self.config.ap_array.spacing_m,
+                wavelength_m=self.config.ap_array.wavelength_m,
+                element=self.config.ap_array.element,
+            )
+        theta = math.radians(self.tag_direction_deg)
+        steer = math.radians(steer_deg)
+        gain = float(array.gain(theta, steer_rad=steer))
+        boresight = float(array.gain(0.0, steer_rad=0.0))
+        relative_db = (
+            10.0 * math.log10(gain / boresight) if gain > 0 else -120.0
+        )
+        # full-array boresight is the aligned reference; shorter probe
+        # arrays give up aperture on top of pointing mismatch
+        aperture_penalty_db = 10.0 * math.log10(
+            boresight / float(self.config.ap_array.gain(0.0, steer_rad=0.0))
+        )
+        snr = (
+            self.aligned_snr_db
+            + 2.0 * (relative_db + aperture_penalty_db)  # beam used both ways
+            + rng.normal(0.0, self.measurement_noise_db)
+        )
+        return ProbeRecord(
+            steer_deg=steer_deg,
+            response_snr_db=snr,
+            num_elements_used=array.num_elements,
+        )
+
+    # -- strategies -----------------------------------------------------------
+
+    def exhaustive_search(self, rng: np.random.Generator | int | None = None) -> BeamSearchResult:
+        """Probe a uniform grid across the sector; pick the peak."""
+        rng = np.random.default_rng(rng)
+        half = self.config.sector_deg / 2.0
+        grid = np.linspace(-half, half, self.config.grid_points())
+        probes = [self.probe(float(angle), rng) for angle in grid]
+        return self._finalise(probes)
+
+    def hierarchical_search(
+        self, rng: np.random.Generator | int | None = None
+    ) -> BeamSearchResult:
+        """Coarse-to-fine sector sweep.
+
+        Level k probes with ``2^(k+1)`` elements (wider beams first) at
+        the two half-centres of the surviving interval, then recurses
+        into the better half until the interval is narrower than half
+        the full-array beamwidth.
+        """
+        rng = np.random.default_rng(rng)
+        probes: list[ProbeRecord] = []
+        low = -self.config.sector_deg / 2.0
+        high = self.config.sector_deg / 2.0
+        elements = 2
+        max_elements = self.config.ap_array.num_elements
+        target = self.config.beamwidth_deg() / 2.0
+        while (high - low) > target:
+            third = (high - low) / 3.0
+            candidates = (low + third, high - third)
+            records = [
+                self.probe(angle, rng, num_elements=min(elements, max_elements))
+                for angle in candidates
+            ]
+            probes.extend(records)
+            if records[0].response_snr_db >= records[1].response_snr_db:
+                high = (low + high) / 2.0 + third / 2.0
+            else:
+                low = (low + high) / 2.0 - third / 2.0
+            elements = min(elements * 2, max_elements)
+        # final refinement probe at the interval centre, full array
+        centre = (low + high) / 2.0
+        probes.append(self.probe(centre, rng))
+        return self._finalise(probes)
+
+    # -- scoring -----------------------------------------------------------------
+
+    def _finalise(self, probes: list[ProbeRecord]) -> BeamSearchResult:
+        best = max(probes, key=lambda p: p.response_snr_db)
+        found = best.response_snr_db > self.config.snr_floor_db
+        error = abs(best.steer_deg - self.tag_direction_deg)
+        loss = self.pointing_loss_db(best.steer_deg)
+        return BeamSearchResult(
+            found=found,
+            best_steer_deg=best.steer_deg,
+            probes=probes,
+            pointing_error_deg=error,
+            pointing_loss_db=loss,
+        )
+
+    def pointing_loss_db(self, steer_deg: float) -> float:
+        """Two-way gain deficit of pointing at ``steer_deg``."""
+        array = self.config.ap_array
+        theta = math.radians(self.tag_direction_deg)
+        aligned = float(array.gain(theta, steer_rad=theta))
+        actual = float(array.gain(theta, steer_rad=math.radians(steer_deg)))
+        if actual <= 0:
+            return 120.0
+        return 2.0 * 10.0 * math.log10(aligned / actual)

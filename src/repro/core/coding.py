@@ -1,0 +1,199 @@
+"""Error detection and correction: CRCs, Hamming(7,4), repetition.
+
+The frame layer protects the header with CRC-16 and the payload with
+CRC-32; links operating near sensitivity add Hamming(7,4) or repetition
+coding (the E12d ablation measures what each buys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "crc16",
+    "crc32",
+    "append_crc16",
+    "check_crc16",
+    "append_crc32",
+    "check_crc32",
+    "hamming74_encode",
+    "hamming74_decode",
+    "repetition_encode",
+    "repetition_decode",
+    "block_interleave",
+    "block_deinterleave",
+]
+
+
+def _crc_bits(bits: np.ndarray, polynomial: int, width: int, init: int) -> int:
+    """Bitwise CRC over a bit array (MSB-first), no reflection."""
+    bits = np.asarray(bits, dtype=np.int8)
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0/1")
+    register = init
+    top_bit = 1 << (width - 1)
+    mask = (1 << width) - 1
+    for bit in bits:
+        feedback = ((register >> (width - 1)) & 1) ^ int(bit)
+        register = (register << 1) & mask
+        if feedback:
+            register ^= polynomial
+    del top_bit
+    return register
+
+
+def crc16(bits: np.ndarray) -> int:
+    """CRC-16-CCITT (poly 0x1021, init 0xFFFF) of a bit array."""
+    return _crc_bits(bits, polynomial=0x1021, width=16, init=0xFFFF)
+
+
+def crc32(bits: np.ndarray) -> int:
+    """CRC-32 (poly 0x04C11DB7, init 0xFFFFFFFF, non-reflected) of bits."""
+    return _crc_bits(bits, polynomial=0x04C11DB7, width=32, init=0xFFFFFFFF)
+
+
+def _int_to_bits(value: int, width: int) -> np.ndarray:
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.int8)
+
+
+def append_crc16(bits: np.ndarray) -> np.ndarray:
+    """Return ``bits`` with its 16-bit CRC appended."""
+    bits = np.asarray(bits, dtype=np.int8)
+    return np.concatenate([bits, _int_to_bits(crc16(bits), 16)])
+
+
+def check_crc16(bits_with_crc: np.ndarray) -> bool:
+    """Validate a bit array produced by :func:`append_crc16`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.int8)
+    if bits_with_crc.size < 16:
+        return False
+    payload, tail = bits_with_crc[:-16], bits_with_crc[-16:]
+    return crc16(payload) == int("".join(map(str, tail)), 2)
+
+
+def append_crc32(bits: np.ndarray) -> np.ndarray:
+    """Return ``bits`` with its 32-bit CRC appended."""
+    bits = np.asarray(bits, dtype=np.int8)
+    return np.concatenate([bits, _int_to_bits(crc32(bits), 32)])
+
+
+def check_crc32(bits_with_crc: np.ndarray) -> bool:
+    """Validate a bit array produced by :func:`append_crc32`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.int8)
+    if bits_with_crc.size < 32:
+        return False
+    payload, tail = bits_with_crc[:-32], bits_with_crc[-32:]
+    return crc32(payload) == int("".join(map(str, tail)), 2)
+
+
+# -- Hamming(7,4) ------------------------------------------------------------
+
+_H74_GENERATOR = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.int8,
+)
+
+_H74_PARITY_CHECK = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=np.int8,
+)
+
+# Map each 3-bit syndrome to the bit position it flips (or -1 for none).
+_H74_SYNDROME_TO_POSITION = {0: -1}
+for _pos in range(7):
+    _error = np.zeros(7, dtype=np.int8)
+    _error[_pos] = 1
+    _syndrome = int("".join(map(str, (_H74_PARITY_CHECK @ _error) % 2)), 2)
+    _H74_SYNDROME_TO_POSITION[_syndrome] = _pos
+
+
+def hamming74_encode(bits: np.ndarray) -> np.ndarray:
+    """Encode bits with Hamming(7,4); input length must be a multiple of 4."""
+    bits = np.asarray(bits, dtype=np.int8)
+    if bits.size % 4:
+        raise ValueError(f"bit count {bits.size} not a multiple of 4")
+    blocks = bits.reshape(-1, 4)
+    coded = (blocks @ _H74_GENERATOR) % 2
+    return coded.reshape(-1).astype(np.int8)
+
+
+def hamming74_decode(coded: np.ndarray) -> np.ndarray:
+    """Decode Hamming(7,4), correcting one error per 7-bit block."""
+    coded = np.asarray(coded, dtype=np.int8).copy()
+    if coded.size % 7:
+        raise ValueError(f"coded length {coded.size} not a multiple of 7")
+    blocks = coded.reshape(-1, 7)
+    syndromes = (blocks @ _H74_PARITY_CHECK.T) % 2
+    for block, syndrome in zip(blocks, syndromes):
+        key = int("".join(map(str, syndrome)), 2)
+        position = _H74_SYNDROME_TO_POSITION.get(key, -1)
+        if position >= 0:
+            block[position] ^= 1
+    return blocks[:, :4].reshape(-1).astype(np.int8)
+
+
+# -- Repetition --------------------------------------------------------------
+
+def repetition_encode(bits: np.ndarray, factor: int) -> np.ndarray:
+    """Repeat each bit ``factor`` times (odd factor recommended)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    bits = np.asarray(bits, dtype=np.int8)
+    return np.repeat(bits, factor)
+
+
+def repetition_decode(coded: np.ndarray, factor: int) -> np.ndarray:
+    """Majority-vote decode a repetition code."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    coded = np.asarray(coded, dtype=np.int8)
+    if coded.size % factor:
+        raise ValueError(f"coded length {coded.size} not a multiple of {factor}")
+    votes = coded.reshape(-1, factor).sum(axis=1)
+    return (votes * 2 > factor).astype(np.int8)
+
+
+# -- Interleaving -------------------------------------------------------------
+
+def block_interleave(bits: np.ndarray, depth: int) -> np.ndarray:
+    """Row-in/column-out block interleaver (pads with zeros).
+
+    Spreads burst errors (blockage, clutter flicker) across code blocks.
+    Returns the interleaved array, whose length is padded up to a
+    multiple of ``depth``; :func:`block_deinterleave` with the original
+    length inverts it exactly.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    bits = np.asarray(bits, dtype=np.int8)
+    rows = -(-bits.size // depth)
+    padded = np.zeros(rows * depth, dtype=np.int8)
+    padded[: bits.size] = bits
+    return padded.reshape(rows, depth).T.reshape(-1)
+
+
+def block_deinterleave(interleaved: np.ndarray, depth: int, original_length: int) -> np.ndarray:
+    """Invert :func:`block_interleave`."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    interleaved = np.asarray(interleaved, dtype=np.int8)
+    if interleaved.size % depth:
+        raise ValueError(
+            f"interleaved length {interleaved.size} not a multiple of depth {depth}"
+        )
+    rows = interleaved.size // depth
+    restored = interleaved.reshape(depth, rows).T.reshape(-1)
+    if original_length > restored.size:
+        raise ValueError(
+            f"original_length {original_length} exceeds data size {restored.size}"
+        )
+    return restored[:original_length]

@@ -1,0 +1,173 @@
+"""Receive diversity: combining the AP's two (or more) antennas.
+
+The mmTag AP receives with separate antennas; each branch sees the same
+tag burst through an independent noise realisation and its own carrier
+phase.  Maximal-ratio combining (MRC) weights each branch's symbol
+stream by the conjugate of its preamble-estimated channel and sums —
+buying ``10*log10(N)`` dB of SNR in the noise-limited regime, plus fade
+protection when branch gains differ.
+
+:func:`simulate_diversity_link` mirrors
+:func:`repro.core.link.simulate_link` with per-branch front ends, and
+reports per-branch and combined outcomes so experiments can show the
+combining gain explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.ap import AccessPoint, ReceiverResult
+from repro.core.link import LinkConfig, _received_amplitude
+from repro.core.tag import Tag
+from repro.dsp.measure import bit_error_rate
+from repro.rf.noise import add_awgn, thermal_noise_power
+
+__all__ = ["DiversityResult", "mrc_combine", "simulate_diversity_link"]
+
+
+def mrc_combine(
+    branch_symbols: list[np.ndarray], branch_gains: list[complex]
+) -> np.ndarray:
+    """Maximal-ratio combine aligned symbol streams.
+
+    ``y = sum(conj(g_b) * y_b) / sum(|g_b|^2)`` — the combined stream is
+    normalised so the signal part has unit gain, ready for the standard
+    decode path.
+    """
+    if not branch_symbols:
+        raise ValueError("need at least one branch")
+    if len(branch_symbols) != len(branch_gains):
+        raise ValueError(
+            f"{len(branch_symbols)} streams vs {len(branch_gains)} gains"
+        )
+    length = min(s.size for s in branch_symbols)
+    total_weight = sum(abs(g) ** 2 for g in branch_gains)
+    if total_weight == 0:
+        raise ValueError("all branch gains are zero")
+    combined = np.zeros(length, dtype=np.complex128)
+    for symbols, gain in zip(branch_symbols, branch_gains):
+        combined += np.conj(gain) * symbols[:length]
+    return combined / total_weight
+
+
+@dataclass
+class DiversityResult:
+    """Outcome of a diversity reception."""
+
+    combined: ReceiverResult
+    per_branch: list[ReceiverResult]
+    combined_ber: float
+    per_branch_ber: list[float]
+
+    @property
+    def num_branches(self) -> int:
+        """Antenna branch count."""
+        return len(self.per_branch)
+
+    def combining_gain_db(self) -> float | None:
+        """Combined SNR minus the best single branch's SNR [dB]."""
+        branch_snrs = [
+            r.snr_estimate_db for r in self.per_branch if r.snr_estimate_db is not None
+        ]
+        if not branch_snrs or self.combined.snr_estimate_db is None:
+            return None
+        return self.combined.snr_estimate_db - max(branch_snrs)
+
+
+def simulate_diversity_link(
+    config: LinkConfig,
+    num_branches: int = 2,
+    num_payload_bits: int = 1024,
+    rng: np.random.Generator | int | None = None,
+) -> DiversityResult:
+    """Run one burst through ``num_branches`` AP antennas and combine.
+
+    Each branch carries the same tag reflection with an independent
+    carrier phase, independent thermal noise and its own interference
+    realisation (leakage phase differs between physical antennas).
+    """
+    if num_branches < 1:
+        raise ValueError(f"need at least one branch, got {num_branches}")
+    rng = np.random.default_rng(rng)
+    payload_bits = rng.integers(0, 2, size=num_payload_bits).astype(np.int8)
+
+    tag = Tag(config.tag)
+    frame = tag.make_frame(payload_bits)
+    sent_payload = frame.payload_bits
+    waveform, _ = tag.backscatter_waveform(frame, config.incidence_angle_rad)
+    amplitude = _received_amplitude(config)
+
+    guard = 32 * config.tag.samples_per_symbol
+    ap = AccessPoint(config.ap)
+    noise_factor = 10.0 ** (config.ap.noise_figure_db / 10.0)
+
+    branch_symbols: list[np.ndarray] = []
+    branch_gains: list[complex] = []
+    per_branch_results: list[ReceiverResult] = []
+    per_branch_ber: list[float] = []
+    starts: list[int] = []
+
+    for _branch in range(num_branches):
+        phase = rng.uniform(0.0, 2.0 * math.pi)
+        signal = waveform.scale(amplitude * np.exp(1j * phase))
+        if config.phase_noise is not None:
+            delay = 2.0 * config.distance_m / SPEED_OF_LIGHT
+            signal = config.phase_noise.residual_after_delay(signal, delay, rng)
+        signal = signal.pad(num_before=guard, num_after=guard)
+        interference = config.environment.interference_waveform(
+            signal.num_samples, signal.sample_rate, config.ap.tx_amplitude(), rng
+        )
+        composite = signal + interference
+        if config.include_noise:
+            composite = add_awgn(
+                composite,
+                thermal_noise_power(composite.sample_rate) * noise_factor,
+                rng,
+            )
+
+        captured = ap.capture_symbols(
+            composite, config.tag.samples_per_symbol, config.tag.subcarrier_hz
+        )
+        if captured is None:
+            per_branch_results.append(ReceiverResult(detected=False))
+            per_branch_ber.append(0.5)
+            continue
+        start, symbols = captured
+        starts.append(start)
+        branch_symbols.append(symbols)
+        branch_gains.append(ap.preamble_gain(symbols))
+        result = ap.decode_symbol_stream(symbols, start)
+        per_branch_results.append(result)
+        per_branch_ber.append(_score(result, sent_payload))
+
+    if not branch_symbols:
+        lost = ReceiverResult(detected=False)
+        return DiversityResult(
+            combined=lost,
+            per_branch=per_branch_results,
+            combined_ber=0.5,
+            per_branch_ber=per_branch_ber,
+        )
+
+    combined_symbols = mrc_combine(branch_symbols, branch_gains)
+    combined = ap.decode_symbol_stream(combined_symbols, starts[0])
+    return DiversityResult(
+        combined=combined,
+        per_branch=per_branch_results,
+        combined_ber=_score(combined, sent_payload),
+        per_branch_ber=per_branch_ber,
+    )
+
+
+def _score(result: ReceiverResult, sent_payload: np.ndarray) -> float:
+    if (
+        result.payload_bits is not None
+        and result.payload_bits.size == sent_payload.size
+    ):
+        return bit_error_rate(sent_payload, result.payload_bits)
+    return 0.5

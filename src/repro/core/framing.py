@@ -1,0 +1,207 @@
+"""Frame structure: preamble + header + payload + CRC.
+
+An mmTag uplink burst is::
+
+    [ preamble | header (BPSK) | payload (negotiated MCS) ]
+
+* The **preamble** is a 13-chip Barker sequence sent twice as BPSK —
+  the AP uses it for burst detection, timing, and the one-tap channel
+  (gain/phase) estimate.
+* The **header** is always BPSK (the most robust scheme) and carries
+  the tag ID, payload modulation, payload length, and a CRC-16.
+* The **payload** carries data bits in the header-announced modulation,
+  terminated by a CRC-32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coding import append_crc16, append_crc32, check_crc16, check_crc32
+from repro.core.modulation import BPSK, ModulationScheme, available_schemes, get_scheme
+from repro.dsp.sync import barker_sequence
+
+__all__ = [
+    "PREAMBLE_SYMBOLS",
+    "FrameHeader",
+    "Frame",
+    "bits_from_bytes",
+    "bytes_from_bits",
+]
+
+#: Preamble symbol sequence: Barker-13 followed by its negation, BPSK.
+#: The sign flip keeps the sharp aperiodic autocorrelation while making
+#: the preamble exactly zero-mean, so the AP's DC-blocking front end
+#: does not skim power off the burst baseline.
+PREAMBLE_SYMBOLS = np.concatenate([barker_sequence(13), -barker_sequence(13)])
+
+_MODULATION_IDS = {name: i for i, name in enumerate(available_schemes())}
+_ID_TO_MODULATION = {i: name for name, i in _MODULATION_IDS.items()}
+
+_TAG_ID_BITS = 8
+_MODULATION_BITS = 4
+_LENGTH_BITS = 16
+HEADER_INFO_BITS = _TAG_ID_BITS + _MODULATION_BITS + _LENGTH_BITS
+HEADER_TOTAL_BITS = HEADER_INFO_BITS + 16  # + CRC-16
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    """Unpack bytes into an MSB-first bit array."""
+    if not data:
+        return np.zeros(0, dtype=np.int8)
+    as_array = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(as_array).astype(np.int8)
+
+
+def bytes_from_bits(bits: np.ndarray) -> bytes:
+    """Pack an MSB-first bit array (length multiple of 8) into bytes."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def _int_to_bits(value: int, width: int) -> np.ndarray:
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.int8)
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    return int("".join(str(int(b)) for b in bits), 2)
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded header fields of an mmTag burst."""
+
+    tag_id: int
+    modulation: str
+    payload_length_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tag_id < (1 << _TAG_ID_BITS):
+            raise ValueError(f"tag_id must fit in {_TAG_ID_BITS} bits, got {self.tag_id}")
+        if self.modulation not in _MODULATION_IDS:
+            raise ValueError(
+                f"unknown modulation {self.modulation!r}; "
+                f"available: {list(_MODULATION_IDS)}"
+            )
+        if not 0 <= self.payload_length_bits < (1 << _LENGTH_BITS):
+            raise ValueError(
+                f"payload length must fit in {_LENGTH_BITS} bits, "
+                f"got {self.payload_length_bits}"
+            )
+
+    def to_bits(self) -> np.ndarray:
+        """Serialise to the on-air header bits (including CRC-16)."""
+        info = np.concatenate(
+            [
+                _int_to_bits(self.tag_id, _TAG_ID_BITS),
+                _int_to_bits(_MODULATION_IDS[self.modulation], _MODULATION_BITS),
+                _int_to_bits(self.payload_length_bits, _LENGTH_BITS),
+            ]
+        )
+        return append_crc16(info)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "FrameHeader | None":
+        """Parse header bits; returns None on CRC failure or bad fields."""
+        bits = np.asarray(bits, dtype=np.int8)
+        if bits.size != HEADER_TOTAL_BITS or not check_crc16(bits):
+            return None
+        info = bits[:-16]
+        tag_id = _bits_to_int(info[:_TAG_ID_BITS])
+        mod_id = _bits_to_int(info[_TAG_ID_BITS : _TAG_ID_BITS + _MODULATION_BITS])
+        length = _bits_to_int(info[_TAG_ID_BITS + _MODULATION_BITS :])
+        name = _ID_TO_MODULATION.get(mod_id)
+        if name is None:
+            return None
+        return cls(tag_id=tag_id, modulation=name, payload_length_bits=length)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """An mmTag uplink frame: header metadata plus payload bits."""
+
+    header: FrameHeader
+    payload_bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        payload = np.asarray(self.payload_bits, dtype=np.int8)
+        object.__setattr__(self, "payload_bits", payload)
+        if payload.size != self.header.payload_length_bits:
+            raise ValueError(
+                f"payload has {payload.size} bits but header says "
+                f"{self.header.payload_length_bits}"
+            )
+        scheme = get_scheme(self.header.modulation)
+        protected = payload.size + 32
+        if protected % scheme.bits_per_symbol:
+            raise ValueError(
+                f"payload+CRC length {protected} not divisible by "
+                f"{scheme.bits_per_symbol} bits/symbol of {scheme.name}; pad the payload"
+            )
+
+    @classmethod
+    def build(cls, tag_id: int, modulation: str, payload_bits: np.ndarray) -> "Frame":
+        """Construct a frame, zero-padding the payload so that
+        payload+CRC32 fills whole symbols of the chosen modulation."""
+        scheme = get_scheme(modulation)
+        payload = np.asarray(payload_bits, dtype=np.int8)
+        k = scheme.bits_per_symbol
+        remainder = (payload.size + 32) % k
+        if remainder:
+            payload = np.concatenate(
+                [payload, np.zeros(k - remainder, dtype=np.int8)]
+            )
+        header = FrameHeader(
+            tag_id=tag_id,
+            modulation=scheme.name,
+            payload_length_bits=payload.size,
+        )
+        return cls(header=header, payload_bits=payload)
+
+    @property
+    def payload_scheme(self) -> ModulationScheme:
+        """The modulation scheme the payload uses."""
+        return get_scheme(self.header.modulation)
+
+    def header_symbols(self) -> np.ndarray:
+        """Header bits as BPSK symbols (always BPSK)."""
+        return BPSK.constellation.modulate(self.header.to_bits())
+
+    def payload_symbols(self) -> np.ndarray:
+        """Payload+CRC32 bits as payload-scheme symbols."""
+        protected = append_crc32(self.payload_bits)
+        return self.payload_scheme.constellation.modulate(protected)
+
+    def all_symbols(self) -> np.ndarray:
+        """Preamble + header + payload symbol stream."""
+        return np.concatenate(
+            [
+                PREAMBLE_SYMBOLS.astype(np.complex128),
+                self.header_symbols(),
+                self.payload_symbols(),
+            ]
+        )
+
+    def num_symbols(self) -> int:
+        """Total on-air symbols of the burst."""
+        return (
+            PREAMBLE_SYMBOLS.size
+            + HEADER_TOTAL_BITS  # BPSK: one bit per symbol
+            + (self.payload_bits.size + 32) // self.payload_scheme.bits_per_symbol
+        )
+
+    def duration_s(self, symbol_rate_hz: float) -> float:
+        """On-air duration at a given symbol rate."""
+        if symbol_rate_hz <= 0:
+            raise ValueError(f"symbol rate must be positive, got {symbol_rate_hz}")
+        return self.num_symbols() / symbol_rate_hz
+
+    def verify_payload(self, decoded_payload_with_crc: np.ndarray) -> bool:
+        """Check a decoded payload+CRC32 bit array."""
+        return check_crc32(decoded_payload_with_crc)

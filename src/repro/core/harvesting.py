@@ -1,0 +1,147 @@
+"""RF energy harvesting: the battery-free operating envelope.
+
+The backscatter vision is battery-free tags that harvest the AP's own
+illumination.  The harvest side of the budget is one-way Friis into the
+tag's aperture, through a rectifier whose efficiency collapses below
+its sensitivity knee.  Combining harvested power with the node's
+consumption (``repro.core.energy``) yields the quantity deployments
+care about: the maximum duty cycle sustainable at each distance, and
+the battery-free range for a target duty cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    DEFAULT_AP_ANTENNA_GAIN_DBI,
+    DEFAULT_AP_TX_POWER_DBM,
+    DEFAULT_CARRIER_HZ,
+)
+from repro.core.energy import TagEnergyModel
+from repro.em.propagation import friis_received_power_dbm
+
+__all__ = ["Rectifier", "HarvestingBudget"]
+
+
+@dataclass(frozen=True)
+class Rectifier:
+    """An RF-to-DC rectifier with a sensitivity knee.
+
+    Below ``sensitivity_dbm`` the diode never turns on and the output
+    is zero; above it, efficiency ramps linearly (in dB terms of input
+    power) from zero to ``peak_efficiency`` over ``ramp_db`` and stays
+    flat — the standard behavioural shape of CMOS/Schottky harvesters.
+    """
+
+    sensitivity_dbm: float = -20.0
+    peak_efficiency: float = 0.3
+    ramp_db: float = 15.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.peak_efficiency <= 1.0:
+            raise ValueError(
+                f"peak efficiency must be in (0, 1], got {self.peak_efficiency}"
+            )
+        if self.ramp_db <= 0:
+            raise ValueError(f"ramp must be positive, got {self.ramp_db}")
+
+    def efficiency(self, input_power_dbm: float) -> float:
+        """Conversion efficiency at a given input power."""
+        if input_power_dbm <= self.sensitivity_dbm:
+            return 0.0
+        ramp_fraction = min(
+            1.0, (input_power_dbm - self.sensitivity_dbm) / self.ramp_db
+        )
+        return self.peak_efficiency * ramp_fraction
+
+    def harvested_power_w(self, input_power_dbm: float) -> float:
+        """DC output power for a given RF input."""
+        input_w = 10.0 ** ((input_power_dbm - 30.0) / 10.0)
+        return input_w * self.efficiency(input_power_dbm)
+
+
+@dataclass(frozen=True)
+class HarvestingBudget:
+    """Harvest-vs-consume accounting for one deployment."""
+
+    rectifier: Rectifier = Rectifier()
+    energy_model: TagEnergyModel = TagEnergyModel()
+    tx_power_dbm: float = DEFAULT_AP_TX_POWER_DBM
+    ap_gain_dbi: float = DEFAULT_AP_ANTENNA_GAIN_DBI
+    tag_gain_dbi: float = 9.0  # the 8-element aperture used for harvest
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+
+    def incident_power_dbm(self, distance_m: float) -> float:
+        """RF power into the rectifier at ``distance_m`` (one-way Friis)."""
+        return friis_received_power_dbm(
+            self.tx_power_dbm,
+            self.ap_gain_dbi,
+            self.tag_gain_dbi,
+            distance_m,
+            self.carrier_hz,
+        )
+
+    def harvested_power_w(self, distance_m: float) -> float:
+        """DC power available to the node at ``distance_m``."""
+        return self.rectifier.harvested_power_w(self.incident_power_dbm(distance_m))
+
+    def max_duty_cycle(
+        self,
+        distance_m: float,
+        modulation: str = "QPSK",
+        symbol_rate_hz: float = 10e6,
+    ) -> float:
+        """Largest communication duty cycle the harvest sustains.
+
+        Solves ``harvest >= duty * P_active + (1 - duty) * P_sleep``
+        for ``duty`` in [0, 1]; 0 when the harvest cannot even hold the
+        node in sleep.
+        """
+        harvest = self.harvested_power_w(distance_m)
+        active = self.energy_model.report(modulation, symbol_rate_hz).total_power_w
+        sleep = self.energy_model.sleep_power_w()
+        if harvest <= sleep:
+            return 0.0
+        duty = (harvest - sleep) / (active - sleep)
+        return min(1.0, duty)
+
+    def battery_free_range_m(
+        self,
+        duty_cycle: float,
+        modulation: str = "QPSK",
+        symbol_rate_hz: float = 10e6,
+        max_distance_m: float = 50.0,
+    ) -> float:
+        """Largest distance sustaining ``duty_cycle`` battery-free.
+
+        Bisection on distance; returns 0.0 when even point-blank range
+        cannot sustain the duty cycle.
+        """
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle must be in (0, 1], got {duty_cycle}")
+        if self.max_duty_cycle(0.05, modulation, symbol_rate_hz) < duty_cycle:
+            return 0.0
+        low, high = 0.05, max_distance_m
+        if self.max_duty_cycle(high, modulation, symbol_rate_hz) >= duty_cycle:
+            return high
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if self.max_duty_cycle(mid, modulation, symbol_rate_hz) >= duty_cycle:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def sustainable_bit_rate_hz(
+        self,
+        distance_m: float,
+        modulation: str = "QPSK",
+        symbol_rate_hz: float = 10e6,
+    ) -> float:
+        """Average delivered bit rate when duty-cycled by the harvest."""
+        duty = self.max_duty_cycle(distance_m, modulation, symbol_rate_hz)
+        from repro.core.modulation import get_scheme
+
+        scheme = get_scheme(modulation)
+        return duty * symbol_rate_hz * scheme.bits_per_symbol

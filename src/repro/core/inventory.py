@@ -1,0 +1,243 @@
+"""Slotted inventory protocol: Gen2-style arbitration with a Q algorithm.
+
+:mod:`repro.core.network` schedules *known* tags; this module is the
+arbitration layer that turns an unknown population into a known one.
+It follows the structure RFID standardised (and that a backscatter
+mmWave AP would reuse): the AP announces a round of ``2^Q`` slots, each
+unread tag picks a slot uniformly at random, and per slot the AP
+observes IDLE (no reply), SINGLE (one reply — readable), or COLLISION.
+Between rounds the **Q algorithm** adapts ``Q`` toward the optimum
+(slots ~ population) using the idle/collision balance.
+
+The tag side is modelled as an explicit state machine (READY /
+ARBITRATE / REPLY / ACKNOWLEDGED) so the protocol logic is testable
+independent of any channel model; an optional per-read success
+probability models frames lost to noise after winning a slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TagProtocolState",
+    "ProtocolTag",
+    "SlotOutcome",
+    "QAlgorithm",
+    "InventoryRound",
+    "InventorySession",
+    "SessionStats",
+]
+
+
+class TagProtocolState(enum.Enum):
+    """Arbitration states of a tag (Gen2 nomenclature)."""
+
+    READY = "ready"
+    ARBITRATE = "arbitrate"
+    REPLY = "reply"
+    ACKNOWLEDGED = "acknowledged"
+
+
+class SlotOutcome(enum.Enum):
+    """What the AP observed in one slot."""
+
+    IDLE = "idle"
+    SINGLE = "single"
+    COLLISION = "collision"
+
+
+@dataclass
+class ProtocolTag:
+    """Protocol-side view of one tag."""
+
+    tag_id: int
+    state: TagProtocolState = TagProtocolState.READY
+    slot_counter: int = 0
+
+    def begin_round(self, q: int, rng: np.random.Generator) -> None:
+        """Draw a slot for this round (unacknowledged tags only)."""
+        if self.state is TagProtocolState.ACKNOWLEDGED:
+            return
+        self.slot_counter = int(rng.integers(0, 2**q))
+        self.state = TagProtocolState.ARBITRATE
+
+    def advance_slot(self) -> bool:
+        """Count down at each slot boundary; True when replying now."""
+        if self.state is not TagProtocolState.ARBITRATE:
+            return False
+        if self.slot_counter == 0:
+            self.state = TagProtocolState.REPLY
+            return True
+        self.slot_counter -= 1
+        return False
+
+    def acknowledge(self) -> None:
+        """AP read the tag successfully."""
+        if self.state is not TagProtocolState.REPLY:
+            raise ValueError(f"tag {self.tag_id} acknowledged while {self.state}")
+        self.state = TagProtocolState.ACKNOWLEDGED
+
+    def back_to_arbitration(self) -> None:
+        """Collision or lost frame: retry next round."""
+        self.state = TagProtocolState.READY
+
+
+@dataclass
+class QAlgorithm:
+    """The slot-count controller.
+
+    Maintains a fractional ``q_float``; idles nudge it down by
+    ``step``, collisions nudge it up, singles leave it.  ``q`` is the
+    rounded value clamped to [0, 15] — the standard Gen2 controller.
+    """
+
+    q_float: float = 4.0
+    step: float = 0.35
+    min_q: int = 0
+    max_q: int = 15
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.step <= 1.0:
+            raise ValueError(f"step must be in (0, 1], got {self.step}")
+        if not self.min_q <= self.q_float <= self.max_q:
+            raise ValueError("initial q outside [min_q, max_q]")
+
+    @property
+    def q(self) -> int:
+        """Current integer Q."""
+        return int(round(self.q_float))
+
+    def update(self, outcome: SlotOutcome) -> None:
+        """Adapt to one slot observation."""
+        if outcome is SlotOutcome.IDLE:
+            self.q_float = max(float(self.min_q), self.q_float - self.step)
+        elif outcome is SlotOutcome.COLLISION:
+            self.q_float = min(float(self.max_q), self.q_float + self.step)
+
+
+@dataclass
+class SessionStats:
+    """Counters of a full inventory session."""
+
+    slots_total: int = 0
+    slots_idle: int = 0
+    slots_single: int = 0
+    slots_collision: int = 0
+    reads_failed_channel: int = 0
+    rounds: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        """Successful reads per slot (theoretical ALOHA max ~ 0.368)."""
+        if self.slots_total == 0:
+            return 0.0
+        return (self.slots_single - self.reads_failed_channel) / self.slots_total
+
+
+@dataclass
+class InventoryRound:
+    """Result of one round: outcomes plus tags read this round."""
+
+    q: int
+    outcomes: list[SlotOutcome]
+    read_tag_ids: list[int]
+
+
+class InventorySession:
+    """Runs the arbitration protocol over a tag population.
+
+    Parameters
+    ----------
+    tag_ids:
+        The (unknown-to-the-AP) population.
+    read_success_probability:
+        Probability that a SINGLE slot's frame also survives the
+        channel; losses send the tag back to arbitration.
+    controller:
+        The Q controller; defaults to a fresh :class:`QAlgorithm`.
+    """
+
+    def __init__(
+        self,
+        tag_ids: list[int],
+        read_success_probability: float = 1.0,
+        controller: QAlgorithm | None = None,
+    ) -> None:
+        if not tag_ids:
+            raise ValueError("population must not be empty")
+        if len(set(tag_ids)) != len(tag_ids):
+            raise ValueError("tag ids must be unique")
+        if not 0.0 < read_success_probability <= 1.0:
+            raise ValueError(
+                "read success probability must be in (0, 1], got "
+                f"{read_success_probability}"
+            )
+        self.tags = {tag_id: ProtocolTag(tag_id) for tag_id in tag_ids}
+        self.read_success_probability = read_success_probability
+        self.controller = controller or QAlgorithm()
+        self.stats = SessionStats()
+
+    def unread_count(self) -> int:
+        """Tags not yet acknowledged."""
+        return sum(
+            1
+            for tag in self.tags.values()
+            if tag.state is not TagProtocolState.ACKNOWLEDGED
+        )
+
+    def run_round(self, rng: np.random.Generator) -> InventoryRound:
+        """Execute one round of ``2^Q`` slots."""
+        q = self.controller.q
+        for tag in self.tags.values():
+            tag.begin_round(q, rng)
+
+        outcomes: list[SlotOutcome] = []
+        read_ids: list[int] = []
+        for _slot in range(2**q):
+            repliers = [tag for tag in self.tags.values() if tag.advance_slot()]
+            if not repliers:
+                outcome = SlotOutcome.IDLE
+            elif len(repliers) == 1:
+                outcome = SlotOutcome.SINGLE
+                tag = repliers[0]
+                if rng.random() < self.read_success_probability:
+                    tag.acknowledge()
+                    read_ids.append(tag.tag_id)
+                else:
+                    self.stats.reads_failed_channel += 1
+                    tag.back_to_arbitration()
+            else:
+                outcome = SlotOutcome.COLLISION
+                for tag in repliers:
+                    tag.back_to_arbitration()
+            outcomes.append(outcome)
+            self.controller.update(outcome)
+            self.stats.slots_total += 1
+            if outcome is SlotOutcome.IDLE:
+                self.stats.slots_idle += 1
+            elif outcome is SlotOutcome.SINGLE:
+                self.stats.slots_single += 1
+            else:
+                self.stats.slots_collision += 1
+
+        self.stats.rounds += 1
+        return InventoryRound(q=q, outcomes=outcomes, read_tag_ids=read_ids)
+
+    def run_until_complete(
+        self,
+        rng: np.random.Generator | int | None = None,
+        max_rounds: int = 200,
+    ) -> SessionStats:
+        """Run rounds until every tag is read (or ``max_rounds``)."""
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        rng = np.random.default_rng(rng)
+        for _ in range(max_rounds):
+            if self.unread_count() == 0:
+                break
+            self.run_round(rng)
+        return self.stats

@@ -1,0 +1,420 @@
+"""Multi-tag networking: FDMA subcarriers, TDMA inventory, ALOHA join.
+
+mmTag scales past one tag in two ways:
+
+* **FDMA** — concurrently backscattering tags each mix their symbols
+  onto a distinct square-wave subcarrier, so their bursts occupy
+  disjoint spectral offsets around the AP's tone and the AP separates
+  them by de-hopping each offset (experiment E7's concurrent mode);
+* **TDMA** — an inventory protocol polls known tags round-robin, one
+  burst per slot (E7's scheduled mode); unknown tags join via a
+  slotted-ALOHA discovery window.
+
+The concurrent mode is simulated at the waveform level (true cross-tag
+interference); inventory rounds use the analytic frame-success model so
+thousand-slot schedules stay fast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.core.ap import AccessPoint, APConfig, ReceiverResult
+from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.core.modulation import get_scheme
+from repro.core.tag import Tag, TagConfig
+from repro.dsp.signal import Signal
+from repro.rf.noise import add_awgn, thermal_noise_power
+
+__all__ = [
+    "NetworkTag",
+    "FdmaPlan",
+    "TdmaSchedule",
+    "InventoryResult",
+    "MmTagNetwork",
+]
+
+
+@dataclass(frozen=True)
+class NetworkTag:
+    """A deployed tag: device configuration plus geometry."""
+
+    config: TagConfig
+    distance_m: float
+    incidence_angle_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {self.distance_m}")
+
+    def link_config(self, ap: APConfig, environment: Environment) -> LinkConfig:
+        """The single-link operating point for this tag."""
+        return LinkConfig(
+            distance_m=self.distance_m,
+            incidence_angle_deg=self.incidence_angle_deg,
+            tag=self.config,
+            ap=ap,
+            environment=environment,
+        )
+
+
+@dataclass(frozen=True)
+class FdmaPlan:
+    """Subcarrier assignment for concurrent backscatter.
+
+    Tag ``i`` gets ``base + i * spacing`` where the spacing leaves a
+    guard band between the double-sideband spectra of adjacent tags.
+    """
+
+    symbol_rate_hz: float
+    guard_factor: float = 1.5
+    base_subcarrier_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.symbol_rate_hz <= 0:
+            raise ValueError(f"symbol rate must be positive, got {self.symbol_rate_hz}")
+        if self.guard_factor < 1.0:
+            raise ValueError(
+                f"guard factor must be >= 1 (no overlap), got {self.guard_factor}"
+            )
+
+    @property
+    def spacing_hz(self) -> float:
+        """Distance between adjacent tag subcarriers."""
+        return self.guard_factor * 2.0 * self.symbol_rate_hz
+
+    @property
+    def base_hz(self) -> float:
+        """First tag's subcarrier for a single-tag plan."""
+        if self.base_subcarrier_hz is not None:
+            return self.base_subcarrier_hz
+        return max(self.symbol_rate_hz, self.spacing_hz)
+
+    def subcarriers(self, num_tags: int) -> tuple[float, ...]:
+        """Harmonic-safe subcarrier set for ``num_tags`` concurrent tags.
+
+        Square-wave subcarriers carry odd harmonics at 3f, 5f, ... with
+        amplitudes 1/3, 1/5, ...; if tag A's 3rd harmonic lands on tag
+        B's subcarrier, B is jammed at -9.5 dB.  Keeping every
+        subcarrier inside ``[base, 3*base - spacing)`` guarantees all
+        harmonics fall above the occupied band, so the base is raised
+        with the tag count: ``base >= num_tags * spacing / 2``.
+        """
+        if num_tags < 1:
+            raise ValueError(f"num_tags must be >= 1, got {num_tags}")
+        base = max(self.base_hz, num_tags * self.spacing_hz / 2.0)
+        return tuple(base + i * self.spacing_hz for i in range(num_tags))
+
+    def subcarrier_for(self, index: int, num_tags: int | None = None) -> float:
+        """Subcarrier frequency of tag ``index`` in an ``num_tags`` plan."""
+        if index < 0:
+            raise ValueError(f"index must be >= 0, got {index}")
+        count = num_tags if num_tags is not None else index + 1
+        if index >= count:
+            raise ValueError(f"index {index} outside a {count}-tag plan")
+        return self.subcarriers(count)[index]
+
+    def max_tags(self, sample_rate_hz: float) -> int:
+        """How many tags fit below the simulation/ADC Nyquist margin.
+
+        Subcarriers must stay below ``sample_rate / 4`` (the tag model's
+        own representability bound).  Accounts for the harmonic-safe
+        base growing with the tag count.
+        """
+        limit = sample_rate_hz / 4.0
+        count = 0
+        while True:
+            candidate = count + 1
+            if self.subcarriers(candidate)[-1] >= limit:
+                return count
+            count = candidate
+
+
+@dataclass(frozen=True)
+class TdmaSchedule:
+    """Round-robin slot assignment."""
+
+    tag_ids: tuple[int, ...]
+    slot_duration_s: float
+
+    def __post_init__(self) -> None:
+        if not self.tag_ids:
+            raise ValueError("schedule needs at least one tag")
+        if len(set(self.tag_ids)) != len(self.tag_ids):
+            raise ValueError("tag ids must be unique")
+        if self.slot_duration_s <= 0:
+            raise ValueError(
+                f"slot duration must be positive, got {self.slot_duration_s}"
+            )
+
+    def owner_of_slot(self, slot_index: int) -> int:
+        """Tag id that owns slot ``slot_index``."""
+        if slot_index < 0:
+            raise ValueError(f"slot index must be >= 0, got {slot_index}")
+        return self.tag_ids[slot_index % len(self.tag_ids)]
+
+
+@dataclass
+class InventoryResult:
+    """Outcome of an inventory run (TDMA rounds or ALOHA discovery)."""
+
+    num_slots: int
+    slot_duration_s: float
+    delivered_bits: dict[int, int]
+    attempted_bits: dict[int, int]
+
+    @property
+    def duration_s(self) -> float:
+        """Total air time."""
+        return self.num_slots * self.slot_duration_s
+
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        """Network-wide delivered bits per second."""
+        if self.duration_s == 0:
+            return 0.0
+        return sum(self.delivered_bits.values()) / self.duration_s
+
+    def per_tag_goodput_bps(self) -> dict[int, float]:
+        """Delivered bits per second, per tag."""
+        if self.duration_s == 0:
+            return {tag: 0.0 for tag in self.delivered_bits}
+        return {
+            tag: bits / self.duration_s for tag, bits in self.delivered_bits.items()
+        }
+
+    def jain_fairness(self) -> float:
+        """Jain's fairness index over per-tag goodput (1.0 = equal)."""
+        rates = list(self.per_tag_goodput_bps().values())
+        if not rates or all(r == 0 for r in rates):
+            return 0.0
+        total = sum(rates)
+        squares = sum(r * r for r in rates)
+        return total * total / (len(rates) * squares)
+
+
+class MmTagNetwork:
+    """An AP serving multiple tags."""
+
+    def __init__(
+        self,
+        tags: list[NetworkTag],
+        ap: APConfig | None = None,
+        environment: Environment | None = None,
+    ) -> None:
+        if not tags:
+            raise ValueError("network needs at least one tag")
+        ids = [t.config.tag_id for t in tags]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate tag ids: {sorted(ids)}")
+        self.tags = list(tags)
+        self.ap = ap or APConfig()
+        self.environment = environment or Environment.anechoic()
+
+    # -- FDMA: concurrent waveform-level simulation --------------------------
+
+    def assign_subcarriers(self, plan: FdmaPlan) -> None:
+        """Give every tag its FDMA subcarrier per the plan (in place)."""
+        frequencies = plan.subcarriers(len(self.tags))
+        for index, tag in enumerate(self.tags):
+            self.tags[index] = replace(
+                tag, config=replace(tag.config, subcarrier_hz=frequencies[index])
+            )
+
+    def simulate_concurrent_uplink(
+        self,
+        num_payload_bits: int = 512,
+        rng: np.random.Generator | int | None = None,
+    ) -> dict[int, tuple[ReceiverResult, float]]:
+        """All tags backscatter at once; AP separates them by subcarrier.
+
+        Returns ``{tag_id: (receiver_result, ber)}``.  Every tag must
+        already have a distinct non-zero subcarrier (use
+        :meth:`assign_subcarriers`).
+        """
+        rng = np.random.default_rng(rng)
+        subcarriers = [t.config.subcarrier_hz for t in self.tags]
+        if 0.0 in subcarriers or len(set(subcarriers)) != len(subcarriers):
+            raise ValueError(
+                "every tag needs a distinct non-zero subcarrier; call "
+                "assign_subcarriers first"
+            )
+        rates = {t.config.sample_rate_hz for t in self.tags}
+        if len(rates) != 1:
+            raise ValueError(f"tags must share a sample rate, got {sorted(rates)}")
+        sample_rate = rates.pop()
+
+        payloads: dict[int, np.ndarray] = {}
+        components: list[Signal] = []
+        for tag_entry in self.tags:
+            tag = Tag(tag_entry.config)
+            bits = rng.integers(0, 2, size=num_payload_bits).astype(np.int8)
+            frame = tag.make_frame(bits)
+            payloads[tag_entry.config.tag_id] = frame.payload_bits
+            waveform, _ = tag.backscatter_waveform(
+                frame, math.radians(tag_entry.incidence_angle_deg)
+            )
+            from repro.core.link import _received_amplitude  # local import: shared budget
+
+            amplitude = _received_amplitude(
+                tag_entry.link_config(self.ap, self.environment)
+            )
+            phase = rng.uniform(0.0, 2.0 * math.pi)
+            components.append(waveform.scale(amplitude * np.exp(1j * phase)))
+
+        # Guard samples around the bursts: gives the AP's DC estimator a
+        # quiet lead-in and absorbs the channel filter's group delay so
+        # burst tails are not clipped.
+        sps = self.tags[0].config.samples_per_symbol
+        guard = 32 * sps
+        longest = max(c.num_samples for c in components)
+        composite = Signal.zeros(longest + 2 * guard, sample_rate)
+        for component in components:
+            composite = composite + component.pad(num_before=guard)
+
+        interference = self.environment.interference_waveform(
+            composite.num_samples,
+            sample_rate,
+            10.0 ** ((self.ap.tx_power_dbm - 30.0) / 20.0),
+            rng,
+        )
+        composite = composite + interference
+        noise_factor = 10.0 ** (self.ap.noise_figure_db / 10.0)
+        composite = add_awgn(
+            composite, thermal_noise_power(sample_rate) * noise_factor, rng
+        )
+
+        access_point = AccessPoint(self.ap)
+        conditioned = access_point.condition(composite)
+        results: dict[int, tuple[ReceiverResult, float]] = {}
+        for tag_entry in self.tags:
+            tag_id = tag_entry.config.tag_id
+            result = access_point.receive_burst(
+                conditioned,
+                samples_per_symbol=tag_entry.config.samples_per_symbol,
+                subcarrier_hz=tag_entry.config.subcarrier_hz,
+                skip_conditioning=True,
+            )
+            sent = payloads[tag_id]
+            if result.payload_bits is not None and result.payload_bits.size == sent.size:
+                ber = float(np.count_nonzero(result.payload_bits != sent)) / sent.size
+            else:
+                ber = 0.5
+            results[tag_id] = (result, ber)
+        return results
+
+    # -- TDMA inventory: analytic frame-level simulation -----------------------
+
+    def tdma_inventory(
+        self,
+        num_rounds: int,
+        frame_payload_bits: int = 2048,
+        rng: np.random.Generator | int | None = None,
+    ) -> InventoryResult:
+        """Poll every tag ``num_rounds`` times; score frame successes.
+
+        Uses the analytic link SNR and each tag's theoretical BER to
+        draw per-slot frame success — the standard abstraction for
+        MAC-scale results.
+        """
+        if num_rounds < 1:
+            raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        rng = np.random.default_rng(rng)
+        slot_durations = []
+        delivered: dict[int, int] = {}
+        attempted: dict[int, int] = {}
+        success_probability: dict[int, float] = {}
+        for tag_entry in self.tags:
+            link = tag_entry.link_config(self.ap, self.environment)
+            snr = link_snr_db(link)
+            scheme = get_scheme(tag_entry.config.modulation)
+            ber = scheme.theoretical_ber(snr)
+            success_probability[tag_entry.config.tag_id] = (1.0 - ber) ** (
+                frame_payload_bits + 32
+            )
+            symbols = math.ceil(
+                (frame_payload_bits + 32) / scheme.bits_per_symbol
+            ) + 60  # preamble + header overhead
+            slot_durations.append(symbols / tag_entry.config.symbol_rate_hz)
+            delivered[tag_entry.config.tag_id] = 0
+            attempted[tag_entry.config.tag_id] = 0
+
+        slot_duration = max(slot_durations)
+        for _round in range(num_rounds):
+            for tag_entry in self.tags:
+                tag_id = tag_entry.config.tag_id
+                attempted[tag_id] += frame_payload_bits
+                if rng.random() < success_probability[tag_id]:
+                    delivered[tag_id] += frame_payload_bits
+        return InventoryResult(
+            num_slots=num_rounds * len(self.tags),
+            slot_duration_s=slot_duration,
+            delivered_bits=delivered,
+            attempted_bits=attempted,
+        )
+
+    # -- discovery ------------------------------------------------------------
+
+    def slotted_aloha_discovery(
+        self,
+        num_slots: int,
+        rng: np.random.Generator | int | None = None,
+        transmit_probability: float | None = None,
+    ) -> tuple[set[int], int]:
+        """Run a slotted-ALOHA discovery window.
+
+        Undiscovered tags respond in each slot with probability ``p``
+        (default ``1/num_undiscovered``, the throughput-optimal
+        setting); a slot with exactly one responder discovers that tag.
+        Returns ``(discovered_ids, slots_used)`` where ``slots_used`` is
+        the slot index after which all tags were found (or
+        ``num_slots`` if some remain hidden).
+        """
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        if transmit_probability is not None and not 0.0 < transmit_probability <= 1.0:
+            raise ValueError(
+                f"transmit probability must be in (0, 1], got {transmit_probability}"
+            )
+        rng = np.random.default_rng(rng)
+        undiscovered = {t.config.tag_id for t in self.tags}
+        discovered: set[int] = set()
+        for slot in range(num_slots):
+            if not undiscovered:
+                return discovered, slot
+            p = transmit_probability or 1.0 / len(undiscovered)
+            responders = [t for t in undiscovered if rng.random() < p]
+            if len(responders) == 1:
+                tag_id = responders[0]
+                undiscovered.remove(tag_id)
+                discovered.add(tag_id)
+        return discovered, num_slots
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def per_tag_snr_db(self) -> dict[int, float]:
+        """Analytic SNR of each tag's link."""
+        return {
+            t.config.tag_id: link_snr_db(t.link_config(self.ap, self.environment))
+            for t in self.tags
+        }
+
+    def run_single_link(
+        self,
+        tag_id: int,
+        num_payload_bits: int = 1024,
+        rng: np.random.Generator | int | None = None,
+    ):
+        """Full waveform-level simulation of one tag's slot."""
+        for tag_entry in self.tags:
+            if tag_entry.config.tag_id == tag_id:
+                return simulate_link(
+                    tag_entry.link_config(self.ap, self.environment),
+                    num_payload_bits=num_payload_bits,
+                    rng=rng,
+                )
+        raise KeyError(f"no tag with id {tag_id}")

@@ -1,0 +1,252 @@
+"""Spatial-division multiplexing: concurrent links on one band.
+
+The mmWave pitch the paper's introduction makes: pencil beams let
+multiple AP-tag links share the same spectrum in the same room.  For
+backscatter the coupling is double-sided — AP *i*'s illumination can
+reach tag *j* (weighted by AP *i*'s pattern toward *j*), and tag *j*'s
+retro-reflection lands back near AP *i* only insofar as the geometry
+cooperates — so the interference math deserves to be explicit.
+
+Model: each :class:`SdmLink` is an AP (a steerable ULA, pointed at its
+own tag) plus a Van Atta tag at a bearing/distance.  For a set of
+simultaneous links, the SINR of link *i* counts:
+
+* signal — AP_i's two-way pattern gain toward tag_i times the radar
+  budget at d_i;
+* interference — for each j != i, AP_j's illumination reaching tag_j
+  is retro-reflected *toward AP_j*; the sliver arriving at AP_i is the
+  tag_j bistatic response evaluated toward AP_i, received through
+  AP_i's pattern;
+* noise — the usual kTB·F floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+
+from repro.constants import (
+    DEFAULT_AP_NOISE_FIGURE_DB,
+    DEFAULT_AP_TX_POWER_DBM,
+    DEFAULT_CARRIER_HZ,
+    THERMAL_NOISE_DBM_HZ,
+)
+from repro.em.antenna import patch_element
+from repro.em.array import UniformLinearArray
+from repro.em.propagation import free_space_path_loss_db
+from repro.em.vanatta import VanAttaArray
+
+__all__ = ["SdmLink", "SdmCell", "SdmReport"]
+
+
+@dataclass(frozen=True)
+class SdmLink:
+    """One AP-tag pair inside a shared cell.
+
+    All geometry is expressed in a common frame: the cell's APs are
+    co-located at the origin (a multi-panel AP or several APs on one
+    mount), each pointing its beam at its own tag's bearing.
+    """
+
+    name: str
+    tag_bearing_deg: float
+    tag_distance_m: float
+    ap_array: UniformLinearArray = field(
+        default_factory=lambda: UniformLinearArray(
+            num_elements=32, element=patch_element(5.0)
+        )
+    )
+    tag_array: VanAttaArray = field(default_factory=VanAttaArray)
+
+    def __post_init__(self) -> None:
+        if self.tag_distance_m <= 0:
+            raise ValueError(
+                f"{self.name}: distance must be positive, got {self.tag_distance_m}"
+            )
+        if abs(self.tag_bearing_deg) >= 90.0:
+            raise ValueError(
+                f"{self.name}: bearing must be inside (-90, 90) deg"
+            )
+
+    def ap_gain_toward(self, bearing_deg: float) -> float:
+        """AP pattern gain (linear) toward ``bearing_deg`` when steered
+        at this link's own tag."""
+        return float(
+            self.ap_array.gain(
+                math.radians(bearing_deg),
+                steer_rad=math.radians(self.tag_bearing_deg),
+            )
+        )
+
+
+@dataclass
+class SdmReport:
+    """Per-link SINRs of one concurrent configuration."""
+
+    snr_db: dict[str, float]
+    sinr_db: dict[str, float]
+
+    def degradation_db(self, name: str) -> float:
+        """SNR minus SINR: what sharing the band cost this link."""
+        return self.snr_db[name] - self.sinr_db[name]
+
+    def all_above(self, threshold_db: float) -> bool:
+        """True when every link's SINR clears the threshold."""
+        return all(v >= threshold_db for v in self.sinr_db.values())
+
+
+class SdmCell:
+    """A set of concurrent backscatter links sharing band and space."""
+
+    def __init__(
+        self,
+        links: list[SdmLink],
+        tx_power_dbm: float = DEFAULT_AP_TX_POWER_DBM,
+        carrier_hz: float = DEFAULT_CARRIER_HZ,
+        bandwidth_hz: float = 10e6,
+        noise_figure_db: float = DEFAULT_AP_NOISE_FIGURE_DB,
+        implementation_loss_db: float = 8.0,
+    ) -> None:
+        if not links:
+            raise ValueError("cell needs at least one link")
+        names = [link.name for link in links]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate link names: {names}")
+        if bandwidth_hz <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+        self.links = list(links)
+        self.tx_power_dbm = tx_power_dbm
+        self.carrier_hz = carrier_hz
+        self.bandwidth_hz = bandwidth_hz
+        self.noise_figure_db = noise_figure_db
+        self.implementation_loss_db = implementation_loss_db
+
+    # -- power pieces --------------------------------------------------------
+
+    def _roundtrip_power_dbm(
+        self,
+        illuminator: SdmLink,
+        tag_link: SdmLink,
+        receiver: SdmLink,
+    ) -> float:
+        """Receive power of ``illuminator -> tag -> receiver`` [dBm].
+
+        The illuminating AP transmits with its pattern toward the tag;
+        the tag re-radiates with its bistatic Van Atta response from
+        the illuminator's direction toward the receiver's direction;
+        the receiving AP listens with its own pattern.  Co-located APs
+        mean one-way distances are the tag's distance for every leg.
+        """
+        tag = tag_link.tag_array
+        tag_bearing = tag_link.tag_bearing_deg
+        distance = tag_link.tag_distance_m
+
+        tx_gain = illuminator.ap_gain_toward(tag_bearing)
+        rx_gain = receiver.ap_gain_toward(tag_bearing)
+        if tx_gain <= 0 or rx_gain <= 0:
+            return -300.0
+
+        # angles seen from the tag: the wave arrives from (and returns
+        # to) the AP mount; with co-located APs both legs share the
+        # incidence angle at the tag, so the relevant tag response is
+        # monostatic in geometry -- but only the receiver aligned with
+        # the *retro* direction collects the coherent lobe.  We evaluate
+        # the bistatic field exactly for the general case.
+        theta_in = 0.0  # tag boresight assumed aimed at the mount
+        field = tag.bistatic_field(theta_in, theta_in)
+        tag_gain_db = 20.0 * math.log10(abs(field)) if abs(field) > 0 else -300.0
+
+        path_db = free_space_path_loss_db(distance, self.carrier_hz)
+        return (
+            self.tx_power_dbm
+            + 10.0 * math.log10(tx_gain)
+            + 10.0 * math.log10(rx_gain)
+            + tag_gain_db
+            - 2.0 * path_db
+            - self.implementation_loss_db
+        )
+
+    def noise_power_dbm(self) -> float:
+        """Receiver noise floor."""
+        return (
+            THERMAL_NOISE_DBM_HZ
+            + 10.0 * math.log10(self.bandwidth_hz)
+            + self.noise_figure_db
+        )
+
+    # -- the report -------------------------------------------------------------
+
+    def evaluate(self) -> SdmReport:
+        """Compute SNR (alone) and SINR (all links active) per link."""
+        noise_dbm = self.noise_power_dbm()
+        snr = {}
+        sinr = {}
+        for i, link in enumerate(self.links):
+            signal_dbm = self._roundtrip_power_dbm(link, link, link)
+            snr[link.name] = signal_dbm - noise_dbm
+            interference_w = 0.0
+            for j, other in enumerate(self.links):
+                if i == j:
+                    continue
+                # other AP's illumination bouncing off *its* tag into
+                # this AP's receiver
+                leak_dbm = self._roundtrip_power_dbm(other, other, link)
+                interference_w += 10.0 ** ((leak_dbm - 30.0) / 10.0)
+                # this AP's own illumination bouncing off the *other*
+                # tag back into this receiver (a static echo in truth,
+                # removed by the DC block) is excluded: unmodulated by
+                # this link's data clock it lands at the other tag's
+                # switching offsets only.
+            noise_w = 10.0 ** ((noise_dbm - 30.0) / 10.0)
+            signal_w = 10.0 ** ((signal_dbm - 30.0) / 10.0)
+            sinr[link.name] = 10.0 * math.log10(
+                signal_w / (noise_w + interference_w)
+            )
+        return SdmReport(snr_db=snr, sinr_db=sinr)
+
+    def minimum_separation_deg(self, sinr_threshold_db: float = 10.0) -> float:
+        """Smallest bearing separation at which two equal links both
+        clear the SINR threshold (bisection over separation)."""
+        if len(self.links) != 2:
+            raise ValueError("separation search is defined for two-link cells")
+        base = self.links[0]
+        low, high = 0.5, 80.0
+
+        def ok(separation: float) -> bool:
+            links = [
+                SdmLink(
+                    name="a",
+                    tag_bearing_deg=-separation / 2,
+                    tag_distance_m=base.tag_distance_m,
+                    ap_array=base.ap_array,
+                    tag_array=base.tag_array,
+                ),
+                SdmLink(
+                    name="b",
+                    tag_bearing_deg=separation / 2,
+                    tag_distance_m=base.tag_distance_m,
+                    ap_array=base.ap_array,
+                    tag_array=base.tag_array,
+                ),
+            ]
+            cell = SdmCell(
+                links,
+                tx_power_dbm=self.tx_power_dbm,
+                carrier_hz=self.carrier_hz,
+                bandwidth_hz=self.bandwidth_hz,
+                noise_figure_db=self.noise_figure_db,
+                implementation_loss_db=self.implementation_loss_db,
+            )
+            return cell.evaluate().all_above(sinr_threshold_db)
+
+        if not ok(high):
+            return math.inf
+        for _ in range(40):
+            mid = (low + high) / 2.0
+            if ok(mid):
+                high = mid
+            else:
+                low = mid
+        return high

@@ -1,0 +1,187 @@
+"""Mobile sessions: epoch-by-epoch service of a moving tag.
+
+Ties the layers together the way a deployment runs them: a mobility
+trace supplies geometry per epoch, the rate adapter picks the MCS from
+the analytic SNR (with hysteresis across epochs), the waveform chain
+delivers or loses each frame, and the session accounts goodput, outage
+and MCS switches.  The wearable example is the narrative version of
+this; the class is the reusable API with a test surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.channel.waypoint import RandomWaypointModel, TracePoint
+from repro.core.adaptation import RateAdapter
+from repro.core.ap import APConfig
+from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.core.tag import TagConfig
+
+__all__ = ["EpochRecord", "SessionSummary", "MobileSession"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """What happened during one epoch of a mobile session."""
+
+    time_s: float
+    distance_m: float
+    azimuth_deg: float
+    snr_db: float
+    modulation: str | None
+    frame_success: bool
+    delivered_bits: int
+
+
+@dataclass
+class SessionSummary:
+    """Aggregates of a full session."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        """Epoch count."""
+        return len(self.epochs)
+
+    @property
+    def delivered_bits(self) -> int:
+        """Total payload bits delivered."""
+        return sum(e.delivered_bits for e in self.epochs)
+
+    @property
+    def outage_fraction(self) -> float:
+        """Fraction of epochs with no feasible MCS."""
+        if not self.epochs:
+            return 0.0
+        return sum(1 for e in self.epochs if e.modulation is None) / len(self.epochs)
+
+    @property
+    def frame_success_fraction(self) -> float:
+        """Fraction of *attempted* epochs whose frame decoded."""
+        attempted = [e for e in self.epochs if e.modulation is not None]
+        if not attempted:
+            return 0.0
+        return sum(1 for e in attempted if e.frame_success) / len(attempted)
+
+    def mcs_switches(self) -> int:
+        """How many times the adapter changed modulation."""
+        mcs = [e.modulation for e in self.epochs if e.modulation is not None]
+        return sum(1 for a, b in zip(mcs, mcs[1:]) if a != b)
+
+    def mean_goodput_bps(self, epoch_duration_s: float) -> float:
+        """Delivered bits per second of session time."""
+        if epoch_duration_s <= 0:
+            raise ValueError(
+                f"epoch duration must be positive, got {epoch_duration_s}"
+            )
+        if not self.epochs:
+            return 0.0
+        return self.delivered_bits / (len(self.epochs) * epoch_duration_s)
+
+
+class MobileSession:
+    """Run a rate-adapted uplink session along a mobility trace."""
+
+    def __init__(
+        self,
+        tag: TagConfig | None = None,
+        ap: APConfig | None = None,
+        environment: Environment | None = None,
+        adapter: RateAdapter | None = None,
+        frame_bits: int = 2048,
+        max_incidence_deg: float = 85.0,
+    ) -> None:
+        if frame_bits < 8:
+            raise ValueError(f"frame must be >= 8 bits, got {frame_bits}")
+        self.tag = tag or TagConfig()
+        self.ap = ap or APConfig()
+        self.environment = environment or Environment.typical_office()
+        self.adapter = adapter or RateAdapter()
+        self.frame_bits = frame_bits
+        self.max_incidence_deg = max_incidence_deg
+
+    def run_trace(
+        self,
+        trace: list[TracePoint],
+        model: RandomWaypointModel | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> SessionSummary:
+        """Serve one frame per trace sample; returns the summary.
+
+        ``model`` (when given) supplies radial velocities for Doppler;
+        without it epochs are treated as static.
+        """
+        if not trace:
+            raise ValueError("trace must not be empty")
+        rng = np.random.default_rng(rng)
+        summary = SessionSummary()
+        current_mcs: str | None = None
+        for index, point in enumerate(trace):
+            azimuth = float(
+                np.clip(point.azimuth_deg, -self.max_incidence_deg, self.max_incidence_deg)
+            )
+            velocity = (
+                model.radial_velocity_at(trace, index) if model is not None else 0.0
+            )
+            config = LinkConfig(
+                distance_m=point.distance_m,
+                incidence_angle_deg=azimuth,
+                tag=self.tag,
+                ap=self.ap,
+                environment=self.environment,
+                radial_velocity_m_s=velocity,
+            )
+            snr = link_snr_db(config)
+            entry = self.adapter.select(snr, current=current_mcs)
+            if entry is None:
+                current_mcs = None
+                summary.epochs.append(
+                    EpochRecord(
+                        time_s=point.time_s,
+                        distance_m=point.distance_m,
+                        azimuth_deg=azimuth,
+                        snr_db=snr,
+                        modulation=None,
+                        frame_success=False,
+                        delivered_bits=0,
+                    )
+                )
+                continue
+            current_mcs = entry.modulation
+            result = simulate_link(
+                config.with_modulation(entry.modulation),
+                num_payload_bits=self.frame_bits,
+                rng=rng,
+            )
+            summary.epochs.append(
+                EpochRecord(
+                    time_s=point.time_s,
+                    distance_m=point.distance_m,
+                    azimuth_deg=azimuth,
+                    snr_db=snr,
+                    modulation=entry.modulation,
+                    frame_success=result.frame_success,
+                    delivered_bits=(
+                        result.num_payload_bits if result.frame_success else 0
+                    ),
+                )
+            )
+        return summary
+
+    def run_random_walk(
+        self,
+        duration_s: float,
+        epoch_interval_s: float,
+        model: RandomWaypointModel | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> SessionSummary:
+        """Generate a random-waypoint trace and serve it."""
+        rng = np.random.default_rng(rng)
+        model = model or RandomWaypointModel()
+        trace = model.generate_trace(duration_s, epoch_interval_s, rng=rng)
+        return self.run_trace(trace, model=model, rng=rng)

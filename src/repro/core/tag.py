@@ -1,0 +1,249 @@
+"""The mmTag backscatter node.
+
+A tag is a Van Atta retro-reflective array whose pair interconnects run
+through an RF switch bank.  The microcontroller clocks the switch once
+per symbol, selecting a transmission line (PSK phase), a partially
+mismatched load (the 16-QAM inner ring) or a matched termination (the
+OOK "off" state).  The tag synthesises no carrier: its entire output is
+the reflection coefficient trajectory ``Gamma(t)`` it imposes on the
+AP's illumination, which is what :meth:`Tag.backscatter_waveform`
+returns.
+
+An optional square-wave **subcarrier** multiplies the symbol stream by
+±1 at a tag-specific offset frequency, shifting the backscatter away
+from DC — that is both how several tags share one AP query (FDMA) and
+how a single tag escapes low-frequency clutter flicker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_SAMPLES_PER_SYMBOL,
+    DEFAULT_SYMBOL_RATE_HZ,
+)
+from repro.core.framing import Frame, PREAMBLE_SYMBOLS
+from repro.core.modulation import BPSK, ModulationScheme, TagState, get_scheme
+from repro.dsp.signal import Signal
+from repro.em.vanatta import VanAttaArray
+from repro.rf.components import RFSwitch
+
+__all__ = ["TagConfig", "Tag"]
+
+
+@dataclass(frozen=True)
+class TagConfig:
+    """Static configuration of one tag."""
+
+    tag_id: int = 0
+    modulation: str = "QPSK"
+    symbol_rate_hz: float = DEFAULT_SYMBOL_RATE_HZ
+    samples_per_symbol: int = DEFAULT_SAMPLES_PER_SYMBOL
+    subcarrier_hz: float = 0.0
+    array: VanAttaArray = field(default_factory=VanAttaArray)
+    switch: RFSwitch = field(default_factory=RFSwitch)
+
+    def __post_init__(self) -> None:
+        if self.symbol_rate_hz <= 0:
+            raise ValueError(f"symbol rate must be positive, got {self.symbol_rate_hz}")
+        if self.samples_per_symbol < 2:
+            raise ValueError(
+                f"need >= 2 samples per symbol, got {self.samples_per_symbol}"
+            )
+        if self.subcarrier_hz < 0:
+            raise ValueError(f"subcarrier must be >= 0, got {self.subcarrier_hz}")
+        if self.subcarrier_hz > 0 and self.subcarrier_hz < self.symbol_rate_hz:
+            raise ValueError(
+                "subcarrier must be at least the symbol rate to keep the "
+                f"modulated spectrum off DC (got {self.subcarrier_hz} < "
+                f"{self.symbol_rate_hz})"
+            )
+        nyquist_needed = 2.0 * self.subcarrier_hz
+        if self.subcarrier_hz > 0 and self.sample_rate_hz < 2.0 * nyquist_needed:
+            raise ValueError(
+                "samples_per_symbol too low to represent the subcarrier: "
+                f"sample rate {self.sample_rate_hz:g} < 4x subcarrier "
+                f"{self.subcarrier_hz:g}"
+            )
+        get_scheme(self.modulation)  # validate the name eagerly
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Simulation sample rate implied by rate and oversampling."""
+        return self.symbol_rate_hz * self.samples_per_symbol
+
+    @property
+    def scheme(self) -> ModulationScheme:
+        """The payload modulation scheme object."""
+        return get_scheme(self.modulation)
+
+    def bit_rate_hz(self) -> float:
+        """Payload bit rate."""
+        return self.symbol_rate_hz * self.scheme.bits_per_symbol
+
+    def with_modulation(self, name: str) -> "TagConfig":
+        """Return a copy using a different payload modulation."""
+        return replace(self, modulation=get_scheme(name).name)
+
+
+@dataclass
+class TagWaveformStats:
+    """Bookkeeping the energy model consumes, produced per burst."""
+
+    num_symbols: int
+    num_rf_transitions: int
+    num_subcarrier_toggles: int
+    duration_s: float
+
+
+class Tag:
+    """A backscatter node: framing, state mapping, waveform synthesis."""
+
+    def __init__(self, config: TagConfig) -> None:
+        self.config = config
+
+    # -- framing -------------------------------------------------------
+
+    def make_frame(self, payload_bits: np.ndarray) -> Frame:
+        """Build the uplink frame this tag would transmit."""
+        return Frame.build(
+            tag_id=self.config.tag_id,
+            modulation=self.config.modulation,
+            payload_bits=payload_bits,
+        )
+
+    # -- physical state mapping ------------------------------------------
+
+    def state_sequence(self, frame: Frame) -> list[TagState]:
+        """Physical switch state per symbol of the burst.
+
+        Preamble and header are BPSK; payload uses the tag's scheme.
+        """
+        states: list[TagState] = []
+        preamble_bits = (PREAMBLE_SYMBOLS < 0).astype(np.int8)  # +1 -> bit 0
+        for section_bits, scheme in (
+            (preamble_bits, BPSK),
+            (frame.header.to_bits(), BPSK),
+            (None, frame.payload_scheme),
+        ):
+            if section_bits is None:
+                indices = frame.payload_scheme.constellation.symbol_indices(
+                    np.concatenate([frame.payload_bits, _crc32_bits(frame)])
+                )
+            else:
+                indices = scheme.constellation.symbol_indices(section_bits)
+            states.extend(scheme.states[i] for i in indices)
+        return states
+
+    def reflection_sequence(self, frame: Frame, theta_rad: float) -> np.ndarray:
+        """Per-symbol complex reflection coefficients at ``theta_rad``.
+
+        Combines the abstract modulator state with the Van Atta's
+        angle-dependent response (line loss, per-pair phase errors) and
+        the switch's finite isolation in the terminated state.
+        """
+        array = self.config.array
+        switch = self.config.switch
+        states = self.state_sequence(frame)
+        reflections = np.empty(len(states), dtype=np.complex128)
+        # Cache per distinct state: bursts reuse a handful of states.
+        cache: dict[tuple[float | None, float], complex] = {}
+        for i, state in enumerate(states):
+            key = (state.line_phase_rad, state.amplitude)
+            if key not in cache:
+                if state.is_absorptive:
+                    cache[key] = switch.leakage_amplitude() + 0.0j
+                else:
+                    gamma = array.reflection_coefficient(
+                        theta_rad, state.line_phase_rad
+                    )
+                    cache[key] = gamma * state.amplitude * switch.through_amplitude()
+            reflections[i] = cache[key]
+        return reflections
+
+    # -- waveform ----------------------------------------------------------
+
+    def backscatter_waveform(
+        self, frame: Frame, theta_rad: float = 0.0
+    ) -> tuple[Signal, TagWaveformStats]:
+        """Synthesise ``Gamma(t)`` for a burst arriving from ``theta_rad``.
+
+        Returns the reflection-coefficient waveform (amplitude is
+        dimensionless, |Gamma| <= 1) at the tag's sample rate, with the
+        switch rise time applied, plus the transition statistics for
+        energy accounting.
+        """
+        config = self.config
+        reflections = self.reflection_sequence(frame, theta_rad)
+        waveform = Signal.from_symbols(
+            reflections, config.symbol_rate_hz, config.samples_per_symbol
+        )
+
+        subcarrier_toggles = 0
+        if config.subcarrier_hz > 0.0:
+            square = _square_wave(
+                waveform.num_samples, waveform.sample_rate, config.subcarrier_hz
+            )
+            waveform = Signal(waveform.samples * square, waveform.sample_rate)
+            subcarrier_toggles = int(
+                round(2.0 * config.subcarrier_hz * waveform.duration)
+            )
+
+        waveform = config.switch.apply_transition_bandwidth(waveform)
+
+        transitions = int(np.count_nonzero(reflections[1:] != reflections[:-1]))
+        stats = TagWaveformStats(
+            num_symbols=reflections.size,
+            num_rf_transitions=transitions,
+            num_subcarrier_toggles=subcarrier_toggles,
+            duration_s=waveform.duration,
+        )
+        return waveform, stats
+
+    # -- link-budget hooks ---------------------------------------------------
+
+    def ideal_roundtrip_gain_db(self, theta_rad: float = 0.0) -> float:
+        """Lossless Van Atta round-trip gain at ``theta_rad`` in dB.
+
+        The link budget multiplies this in once; line loss, modulation
+        state and switch losses are already carried by the reflection
+        waveform, so they are deliberately excluded here.
+        """
+        array = self.config.array
+        amp = float(array.element.amplitude(theta_rad))
+        field_magnitude = array.num_elements * amp * amp
+        if field_magnitude <= 0.0:
+            return -math.inf
+        return 20.0 * math.log10(field_magnitude)
+
+
+def square_subcarrier_wave(
+    num_samples: int, sample_rate: float, frequency_hz: float
+) -> np.ndarray:
+    """±1 square wave at ``frequency_hz`` sampled at ``sample_rate``.
+
+    Defined by the phase fraction (+1 on the first half-period, -1 on
+    the second) rather than ``sign(sin(...))`` so that samples landing
+    exactly on zero crossings split evenly — a naive epsilon-biased sign
+    leaks a DC-scaled copy of the data when the sample grid aligns with
+    the subcarrier, silently defeating the FDMA separation.  The AP's
+    de-hop multiplies by this same waveform.
+    """
+    n = np.arange(num_samples)
+    phase_cycles = frequency_hz * n / sample_rate
+    return np.where(np.floor(2.0 * phase_cycles) % 2 == 0, 1.0, -1.0)
+
+
+def _square_wave(num_samples: int, sample_rate: float, frequency_hz: float) -> np.ndarray:
+    return square_subcarrier_wave(num_samples, sample_rate, frequency_hz)
+
+
+def _crc32_bits(frame: Frame) -> np.ndarray:
+    """The CRC-32 tail bits the payload section appends on air."""
+    from repro.core.coding import append_crc32
+
+    return append_crc32(frame.payload_bits)[-32:]

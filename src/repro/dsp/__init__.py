@@ -1,0 +1,89 @@
+"""Digital signal processing substrate for the mmTag reproduction.
+
+This package provides the generic building blocks the rest of the stack
+is assembled from: a sampled-signal container, filter design helpers,
+spectral analysis, pulse shaping, synchronisation, carrier-offset
+estimation and link-quality measurement.  Nothing in here knows about
+backscatter; it is a small, self-contained comms DSP toolbox.
+"""
+
+from repro.dsp.signal import Signal
+from repro.dsp.filters import (
+    design_fir_lowpass,
+    design_fir_highpass,
+    design_fir_bandpass,
+    dc_block,
+    fir_filter,
+    moving_average,
+    single_pole_lowpass,
+)
+from repro.dsp.spectrum import (
+    power_spectral_density,
+    spectrum,
+    find_spectral_peaks,
+    occupied_bandwidth,
+    tone_power,
+)
+from repro.dsp.pulse import (
+    raised_cosine_taps,
+    root_raised_cosine_taps,
+    rectangular_taps,
+    shape_symbols,
+    matched_filter,
+)
+from repro.dsp.sync import (
+    barker_sequence,
+    correlate_preamble,
+    detect_frame_start,
+    estimate_symbol_timing,
+)
+from repro.dsp.cfo import estimate_cfo_from_tone, correct_cfo, estimate_phase_offset
+from repro.dsp.measure import (
+    signal_power,
+    signal_power_dbm,
+    measure_snr,
+    evm_rms,
+    evm_to_snr_db,
+    count_bit_errors,
+    bit_error_rate,
+    q_function,
+)
+from repro.dsp.resample import resample_signal, decimate_signal
+
+__all__ = [
+    "Signal",
+    "design_fir_lowpass",
+    "design_fir_highpass",
+    "design_fir_bandpass",
+    "dc_block",
+    "fir_filter",
+    "moving_average",
+    "single_pole_lowpass",
+    "power_spectral_density",
+    "spectrum",
+    "find_spectral_peaks",
+    "occupied_bandwidth",
+    "tone_power",
+    "raised_cosine_taps",
+    "root_raised_cosine_taps",
+    "rectangular_taps",
+    "shape_symbols",
+    "matched_filter",
+    "barker_sequence",
+    "correlate_preamble",
+    "detect_frame_start",
+    "estimate_symbol_timing",
+    "estimate_cfo_from_tone",
+    "correct_cfo",
+    "estimate_phase_offset",
+    "signal_power",
+    "signal_power_dbm",
+    "measure_snr",
+    "evm_rms",
+    "evm_to_snr_db",
+    "count_bit_errors",
+    "bit_error_rate",
+    "q_function",
+    "resample_signal",
+    "decimate_signal",
+]

@@ -1,0 +1,67 @@
+"""Automatic gain control.
+
+The AP's capture amplitude swings ~50 dB between a tag at 1 m and one
+at 10 m; the AGC normalises bursts to a target level ahead of the ADC
+so quantization never becomes the bottleneck.  Two flavours: a one-shot
+block AGC (what a burst receiver applies after energy detection) and a
+sample-by-sample feedback loop with an attack/decay time constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+
+__all__ = ["block_agc", "feedback_agc"]
+
+
+def block_agc(
+    sig: Signal, target_rms: float = 1.0, max_gain_db: float = 80.0
+) -> tuple[Signal, float]:
+    """Scale a whole capture to the target RMS.
+
+    Returns ``(scaled_signal, applied_gain_db)``.  The gain is capped
+    at ``max_gain_db`` so a noise-only capture is not amplified into
+    garbage.
+    """
+    if target_rms <= 0:
+        raise ValueError(f"target RMS must be positive, got {target_rms}")
+    rms = sig.rms()
+    if rms == 0.0:
+        return Signal(sig.samples.copy(), sig.sample_rate, dict(sig.metadata)), 0.0
+    gain = target_rms / rms
+    cap = 10.0 ** (max_gain_db / 20.0)
+    gain = min(gain, cap)
+    return sig.scale(gain), 20.0 * math.log10(gain)
+
+
+def feedback_agc(
+    sig: Signal,
+    target_rms: float = 1.0,
+    time_constant_s: float = 10e-6,
+    max_gain_db: float = 80.0,
+) -> Signal:
+    """Sample-by-sample AGC with an exponential envelope tracker.
+
+    The loop tracks ``|x|`` with a single-pole estimator and divides by
+    it; fast enough to level a burst, slow enough not to strip the
+    amplitude modulation of symbols shorter than the time constant
+    (pick ``time_constant_s`` well above the symbol period).
+    """
+    if target_rms <= 0:
+        raise ValueError(f"target RMS must be positive, got {target_rms}")
+    if time_constant_s <= 0:
+        raise ValueError(f"time constant must be positive, got {time_constant_s}")
+    alpha = 1.0 - math.exp(-1.0 / (time_constant_s * sig.sample_rate))
+    cap = 10.0 ** (max_gain_db / 20.0)
+    envelope = target_rms / cap  # start at minimum detectable level
+    out = np.empty_like(sig.samples)
+    for i, x in enumerate(sig.samples):
+        magnitude = abs(x)
+        envelope += alpha * (magnitude - envelope)
+        gain = min(target_rms / max(envelope, 1e-30), cap)
+        out[i] = x * gain
+    return Signal(out, sig.sample_rate, dict(sig.metadata))

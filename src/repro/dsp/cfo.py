@@ -1,0 +1,75 @@
+"""Carrier frequency/phase offset estimation and correction.
+
+In a monostatic backscatter link the AP receives its own transmitted
+tone, so there is no oscillator mismatch in the usual sense — but the
+round-trip channel applies an unknown carrier phase, tag motion applies
+Doppler, and the FDMA subcarrier leaves each tag's burst centred on a
+known-but-imperfect offset.  These helpers estimate and remove such
+residual rotations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+from repro.dsp.spectrum import spectrum
+
+__all__ = ["estimate_cfo_from_tone", "correct_cfo", "estimate_phase_offset"]
+
+
+def estimate_cfo_from_tone(sig: Signal, search_bandwidth_hz: float | None = None) -> float:
+    """Estimate the frequency of the dominant tone in ``sig`` [Hz].
+
+    Takes the FFT peak, then refines it with a three-point parabolic
+    interpolation on log-power, giving resolution far below one bin.
+    ``search_bandwidth_hz`` restricts the search to ±bw/2 around DC.
+    """
+    freqs, power = spectrum(sig)
+    if search_bandwidth_hz is not None:
+        if search_bandwidth_hz <= 0:
+            raise ValueError(
+                f"search bandwidth must be positive, got {search_bandwidth_hz}"
+            )
+        mask = np.abs(freqs) <= search_bandwidth_hz / 2.0
+        if not np.any(mask):
+            raise ValueError("search bandwidth excludes every FFT bin")
+        freqs = freqs[mask]
+        power = power[mask]
+    peak = int(np.argmax(power))
+    if peak == 0 or peak == power.size - 1:
+        return float(freqs[peak])
+    # Parabolic interpolation on log power around the peak bin.
+    eps = np.finfo(np.float64).tiny
+    alpha, beta, gamma = np.log(power[peak - 1 : peak + 2] + eps)
+    denom = alpha - 2.0 * beta + gamma
+    if abs(denom) < 1e-30:
+        return float(freqs[peak])
+    delta = 0.5 * (alpha - gamma) / denom
+    delta = float(np.clip(delta, -0.5, 0.5))
+    bin_width = float(freqs[1] - freqs[0])
+    return float(freqs[peak]) + delta * bin_width
+
+
+def correct_cfo(sig: Signal, offset_hz: float) -> Signal:
+    """Return ``sig`` mixed down by ``offset_hz`` (remove a known CFO)."""
+    return sig.frequency_shift(-offset_hz)
+
+
+def estimate_phase_offset(received: np.ndarray, reference: np.ndarray) -> float:
+    """Estimate the common phase rotation between two symbol sequences.
+
+    Returns the angle of the maximum-likelihood single-phase fit
+    ``angle(sum(received * conj(reference)))`` in radians — used to
+    de-rotate a burst after preamble detection, using the known
+    preamble symbols as the reference.
+    """
+    received = np.asarray(received, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    if received.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: received {received.shape} vs reference {reference.shape}"
+        )
+    if received.size == 0:
+        raise ValueError("cannot estimate phase from empty sequences")
+    return float(np.angle(np.sum(received * np.conj(reference))))

@@ -1,0 +1,134 @@
+"""Linear equalization for ISI channels.
+
+The burst receiver's one-tap gain/phase correction is exact for a pure
+LOS link; indoor multipath smears symbols into each other and needs a
+real equalizer.  Two standard tools:
+
+* :func:`lms_train` / :func:`lms_apply` — a fractionally-unspaced LMS
+  FIR equalizer trained on the known preamble+header symbols, then run
+  decision-directed across the payload;
+* :func:`zero_forcing_taps` — direct ZF design when the channel
+  impulse response is known (used by tests as ground truth).
+
+Symbols in, symbols out: the equalizer operates on the symbol-spaced
+stream after the matched filter, which is where backscatter receivers
+do it (the tag's rectangular pulses leave no excess bandwidth worth a
+fractionally-spaced design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LmsEqualizer", "zero_forcing_taps"]
+
+
+@dataclass
+class LmsEqualizer:
+    """A symbol-spaced LMS FIR equalizer.
+
+    Parameters
+    ----------
+    num_taps:
+        FIR length; odd keeps a centred main tap.
+    step_size:
+        LMS adaptation constant (mu).  Stability requires roughly
+        ``mu < 2 / (num_taps * E[|x|^2])``; the default suits
+        unit-power constellations.
+    """
+
+    num_taps: int = 7
+    step_size: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.num_taps < 1:
+            raise ValueError(f"num_taps must be >= 1, got {self.num_taps}")
+        if self.step_size <= 0:
+            raise ValueError(f"step size must be positive, got {self.step_size}")
+        taps = np.zeros(self.num_taps, dtype=np.complex128)
+        taps[self.num_taps // 2] = 1.0  # start as a pass-through
+        self.taps = taps
+
+    def _regression_vector(self, received: np.ndarray, index: int) -> np.ndarray:
+        half = self.num_taps // 2
+        window = np.zeros(self.num_taps, dtype=np.complex128)
+        for k in range(self.num_taps):
+            j = index + half - k
+            if 0 <= j < received.size:
+                window[k] = received[j]
+        return window
+
+    def train(
+        self,
+        received: np.ndarray,
+        reference: np.ndarray,
+        passes: int = 3,
+    ) -> float:
+        """Adapt on a known symbol sequence; returns final MSE.
+
+        ``received`` and ``reference`` are aligned symbol streams (the
+        preamble and header the receiver already knows).  Several
+        passes over the short training block are standard for burst
+        receivers.
+        """
+        received = np.asarray(received, dtype=np.complex128)
+        reference = np.asarray(reference, dtype=np.complex128)
+        if received.shape != reference.shape:
+            raise ValueError(
+                f"shape mismatch: {received.shape} vs {reference.shape}"
+            )
+        if received.size < self.num_taps:
+            raise ValueError(
+                f"training block ({received.size}) shorter than the "
+                f"equalizer ({self.num_taps} taps)"
+            )
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        error_power = 0.0
+        for _ in range(passes):
+            error_power = 0.0
+            for index in range(received.size):
+                window = self._regression_vector(received, index)
+                estimate = np.dot(self.taps, window)
+                error = reference[index] - estimate
+                self.taps = self.taps + self.step_size * error * np.conj(window)
+                error_power += abs(error) ** 2
+        return error_power / received.size
+
+    def apply(self, received: np.ndarray) -> np.ndarray:
+        """Equalize a symbol stream with the current taps (frozen)."""
+        received = np.asarray(received, dtype=np.complex128)
+        out = np.empty_like(received)
+        for index in range(received.size):
+            out[index] = np.dot(self._regression_vector(received, index), self.taps)
+        return out
+
+
+def zero_forcing_taps(
+    channel_taps: np.ndarray, num_taps: int, delay: int | None = None
+) -> np.ndarray:
+    """Least-squares zero-forcing equalizer for a known channel.
+
+    Solves ``min ||C w - e_delay||`` where ``C`` is the channel
+    convolution matrix — the classic ZF design.  ``delay`` defaults to
+    the combined centre, which minimises error for symmetric channels.
+    """
+    channel = np.asarray(channel_taps, dtype=np.complex128)
+    if channel.size < 1:
+        raise ValueError("channel must have at least one tap")
+    if num_taps < 1:
+        raise ValueError(f"num_taps must be >= 1, got {num_taps}")
+    total = channel.size + num_taps - 1
+    if delay is None:
+        delay = total // 2
+    if not 0 <= delay < total:
+        raise ValueError(f"delay {delay} outside [0, {total})")
+    convolution = np.zeros((total, num_taps), dtype=np.complex128)
+    for col in range(num_taps):
+        convolution[col : col + channel.size, col] = channel
+    target = np.zeros(total, dtype=np.complex128)
+    target[delay] = 1.0
+    taps, *_ = np.linalg.lstsq(convolution, target, rcond=None)
+    return taps

@@ -1,0 +1,152 @@
+"""Filter design and application helpers.
+
+Wraps the handful of scipy.signal designs the receiver chain needs —
+low-pass channel-select filters, the DC-blocking high-pass that removes
+backscatter self-interference, and the single-pole response used to
+model RF-switch rise time — behind small functions with explicit units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.signal import Signal
+
+__all__ = [
+    "design_fir_lowpass",
+    "design_fir_highpass",
+    "design_fir_bandpass",
+    "fir_filter",
+    "dc_block",
+    "moving_average",
+    "single_pole_lowpass",
+]
+
+
+def _validate_cutoff(cutoff_hz: float, sample_rate: float, name: str = "cutoff") -> None:
+    nyquist = sample_rate / 2.0
+    if not 0.0 < cutoff_hz < nyquist:
+        raise ValueError(
+            f"{name} must be in (0, Nyquist={nyquist:g} Hz), got {cutoff_hz:g} Hz"
+        )
+
+
+def design_fir_lowpass(
+    cutoff_hz: float, sample_rate: float, num_taps: int = 129
+) -> np.ndarray:
+    """Design a linear-phase FIR low-pass filter (Hamming window).
+
+    Parameters
+    ----------
+    cutoff_hz:
+        -6 dB cutoff frequency in Hz; must lie below Nyquist.
+    sample_rate:
+        Sample rate in Hz.
+    num_taps:
+        Filter length; odd lengths give an integer group delay.
+    """
+    _validate_cutoff(cutoff_hz, sample_rate)
+    if num_taps < 3:
+        raise ValueError(f"num_taps must be >= 3, got {num_taps}")
+    return sp_signal.firwin(num_taps, cutoff_hz, fs=sample_rate)
+
+
+def design_fir_highpass(
+    cutoff_hz: float, sample_rate: float, num_taps: int = 129
+) -> np.ndarray:
+    """Design a linear-phase FIR high-pass filter (Hamming window).
+
+    ``num_taps`` must be odd so the filter can have a passband at
+    Nyquist; even values are bumped up by one.
+    """
+    _validate_cutoff(cutoff_hz, sample_rate)
+    if num_taps % 2 == 0:
+        num_taps += 1
+    return sp_signal.firwin(num_taps, cutoff_hz, fs=sample_rate, pass_zero=False)
+
+
+def design_fir_bandpass(
+    low_hz: float, high_hz: float, sample_rate: float, num_taps: int = 129
+) -> np.ndarray:
+    """Design a linear-phase FIR band-pass filter for [low_hz, high_hz]."""
+    _validate_cutoff(low_hz, sample_rate, "low_hz")
+    _validate_cutoff(high_hz, sample_rate, "high_hz")
+    if high_hz <= low_hz:
+        raise ValueError(f"high_hz ({high_hz}) must exceed low_hz ({low_hz})")
+    if num_taps % 2 == 0:
+        num_taps += 1
+    return sp_signal.firwin(
+        num_taps, [low_hz, high_hz], fs=sample_rate, pass_zero=False
+    )
+
+
+def fir_filter(sig: Signal, taps: np.ndarray, compensate_delay: bool = True) -> Signal:
+    """Apply an FIR filter to ``sig``.
+
+    With ``compensate_delay`` the output is shifted left by the filter's
+    group delay ``(len(taps)-1)/2`` samples so filtered and unfiltered
+    signals stay time-aligned — convenient for the symbol-spaced
+    receiver chain.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    filtered = sp_signal.lfilter(taps, [1.0], sig.samples)
+    if compensate_delay:
+        delay = (taps.size - 1) // 2
+        filtered = np.concatenate(
+            [filtered[delay:], np.zeros(delay, dtype=filtered.dtype)]
+        )
+    return Signal(filtered, sig.sample_rate, dict(sig.metadata))
+
+
+def dc_block(sig: Signal, pole: float = 0.999, init_window: int = 64) -> Signal:
+    """Remove the DC component with a one-pole IIR DC blocker.
+
+    ``y[n] = x[n] - x[n-1] + pole * y[n-1]`` — the classic digital DC
+    blocker.  ``pole`` close to 1 gives a very narrow notch at DC, which
+    is exactly what the backscatter receiver needs: self-interference
+    and static clutter downconvert to DC while the tag's modulated
+    reflection sits at baseband offsets and passes through.
+
+    The filter starts in steady state for the mean of the first
+    ``init_window`` samples: a real receiver has been staring at the
+    leakage long before the burst arrives, so the blocker must not ring
+    with a start-up transient (nor inherit the noise of any single
+    sample as a bias).
+    """
+    if not 0.0 < pole < 1.0:
+        raise ValueError(f"pole must be in (0, 1), got {pole}")
+    if init_window < 1:
+        raise ValueError(f"init_window must be >= 1, got {init_window}")
+    if sig.num_samples == 0:
+        return Signal(sig.samples.copy(), sig.sample_rate, dict(sig.metadata))
+    b = np.array([1.0, -1.0])
+    a = np.array([1.0, -pole])
+    level = np.mean(sig.samples[: min(init_window, sig.num_samples)])
+    zi = sp_signal.lfilter_zi(b, a) * level
+    out, _ = sp_signal.lfilter(b, a, sig.samples, zi=zi)
+    return Signal(out, sig.sample_rate, dict(sig.metadata))
+
+
+def moving_average(sig: Signal, window_samples: int) -> Signal:
+    """Apply a boxcar moving-average (integrate-and-dump) filter."""
+    if window_samples < 1:
+        raise ValueError(f"window must be >= 1 sample, got {window_samples}")
+    taps = np.full(window_samples, 1.0 / window_samples)
+    filtered = sp_signal.lfilter(taps, [1.0], sig.samples)
+    return Signal(filtered, sig.sample_rate, dict(sig.metadata))
+
+
+def single_pole_lowpass(sig: Signal, bandwidth_hz: float) -> Signal:
+    """Apply a single-pole (RC) low-pass with the given -3 dB bandwidth.
+
+    This is the behavioural model used for analog slew effects such as
+    RF-switch rise time and envelope-detector video bandwidth: a 10-90 %
+    rise time ``tr`` corresponds to ``bandwidth_hz ~= 0.35 / tr``.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    # Exact discretisation of dy/dt = 2*pi*B (x - y).
+    alpha = 1.0 - np.exp(-2.0 * np.pi * bandwidth_hz / sig.sample_rate)
+    out = sp_signal.lfilter([alpha], [1.0, alpha - 1.0], sig.samples)
+    return Signal(out, sig.sample_rate, dict(sig.metadata))

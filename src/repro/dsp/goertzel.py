@@ -1,0 +1,102 @@
+"""Goertzel single-bin DFT detection.
+
+A low-power receiver (or an AP watching many FDMA subcarriers) often
+needs the energy at a handful of known frequencies rather than a full
+FFT.  The Goertzel algorithm computes one DFT bin with two multiplies
+per sample — this is the detector an MCU-class device would actually
+run, so the network tooling uses it for subcarrier activity detection.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+
+__all__ = ["goertzel_power", "goertzel_bin", "detect_active_subcarriers"]
+
+
+def goertzel_bin(samples: np.ndarray, normalized_frequency: float) -> complex:
+    """Return the DFT value of ``samples`` at ``normalized_frequency``.
+
+    ``normalized_frequency`` is in cycles/sample, in [-0.5, 0.5).
+    Matches ``sum(x[n] * exp(-2j*pi*f*n))`` (an unnormalised DFT bin).
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if not -0.5 <= normalized_frequency < 0.5:
+        raise ValueError(
+            f"normalized frequency must be in [-0.5, 0.5), got {normalized_frequency}"
+        )
+    if samples.size == 0:
+        return 0.0 + 0.0j
+    omega = 2.0 * math.pi * normalized_frequency
+    coefficient = 2.0 * math.cos(omega)
+    s_prev = 0.0 + 0.0j
+    s_prev2 = 0.0 + 0.0j
+    for x in samples:
+        s = x + coefficient * s_prev - s_prev2
+        s_prev2 = s_prev
+        s_prev = s
+    # Finalise: X(f) = e^{j*omega}*s_prev - s_prev2, then undo the
+    # modulation convention so the result matches the forward DFT.
+    value = s_prev * np.exp(1j * omega) - s_prev2
+    n = samples.size
+    return complex(value * np.exp(-1j * omega * n))
+
+
+def goertzel_power(sig: Signal, frequency_hz: float) -> float:
+    """Normalised power of ``sig`` at ``frequency_hz``.
+
+    Returns ``|X(f)/N|^2`` so a unit complex tone at the probed
+    frequency yields 1.0 — the same normalisation as
+    :func:`repro.dsp.spectrum.spectrum`.
+    """
+    normalized = frequency_hz / sig.sample_rate
+    if not -0.5 <= normalized < 0.5:
+        raise ValueError(
+            f"frequency {frequency_hz:g} Hz outside Nyquist "
+            f"({sig.sample_rate / 2:g} Hz)"
+        )
+    if sig.num_samples == 0:
+        return 0.0
+    value = goertzel_bin(sig.samples, normalized)
+    return abs(value / sig.num_samples) ** 2
+
+
+def detect_active_subcarriers(
+    sig: Signal,
+    candidate_frequencies_hz: list[float],
+    threshold_ratio: float = 10.0,
+) -> list[float]:
+    """Return the candidate subcarriers with detectable energy.
+
+    A candidate is active when its Goertzel power exceeds
+    ``threshold_ratio`` times the noise floor.  The floor is estimated
+    from *guard* frequencies midway between candidates (never from the
+    candidates themselves — a candidate-median floor breaks as soon as
+    several tags respond at once).
+    """
+    if not candidate_frequencies_hz:
+        return []
+    if threshold_ratio <= 1.0:
+        raise ValueError(f"threshold ratio must exceed 1, got {threshold_ratio}")
+    candidates = sorted(candidate_frequencies_hz)
+    if len(candidates) > 1:
+        spacing = min(b - a for a, b in zip(candidates, candidates[1:]))
+        guard_offset = spacing / 2.0
+    else:
+        guard_offset = max(abs(candidates[0]) / 2.0, sig.sample_rate / 16.0)
+    nyquist = sig.sample_rate / 2.0
+    guards = [
+        f + guard_offset
+        for f in candidates
+        if -nyquist <= f + guard_offset < nyquist
+    ]
+    powers = {f: goertzel_power(sig, f) for f in candidate_frequencies_hz}
+    guard_powers = [goertzel_power(sig, f) for f in guards]
+    floor = float(np.median(guard_powers)) if guard_powers else 0.0
+    if floor <= 0.0:
+        return [f for f, p in powers.items() if p > 0.0]
+    return [f for f, p in powers.items() if p / floor >= threshold_ratio]

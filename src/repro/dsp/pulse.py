@@ -1,0 +1,140 @@
+"""Pulse shaping and matched filtering.
+
+The tag itself shapes symbols only with the rectangular "hold" of its
+RF switch, but the AP receiver uses matched filtering, and the active
+radio baseline uses root-raised-cosine shaping — so both live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+
+__all__ = [
+    "raised_cosine_taps",
+    "root_raised_cosine_taps",
+    "rectangular_taps",
+    "shape_symbols",
+    "matched_filter",
+]
+
+
+def rectangular_taps(samples_per_symbol: int) -> np.ndarray:
+    """Return a unit-energy rectangular pulse of one symbol duration."""
+    if samples_per_symbol < 1:
+        raise ValueError(f"samples_per_symbol must be >= 1, got {samples_per_symbol}")
+    return np.full(samples_per_symbol, 1.0 / np.sqrt(samples_per_symbol))
+
+
+def raised_cosine_taps(
+    samples_per_symbol: int, rolloff: float, span_symbols: int = 8
+) -> np.ndarray:
+    """Return unit-energy raised-cosine taps.
+
+    Parameters
+    ----------
+    samples_per_symbol:
+        Oversampling factor.
+    rolloff:
+        Excess-bandwidth factor in [0, 1].
+    span_symbols:
+        Total filter span in symbols (the filter has
+        ``span_symbols * samples_per_symbol + 1`` taps).
+    """
+    _validate_pulse_args(samples_per_symbol, rolloff, span_symbols)
+    t = _pulse_time_axis(samples_per_symbol, span_symbols)
+    taps = np.sinc(t)
+    if rolloff > 0:
+        denominator = 1.0 - (2.0 * rolloff * t) ** 2
+        cos_term = np.cos(np.pi * rolloff * t)
+        # At |t| = 1/(2*rolloff) the expression is 0/0; the limit is pi/4*sinc(t).
+        singular = np.isclose(denominator, 0.0)
+        safe = np.where(singular, 1.0, denominator)
+        taps = np.where(
+            singular, (np.pi / 4.0) * np.sinc(1.0 / (2.0 * rolloff)), taps * cos_term / safe
+        )
+    return taps / np.linalg.norm(taps)
+
+
+def root_raised_cosine_taps(
+    samples_per_symbol: int, rolloff: float, span_symbols: int = 8
+) -> np.ndarray:
+    """Return unit-energy root-raised-cosine taps.
+
+    Uses the standard closed form; singular points (t = 0 and
+    |t| = 1/(4*rolloff)) are filled with their analytic limits.
+    """
+    _validate_pulse_args(samples_per_symbol, rolloff, span_symbols)
+    t = _pulse_time_axis(samples_per_symbol, span_symbols)
+    taps = np.empty_like(t)
+    if rolloff == 0.0:
+        taps = np.sinc(t)
+    else:
+        zero = np.isclose(t, 0.0)
+        quarter = np.isclose(np.abs(t), 1.0 / (4.0 * rolloff))
+        regular = ~(zero | quarter)
+        tr = t[regular]
+        numerator = np.sin(np.pi * tr * (1 - rolloff)) + 4 * rolloff * tr * np.cos(
+            np.pi * tr * (1 + rolloff)
+        )
+        denominator = np.pi * tr * (1 - (4 * rolloff * tr) ** 2)
+        taps[regular] = numerator / denominator
+        taps[zero] = 1.0 - rolloff + 4.0 * rolloff / np.pi
+        taps[quarter] = (rolloff / np.sqrt(2.0)) * (
+            (1 + 2 / np.pi) * np.sin(np.pi / (4 * rolloff))
+            + (1 - 2 / np.pi) * np.cos(np.pi / (4 * rolloff))
+        )
+    return taps / np.linalg.norm(taps)
+
+
+def shape_symbols(
+    symbols: np.ndarray,
+    taps: np.ndarray,
+    samples_per_symbol: int,
+    symbol_rate: float,
+) -> Signal:
+    """Upsample ``symbols`` and convolve with pulse ``taps``.
+
+    Returns a signal of ``len(symbols) * samples_per_symbol`` samples:
+    the convolution tail is trimmed and the group delay removed so that
+    symbol ``k`` peaks at sample ``k * samples_per_symbol``.
+    """
+    if samples_per_symbol < 1:
+        raise ValueError(f"samples_per_symbol must be >= 1, got {samples_per_symbol}")
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    upsampled = np.zeros(symbols.size * samples_per_symbol, dtype=np.complex128)
+    upsampled[::samples_per_symbol] = symbols
+    shaped = np.convolve(upsampled, taps)
+    delay = (taps.size - 1) // 2
+    shaped = shaped[delay : delay + upsampled.size]
+    return Signal(shaped, symbol_rate * samples_per_symbol)
+
+
+def matched_filter(sig: Signal, taps: np.ndarray) -> Signal:
+    """Apply the matched filter (time-reversed conjugate of ``taps``).
+
+    Group delay is removed so downstream symbol sampling indices are
+    unchanged.
+    """
+    mf = np.conj(np.asarray(taps))[::-1]
+    filtered = np.convolve(sig.samples, mf)
+    delay = (mf.size - 1) // 2
+    filtered = filtered[delay : delay + sig.num_samples]
+    return Signal(filtered, sig.sample_rate, dict(sig.metadata))
+
+
+def _validate_pulse_args(
+    samples_per_symbol: int, rolloff: float, span_symbols: int
+) -> None:
+    if samples_per_symbol < 1:
+        raise ValueError(f"samples_per_symbol must be >= 1, got {samples_per_symbol}")
+    if not 0.0 <= rolloff <= 1.0:
+        raise ValueError(f"rolloff must be in [0, 1], got {rolloff}")
+    if span_symbols < 2:
+        raise ValueError(f"span_symbols must be >= 2, got {span_symbols}")
+
+
+def _pulse_time_axis(samples_per_symbol: int, span_symbols: int) -> np.ndarray:
+    half = span_symbols * samples_per_symbol // 2
+    return np.arange(-half, half + 1) / samples_per_symbol

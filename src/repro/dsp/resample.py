@@ -1,0 +1,49 @@
+"""Sample-rate conversion helpers.
+
+The tag's microcontroller-side processing runs at a far lower rate than
+the AP capture; the experiment harness also decimates long captures
+before FFTs.  Both use these two wrappers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.signal import Signal
+
+__all__ = ["resample_signal", "decimate_signal"]
+
+
+def resample_signal(sig: Signal, new_rate: float, max_denominator: int = 1000) -> Signal:
+    """Resample ``sig`` to ``new_rate`` with a polyphase filter.
+
+    The rate ratio is approximated by a rational number with denominator
+    at most ``max_denominator``; the actual achieved rate is stored on
+    the returned signal (and equals ``new_rate`` whenever the ratio is
+    exactly rational, the common case in simulation).
+    """
+    if new_rate <= 0:
+        raise ValueError(f"new_rate must be positive, got {new_rate}")
+    if np.isclose(new_rate, sig.sample_rate):
+        return Signal(sig.samples.copy(), sig.sample_rate, dict(sig.metadata))
+    ratio = Fraction(new_rate / sig.sample_rate).limit_denominator(max_denominator)
+    if ratio.numerator == 0:
+        raise ValueError(
+            f"rate ratio {new_rate / sig.sample_rate:g} too small to approximate"
+        )
+    resampled = sp_signal.resample_poly(sig.samples, ratio.numerator, ratio.denominator)
+    achieved = sig.sample_rate * ratio.numerator / ratio.denominator
+    return Signal(resampled, achieved, dict(sig.metadata))
+
+
+def decimate_signal(sig: Signal, factor: int) -> Signal:
+    """Low-pass filter and keep every ``factor``-th sample."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return Signal(sig.samples.copy(), sig.sample_rate, dict(sig.metadata))
+    decimated = sp_signal.decimate(sig.samples, factor, ftype="fir")
+    return Signal(decimated, sig.sample_rate / factor, dict(sig.metadata))

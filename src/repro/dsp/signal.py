@@ -1,0 +1,207 @@
+"""Sampled-signal container used throughout the stack.
+
+A :class:`Signal` is an immutable-by-convention pair of a complex sample
+array and a sample rate.  It carries the handful of operations that keep
+showing up in a baseband simulation — time vectors, power, frequency
+shifting, delaying, slicing, concatenation — so that the higher layers
+never juggle bare ``(samples, fs)`` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Signal"]
+
+
+@dataclass
+class Signal:
+    """A uniformly sampled complex baseband signal.
+
+    Parameters
+    ----------
+    samples:
+        1-D array of samples.  Real input is accepted and converted to
+        complex so all downstream math is uniform.
+    sample_rate:
+        Sample rate in Hz.  Must be positive.
+
+    Examples
+    --------
+    >>> sig = Signal.tone(frequency=1e3, sample_rate=1e6, duration=1e-3)
+    >>> sig.num_samples
+    1000
+    >>> round(sig.power(), 6)
+    1.0
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples)
+        if samples.ndim != 1:
+            raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+        if not np.issubdtype(samples.dtype, np.complexfloating):
+            samples = samples.astype(np.complex128)
+        self.samples = samples
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+        self.sample_rate = float(self.sample_rate)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zeros(cls, num_samples: int, sample_rate: float) -> "Signal":
+        """Return a zero-valued signal of ``num_samples`` samples."""
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples}")
+        return cls(np.zeros(num_samples, dtype=np.complex128), sample_rate)
+
+    @classmethod
+    def tone(
+        cls,
+        frequency: float,
+        sample_rate: float,
+        duration: float,
+        amplitude: float = 1.0,
+        phase: float = 0.0,
+    ) -> "Signal":
+        """Return a complex exponential ``A * exp(j(2*pi*f*t + phase))``.
+
+        ``frequency`` may be negative (lower sideband) or zero (DC).
+        """
+        num_samples = int(round(duration * sample_rate))
+        t = np.arange(num_samples) / sample_rate
+        samples = amplitude * np.exp(1j * (2.0 * np.pi * frequency * t + phase))
+        return cls(samples, sample_rate)
+
+    @classmethod
+    def from_symbols(
+        cls, symbols: np.ndarray, symbol_rate: float, samples_per_symbol: int
+    ) -> "Signal":
+        """Return a zero-order-hold waveform from a symbol sequence."""
+        if samples_per_symbol < 1:
+            raise ValueError(
+                f"samples_per_symbol must be >= 1, got {samples_per_symbol}"
+            )
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        samples = np.repeat(symbols, samples_per_symbol)
+        return cls(samples, symbol_rate * samples_per_symbol)
+
+    # -- basic properties ----------------------------------------------
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples."""
+        return int(self.samples.size)
+
+    @property
+    def duration(self) -> float:
+        """Duration in seconds."""
+        return self.num_samples / self.sample_rate
+
+    def time_vector(self) -> np.ndarray:
+        """Return the sample-time array ``[0, 1/fs, 2/fs, ...]``."""
+        return np.arange(self.num_samples) / self.sample_rate
+
+    def power(self) -> float:
+        """Return the mean power ``E[|x|^2]`` (0.0 for an empty signal)."""
+        if self.num_samples == 0:
+            return 0.0
+        return float(np.mean(np.abs(self.samples) ** 2))
+
+    def energy(self) -> float:
+        """Return the total energy ``sum(|x|^2) / fs`` in joule-like units."""
+        return float(np.sum(np.abs(self.samples) ** 2) / self.sample_rate)
+
+    def rms(self) -> float:
+        """Return the RMS amplitude."""
+        return float(np.sqrt(self.power()))
+
+    # -- transformations ------------------------------------------------
+
+    def scale(self, factor: complex) -> "Signal":
+        """Return a copy scaled by a (possibly complex) ``factor``."""
+        return Signal(self.samples * factor, self.sample_rate, dict(self.metadata))
+
+    def frequency_shift(self, offset_hz: float, initial_phase: float = 0.0) -> "Signal":
+        """Return a copy mixed with ``exp(j*2*pi*offset*t + phase)``."""
+        t = self.time_vector()
+        mixer = np.exp(1j * (2.0 * np.pi * offset_hz * t + initial_phase))
+        return Signal(self.samples * mixer, self.sample_rate, dict(self.metadata))
+
+    def delay(self, delay_s: float) -> "Signal":
+        """Return a copy delayed by ``delay_s`` seconds.
+
+        Integer-sample delays prepend zeros; fractional parts are applied
+        as a linear-phase rotation in the frequency domain, which is the
+        exact delay operator for band-limited signals.
+        """
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        total_samples = delay_s * self.sample_rate
+        whole = int(np.floor(total_samples))
+        frac = total_samples - whole
+        samples = np.concatenate([np.zeros(whole, dtype=np.complex128), self.samples])
+        if frac > 1e-12:
+            n = samples.size
+            freqs = np.fft.fftfreq(n, d=1.0 / self.sample_rate)
+            phase_ramp = np.exp(-2j * np.pi * freqs * (frac / self.sample_rate))
+            samples = np.fft.ifft(np.fft.fft(samples) * phase_ramp)
+        return Signal(samples, self.sample_rate, dict(self.metadata))
+
+    def slice_time(self, start_s: float, stop_s: float) -> "Signal":
+        """Return the samples between ``start_s`` and ``stop_s`` seconds."""
+        if stop_s < start_s:
+            raise ValueError(f"stop ({stop_s}) must be >= start ({start_s})")
+        start = max(0, int(round(start_s * self.sample_rate)))
+        stop = min(self.num_samples, int(round(stop_s * self.sample_rate)))
+        return Signal(self.samples[start:stop].copy(), self.sample_rate, dict(self.metadata))
+
+    def append(self, other: "Signal") -> "Signal":
+        """Return the concatenation of this signal and ``other``.
+
+        Both signals must share the same sample rate.
+        """
+        self._require_same_rate(other)
+        return Signal(
+            np.concatenate([self.samples, other.samples]),
+            self.sample_rate,
+            dict(self.metadata),
+        )
+
+    def pad(self, num_before: int = 0, num_after: int = 0) -> "Signal":
+        """Return a copy with zero samples added before/after."""
+        if num_before < 0 or num_after < 0:
+            raise ValueError("padding lengths must be non-negative")
+        samples = np.concatenate(
+            [
+                np.zeros(num_before, dtype=np.complex128),
+                self.samples,
+                np.zeros(num_after, dtype=np.complex128),
+            ]
+        )
+        return Signal(samples, self.sample_rate, dict(self.metadata))
+
+    def __add__(self, other: "Signal") -> "Signal":
+        """Sample-wise sum; shorter operand is zero-padded at the end."""
+        self._require_same_rate(other)
+        n = max(self.num_samples, other.num_samples)
+        out = np.zeros(n, dtype=np.complex128)
+        out[: self.num_samples] += self.samples
+        out[: other.num_samples] += other.samples
+        return Signal(out, self.sample_rate)
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def _require_same_rate(self, other: "Signal") -> None:
+        if not np.isclose(self.sample_rate, other.sample_rate):
+            raise ValueError(
+                "sample rates differ: "
+                f"{self.sample_rate} Hz vs {other.sample_rate} Hz"
+            )

@@ -1,0 +1,134 @@
+"""Spectral analysis utilities.
+
+Everything the AP-side processing and the experiment harness needs to
+look at signals in the frequency domain: PSD estimation, single-shot
+spectra, peak finding (used to separate FDMA tag subcarriers) and
+occupied-bandwidth measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.dsp.signal import Signal
+
+__all__ = [
+    "power_spectral_density",
+    "spectrum",
+    "find_spectral_peaks",
+    "occupied_bandwidth",
+    "tone_power",
+]
+
+
+def power_spectral_density(
+    sig: Signal, nperseg: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Estimate the PSD with Welch's method.
+
+    Returns ``(freqs_hz, psd)`` with frequencies centred on zero
+    (two-sided, ascending) and PSD in power per Hz.
+    """
+    if sig.num_samples == 0:
+        raise ValueError("cannot estimate the PSD of an empty signal")
+    if nperseg is None:
+        nperseg = min(1024, sig.num_samples)
+    freqs, psd = sp_signal.welch(
+        sig.samples,
+        fs=sig.sample_rate,
+        nperseg=nperseg,
+        return_onesided=False,
+        detrend=False,
+    )
+    order = np.argsort(freqs)
+    return freqs[order], psd[order]
+
+
+def spectrum(sig: Signal) -> tuple[np.ndarray, np.ndarray]:
+    """Return the centred FFT magnitude-squared of the whole signal.
+
+    Normalised so that a unit-amplitude complex tone concentrates power
+    1.0 in its bin: ``(freqs_hz, power_per_bin)``.
+    """
+    if sig.num_samples == 0:
+        raise ValueError("cannot take the spectrum of an empty signal")
+    n = sig.num_samples
+    fft = np.fft.fftshift(np.fft.fft(sig.samples)) / n
+    freqs = np.fft.fftshift(np.fft.fftfreq(n, d=1.0 / sig.sample_rate))
+    return freqs, np.abs(fft) ** 2
+
+
+def find_spectral_peaks(
+    sig: Signal,
+    num_peaks: int,
+    min_separation_hz: float = 0.0,
+    exclude_dc_hz: float = 0.0,
+) -> list[tuple[float, float]]:
+    """Find the ``num_peaks`` strongest spectral peaks.
+
+    Parameters
+    ----------
+    num_peaks:
+        How many peaks to return (fewer may be found).
+    min_separation_hz:
+        Peaks closer than this to an already-selected stronger peak are
+        suppressed — used to avoid picking sidelobes of the same tag.
+    exclude_dc_hz:
+        Half-width of a guard band around DC to ignore, so that residual
+        self-interference does not masquerade as a tag.
+
+    Returns
+    -------
+    List of ``(frequency_hz, power)`` tuples, strongest first.
+    """
+    if num_peaks < 1:
+        raise ValueError(f"num_peaks must be >= 1, got {num_peaks}")
+    freqs, power = spectrum(sig)
+    mask = np.abs(freqs) >= exclude_dc_hz
+    peaks: list[tuple[float, float]] = []
+    candidate_order = np.argsort(power)[::-1]
+    for idx in candidate_order:
+        if not mask[idx]:
+            continue
+        freq = float(freqs[idx])
+        if any(abs(freq - f) < min_separation_hz for f, _ in peaks):
+            continue
+        peaks.append((freq, float(power[idx])))
+        if len(peaks) == num_peaks:
+            break
+    return peaks
+
+
+def occupied_bandwidth(sig: Signal, fraction: float = 0.99) -> float:
+    """Return the bandwidth containing ``fraction`` of total power [Hz].
+
+    Computed symmetrically outward from the power-weighted spectral
+    centroid of the Welch PSD.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    freqs, psd = power_spectral_density(sig)
+    total = np.sum(psd)
+    if total <= 0:
+        return 0.0
+    centroid = float(np.sum(freqs * psd) / total)
+    distance = np.abs(freqs - centroid)
+    order = np.argsort(distance)
+    cumulative = np.cumsum(psd[order])
+    k = int(np.searchsorted(cumulative, fraction * total))
+    k = min(k, distance.size - 1)
+    return float(2.0 * distance[order][k])
+
+
+def tone_power(sig: Signal, frequency_hz: float, bandwidth_hz: float) -> float:
+    """Integrate spectral power within ``bandwidth_hz`` around a tone.
+
+    Used by the network receiver to read a single tag's subcarrier power
+    out of a multi-tag capture.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    freqs, power = spectrum(sig)
+    window = np.abs(freqs - frequency_hz) <= bandwidth_hz / 2.0
+    return float(np.sum(power[window]))

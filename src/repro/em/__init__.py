@@ -1,0 +1,36 @@
+"""Electromagnetic substrate: antennas, arrays, retro-reflectors, propagation.
+
+This package computes the spatial quantities the link layer consumes —
+element and array gains versus angle, the Van Atta retro-reflective
+response that gives the mmTag tag passive beam alignment, and the
+one-way / round-trip (radar equation) path-loss budgets.
+"""
+
+from repro.em.antenna import AntennaElement, isotropic_element, patch_element, horn_antenna
+from repro.em.array import UniformLinearArray, array_factor, half_power_beamwidth_deg
+from repro.em.vanatta import VanAttaArray
+from repro.em.propagation import (
+    free_space_path_loss_db,
+    friis_received_power_dbm,
+    backscatter_received_power_dbm,
+    backscatter_link_budget,
+    two_ray_gain,
+    LinkBudget,
+)
+
+__all__ = [
+    "AntennaElement",
+    "isotropic_element",
+    "patch_element",
+    "horn_antenna",
+    "UniformLinearArray",
+    "array_factor",
+    "half_power_beamwidth_deg",
+    "VanAttaArray",
+    "free_space_path_loss_db",
+    "friis_received_power_dbm",
+    "backscatter_received_power_dbm",
+    "backscatter_link_budget",
+    "two_ray_gain",
+    "LinkBudget",
+]

@@ -1,0 +1,94 @@
+"""Antenna element models.
+
+Every antenna in the reproduction — tag patch elements, AP horns —
+is an :class:`AntennaElement`: a boresight gain plus a ``cos^(2q)``
+power pattern, the standard behavioural model for single radiators.
+The exponent ``q`` is derived from the boresight gain by equating the
+pattern's directivity with the stated gain, so patterns are
+self-consistent by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AntennaElement", "isotropic_element", "patch_element", "horn_antenna"]
+
+
+@dataclass(frozen=True)
+class AntennaElement:
+    """A single radiating element with a ``cos^(2q)`` power pattern.
+
+    The normalised power pattern is ``cos(theta)^(2q)`` for
+    ``|theta| < 90`` degrees and 0 behind the element (except the
+    isotropic case ``q == 0``, which radiates everywhere).  The
+    directivity of this pattern is ``2 * (2q + 1)``, so ``q`` is solved
+    from the requested boresight gain; an isotropic element has
+    ``gain_dbi = 0`` and ``q = 0``.
+    """
+
+    gain_dbi: float
+    name: str = "element"
+
+    def __post_init__(self) -> None:
+        if self.gain_dbi < 0.0:
+            raise ValueError(
+                f"cos^2q model needs gain >= 0 dBi, got {self.gain_dbi}"
+            )
+
+    @property
+    def boresight_gain(self) -> float:
+        """Boresight power gain, linear."""
+        return 10.0 ** (self.gain_dbi / 10.0)
+
+    @property
+    def pattern_exponent(self) -> float:
+        """The ``q`` in ``cos^(2q)``, from directivity ``2(2q+1)``."""
+        q = (self.boresight_gain / 2.0 - 1.0) / 2.0
+        return max(0.0, q)
+
+    def gain(self, theta_rad: float | np.ndarray) -> np.ndarray:
+        """Power gain (linear) at angle ``theta_rad`` off boresight."""
+        theta = np.asarray(theta_rad, dtype=np.float64)
+        q = self.pattern_exponent
+        if q == 0.0:
+            return np.full(theta.shape, self.boresight_gain)
+        cos_theta = np.clip(np.cos(theta), 0.0, None)
+        pattern = cos_theta ** (2.0 * q)
+        return self.boresight_gain * pattern
+
+    def gain_db(self, theta_rad: float | np.ndarray) -> np.ndarray:
+        """Power gain in dBi at ``theta_rad`` (-inf behind the element)."""
+        linear = self.gain(theta_rad)
+        with np.errstate(divide="ignore"):
+            return 10.0 * np.log10(linear)
+
+    def amplitude(self, theta_rad: float | np.ndarray) -> np.ndarray:
+        """Field (amplitude) gain — square root of the power gain."""
+        return np.sqrt(self.gain(theta_rad))
+
+    def half_power_beamwidth_deg(self) -> float:
+        """Full -3 dB beamwidth in degrees (360 for isotropic)."""
+        q = self.pattern_exponent
+        if q == 0.0:
+            return 360.0
+        half_angle = math.acos(0.5 ** (1.0 / (2.0 * q)))
+        return math.degrees(2.0 * half_angle)
+
+
+def isotropic_element() -> AntennaElement:
+    """A 0 dBi isotropic reference element."""
+    return AntennaElement(gain_dbi=0.0, name="isotropic")
+
+
+def patch_element(gain_dbi: float = 5.0) -> AntennaElement:
+    """A tag patch element (default 5 dBi, per DESIGN.md calibration)."""
+    return AntennaElement(gain_dbi=gain_dbi, name="patch")
+
+
+def horn_antenna(gain_dbi: float = 20.0) -> AntennaElement:
+    """An AP horn (default 20 dBi, Mi-Wave 261-class)."""
+    return AntennaElement(gain_dbi=gain_dbi, name="horn")

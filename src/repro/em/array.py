@@ -1,0 +1,113 @@
+"""Uniform linear arrays and beam steering.
+
+Used for the AP's (optional) phased-array front end and as the
+geometric foundation the Van Atta model builds on.  Angles follow the
+array convention: ``theta`` measured from broadside, positive toward
+increasing element positions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.em.antenna import AntennaElement, isotropic_element
+
+__all__ = ["UniformLinearArray", "array_factor", "half_power_beamwidth_deg"]
+
+
+def array_factor(
+    num_elements: int,
+    spacing_m: float,
+    wavelength_m: float,
+    theta_rad: float | np.ndarray,
+    steer_rad: float = 0.0,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Complex array factor of an N-element ULA.
+
+    ``AF(theta) = sum_n w_n * exp(j * k * x_n * (sin(theta) - sin(steer)))``
+    with elements centred on the origin.  Unweighted, the magnitude
+    peaks at N toward the steering angle.
+    """
+    if num_elements < 1:
+        raise ValueError(f"need at least 1 element, got {num_elements}")
+    if spacing_m <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing_m}")
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    theta = np.asarray(theta_rad, dtype=np.float64)
+    positions = (np.arange(num_elements) - (num_elements - 1) / 2.0) * spacing_m
+    k = 2.0 * math.pi / wavelength_m
+    if weights is None:
+        weights = np.ones(num_elements)
+    else:
+        weights = np.asarray(weights, dtype=np.complex128)
+        if weights.size != num_elements:
+            raise ValueError(
+                f"got {weights.size} weights for {num_elements} elements"
+            )
+    phase = k * np.outer(np.sin(theta.ravel()) - math.sin(steer_rad), positions)
+    af = (np.exp(1j * phase) * weights).sum(axis=1)
+    return af.reshape(theta.shape) if theta.shape else af[0]
+
+
+def half_power_beamwidth_deg(num_elements: int, spacing_m: float, wavelength_m: float) -> float:
+    """Approximate -3 dB beamwidth of a broadside ULA, in degrees.
+
+    Uses the standard ``0.886 * lambda / (N * d)`` radian approximation.
+    """
+    if num_elements < 1 or spacing_m <= 0 or wavelength_m <= 0:
+        raise ValueError("num_elements, spacing and wavelength must be positive")
+    aperture = num_elements * spacing_m
+    return math.degrees(0.886 * wavelength_m / aperture)
+
+
+@dataclass(frozen=True)
+class UniformLinearArray:
+    """A steerable ULA of identical elements.
+
+    The composite power gain toward ``theta`` is the element gain times
+    ``|AF|^2 / N`` (so that boresight gain is ``N * G_element``, the
+    aperture-consistent normalisation).
+    """
+
+    num_elements: int
+    spacing_m: float = DEFAULT_WAVELENGTH_M / 2.0
+    wavelength_m: float = DEFAULT_WAVELENGTH_M
+    element: AntennaElement = field(default_factory=isotropic_element)
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError(f"need at least 1 element, got {self.num_elements}")
+        if self.spacing_m <= 0 or self.wavelength_m <= 0:
+            raise ValueError("spacing and wavelength must be positive")
+
+    def gain(
+        self, theta_rad: float | np.ndarray, steer_rad: float = 0.0
+    ) -> np.ndarray:
+        """Composite power gain (linear) toward ``theta_rad``."""
+        af = array_factor(
+            self.num_elements, self.spacing_m, self.wavelength_m, theta_rad, steer_rad
+        )
+        return self.element.gain(theta_rad) * np.abs(af) ** 2 / self.num_elements
+
+    def gain_db(
+        self, theta_rad: float | np.ndarray, steer_rad: float = 0.0
+    ) -> np.ndarray:
+        """Composite gain in dBi toward ``theta_rad``."""
+        with np.errstate(divide="ignore"):
+            return 10.0 * np.log10(self.gain(theta_rad, steer_rad))
+
+    def boresight_gain_dbi(self) -> float:
+        """Peak gain when steered to broadside, in dBi."""
+        return float(self.gain_db(0.0))
+
+    def beamwidth_deg(self) -> float:
+        """Approximate -3 dB beamwidth at broadside, degrees."""
+        return half_power_beamwidth_deg(
+            self.num_elements, self.spacing_m, self.wavelength_m
+        )

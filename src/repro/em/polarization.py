@@ -1,0 +1,54 @@
+"""Polarization mismatch.
+
+The tag's patches and the AP's horns are linearly polarized; rotating
+the tag about the line-of-sight axis (roll) costs ``cos^2`` of the roll
+angle *per pass* — and a backscatter link pays it twice.  This is the
+one tag orientation the Van Atta array cannot forgive, so the model is
+worth having explicitly (it bounds how tags may be mounted).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "polarization_loss",
+    "polarization_loss_db",
+    "roundtrip_polarization_loss_db",
+    "max_roll_for_loss_db",
+]
+
+
+def polarization_loss(roll_angle_rad: float) -> float:
+    """One-way power transmission factor ``cos^2(roll)``.
+
+    At 90 degrees the link is (ideally) fully cross-polarized; a real
+    system leaks through with finite cross-pol isolation, so the factor
+    is floored at -30 dB rather than zero.
+    """
+    factor = math.cos(roll_angle_rad) ** 2
+    return max(factor, 1e-3)
+
+
+def polarization_loss_db(roll_angle_rad: float) -> float:
+    """One-way polarization loss in dB (positive number)."""
+    return -10.0 * math.log10(polarization_loss(roll_angle_rad))
+
+
+def roundtrip_polarization_loss_db(roll_angle_rad: float) -> float:
+    """Backscatter (two-pass) polarization loss in dB."""
+    return 2.0 * polarization_loss_db(roll_angle_rad)
+
+
+def max_roll_for_loss_db(budget_db: float) -> float:
+    """Largest roll angle [rad] whose *round-trip* loss fits the budget.
+
+    Inverts ``2 * (-10 log10 cos^2 r) <= budget``; answers the mounting
+    question "how crooked may the tag hang?".
+    """
+    if budget_db < 0:
+        raise ValueError(f"budget must be >= 0 dB, got {budget_db}")
+    # 40*log10(1/cos r) = budget  ->  cos r = 10^(-budget/40)
+    cos_r = 10.0 ** (-budget_db / 40.0)
+    cos_r = min(1.0, max(cos_r, math.sqrt(1e-3)))
+    return math.acos(cos_r)

@@ -1,0 +1,164 @@
+"""Propagation and link budgets: Friis, radar (backscatter), two-ray.
+
+The backscatter budget is the radar equation written as two chained
+Friis links: AP -> tag -> AP.  All the d^-4 behaviour the paper's
+SNR-vs-distance figures show falls out of
+:func:`backscatter_received_power_dbm`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_AP_ANTENNA_GAIN_DBI,
+    DEFAULT_AP_NOISE_FIGURE_DB,
+    DEFAULT_AP_TX_POWER_DBM,
+    DEFAULT_CARRIER_HZ,
+    THERMAL_NOISE_DBM_HZ,
+    wavelength,
+)
+
+__all__ = [
+    "free_space_path_loss_db",
+    "friis_received_power_dbm",
+    "backscatter_received_power_dbm",
+    "backscatter_link_budget",
+    "two_ray_gain",
+    "LinkBudget",
+]
+
+
+def free_space_path_loss_db(distance_m: float, carrier_hz: float) -> float:
+    """One-way free-space path loss ``(4*pi*d/lambda)^2`` in dB."""
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    lam = wavelength(carrier_hz)
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / lam)
+
+
+def friis_received_power_dbm(
+    tx_power_dbm: float,
+    tx_gain_dbi: float,
+    rx_gain_dbi: float,
+    distance_m: float,
+    carrier_hz: float,
+) -> float:
+    """One-way Friis received power in dBm."""
+    return (
+        tx_power_dbm
+        + tx_gain_dbi
+        + rx_gain_dbi
+        - free_space_path_loss_db(distance_m, carrier_hz)
+    )
+
+
+def backscatter_received_power_dbm(
+    tx_power_dbm: float,
+    ap_tx_gain_dbi: float,
+    ap_rx_gain_dbi: float,
+    tag_roundtrip_gain_db: float,
+    distance_m: float,
+    carrier_hz: float,
+    modulation_loss_db: float = 0.0,
+) -> float:
+    """Monostatic backscatter received power in dBm (radar equation).
+
+    ``P_rx = P_tx * G_tx * G_rx * G_tag_roundtrip * lambda^4 * M /
+    ((4*pi)^4 * d^4)`` expressed in dB.  ``tag_roundtrip_gain_db`` is
+    the Van Atta receive-and-re-radiate product
+    (:meth:`repro.em.vanatta.VanAttaArray.monostatic_gain_db`);
+    ``modulation_loss_db`` accounts for the average power of the tag's
+    constellation relative to a perfect reflector.
+    """
+    one_way_loss = free_space_path_loss_db(distance_m, carrier_hz)
+    return (
+        tx_power_dbm
+        + ap_tx_gain_dbi
+        + ap_rx_gain_dbi
+        + tag_roundtrip_gain_db
+        - 2.0 * one_way_loss
+        - modulation_loss_db
+    )
+
+
+def two_ray_gain(
+    distance_m: float,
+    tx_height_m: float,
+    rx_height_m: float,
+    carrier_hz: float,
+    reflection_coefficient: complex = -1.0,
+) -> float:
+    """Two-ray (ground bounce) power gain relative to free space.
+
+    Returns ``|1 + Gamma * exp(j*k*(d_refl - d_los)) * d_los/d_refl|^2``:
+    multiply the free-space received power by this factor.  At mmWave
+    with directional antennas the ground bounce is usually attenuated,
+    so callers typically scale ``reflection_coefficient`` down by the
+    antenna sidelobe level.
+    """
+    if min(distance_m, tx_height_m, rx_height_m) <= 0:
+        raise ValueError("distance and heights must be positive")
+    d_los = math.sqrt(distance_m**2 + (tx_height_m - rx_height_m) ** 2)
+    d_reflected = math.sqrt(distance_m**2 + (tx_height_m + rx_height_m) ** 2)
+    lam = wavelength(carrier_hz)
+    k = 2.0 * math.pi / lam
+    phasor = 1.0 + reflection_coefficient * (d_los / d_reflected) * np.exp(
+        1j * k * (d_reflected - d_los)
+    )
+    return float(abs(phasor) ** 2)
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Summary of a backscatter link at one operating point."""
+
+    distance_m: float
+    received_power_dbm: float
+    noise_power_dbm: float
+
+    @property
+    def snr_db(self) -> float:
+        """Pre-detection SNR in dB."""
+        return self.received_power_dbm - self.noise_power_dbm
+
+    def snr_linear(self) -> float:
+        """Pre-detection SNR, linear."""
+        return 10.0 ** (self.snr_db / 10.0)
+
+
+def backscatter_link_budget(
+    distance_m: float,
+    tag_roundtrip_gain_db: float,
+    bandwidth_hz: float,
+    tx_power_dbm: float = DEFAULT_AP_TX_POWER_DBM,
+    ap_tx_gain_dbi: float = DEFAULT_AP_ANTENNA_GAIN_DBI,
+    ap_rx_gain_dbi: float = DEFAULT_AP_ANTENNA_GAIN_DBI,
+    carrier_hz: float = DEFAULT_CARRIER_HZ,
+    noise_figure_db: float = DEFAULT_AP_NOISE_FIGURE_DB,
+    modulation_loss_db: float = 0.0,
+) -> LinkBudget:
+    """Compute the full backscatter link budget at one distance.
+
+    Noise power is ``-174 dBm/Hz + 10*log10(B) + NF``; bandwidth should
+    be the receiver's post-filter bandwidth (about the symbol rate times
+    one plus roll-off).
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    received = backscatter_received_power_dbm(
+        tx_power_dbm,
+        ap_tx_gain_dbi,
+        ap_rx_gain_dbi,
+        tag_roundtrip_gain_db,
+        distance_m,
+        carrier_hz,
+        modulation_loss_db,
+    )
+    noise = THERMAL_NOISE_DBM_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+    return LinkBudget(
+        distance_m=distance_m, received_power_dbm=received, noise_power_dbm=noise
+    )

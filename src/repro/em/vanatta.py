@@ -1,0 +1,200 @@
+"""Van Atta retro-reflective array — the mmTag tag's passive beamformer.
+
+A Van Atta array cross-connects antenna elements in mirror-image pairs
+(element ``n`` to element ``N-1-n``) with equal-length transmission
+lines.  A plane wave arriving from angle ``theta`` is re-radiated with
+exactly conjugated inter-element phases, so the reflections combine
+coherently **back toward the source** for any arrival angle within the
+element pattern: passive, zero-power beam alignment.
+
+mmTag modulates this structure by switching the interconnect of each
+pair among a bank of lines with different electrical lengths (adding a
+common phase ``phi_k`` to the retro-reflected wave — PSK states) or a
+matched termination (absorbing the wave — the OOK "off" state).  The
+model here computes the complex bistatic re-radiated field, from which
+the link layer takes the monostatic (radar) gain and the modulation
+constellation seen by the AP.
+
+Reference geometry: a 1-D array along ``x`` with elements centred on
+the origin; angles measured from broadside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import DEFAULT_TAG_LINE_LOSS_DB, DEFAULT_WAVELENGTH_M
+from repro.em.antenna import AntennaElement, patch_element
+
+__all__ = ["VanAttaArray"]
+
+
+@dataclass(frozen=True)
+class VanAttaArray:
+    """An N-pair Van Atta retro-reflector with switchable line phases.
+
+    Parameters
+    ----------
+    num_pairs:
+        Number of cross-connected element pairs (the array has
+        ``2 * num_pairs`` elements).
+    spacing_m:
+        Element spacing; default half a wavelength at 24.125 GHz.
+    wavelength_m:
+        Operating wavelength.
+    element:
+        Per-element radiator model (default 5 dBi patch).
+    line_loss_db:
+        One-way transmission-line loss between a pair, in dB.
+    line_phase_errors_rad:
+        Optional per-pair static phase errors (fabrication tolerance);
+        length must equal ``num_pairs``.
+    """
+
+    num_pairs: int = 4
+    spacing_m: float = DEFAULT_WAVELENGTH_M / 2.0
+    wavelength_m: float = DEFAULT_WAVELENGTH_M
+    element: AntennaElement = field(default_factory=patch_element)
+    line_loss_db: float = DEFAULT_TAG_LINE_LOSS_DB
+    line_phase_errors_rad: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_pairs < 1:
+            raise ValueError(f"need at least 1 pair, got {self.num_pairs}")
+        if self.spacing_m <= 0 or self.wavelength_m <= 0:
+            raise ValueError("spacing and wavelength must be positive")
+        if self.line_loss_db < 0:
+            raise ValueError(f"line loss must be non-negative, got {self.line_loss_db}")
+        if self.line_phase_errors_rad and len(self.line_phase_errors_rad) != self.num_pairs:
+            raise ValueError(
+                f"need {self.num_pairs} phase errors, got {len(self.line_phase_errors_rad)}"
+            )
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count (two per pair)."""
+        return 2 * self.num_pairs
+
+    def element_positions(self) -> np.ndarray:
+        """Element x-coordinates [m], centred on the origin."""
+        n = self.num_elements
+        return (np.arange(n) - (n - 1) / 2.0) * self.spacing_m
+
+    def partner_index(self, element_index: int) -> int:
+        """Index of the element cross-connected to ``element_index``."""
+        if not 0 <= element_index < self.num_elements:
+            raise ValueError(
+                f"element index {element_index} out of range [0, {self.num_elements})"
+            )
+        return self.num_elements - 1 - element_index
+
+    # -- fields -----------------------------------------------------------
+
+    def _line_amplitude(self) -> float:
+        return 10.0 ** (-self.line_loss_db / 20.0)
+
+    def _pair_phase_error(self, pair_index: int) -> float:
+        if not self.line_phase_errors_rad:
+            return 0.0
+        return self.line_phase_errors_rad[pair_index]
+
+    def bistatic_field(
+        self,
+        theta_in_rad: float,
+        theta_out_rad: float | np.ndarray,
+        line_phase_rad: float = 0.0,
+    ) -> np.ndarray:
+        """Complex re-radiated field toward ``theta_out`` for a unit wave
+        arriving from ``theta_in``.
+
+        Each element ``n`` receives the incident wave with spatial phase
+        ``-k * x_n * sin(theta_in)`` weighted by the element amplitude
+        pattern; the signal traverses the interconnect (loss, selected
+        line phase, per-pair error) and re-radiates from the partner
+        element ``p(n)`` with spatial phase ``-k * x_{p(n)} *
+        sin(theta_out)``.  Normalisation: the *monostatic power gain*
+        ``|field|^2`` equals ``(N_elem * G_elem(theta))^2`` for a
+        lossless array — the product of receive aperture gain and
+        coherent re-radiation gain used in the radar link budget.
+        """
+        theta_out = np.asarray(theta_out_rad, dtype=np.float64)
+        k = 2.0 * math.pi / self.wavelength_m
+        positions = self.element_positions()
+        amp_in = self.element.amplitude(theta_in_rad)
+        amp_out = self.element.amplitude(theta_out)
+        line_amp = self._line_amplitude()
+
+        total = np.zeros(theta_out.shape, dtype=np.complex128)
+        for n in range(self.num_elements):
+            partner = self.partner_index(n)
+            pair = min(n, partner)
+            phase_in = -k * positions[n] * math.sin(theta_in_rad)
+            phase_out = -k * positions[partner] * np.sin(theta_out)
+            phase_line = line_phase_rad + self._pair_phase_error(pair)
+            total = total + np.exp(1j * (phase_in + phase_out + phase_line))
+        return amp_in * amp_out * line_amp * total
+
+    def monostatic_field(
+        self, theta_rad: float, line_phase_rad: float = 0.0
+    ) -> complex:
+        """Field reflected straight back toward the source."""
+        return complex(self.bistatic_field(theta_rad, theta_rad, line_phase_rad))
+
+    def monostatic_gain(self, theta_rad: float) -> float:
+        """Round-trip power gain ``G_rx,tag * G_retx,tag`` (linear).
+
+        This is the factor the radar link budget multiplies in once:
+        for a lossless array it equals ``(N_elem * G_elem(theta))^2``.
+        """
+        return abs(self.monostatic_field(theta_rad)) ** 2
+
+    def monostatic_gain_db(self, theta_rad: float) -> float:
+        """Round-trip power gain in dB."""
+        gain = self.monostatic_gain(theta_rad)
+        if gain <= 0.0:
+            return -math.inf
+        return 10.0 * math.log10(gain)
+
+    def retro_pattern(
+        self, theta_grid_rad: np.ndarray
+    ) -> np.ndarray:
+        """Monostatic gain (linear) across a grid of incidence angles.
+
+        This is the curve experiment E1 plots: for a Van Atta it is flat
+        over the element beamwidth, while a conventional (non-retro)
+        array collapses off broadside.
+        """
+        grid = np.asarray(theta_grid_rad, dtype=np.float64)
+        return np.array([self.monostatic_gain(float(t)) for t in grid])
+
+    # -- modulation interface ----------------------------------------------
+
+    def reflection_coefficient(
+        self, theta_rad: float, line_phase_rad: float | None
+    ) -> complex:
+        """Normalised modulation state seen by a monostatic AP.
+
+        Returns the monostatic field for the selected line phase,
+        normalised by the ideal zero-phase lossless field — i.e. the
+        constellation point contributed by the tag state:
+        ``None`` (terminated / absorptive) gives 0, a line phase
+        ``phi`` gives ``line_loss * exp(j * phi)`` up to phase-error
+        perturbations.  The link layer multiplies this by the carrier
+        amplitude from the link budget.
+        """
+        if line_phase_rad is None:
+            return 0.0 + 0.0j
+        reference = self._ideal_field_magnitude(theta_rad)
+        if reference == 0.0:
+            return 0.0 + 0.0j
+        return self.monostatic_field(theta_rad, line_phase_rad) / reference
+
+    def _ideal_field_magnitude(self, theta_rad: float) -> float:
+        """|field| of a lossless, error-free array at ``theta_rad``."""
+        amp = float(self.element.amplitude(theta_rad))
+        return self.num_elements * amp * amp

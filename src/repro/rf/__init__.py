@@ -1,0 +1,49 @@
+"""Behavioural RF component models.
+
+Each class models one board-level part of the mmTag prototype (LNA,
+mixer, power amplifier, envelope detector, RF switch, ADC) at the level
+of detail the system consumes: gain, noise, bandwidth/rise-time,
+compression, isolation and energy.  The models operate on complex
+baseband :class:`~repro.dsp.signal.Signal` objects, consistent with the
+baseband-equivalent simulation described in DESIGN.md.
+"""
+
+from repro.rf.components import (
+    LNA,
+    Mixer,
+    PowerAmplifier,
+    EnvelopeDetector,
+    RFSwitch,
+    SwitchState,
+)
+from repro.rf.noise import (
+    thermal_noise_power,
+    thermal_noise_power_dbm,
+    add_awgn,
+    awgn_for_snr,
+    PhaseNoiseModel,
+)
+from repro.rf.quantize import ADC
+from repro.rf.impairments import apply_iq_imbalance, Saturation, phase_quantization_error
+from repro.rf.cascade import CascadeStage, cascade_noise_figure, cascade_gain
+
+__all__ = [
+    "LNA",
+    "Mixer",
+    "PowerAmplifier",
+    "EnvelopeDetector",
+    "RFSwitch",
+    "SwitchState",
+    "thermal_noise_power",
+    "thermal_noise_power_dbm",
+    "add_awgn",
+    "awgn_for_snr",
+    "PhaseNoiseModel",
+    "ADC",
+    "apply_iq_imbalance",
+    "Saturation",
+    "phase_quantization_error",
+    "CascadeStage",
+    "cascade_noise_figure",
+    "cascade_gain",
+]

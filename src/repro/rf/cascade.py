@@ -1,0 +1,61 @@
+"""Friis cascade analysis for receiver chains.
+
+Computes the composite gain and noise figure of a chain of stages —
+used to justify the AP receiver noise figure default and exposed for
+link-budget what-ifs in the ablation experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+__all__ = ["CascadeStage", "cascade_gain", "cascade_noise_figure"]
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One stage of a receiver chain.
+
+    A passive lossy stage (cable, filter, mixer) has ``gain_db < 0`` and
+    noise figure equal to its loss; construct those with
+    :meth:`passive`.
+    """
+
+    name: str
+    gain_db: float
+    noise_figure_db: float
+
+    @classmethod
+    def passive(cls, name: str, loss_db: float) -> "CascadeStage":
+        """A passive attenuating stage: NF equals the loss."""
+        if loss_db < 0:
+            raise ValueError(f"loss must be non-negative, got {loss_db}")
+        return cls(name=name, gain_db=-loss_db, noise_figure_db=loss_db)
+
+
+def cascade_gain(stages: Sequence[CascadeStage]) -> float:
+    """Total gain of the cascade in dB."""
+    return sum(stage.gain_db for stage in stages)
+
+
+def cascade_noise_figure(stages: Sequence[CascadeStage]) -> float:
+    """Composite noise figure in dB by the Friis formula.
+
+    ``F = F1 + (F2-1)/G1 + (F3-1)/(G1*G2) + ...`` in linear units.
+    """
+    if not stages:
+        raise ValueError("cascade must contain at least one stage")
+    total_factor = 0.0
+    gain_product = 1.0
+    for index, stage in enumerate(stages):
+        factor = 10.0 ** (stage.noise_figure_db / 10.0)
+        if index == 0:
+            total_factor = factor
+        else:
+            total_factor += (factor - 1.0) / gain_product
+        gain_product *= 10.0 ** (stage.gain_db / 10.0)
+        if gain_product <= 0:
+            raise ValueError(f"stage {stage.name!r} produced non-positive gain product")
+    return 10.0 * math.log10(total_factor)

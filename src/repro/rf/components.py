@@ -1,0 +1,215 @@
+"""Board-level RF component models.
+
+The AP receive chain (LNA -> mixer -> filter -> ADC) and the tag's
+modulator (RF switch bank) are assembled from these parts.  Gains are
+voltage-consistent: a power gain of G dB multiplies complex amplitudes
+by ``10**(G/20)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import single_pole_lowpass
+from repro.dsp.signal import Signal
+from repro.rf.noise import add_awgn, thermal_noise_power
+
+__all__ = [
+    "LNA",
+    "Mixer",
+    "PowerAmplifier",
+    "EnvelopeDetector",
+    "RFSwitch",
+    "SwitchState",
+]
+
+
+def _db_to_amplitude(gain_db: float) -> float:
+    return 10.0 ** (gain_db / 20.0)
+
+
+def _db_to_power(gain_db: float) -> float:
+    return 10.0 ** (gain_db / 10.0)
+
+
+@dataclass(frozen=True)
+class LNA:
+    """Low-noise amplifier (ADL8142-class).
+
+    Parameters
+    ----------
+    gain_db:
+        Power gain in dB.
+    noise_figure_db:
+        Noise figure in dB; the amplifier adds input-referred thermal
+        noise of ``kT0 * B * (F - 1)`` on top of amplifying the input.
+    p1db_output_dbm:
+        Output 1-dB compression point; amplitudes beyond the implied
+        saturation level are soft-limited.
+    """
+
+    gain_db: float = 20.0
+    noise_figure_db: float = 3.0
+    p1db_output_dbm: float = 15.0
+
+    def amplify(self, sig: Signal, rng: np.random.Generator) -> Signal:
+        """Amplify ``sig``, adding the LNA's own noise and compression."""
+        bandwidth = sig.sample_rate  # complex baseband spans the full rate
+        noise_factor = _db_to_power(self.noise_figure_db)
+        added_noise_power = thermal_noise_power(bandwidth) * (noise_factor - 1.0)
+        noisy = add_awgn(sig, added_noise_power, rng)
+        amplified = noisy.scale(_db_to_amplitude(self.gain_db))
+        saturation = Saturation.from_p1db_dbm(self.p1db_output_dbm)
+        return saturation.apply(amplified)
+
+
+@dataclass(frozen=True)
+class Mixer:
+    """Downconversion mixer (ZMDB-44H-K-class).
+
+    Multiplies the RF input by a local-oscillator reference.  In the
+    baseband-equivalent simulation the LO is whatever reference signal
+    the AP chooses (its own transmit tone for self-coherent backscatter
+    reception), so :meth:`downconvert` takes it explicitly.
+    """
+
+    conversion_loss_db: float = 7.0
+
+    def downconvert(self, rf: Signal, lo: Signal) -> Signal:
+        """Return ``rf * conj(lo)`` scaled by the conversion loss.
+
+        Both inputs must share a sample rate; the shorter is zero-padded.
+        """
+        if not math.isclose(rf.sample_rate, lo.sample_rate):
+            raise ValueError(
+                f"RF and LO sample rates differ: {rf.sample_rate} vs {lo.sample_rate}"
+            )
+        n = min(rf.num_samples, lo.num_samples)
+        product = rf.samples[:n] * np.conj(lo.samples[:n])
+        scale = _db_to_amplitude(-self.conversion_loss_db)
+        return Signal(product * scale, rf.sample_rate, dict(rf.metadata))
+
+
+@dataclass(frozen=True)
+class PowerAmplifier:
+    """Transmit power amplifier (ADPA7005-class)."""
+
+    gain_db: float = 30.0
+    psat_output_dbm: float = 27.0
+    dc_power_w: float = 4.0
+
+    def amplify(self, sig: Signal) -> Signal:
+        """Amplify with hard knowledge of the saturated output power."""
+        amplified = sig.scale(_db_to_amplitude(self.gain_db))
+        saturation = Saturation.from_p1db_dbm(self.psat_output_dbm)
+        return saturation.apply(amplified)
+
+
+@dataclass(frozen=True)
+class EnvelopeDetector:
+    """Square-law envelope (power) detector (ADL6010-class).
+
+    Produces a real "video" output proportional to instantaneous input
+    power, band-limited by the detector's video bandwidth.  The tag uses
+    one of these per port in receive experiments; mmTag's uplink path
+    does not need it, but the component is part of the node bill of
+    materials and the E8 energy table.
+    """
+
+    responsivity_v_per_w: float = 2200.0
+    video_bandwidth_hz: float = 40e6
+    input_impedance_ohm: float = 50.0
+    dc_power_w: float = 1.5e-3
+
+    def detect(self, sig: Signal) -> Signal:
+        """Return the detector video output (real-valued samples)."""
+        video = self.responsivity_v_per_w * np.abs(sig.samples) ** 2
+        raw = Signal(video.astype(np.complex128), sig.sample_rate)
+        limited = single_pole_lowpass(raw, self.video_bandwidth_hz)
+        return Signal(limited.samples.real.astype(np.complex128), sig.sample_rate)
+
+
+class SwitchState(enum.Enum):
+    """Positions of the tag's modulator switch.
+
+    ``TERMINATED`` routes the antenna into a matched load (absorptive,
+    |Gamma| ~ 0); each ``LINE_k`` selects transmission line ``k`` in the
+    Van Atta interconnect, i.e. reflective with a line-dependent phase.
+    """
+
+    TERMINATED = -1
+    LINE_0 = 0
+    LINE_1 = 1
+    LINE_2 = 2
+    LINE_3 = 3
+
+    @classmethod
+    def line(cls, index: int) -> "SwitchState":
+        """Return the LINE_k state for ``index`` in [0, 3]."""
+        member = cls._value2member_map_.get(index)
+        if member is None or member is cls.TERMINATED:
+            raise ValueError(f"no switch line with index {index}")
+        return member
+
+
+@dataclass(frozen=True)
+class RFSwitch:
+    """SPnT RF switch (ADRF5020-class) used as the tag modulator.
+
+    The switch is the only active RF part on the tag.  Its two
+    imperfections matter to the system:
+
+    * finite **rise time** smears symbol transitions (modelled as a
+      single-pole response with bandwidth ``0.35 / rise_time``), which
+      closes the eye at high symbol rates (experiment E9);
+    * finite **isolation** leaks a little reflection even in the
+      terminated state, bounding the OOK extinction ratio.
+
+    Energy accounting (per-transition charge plus leakage) feeds the
+    E8 power table via :mod:`repro.core.energy`.
+    """
+
+    insertion_loss_db: float = 2.0
+    isolation_db: float = 40.0
+    rise_time_s: float = 1e-9
+    energy_per_transition_j: float = 4.0e-9
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Equivalent single-pole bandwidth implied by the rise time."""
+        return 0.35 / self.rise_time_s
+
+    def through_amplitude(self) -> float:
+        """Amplitude transmission of the closed (reflective) path."""
+        return _db_to_amplitude(-self.insertion_loss_db)
+
+    def leakage_amplitude(self) -> float:
+        """Residual amplitude through the open (terminated) path."""
+        return _db_to_amplitude(-self.isolation_db)
+
+    def apply_transition_bandwidth(self, waveform: Signal) -> Signal:
+        """Band-limit a switching waveform by the switch's rise time.
+
+        If the waveform's sample rate cannot represent the switch
+        bandwidth (sampling slower than the transition), the switch is
+        effectively instantaneous at that resolution and the waveform is
+        returned unchanged.
+        """
+        if self.bandwidth_hz >= waveform.sample_rate / 2.0:
+            return waveform
+        return single_pole_lowpass(waveform, self.bandwidth_hz)
+
+    def switching_power_w(self, transitions_per_second: float) -> float:
+        """Dynamic power drawn at a given toggle rate."""
+        if transitions_per_second < 0:
+            raise ValueError(
+                f"transition rate must be non-negative, got {transitions_per_second}"
+            )
+        return self.energy_per_transition_j * transitions_per_second
+
+
+from repro.rf.impairments import Saturation  # noqa: E402  (cycle-free tail import)

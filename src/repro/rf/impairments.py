@@ -1,0 +1,93 @@
+"""Analog impairments: saturation, IQ imbalance, phase quantization.
+
+Each impairment is used by at least one experiment: saturation bounds
+the AP front end under strong self-interference (E10), IQ imbalance is
+an AP-side ablation, and phase-quantization error models fabrication
+tolerance of the tag's switched transmission lines (E12b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+
+__all__ = ["Saturation", "apply_iq_imbalance", "phase_quantization_error"]
+
+
+@dataclass(frozen=True)
+class Saturation:
+    """Soft envelope limiter (Rapp model, smoothness p = 2).
+
+    ``y = x / (1 + (|x|/A_sat)^(2p))^(1/2p)`` — linear for small inputs,
+    asymptoting to the saturation amplitude ``A_sat``.
+    """
+
+    saturation_amplitude: float
+    smoothness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.saturation_amplitude <= 0:
+            raise ValueError(
+                f"saturation amplitude must be positive, got {self.saturation_amplitude}"
+            )
+        if self.smoothness <= 0:
+            raise ValueError(f"smoothness must be positive, got {self.smoothness}")
+
+    @classmethod
+    def from_p1db_dbm(cls, p1db_dbm: float, smoothness: float = 2.0) -> "Saturation":
+        """Build from a 1-dB compression point in dBm.
+
+        For the Rapp model with p = 2 the gain has dropped 1 dB when
+        ``(1 + (x/A)^4)^(-1/4) = 10^(-1/20)``, i.e. at ``x ~= 0.874 A``;
+        we invert that to place A_sat given the compression point.
+        """
+        p1db_w = 10.0 ** ((p1db_dbm - 30.0) / 10.0)
+        amplitude_at_p1db = math.sqrt(p1db_w)
+        return cls(saturation_amplitude=amplitude_at_p1db / 0.874, smoothness=smoothness)
+
+    def apply(self, sig: Signal) -> Signal:
+        """Return the soft-limited signal (phase is preserved)."""
+        magnitude = np.abs(sig.samples)
+        two_p = 2.0 * self.smoothness
+        gain = 1.0 / (1.0 + (magnitude / self.saturation_amplitude) ** two_p) ** (
+            1.0 / two_p
+        )
+        return Signal(sig.samples * gain, sig.sample_rate, dict(sig.metadata))
+
+
+def apply_iq_imbalance(
+    sig: Signal, gain_mismatch_db: float, phase_mismatch_deg: float
+) -> Signal:
+    """Apply receiver IQ gain/phase imbalance.
+
+    Standard image model: ``y = K1 * x + K2 * conj(x)`` with
+    ``K1 = (1 + g*exp(-j*phi)) / 2`` and ``K2 = (1 - g*exp(j*phi)) / 2``
+    where ``g`` is the linear gain ratio and ``phi`` the phase error.
+    """
+    g = 10.0 ** (gain_mismatch_db / 20.0)
+    phi = math.radians(phase_mismatch_deg)
+    k1 = (1.0 + g * np.exp(-1j * phi)) / 2.0
+    k2 = (1.0 - g * np.exp(1j * phi)) / 2.0
+    out = k1 * sig.samples + k2 * np.conj(sig.samples)
+    return Signal(out, sig.sample_rate, dict(sig.metadata))
+
+
+def phase_quantization_error(
+    nominal_phases_rad: np.ndarray,
+    rms_error_rad: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Perturb nominal line phases with Gaussian fabrication error.
+
+    The tag's PSK states come from transmission lines cut to nominal
+    electrical lengths; etching tolerance perturbs each line's phase by
+    a fixed (per-device) random amount.  Returns the perturbed phases.
+    """
+    if rms_error_rad < 0:
+        raise ValueError(f"rms error must be non-negative, got {rms_error_rad}")
+    nominal = np.asarray(nominal_phases_rad, dtype=np.float64)
+    return nominal + rng.standard_normal(nominal.shape) * rms_error_rad

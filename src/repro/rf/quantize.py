@@ -1,0 +1,79 @@
+"""ADC model: sampling, quantization, and clipping.
+
+The mmTag prototype captured baseband with an oscilloscope; this model
+reproduces the two effects that matter — finite resolution and full-scale
+clipping — so experiments can check they are not the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.signal import Signal
+
+__all__ = ["ADC"]
+
+
+@dataclass(frozen=True)
+class ADC:
+    """An ideal-clock ADC with ``bits`` of resolution per I/Q rail.
+
+    Parameters
+    ----------
+    bits:
+        Resolution per rail; 2**bits uniform levels across
+        ``[-full_scale, +full_scale]``.
+    full_scale:
+        Clipping amplitude per rail (same units as sample amplitudes).
+    """
+
+    bits: int = 12
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {self.full_scale}")
+
+    @property
+    def step(self) -> float:
+        """Quantization step size per rail."""
+        return 2.0 * self.full_scale / (2**self.bits)
+
+    def quantize(self, sig: Signal) -> Signal:
+        """Quantize I and Q independently with mid-tread rounding."""
+        i = self._quantize_rail(sig.samples.real)
+        q = self._quantize_rail(sig.samples.imag)
+        return Signal(i + 1j * q, sig.sample_rate, dict(sig.metadata))
+
+    def ideal_sqnr_db(self) -> float:
+        """Ideal full-scale sine SQNR: 6.02 * bits + 1.76 dB."""
+        return 6.02 * self.bits + 1.76
+
+    def _quantize_rail(self, rail: np.ndarray) -> np.ndarray:
+        clipped = np.clip(rail, -self.full_scale, self.full_scale)
+        levels = np.round(clipped / self.step)
+        max_level = 2 ** (self.bits - 1) - 1
+        levels = np.clip(levels, -(max_level + 1), max_level)
+        return levels * self.step
+
+    def clips(self, sig: Signal) -> bool:
+        """Return True if any sample exceeds full scale on either rail."""
+        return bool(
+            np.any(np.abs(sig.samples.real) > self.full_scale)
+            or np.any(np.abs(sig.samples.imag) > self.full_scale)
+        )
+
+    def auto_ranged(self, sig: Signal, headroom_db: float = 6.0) -> "ADC":
+        """Return a copy whose full scale fits ``sig`` with headroom."""
+        peak = float(
+            max(np.max(np.abs(sig.samples.real), initial=0.0),
+                np.max(np.abs(sig.samples.imag), initial=0.0))
+        )
+        if peak == 0.0:
+            return self
+        scale = peak * 10.0 ** (headroom_db / 20.0)
+        return ADC(bits=self.bits, full_scale=scale)

@@ -1,0 +1,21 @@
+"""Simulation harness: Monte-Carlo BER engine, sweeps, tables, plots.
+
+Everything the benchmarks and examples use to turn the core library
+into the paper's tables and figures.
+"""
+
+from repro.sim.monte_carlo import BerEstimate, estimate_link_ber, awgn_symbol_ber
+from repro.sim.sweep import sweep_1d, SweepPoint
+from repro.sim.results import ResultTable
+from repro.sim.plotting import ascii_plot, format_db
+
+__all__ = [
+    "BerEstimate",
+    "estimate_link_ber",
+    "awgn_symbol_ber",
+    "sweep_1d",
+    "SweepPoint",
+    "ResultTable",
+    "ascii_plot",
+    "format_db",
+]

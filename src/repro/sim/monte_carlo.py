@@ -1,0 +1,120 @@
+"""Monte-Carlo bit-error-rate estimation.
+
+Two paths:
+
+* :func:`estimate_link_ber` drives the **full waveform chain**
+  (:func:`repro.core.link.simulate_link`) frame by frame until enough
+  errors accumulate — the honest but slower estimator used for the
+  distance sweeps.
+* :func:`awgn_symbol_ber` is the **fast symbol-level** estimator: it
+  applies calibrated AWGN straight to constellation symbols, for the
+  theory-validation waterfalls where the channel is ideal by design.
+
+Both are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.link import LinkConfig, simulate_link
+from repro.core.modulation import ModulationScheme
+
+__all__ = ["BerEstimate", "estimate_link_ber", "awgn_symbol_ber"]
+
+
+@dataclass(frozen=True)
+class BerEstimate:
+    """A BER estimate with its statistical weight."""
+
+    bit_errors: int
+    bits_tested: int
+    frames: int
+    frames_detected: int
+
+    @property
+    def ber(self) -> float:
+        """Point estimate (0.0 when nothing was tested)."""
+        if self.bits_tested == 0:
+            return 0.0
+        return self.bit_errors / self.bits_tested
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson score interval for the BER."""
+        n = self.bits_tested
+        if n == 0:
+            return (0.0, 1.0)
+        p = self.ber
+        denominator = 1.0 + z * z / n
+        centre = (p + z * z / (2 * n)) / denominator
+        half_width = (
+            z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denominator
+        )
+        return (max(0.0, centre - half_width), min(1.0, centre + half_width))
+
+
+def estimate_link_ber(
+    config: LinkConfig,
+    target_errors: int = 100,
+    max_bits: int = 200_000,
+    bits_per_frame: int = 2048,
+    seed: int = 0,
+) -> BerEstimate:
+    """Estimate the link BER by simulating frames until convergence.
+
+    Stops when ``target_errors`` bit errors have been seen or
+    ``max_bits`` bits have been tested, whichever comes first.
+    """
+    if target_errors < 1:
+        raise ValueError(f"target_errors must be >= 1, got {target_errors}")
+    if max_bits < bits_per_frame:
+        raise ValueError(
+            f"max_bits ({max_bits}) must cover one frame ({bits_per_frame} bits)"
+        )
+    rng = np.random.default_rng(seed)
+    errors = 0
+    bits = 0
+    frames = 0
+    detected = 0
+    while errors < target_errors and bits < max_bits:
+        result = simulate_link(config, num_payload_bits=bits_per_frame, rng=rng)
+        errors += result.bit_errors
+        bits += result.num_payload_bits
+        frames += 1
+        if result.detected:
+            detected += 1
+    return BerEstimate(
+        bit_errors=errors, bits_tested=bits, frames=frames, frames_detected=detected
+    )
+
+
+def awgn_symbol_ber(
+    scheme: ModulationScheme,
+    snr_db: float,
+    num_bits: int = 100_000,
+    seed: int = 0,
+) -> float:
+    """Symbol-level BER of a scheme in pure AWGN at symbol SNR ``snr_db``.
+
+    Noise is calibrated against the scheme's *average* symbol power, so
+    the result is directly comparable to
+    :meth:`ModulationScheme.theoretical_ber`.
+    """
+    rng = np.random.default_rng(seed)
+    k = scheme.bits_per_symbol
+    num_bits -= num_bits % k
+    if num_bits <= 0:
+        raise ValueError(f"need at least {k} bits, got {num_bits}")
+    bits = rng.integers(0, 2, size=num_bits).astype(np.int8)
+    symbols = scheme.constellation.modulate(bits)
+    es = scheme.constellation.average_power()
+    n0 = es / (10.0 ** (snr_db / 10.0))
+    sigma = math.sqrt(n0 / 2.0)
+    noise = sigma * (
+        rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+    )
+    decided = scheme.constellation.demodulate(symbols + noise)
+    return float(np.count_nonzero(decided != bits)) / num_bits

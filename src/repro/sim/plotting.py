@@ -1,0 +1,91 @@
+"""ASCII plotting for terminal-rendered figures.
+
+The benches regenerate the paper's figures as data series; this module
+renders them as quick-look ASCII scatter plots so `pytest benchmarks/`
+output is self-contained without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot", "format_db"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 70,
+    height: int = 18,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one ASCII canvas.
+
+    ``log_y`` plots log10(y), skipping non-positive values (useful for
+    BER curves).  Returns the multi-line plot string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError(f"canvas too small: {width}x{height}")
+
+    prepared: dict[str, tuple[list[float], list[float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        px, py = [], []
+        for x, y in zip(xs, ys):
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            px.append(float(x))
+            py.append(float(y))
+        if px:
+            prepared[name] = (px, py)
+    if not prepared:
+        return f"{title}\n(no plottable points)"
+
+    all_x = [x for xs, _ in prepared.values() for x in xs]
+    all_y = [y for _, ys in prepared.values() for y in ys]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(prepared.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    y_top = f"{y_max:.3g}"
+    y_bottom = f"{y_min:.3g}"
+    label_width = max(len(y_top), len(y_bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    axis_name = f"log10({y_label})" if log_y else y_label
+    lines.append(f"{axis_name}:")
+    for i, row in enumerate(canvas):
+        prefix = y_top if i == 0 else (y_bottom if i == height - 1 else "")
+        lines.append(f"{prefix.rjust(label_width)} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width - 8) + f"{x_max:.3g}"
+    lines.append(" " * (label_width + 2) + x_axis + f"   ({x_label})")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def format_db(value: float) -> str:
+    """Format a dB value compactly (one decimal)."""
+    return f"{value:+.1f} dB"

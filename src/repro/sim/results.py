@@ -1,0 +1,70 @@
+"""Result tables: the rows the paper's tables report, as text.
+
+A small dependency-free table formatter; benches build one per
+experiment and print it, and EXPERIMENTS.md embeds the same output.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """An ordered table of stringifiable cells."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(cells)
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        header = "| " + " | ".join(str(c) for c in self.columns) + " |"
+        rule = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(_fmt(c) for c in row) + " |" for row in self.rows
+        ]
+        return "\n".join([header, rule, *body])
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the table as CSV."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows([[_fmt(c) for c in row] for row in self.rows])
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0.0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)

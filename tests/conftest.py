@@ -1,0 +1,46 @@
+"""Shared fixtures for the mmtag-repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.ap import APConfig
+from repro.core.link import LinkConfig
+from repro.core.tag import TagConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for stochastic tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fast_tag_config() -> TagConfig:
+    """A small-oversampling tag config to keep waveform tests quick."""
+    return TagConfig(symbol_rate_hz=10e6, samples_per_symbol=4)
+
+
+@pytest.fixture
+def quiet_link_config() -> LinkConfig:
+    """A clean, noiseless, clutter-free link for deterministic checks."""
+    return LinkConfig(
+        distance_m=3.0,
+        environment=Environment.anechoic(),
+        include_noise=False,
+        phase_noise=None,
+    )
+
+
+@pytest.fixture
+def office_link_config() -> LinkConfig:
+    """A realistic indoor operating point."""
+    return LinkConfig(distance_m=4.0, environment=Environment.typical_office())
+
+
+@pytest.fixture
+def no_adc_ap_config() -> APConfig:
+    """AP without quantization, for tests probing analog behaviour."""
+    return APConfig(adc=None)

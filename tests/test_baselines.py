@@ -1,0 +1,124 @@
+"""Tests for repro.baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.active_radio import ActiveMmWaveRadio
+from repro.baselines.features import FEATURE_MATRIX
+from repro.baselines.rfid import RfidBackscatter
+from repro.baselines.single_antenna_tag import SingleAntennaTag
+from repro.baselines.wifi_backscatter import WifiBackscatter
+from repro.core.energy import TagEnergyModel
+from repro.core.link import LinkConfig, link_snr_db
+
+
+class TestActiveRadio:
+    def test_one_way_slope_is_d2(self):
+        radio = ActiveMmWaveRadio()
+        near = radio.snr_db(1.0, 10e6)
+        far = radio.snr_db(10.0, 10e6)
+        assert near - far == pytest.approx(20.0, abs=1e-9)
+
+    def test_energy_per_bit_dominated_by_fixed_power(self):
+        radio = ActiveMmWaveRadio()
+        assert radio.energy_per_bit_nj(10e6) == pytest.approx(
+            radio.total_tx_power_w() / 10e6 * 1e9
+        )
+
+    def test_burns_far_more_than_tag(self):
+        radio = ActiveMmWaveRadio()
+        tag = TagEnergyModel().report("QPSK", 10e6)
+        ratio = radio.energy_per_bit_nj(20e6) / tag.energy_per_bit_nj
+        assert ratio > 4  # at matched rate; grows with rate
+
+    def test_longer_range_than_backscatter(self):
+        # who-wins check: at 20 m the active link still has SNR while
+        # the backscatter link is far below threshold.
+        radio = ActiveMmWaveRadio()
+        backscatter_snr = link_snr_db(LinkConfig(distance_m=20.0))
+        assert radio.snr_db(20.0, 10e6) > backscatter_snr + 20
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            ActiveMmWaveRadio().snr_db(5.0, 0.0)
+
+
+class TestRfid:
+    def test_long_range_at_low_rate(self):
+        rfid = RfidBackscatter()
+        assert rfid.snr_db(10.0) > 10.0  # Gen2 reads at 10 m
+
+    def test_rate_capped(self):
+        rfid = RfidBackscatter()
+        with pytest.raises(ValueError):
+            rfid.energy_per_bit_j(10e6)
+
+    def test_energy_per_bit_low_but_rate_poor(self):
+        rfid = RfidBackscatter()
+        # tags are tiny consumers, but the ceiling is ~640 kbps
+        assert rfid.energy_per_bit_nj() < 1.0
+        assert rfid.max_bit_rate_hz < 1e6
+
+    def test_mmtag_rate_advantage(self):
+        # the axis mmTag wins on: orders of magnitude more throughput
+        from repro.core.tag import TagConfig
+
+        assert TagConfig().bit_rate_hz() > 20 * RfidBackscatter().max_bit_rate_hz
+
+
+class TestWifiBackscatter:
+    def test_effective_throughput_haircut(self):
+        wifi = WifiBackscatter(channel_share=0.1)
+        assert wifi.effective_throughput_hz() == pytest.approx(0.1 * wifi.max_bit_rate_hz)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError):
+            WifiBackscatter(channel_share=0.0)
+
+    def test_snr_positive_indoors(self):
+        assert WifiBackscatter().snr_db(5.0) > 0
+
+    def test_rate_ceiling_enforced(self):
+        with pytest.raises(ValueError):
+            WifiBackscatter().energy_per_bit_j(100e6)
+
+
+class TestSingleAntennaTag:
+    def test_loses_array_gain_at_broadside(self):
+        from repro.em.vanatta import VanAttaArray
+
+        single = SingleAntennaTag()
+        vanatta = VanAttaArray(num_pairs=4, line_loss_db=0.0)
+        delta_db = vanatta.monostatic_gain_db(0.0) - single.monostatic_gain_db(0.0)
+        # (N_elem)^2 = 64 -> 18 dB
+        assert delta_db == pytest.approx(18.06, abs=0.1)
+
+    def test_rolls_off_with_angle(self):
+        single = SingleAntennaTag()
+        assert single.monostatic_gain(math.radians(45.0)) < single.monostatic_gain(0.0)
+
+    def test_pattern_shape(self):
+        grid = np.radians(np.linspace(-60, 60, 7))
+        pattern = SingleAntennaTag().retro_pattern(grid)
+        assert pattern.argmax() == 3  # broadside
+
+
+class TestFeatureMatrix:
+    def test_mmtag_row_matches_cited_facts(self):
+        mmtag = next(f for f in FEATURE_MATRIX if "mmTag" in f.name)
+        assert mmtag.uplink
+        assert not mmtag.downlink
+        assert not mmtag.localization
+        assert not mmtag.orientation_sensing
+        assert mmtag.energy_per_bit_nj == pytest.approx(2.4)
+
+    def test_four_systems_compared(self):
+        assert len(FEATURE_MATRIX) == 4
+
+    def test_rows_render(self):
+        for features in FEATURE_MATRIX:
+            row = features.row()
+            assert len(row) == 6
+            assert all(isinstance(cell, str) for cell in row)

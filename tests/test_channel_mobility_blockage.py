@@ -1,0 +1,90 @@
+"""Tests for repro.channel.mobility and repro.channel.blockage."""
+
+import numpy as np
+import pytest
+
+from repro.channel.blockage import BlockageEvent, apply_blockage
+from repro.channel.mobility import LinearMotion, apply_doppler, doppler_shift_hz
+from repro.constants import DEFAULT_CARRIER_HZ, DEFAULT_WAVELENGTH_M
+from repro.dsp.signal import Signal
+
+
+class TestDopplerShift:
+    def test_double_doppler_formula(self):
+        v = 1.0
+        assert doppler_shift_hz(v) == pytest.approx(2.0 * v / DEFAULT_WAVELENGTH_M)
+
+    def test_walking_speed_magnitude(self):
+        # ~1 m/s at 24 GHz: about 161 Hz round trip
+        assert doppler_shift_hz(1.0) == pytest.approx(160.9, rel=0.01)
+
+    def test_sign_follows_velocity(self):
+        assert doppler_shift_hz(-2.0) < 0 < doppler_shift_hz(2.0)
+
+    def test_apply_doppler_shifts_tone(self):
+        sig = Signal.tone(0.0, 1e6, 5e-3)
+        out = apply_doppler(sig, radial_velocity_m_s=3.0)
+        phase = np.unwrap(np.angle(out.samples))
+        freq = np.diff(phase) * 1e6 / (2 * np.pi)
+        assert np.median(freq) == pytest.approx(doppler_shift_hz(3.0), rel=1e-3)
+
+
+class TestLinearMotion:
+    def test_distance_at_time(self):
+        motion = LinearMotion(start_distance_m=5.0, radial_velocity_m_s=-1.0)
+        assert motion.distance_at(2.0) == pytest.approx(3.0)
+
+    def test_rejects_reaching_ap(self):
+        motion = LinearMotion(start_distance_m=1.0, radial_velocity_m_s=-1.0)
+        with pytest.raises(ValueError):
+            motion.distance_at(2.0)
+
+    def test_rejects_non_positive_start(self):
+        with pytest.raises(ValueError):
+            LinearMotion(start_distance_m=0.0, radial_velocity_m_s=1.0)
+
+    def test_closing_motion_positive_doppler(self):
+        motion = LinearMotion(start_distance_m=5.0, radial_velocity_m_s=-2.0)
+        assert motion.doppler_hz() > 0
+
+    def test_receding_motion_negative_doppler(self):
+        motion = LinearMotion(start_distance_m=5.0, radial_velocity_m_s=2.0)
+        assert motion.doppler_hz(DEFAULT_CARRIER_HZ) < 0
+
+
+class TestBlockageEvent:
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ValueError):
+            BlockageEvent(start_s=1.0, stop_s=0.5, attenuation_db=10.0)
+
+    def test_rejects_negative_attenuation(self):
+        with pytest.raises(ValueError):
+            BlockageEvent(start_s=0.0, stop_s=1.0, attenuation_db=-3.0)
+
+    def test_roundtrip_factor_doubles_the_db(self):
+        event = BlockageEvent(0.0, 1.0, attenuation_db=10.0)
+        assert event.roundtrip_amplitude_factor == pytest.approx(0.1)
+
+
+class TestApplyBlockage:
+    def test_attenuates_only_inside_window(self):
+        sig = Signal(np.ones(100), 1e3)  # 100 ms
+        event = BlockageEvent(start_s=0.02, stop_s=0.05, attenuation_db=20.0)
+        out = apply_blockage(sig, [event])
+        assert np.allclose(out.samples[:20], 1.0)
+        assert np.allclose(out.samples[20:50], 1e-2)
+        assert np.allclose(out.samples[50:], 1.0)
+
+    def test_overlapping_events_multiply(self):
+        sig = Signal(np.ones(10), 1e3)
+        events = [
+            BlockageEvent(0.0, 0.01, attenuation_db=10.0),
+            BlockageEvent(0.0, 0.01, attenuation_db=10.0),
+        ]
+        out = apply_blockage(sig, events)
+        assert np.allclose(out.samples, 1e-2)
+
+    def test_no_events_is_identity(self):
+        sig = Signal(np.ones(10), 1e3)
+        out = apply_blockage(sig, [])
+        assert np.allclose(out.samples, sig.samples)

@@ -1,0 +1,106 @@
+"""Tests for repro.channel.multipath."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel, PathComponent, rician_channel
+from repro.dsp.signal import Signal
+
+
+class TestPathComponent:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            PathComponent(delay_s=-1e-9, gain=1.0)
+
+
+class TestMultipathChannel:
+    def test_requires_at_least_one_path(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(paths=())
+
+    def test_los_channel_scales_only(self):
+        channel = MultipathChannel.line_of_sight(gain=0.5j)
+        sig = Signal(np.ones(16), 1e6)
+        out = channel.apply(sig)
+        assert np.allclose(out.samples, 0.5j)
+
+    def test_output_length_preserved(self):
+        channel = MultipathChannel(
+            paths=(
+                PathComponent(0.0, 1.0),
+                PathComponent(5e-6, 0.3),
+            )
+        )
+        sig = Signal(np.ones(100), 1e6)
+        assert channel.apply(sig).num_samples == 100
+
+    def test_two_path_integer_delay_superposition(self):
+        fs = 1e6
+        channel = MultipathChannel(
+            paths=(PathComponent(0.0, 1.0), PathComponent(3e-6, 0.5))
+        )
+        impulse = Signal(np.concatenate([[1.0], np.zeros(15)]), fs)
+        out = channel.apply(impulse)
+        assert out.samples[0] == pytest.approx(1.0)
+        assert out.samples[3] == pytest.approx(0.5)
+        assert abs(out.samples[1]) < 1e-9
+
+    def test_frequency_response_at_dc_sums_gains(self):
+        channel = MultipathChannel(
+            paths=(PathComponent(0.0, 0.7), PathComponent(1e-8, 0.3))
+        )
+        response = channel.frequency_response(np.array([0.0]))
+        assert response[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_frequency_response_has_fades(self):
+        # Two equal paths 10 ns apart fade completely at 50 MHz offset.
+        channel = MultipathChannel(
+            paths=(PathComponent(0.0, 1.0), PathComponent(10e-9, 1.0))
+        )
+        response = channel.frequency_response(np.array([50e6]))
+        assert abs(response[0]) < 1e-9
+
+    def test_rms_delay_spread_single_path_zero(self):
+        assert MultipathChannel.line_of_sight().rms_delay_spread() == 0.0
+
+    def test_rms_delay_spread_two_equal_paths(self):
+        channel = MultipathChannel(
+            paths=(PathComponent(0.0, 1.0), PathComponent(20e-9, 1.0))
+        )
+        assert channel.rms_delay_spread() == pytest.approx(10e-9, rel=1e-9)
+
+
+class TestRicianFactory:
+    def test_total_power_normalised(self, rng):
+        channel = rician_channel(10.0, 5, 30e-9, rng)
+        total = sum(abs(p.gain) ** 2 for p in channel.paths)
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_k_factor_power_split(self, rng):
+        k_db = 7.0
+        channel = rician_channel(k_db, 4, 30e-9, rng)
+        k = 10 ** (k_db / 10)
+        los_power = abs(channel.paths[0].gain) ** 2
+        assert los_power == pytest.approx(k / (k + 1), rel=1e-9)
+
+    def test_los_path_has_zero_delay(self, rng):
+        channel = rician_channel(5.0, 3, 30e-9, rng)
+        assert channel.paths[0].delay_s == 0.0
+        assert all(p.delay_s > 0 for p in channel.paths[1:])
+
+    def test_zero_nlos_paths_gives_pure_los(self, rng):
+        channel = rician_channel(10.0, 0, 30e-9, rng)
+        assert len(channel.paths) == 1
+
+    def test_deterministic_given_seed(self):
+        a = rician_channel(6.0, 4, 30e-9, np.random.default_rng(11))
+        b = rician_channel(6.0, 4, 30e-9, np.random.default_rng(11))
+        assert a.paths == b.paths
+
+    def test_rejects_negative_path_count(self, rng):
+        with pytest.raises(ValueError):
+            rician_channel(6.0, -1, 30e-9, rng)
+
+    def test_los_gain_phase_preserved(self, rng):
+        channel = rician_channel(20.0, 2, 30e-9, rng, los_gain=1j)
+        assert np.angle(channel.paths[0].gain) == pytest.approx(np.pi / 2)

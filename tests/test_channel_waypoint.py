@@ -1,0 +1,116 @@
+"""Tests for repro.channel.waypoint."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.waypoint import RandomWaypointModel, TracePoint
+
+
+class TestTracePoint:
+    def test_polar_conversion(self):
+        point = TracePoint(time_s=0.0, x_m=3.0, y_m=4.0)
+        assert point.distance_m == pytest.approx(5.0)
+        assert point.azimuth_deg == pytest.approx(math.degrees(math.atan2(4, 3)))
+
+
+class TestModelValidation:
+    def test_rejects_origin_in_area(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(x_min=0.0)
+
+    def test_rejects_degenerate_area(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(x_min=2.0, x_max=2.0)
+
+    def test_rejects_bad_speeds(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(speed_min_m_s=2.0, speed_max_m_s=1.0)
+
+
+class TestTraceGeneration:
+    def test_length_and_timing(self):
+        model = RandomWaypointModel()
+        trace = model.generate_trace(10.0, 0.5, rng=0)
+        assert len(trace) == 21
+        assert trace[0].time_s == 0.0
+        assert trace[-1].time_s == pytest.approx(10.0)
+
+    def test_stays_inside_area(self):
+        model = RandomWaypointModel(x_min=1.0, x_max=5.0, y_min=-2.0, y_max=2.0)
+        trace = model.generate_trace(60.0, 0.25, rng=1)
+        for point in trace:
+            assert 1.0 - 1e-9 <= point.x_m <= 5.0 + 1e-9
+            assert -2.0 - 1e-9 <= point.y_m <= 2.0 + 1e-9
+
+    def test_speed_bounded(self):
+        model = RandomWaypointModel(speed_min_m_s=0.5, speed_max_m_s=1.5, pause_max_s=0.0)
+        trace = model.generate_trace(30.0, 0.5, rng=2)
+        for a, b in zip(trace, trace[1:]):
+            step = math.hypot(b.x_m - a.x_m, b.y_m - a.y_m)
+            assert step <= 1.5 * 0.5 + 1e-6
+
+    def test_actually_moves(self):
+        model = RandomWaypointModel(pause_max_s=0.0)
+        trace = model.generate_trace(30.0, 0.5, rng=3)
+        distances = [p.distance_m for p in trace]
+        assert max(distances) - min(distances) > 0.5
+
+    def test_deterministic_given_seed(self):
+        model = RandomWaypointModel()
+        a = model.generate_trace(5.0, 0.5, rng=4)
+        b = model.generate_trace(5.0, 0.5, rng=4)
+        assert a == b
+
+    def test_rejects_bad_args(self):
+        model = RandomWaypointModel()
+        with pytest.raises(ValueError):
+            model.generate_trace(0.0, 0.5)
+        with pytest.raises(ValueError):
+            model.generate_trace(1.0, 0.0)
+
+
+class TestRadialVelocity:
+    def test_consistent_with_distance_derivative(self):
+        model = RandomWaypointModel(pause_max_s=0.0)
+        trace = model.generate_trace(20.0, 0.5, rng=5)
+        for index in (1, 5, 20):
+            v = model.radial_velocity_at(trace, index)
+            expected = (
+                trace[index].distance_m - trace[index - 1].distance_m
+            ) / (trace[index].time_s - trace[index - 1].time_s)
+            assert v == pytest.approx(expected)
+
+    def test_bounded_by_speed(self):
+        model = RandomWaypointModel(speed_max_m_s=1.5, pause_max_s=0.0)
+        trace = model.generate_trace(30.0, 0.5, rng=6)
+        for index in range(len(trace)):
+            assert abs(model.radial_velocity_at(trace, index)) <= 1.5 + 1e-6
+
+    def test_index_validation(self):
+        model = RandomWaypointModel()
+        trace = model.generate_trace(2.0, 0.5, rng=7)
+        with pytest.raises(ValueError):
+            model.radial_velocity_at(trace, 99)
+
+
+class TestLinkIntegration:
+    def test_trace_drives_link_epochs(self):
+        """A mobility trace plugs straight into LinkConfig epochs."""
+        from repro.channel.environment import Environment
+        from repro.core.link import LinkConfig, simulate_link
+
+        model = RandomWaypointModel(x_min=1.5, x_max=5.0, y_min=-1.5, y_max=1.5)
+        trace = model.generate_trace(5.0, 1.0, rng=8)
+        successes = 0
+        for index, point in enumerate(trace):
+            config = LinkConfig(
+                distance_m=point.distance_m,
+                incidence_angle_deg=max(-85.0, min(85.0, point.azimuth_deg)),
+                environment=Environment.typical_office(),
+                radial_velocity_m_s=model.radial_velocity_at(trace, index),
+            )
+            result = simulate_link(config, num_payload_bits=256, rng=index)
+            successes += int(result.frame_success)
+        assert successes >= len(trace) - 1  # short range: nearly always closes

@@ -1,0 +1,131 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_link_defaults(self):
+        args = build_parser().parse_args(["link"])
+        assert args.distance == 4.0
+        assert args.modulation == "QPSK"
+
+    def test_invalid_modulation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["link", "--modulation", "1024QAM"])
+
+
+class TestLinkCommand:
+    def test_successful_link_exit_zero(self, capsys):
+        code = main(["link", "--distance", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frame OK     : True" in out
+        assert "2.40 nJ" in out
+
+    def test_dead_link_exit_one(self, capsys):
+        code = main(["link", "--distance", "80", "--seed", "1"])
+        assert code == 1
+        assert "frame OK     : False" in capsys.readouterr().out
+
+    def test_anechoic_environment_selectable(self, capsys):
+        code = main(["link", "--environment", "anechoic", "--seed", "0"])
+        assert code == 0
+
+
+class TestSweepCommand:
+    def test_snr_sweep_prints_table_and_plot(self, capsys):
+        code = main(["sweep", "--metric", "snr", "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "snr vs distance" in out
+        assert "distance [m]" in out
+
+    def test_ber_sweep_runs(self, capsys):
+        code = main([
+            "sweep", "--metric", "ber", "--start", "2", "--stop", "16",
+            "--points", "3", "--seed", "0",
+        ])
+        assert code == 0
+        assert "ber" in capsys.readouterr().out
+
+    def test_bad_range_exit_two(self, capsys):
+        code = main(["sweep", "--start", "5", "--stop", "2"])
+        assert code == 2
+
+
+class TestEnergyCommand:
+    def test_prints_all_schemes(self, capsys):
+        code = main(["energy"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("OOK", "BPSK", "QPSK", "8PSK", "16QAM"):
+            assert name in out
+        assert "2.4" in out  # calibration point visible
+
+    def test_duty_cycle_adds_battery_table(self, capsys):
+        code = main(["energy", "--duty-cycle", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "battery life" in out
+        assert "lifetime_days" in out
+
+
+class TestNetworkCommand:
+    def test_inventory_runs(self, capsys):
+        code = main(["network", "--tags", "3", "--rounds", "10", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggregate goodput" in out
+        assert "fairness" in out
+
+    def test_zero_tags_exit_two(self, capsys):
+        assert main(["network", "--tags", "0"]) == 2
+
+
+class TestBeamsearchCommand:
+    def test_both_strategies_reported(self, capsys):
+        code = main(["beamsearch", "--direction", "15", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exhaustive" in out
+        assert "hierarchical" in out
+
+
+class TestSchemesCommand:
+    def test_table_lists_thresholds(self, capsys):
+        code = main(["schemes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "snr_threshold_db" in out
+        assert "16QAM" in out
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self, capsys):
+        main(["link", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["link", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestExperimentsCommand:
+    def test_lists_all_sixteen(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["experiments"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for exp_id in ("E1", "E8", "E12", "E16"):
+            assert exp_id in out
+        assert "EXPERIMENTS.md" in out

@@ -1,0 +1,68 @@
+"""Tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+class TestPhysicalConstants:
+    def test_speed_of_light_exact_si_value(self):
+        assert constants.SPEED_OF_LIGHT == 299_792_458.0
+
+    def test_boltzmann_exact_si_value(self):
+        assert constants.BOLTZMANN == 1.380_649e-23
+
+    def test_thermal_noise_density_is_minus_174_dbm_per_hz(self):
+        assert constants.THERMAL_NOISE_DBM_HZ == pytest.approx(-174.0, abs=0.1)
+
+
+class TestBandPlan:
+    def test_carrier_in_24ghz_ism_band(self):
+        assert 24.0e9 <= constants.DEFAULT_CARRIER_HZ <= 24.25e9
+
+    def test_default_wavelength_about_12mm(self):
+        assert constants.DEFAULT_WAVELENGTH_M == pytest.approx(12.43e-3, rel=1e-3)
+
+    def test_wavelength_consistent_with_carrier(self):
+        assert constants.DEFAULT_WAVELENGTH_M == pytest.approx(
+            constants.SPEED_OF_LIGHT / constants.DEFAULT_CARRIER_HZ
+        )
+
+
+class TestWavelengthFunction:
+    def test_known_value_at_1ghz(self):
+        assert constants.wavelength(1e9) == pytest.approx(0.2998, rel=1e-3)
+
+    def test_scales_inversely_with_frequency(self):
+        assert constants.wavelength(2e9) == pytest.approx(
+            constants.wavelength(1e9) / 2.0
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -24e9])
+    def test_rejects_non_positive_frequency(self, bad):
+        with pytest.raises(ValueError):
+            constants.wavelength(bad)
+
+
+class TestEnergyCalibration:
+    def test_qpsk_20mbps_operating_point_is_2p4_nj_per_bit(self):
+        # The one energy figure attributable to mmTag: 8 mW static plus
+        # 4 nJ/symbol at 10 Msym/s = 48 mW over 20 Mbps = 2.4 nJ/bit.
+        power = (
+            constants.DEFAULT_TAG_STATIC_POWER_W
+            + constants.DEFAULT_SWITCH_ENERGY_PER_TRANSITION_J * 10e6
+        )
+        bits_per_s = 20e6
+        assert power / bits_per_s == pytest.approx(2.4e-9)
+
+    def test_switch_rise_time_supports_100msym(self):
+        # 0.35 / 1 ns = 350 MHz: well above the fastest symbol rate used.
+        assert 0.35 / constants.DEFAULT_SWITCH_RISE_TIME_S >= 100e6
+
+    def test_default_symbol_rate_positive(self):
+        assert constants.DEFAULT_SYMBOL_RATE_HZ > 0
+
+    def test_default_oversampling_at_least_two(self):
+        assert constants.DEFAULT_SAMPLES_PER_SYMBOL >= 2

@@ -1,0 +1,131 @@
+"""Tests for repro.core.adaptation."""
+
+import pytest
+
+from repro.core.adaptation import (
+    DEFAULT_MCS_TABLE,
+    McsEntry,
+    RateAdapter,
+    snr_threshold_db,
+)
+from repro.core.modulation import BPSK, OOK, PSK8, QAM16, QPSK
+
+
+class TestThresholds:
+    def test_threshold_achieves_target_ber(self):
+        for scheme in (OOK, BPSK, QPSK, PSK8, QAM16):
+            threshold = snr_threshold_db(scheme, target_ber=1e-3)
+            assert scheme.theoretical_ber(threshold) == pytest.approx(1e-3, rel=0.05)
+
+    def test_denser_schemes_need_more_snr(self):
+        t_bpsk = snr_threshold_db(BPSK)
+        t_qpsk = snr_threshold_db(QPSK)
+        t_8psk = snr_threshold_db(PSK8)
+        t_16qam = snr_threshold_db(QAM16)
+        assert t_bpsk < t_qpsk < t_8psk < t_16qam
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            snr_threshold_db(BPSK, target_ber=0.6)
+
+
+class TestDefaultTable:
+    def test_contains_all_schemes(self):
+        names = {entry.modulation for entry in DEFAULT_MCS_TABLE}
+        assert names == {"OOK", "BPSK", "QPSK", "8PSK", "16QAM"}
+
+    def test_sorted_by_spectral_efficiency(self):
+        ks = [entry.bits_per_symbol for entry in DEFAULT_MCS_TABLE]
+        assert ks == sorted(ks)
+
+
+class TestSelect:
+    def test_outage_below_all_thresholds(self):
+        assert RateAdapter().select(-10.0) is None
+
+    def test_high_snr_selects_densest(self):
+        entry = RateAdapter().select(40.0)
+        assert entry.modulation == "16QAM"
+
+    def test_intermediate_snr_selects_intermediate(self):
+        adapter = RateAdapter()
+        qpsk_entry = next(e for e in adapter.table if e.modulation == "QPSK")
+        psk8_entry = next(e for e in adapter.table if e.modulation == "8PSK")
+        snr = (qpsk_entry.min_snr_db + psk8_entry.min_snr_db) / 2.0
+        assert adapter.select(snr).modulation == "QPSK"
+
+    def test_monotone_rate_in_snr(self):
+        adapter = RateAdapter()
+        last_k = 0
+        for snr in range(-5, 40):
+            entry = adapter.select(float(snr))
+            k = entry.bits_per_symbol if entry else 0
+            assert k >= last_k
+            last_k = k
+
+    def test_bpsk_preferred_over_ook_at_equal_k(self):
+        # Same bits/symbol; BPSK needs less SNR so it should win.
+        adapter = RateAdapter()
+        bpsk_threshold = next(
+            e.min_snr_db for e in adapter.table if e.modulation == "BPSK"
+        )
+        entry = adapter.select(bpsk_threshold + 0.1)
+        assert entry.modulation == "BPSK"
+
+
+class TestHysteresis:
+    def test_no_flap_just_above_boundary(self):
+        adapter = RateAdapter(hysteresis_db=2.0)
+        qpsk = next(e for e in adapter.table if e.modulation == "QPSK")
+        psk8 = next(e for e in adapter.table if e.modulation == "8PSK")
+        # currently QPSK; SNR creeps just past the 8PSK threshold
+        entry = adapter.select(psk8.min_snr_db + 0.5, current="QPSK")
+        assert entry.modulation == "QPSK"
+        # well past the threshold plus hysteresis: upgrade
+        entry = adapter.select(psk8.min_snr_db + 2.5, current="QPSK")
+        assert entry.modulation == "8PSK"
+        del qpsk
+
+    def test_downgrade_when_current_unsustainable(self):
+        adapter = RateAdapter()
+        qpsk = next(e for e in adapter.table if e.modulation == "QPSK")
+        entry = adapter.select(qpsk.min_snr_db - 3.0, current="16QAM")
+        assert entry is not None
+        assert entry.bits_per_symbol < 4
+
+    def test_unknown_current_raises(self):
+        with pytest.raises(KeyError):
+            RateAdapter().select(20.0, current="WEIRD")
+
+
+class TestGoodput:
+    def test_zero_in_outage(self):
+        assert RateAdapter().goodput_bps(-10.0, 10e6) == 0.0
+
+    def test_increases_with_snr(self):
+        adapter = RateAdapter()
+        values = [adapter.goodput_bps(snr, 10e6) for snr in (8.0, 15.0, 25.0, 35.0)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_high_snr_reaches_peak_rate(self):
+        goodput = RateAdapter().goodput_bps(40.0, 10e6)
+        assert goodput == pytest.approx(40e6, rel=0.01)  # 16QAM: 4 bits/sym
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RateAdapter().goodput_bps(10.0, 0.0)
+        with pytest.raises(ValueError):
+            RateAdapter().goodput_bps(10.0, 1e6, frame_bits=0)
+
+
+class TestConstruction:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            RateAdapter(table=())
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            RateAdapter(hysteresis_db=-1.0)
+
+    def test_mcs_entry_bits(self):
+        assert McsEntry("QPSK", 10.0).bits_per_symbol == 2

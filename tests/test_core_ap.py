@@ -1,0 +1,170 @@
+"""Tests for repro.core.ap — the burst receiver."""
+
+import numpy as np
+import pytest
+
+from repro.core.ap import AccessPoint, APConfig
+from repro.core.tag import Tag, TagConfig
+from repro.dsp.signal import Signal
+from repro.rf.quantize import ADC
+
+
+def _clean_burst(bits, modulation="QPSK", sps=8, amplitude=1e-3, phase=0.7, guard=200):
+    config = TagConfig(modulation=modulation, samples_per_symbol=sps)
+    tag = Tag(config)
+    frame = tag.make_frame(bits)
+    waveform, _ = tag.backscatter_waveform(frame)
+    sig = waveform.scale(amplitude * np.exp(1j * phase)).pad(guard, guard)
+    return frame, sig
+
+
+class TestAPConfig:
+    def test_tx_amplitude_is_sqrt_watts(self):
+        config = APConfig(tx_power_dbm=30.0)  # 1 W
+        assert config.tx_amplitude() == pytest.approx(1.0)
+
+    def test_rejects_bad_pole(self):
+        with pytest.raises(ValueError):
+            APConfig(dc_block_pole=1.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            APConfig(sync_threshold_ratio=0.5)
+
+
+class TestReceiveCleanBurst:
+    @pytest.mark.parametrize("modulation", ["OOK", "BPSK", "QPSK", "8PSK", "16QAM"])
+    def test_decodes_every_modulation(self, modulation, rng):
+        bits = rng.integers(0, 2, 240).astype(np.int8)
+        frame, sig = _clean_burst(bits, modulation=modulation)
+        ap = AccessPoint(APConfig(adc=None, use_dc_block=False))
+        result = ap.receive_burst(sig, samples_per_symbol=8)
+        assert result.success
+        assert result.header.modulation == modulation
+        assert np.array_equal(result.payload_bits, frame.payload_bits)
+
+    def test_detects_start_sample(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        _, sig = _clean_burst(bits, guard=300)
+        ap = AccessPoint(APConfig(adc=None))
+        result = ap.receive_burst(sig, samples_per_symbol=8)
+        assert result.start_sample == 300
+
+    def test_carrier_phase_irrelevant(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        ap = AccessPoint(APConfig(adc=None))
+        for phase in (0.0, 1.0, 2.5, -2.0):
+            frame, sig = _clean_burst(bits, phase=phase)
+            result = ap.receive_burst(sig, samples_per_symbol=8)
+            assert result.success
+
+    def test_amplitude_scale_irrelevant(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        ap = AccessPoint(APConfig(adc=None))
+        for amplitude in (1e-8, 1e-3, 1.0):
+            frame, sig = _clean_burst(bits, amplitude=amplitude)
+            result = ap.receive_burst(sig, samples_per_symbol=8)
+            assert result.success, f"failed at amplitude {amplitude}"
+
+    def test_reports_link_quality(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        _, sig = _clean_burst(bits)
+        result = AccessPoint(APConfig(adc=None)).receive_burst(sig, 8)
+        assert result.snr_estimate_db > 40
+        assert result.evm < 0.05
+
+
+class TestReceiveDegradedBurst:
+    def test_no_burst_returns_not_detected(self, rng):
+        noise = Signal(
+            1e-6 * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000)), 80e6
+        )
+        result = AccessPoint(APConfig(adc=None)).receive_burst(noise, 8)
+        assert not result.detected
+        assert not result.success
+
+    def test_truncated_payload_header_ok_but_no_payload(self, rng):
+        bits = rng.integers(0, 2, 512).astype(np.int8)
+        _, sig = _clean_burst(bits)
+        # cut the capture in the middle of the payload
+        cut = Signal(sig.samples[: sig.num_samples - 1200], sig.sample_rate)
+        result = AccessPoint(APConfig(adc=None)).receive_burst(cut, 8)
+        assert result.detected
+        assert result.header_ok
+        assert not result.payload_crc_ok
+
+    def test_strong_noise_fails_crc_not_crash(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        _, sig = _clean_burst(bits, amplitude=1.0)
+        noisy = Signal(
+            sig.samples + 0.8 * (rng.standard_normal(sig.num_samples)
+                                 + 1j * rng.standard_normal(sig.num_samples)),
+            sig.sample_rate,
+        )
+        result = AccessPoint(APConfig(adc=None)).receive_burst(noisy, 8)
+        # any outcome is legal except an exception; success very unlikely
+        assert isinstance(result.detected, bool)
+
+    def test_rejects_bad_sps(self):
+        with pytest.raises(ValueError):
+            AccessPoint().receive_burst(Signal.zeros(10, 1e6), samples_per_symbol=1)
+
+
+class TestConditioning:
+    def test_dc_block_removes_leakage(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        _, sig = _clean_burst(bits, amplitude=1e-4)
+        leak = Signal(np.full(sig.num_samples, 0.05 + 0.02j), sig.sample_rate)
+        ap = AccessPoint(APConfig(adc=None, use_dc_block=True))
+        result = ap.receive_burst(sig + leak, samples_per_symbol=8)
+        assert result.success
+
+    def test_without_dc_block_adc_dynamic_range_suffers(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        _, sig = _clean_burst(bits, amplitude=1e-6)
+        leak = Signal(np.full(sig.num_samples, 0.05 + 0.02j), sig.sample_rate)
+        composite = sig + leak
+        with_block = AccessPoint(
+            APConfig(adc=ADC(bits=8), use_dc_block=True)
+        ).receive_burst(composite, 8)
+        without_block = AccessPoint(
+            APConfig(adc=ADC(bits=8), use_dc_block=False)
+        ).receive_burst(composite, 8)
+        assert with_block.success
+        assert not without_block.success
+
+    def test_skip_conditioning_flag(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        _, sig = _clean_burst(bits)
+        ap = AccessPoint(APConfig(adc=None))
+        conditioned = ap.condition(sig)
+        result = ap.receive_burst(conditioned, 8, skip_conditioning=True)
+        assert result.success
+
+
+class TestSubcarrierReception:
+    def test_dehop_recovers_burst(self, rng):
+        config = TagConfig(subcarrier_hz=20e6, samples_per_symbol=16)
+        tag = Tag(config)
+        bits = rng.integers(0, 2, 128).astype(np.int8)
+        frame = tag.make_frame(bits)
+        waveform, _ = tag.backscatter_waveform(frame)
+        sig = waveform.scale(1e-3).pad(320, 320)
+        ap = AccessPoint(APConfig(adc=None))
+        result = ap.receive_burst(sig, samples_per_symbol=16, subcarrier_hz=20e6)
+        assert result.success
+        assert np.array_equal(result.payload_bits, frame.payload_bits)
+
+    def test_without_dehop_burst_lost(self, rng):
+        # Use a subcarrier that is NOT an integer multiple of the symbol
+        # rate: when it is (e.g. exactly 2x), the hop degenerates to a
+        # Manchester-like line code that a shifted integrate window can
+        # accidentally demodulate.  2.4 cycles/symbol has no such trick.
+        config = TagConfig(subcarrier_hz=24e6, samples_per_symbol=16)
+        tag = Tag(config)
+        bits = rng.integers(0, 2, 128).astype(np.int8)
+        frame = tag.make_frame(bits)
+        waveform, _ = tag.backscatter_waveform(frame)
+        sig = waveform.scale(1e-3).pad(320, 320)
+        result = AccessPoint(APConfig(adc=None)).receive_burst(sig, 16)
+        assert not result.success

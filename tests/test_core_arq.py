@@ -1,0 +1,121 @@
+"""Tests for repro.core.arq."""
+
+import numpy as np
+import pytest
+
+from repro.core.arq import (
+    ArqAnalysis,
+    StopAndWaitSession,
+    frame_success_probability,
+)
+
+
+class TestFrameSuccessProbability:
+    def test_zero_ber_always_succeeds(self):
+        assert frame_success_probability(0.0, 1000) == 1.0
+
+    def test_known_value(self):
+        assert frame_success_probability(1e-3, 1000) == pytest.approx(
+            (1 - 1e-3) ** 1000
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            frame_success_probability(-0.1, 10)
+        with pytest.raises(ValueError):
+            frame_success_probability(0.1, 0)
+
+
+class TestArqAnalysis:
+    def test_no_retries_delivery_is_one_minus_fer(self):
+        analysis = ArqAnalysis(frame_error_rate=0.2, max_transmissions=1)
+        assert analysis.delivery_probability() == pytest.approx(0.8)
+        assert analysis.expected_transmissions() == pytest.approx(1.0)
+
+    def test_retries_raise_delivery(self):
+        one = ArqAnalysis(0.3, 1).delivery_probability()
+        four = ArqAnalysis(0.3, 4).delivery_probability()
+        assert four > one
+        assert four == pytest.approx(1 - 0.3**4)
+
+    def test_expected_transmissions_geometric_limit(self):
+        # with a huge retry budget, E[tx] -> 1/(1-p)
+        analysis = ArqAnalysis(0.3, 200)
+        assert analysis.expected_transmissions() == pytest.approx(1 / 0.7, rel=1e-6)
+
+    def test_goodput_fraction_bounds(self):
+        for fer in (0.0, 0.2, 0.8):
+            for budget in (1, 3, 8):
+                g = ArqAnalysis(fer, budget).goodput_fraction()
+                assert 0.0 < g <= 1.0
+
+    def test_perfect_channel_goodput_one(self):
+        assert ArqAnalysis(0.0, 5).goodput_fraction() == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ArqAnalysis(1.0, 3)
+        with pytest.raises(ValueError):
+            ArqAnalysis(0.1, 0)
+
+
+class TestStopAndWaitSession:
+    def test_perfect_oracle_delivers_everything(self):
+        session = StopAndWaitSession(lambda attempt, rng: True, max_transmissions=3)
+        session.send_frames(50, rng=0)
+        assert session.delivered == 50
+        assert session.abandoned == 0
+        assert session.transmissions == 50
+        assert session.delivery_rate == 1.0
+
+    def test_always_failing_oracle_abandons(self):
+        session = StopAndWaitSession(lambda attempt, rng: False, max_transmissions=3)
+        session.send_frames(10, rng=0)
+        assert session.delivered == 0
+        assert session.abandoned == 10
+        assert session.transmissions == 30
+
+    def test_bernoulli_oracle_matches_analysis(self):
+        fer = 0.4
+        session = StopAndWaitSession(
+            lambda attempt, rng: rng.random() > fer, max_transmissions=4
+        )
+        session.send_frames(5000, rng=1)
+        analysis = ArqAnalysis(fer, 4)
+        assert session.delivery_rate == pytest.approx(
+            analysis.delivery_probability(), abs=0.02
+        )
+        assert session.goodput_fraction == pytest.approx(
+            analysis.goodput_fraction(), abs=0.02
+        )
+
+    def test_retry_succeeds_second_attempt(self):
+        session = StopAndWaitSession(
+            lambda attempt, rng: attempt == 1, max_transmissions=2
+        )
+        session.send_frames(5, rng=0)
+        assert session.delivered == 5
+        assert session.transmissions == 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StopAndWaitSession(lambda a, r: True, max_transmissions=0)
+        session = StopAndWaitSession(lambda a, r: True)
+        with pytest.raises(ValueError):
+            session.send_frames(0)
+
+    def test_waveform_level_oracle(self):
+        """Wire the ARQ loop to the real link simulator."""
+        from repro.core.link import LinkConfig, simulate_link
+
+        config = LinkConfig(distance_m=12.5)  # approaching the QPSK cliff
+
+        def oracle(attempt: int, rng: np.random.Generator) -> bool:
+            return simulate_link(config, num_payload_bits=2048, rng=rng).frame_success
+
+        session = StopAndWaitSession(oracle, max_transmissions=3)
+        session.send_frames(8, rng=2)
+        # the link is lossy here, so some retries happen; the budget
+        # still delivers a clear majority of frames
+        assert session.delivery_rate >= 0.6
+        assert session.transmissions >= 8

@@ -1,0 +1,104 @@
+"""Tests for repro.core.diversity."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.diversity import mrc_combine, simulate_diversity_link
+from repro.core.link import LinkConfig
+
+
+class TestMrcCombine:
+    def test_single_branch_is_equalisation(self, rng):
+        symbols = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        gain = 0.5 * np.exp(1j * 0.8)
+        combined = mrc_combine([gain * symbols], [gain])
+        assert np.allclose(combined, symbols)
+
+    def test_two_equal_branches_average_noise(self, rng):
+        reference = (2 * rng.integers(0, 2, 2000) - 1).astype(complex)
+        noise_a = 0.3 * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        noise_b = 0.3 * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        combined = mrc_combine(
+            [reference + noise_a, reference + noise_b], [1.0 + 0j, 1.0 + 0j]
+        )
+        residual = combined - reference
+        single_noise_power = np.mean(np.abs(noise_a) ** 2)
+        assert np.mean(np.abs(residual) ** 2) == pytest.approx(
+            single_noise_power / 2, rel=0.1
+        )
+
+    def test_weights_favour_strong_branch(self, rng):
+        reference = (2 * rng.integers(0, 2, 500) - 1).astype(complex)
+        strong = 1.0 * reference + 0.01 * rng.standard_normal(500)
+        weak = 0.01 * reference + 0.3 * rng.standard_normal(500)
+        combined = mrc_combine([strong, weak], [1.0 + 0j, 0.01 + 0j])
+        errors = np.count_nonzero(np.sign(combined.real) != reference.real)
+        assert errors == 0
+
+    def test_phase_aligned_before_summing(self, rng):
+        reference = (2 * rng.integers(0, 2, 100) - 1).astype(complex)
+        g1 = np.exp(1j * 1.0)
+        g2 = np.exp(1j * -2.0)
+        combined = mrc_combine([g1 * reference, g2 * reference], [g1, g2])
+        assert np.allclose(combined, reference, atol=1e-9)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mrc_combine([], [])
+        with pytest.raises(ValueError):
+            mrc_combine([np.ones(4, dtype=complex)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mrc_combine([np.ones(4, dtype=complex)], [0.0 + 0j])
+
+
+class TestSimulateDiversityLink:
+    def test_two_branches_gain_about_3db(self):
+        config = LinkConfig(distance_m=6.0, environment=Environment.typical_office())
+        gains = []
+        for seed in range(4):
+            result = simulate_diversity_link(config, num_branches=2, rng=seed)
+            gain = result.combining_gain_db()
+            assert gain is not None
+            gains.append(gain)
+        assert np.mean(gains) == pytest.approx(3.0, abs=0.7)
+
+    def test_four_branches_about_6db(self):
+        config = LinkConfig(distance_m=6.0, environment=Environment.anechoic())
+        result = simulate_diversity_link(config, num_branches=4, rng=1)
+        assert result.combining_gain_db() == pytest.approx(6.0, abs=1.2)
+
+    def test_combined_decodes_where_needed(self):
+        config = LinkConfig(distance_m=6.0)
+        result = simulate_diversity_link(config, num_branches=2, rng=2)
+        assert result.combined.success
+        assert result.combined_ber == 0.0
+
+    def test_extends_range_past_single_branch(self):
+        # at a distance where one branch sits near the cliff, two
+        # branches pull the frame through
+        config = LinkConfig(distance_m=14.5)
+        single_successes = 0
+        combined_successes = 0
+        for seed in range(6):
+            result = simulate_diversity_link(config, num_branches=2, rng=seed)
+            combined_successes += int(result.combined.success)
+            single_successes += int(result.per_branch[0].success)
+        assert combined_successes > single_successes
+
+    def test_rejects_zero_branches(self):
+        with pytest.raises(ValueError):
+            simulate_diversity_link(LinkConfig(), num_branches=0)
+
+    def test_deterministic_given_seed(self):
+        config = LinkConfig(distance_m=5.0)
+        a = simulate_diversity_link(config, rng=7)
+        b = simulate_diversity_link(config, rng=7)
+        assert a.combined_ber == b.combined_ber
+        assert a.combined.snr_estimate_db == b.combined.snr_estimate_db
+
+    def test_all_branches_lost_reports_failure(self):
+        config = LinkConfig(distance_m=300.0)
+        result = simulate_diversity_link(config, num_branches=2, rng=0)
+        assert not result.combined.detected
+        assert result.combined_ber == 0.5

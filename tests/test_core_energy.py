@@ -1,0 +1,85 @@
+"""Tests for repro.core.energy."""
+
+import pytest
+
+from repro.core.energy import TagEnergyModel
+
+
+class TestCalibration:
+    def test_headline_2p4_nj_per_bit(self):
+        # The anchored figure: QPSK at 10 Msym/s -> 2.4 nJ/bit.
+        report = TagEnergyModel().report("QPSK", 10e6)
+        assert report.energy_per_bit_nj == pytest.approx(2.4, rel=1e-9)
+
+    def test_total_power_at_headline_point(self):
+        report = TagEnergyModel().report("QPSK", 10e6)
+        assert report.total_power_w == pytest.approx(48e-3, rel=1e-9)
+
+
+class TestScaling:
+    def test_denser_modulation_cheaper_per_bit(self):
+        model = TagEnergyModel()
+        ook = model.report("OOK", 10e6).energy_per_bit_nj
+        qpsk = model.report("QPSK", 10e6).energy_per_bit_nj
+        qam = model.report("16QAM", 10e6).energy_per_bit_nj
+        assert ook > qpsk > qam
+
+    def test_higher_rate_amortises_static_power(self):
+        model = TagEnergyModel()
+        slow = model.report("QPSK", 1e6).energy_per_bit_nj
+        fast = model.report("QPSK", 40e6).energy_per_bit_nj
+        assert fast < slow
+
+    def test_energy_per_bit_asymptote_is_dynamic_only(self):
+        model = TagEnergyModel(static_power_w=8e-3, energy_per_transition_j=4e-9)
+        very_fast = model.report("QPSK", 1e9).energy_per_bit_nj
+        # asymptote: 4 nJ / 2 bits = 2 nJ/bit
+        assert very_fast == pytest.approx(2.0, rel=0.01)
+
+    def test_subcarrier_costs_power(self):
+        model = TagEnergyModel()
+        plain = model.report("QPSK", 10e6)
+        hopped = model.report("QPSK", 10e6, subcarrier_hz=20e6)
+        assert hopped.total_power_w > plain.total_power_w
+        assert hopped.dynamic_power_w - plain.dynamic_power_w == pytest.approx(
+            model.energy_per_transition_j * 40e6
+        )
+
+    def test_clock_rate(self):
+        model = TagEnergyModel()
+        assert model.clock_rate_hz(10e6, 20e6) == pytest.approx(50e6)
+
+    def test_clock_rejects_bad_rates(self):
+        model = TagEnergyModel()
+        with pytest.raises(ValueError):
+            model.clock_rate_hz(0.0)
+        with pytest.raises(ValueError):
+            model.clock_rate_hz(1e6, -1.0)
+
+
+class TestComparisons:
+    def test_two_orders_below_active_radio(self):
+        from repro.baselines.active_radio import ActiveMmWaveRadio
+
+        tag = TagEnergyModel().report("QPSK", 10e6)
+        radio = ActiveMmWaveRadio()
+        assert radio.energy_per_bit_nj(20e6) > 5 * tag.energy_per_bit_nj
+
+    def test_sleep_power_far_below_active(self):
+        model = TagEnergyModel()
+        assert model.sleep_power_w() < 0.05 * model.static_power_w * 10
+
+    def test_report_accepts_scheme_object(self):
+        from repro.core.modulation import QPSK
+
+        report = TagEnergyModel().report(QPSK, 10e6)
+        assert report.modulation == "QPSK"
+
+    def test_zero_bit_rate_rejected(self):
+        report = TagEnergyModel().report("QPSK", 10e6)
+        # sanity: property itself guards against nonsense construction
+        assert report.bit_rate_hz > 0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TagEnergyModel(static_power_w=-1.0)

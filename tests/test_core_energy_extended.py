@@ -1,0 +1,122 @@
+"""Tests for the duty-cycle / battery extensions of repro.core.energy
+and the eye/soft-bit additions to dsp/modulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import TagEnergyModel
+from repro.core.modulation import BPSK, QAM16, QPSK
+from repro.dsp.measure import eye_opening
+from repro.dsp.signal import Signal
+
+
+class TestDutyCycle:
+    def test_full_duty_equals_active(self):
+        model = TagEnergyModel()
+        active = model.report("QPSK", 10e6).total_power_w
+        assert model.duty_cycled_power_w("QPSK", 10e6, 1.0) == pytest.approx(active)
+
+    def test_zero_duty_equals_sleep(self):
+        model = TagEnergyModel()
+        assert model.duty_cycled_power_w("QPSK", 10e6, 0.0) == pytest.approx(
+            model.sleep_power_w()
+        )
+
+    def test_monotone_in_duty(self):
+        model = TagEnergyModel()
+        powers = [model.duty_cycled_power_w("QPSK", 10e6, d) for d in (0.0, 0.1, 0.5, 1.0)]
+        assert powers == sorted(powers)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError):
+            TagEnergyModel().duty_cycled_power_w("QPSK", 10e6, 1.5)
+
+
+class TestBatteryLifetime:
+    def test_cr2032_at_one_percent_duty(self):
+        model = TagEnergyModel()
+        seconds = model.battery_lifetime_s(2400.0, "QPSK", 10e6, duty_cycle=0.01)
+        days = seconds / 86_400
+        assert 30 < days < 100  # ~50 days at 0.56 mW average
+
+    def test_lower_duty_longer_life(self):
+        model = TagEnergyModel()
+        busy = model.battery_lifetime_s(2400.0, "QPSK", 10e6, 0.5)
+        idle = model.battery_lifetime_s(2400.0, "QPSK", 10e6, 0.01)
+        assert idle > 10 * busy
+
+    def test_rejects_bad_battery(self):
+        with pytest.raises(ValueError):
+            TagEnergyModel().battery_lifetime_s(0.0, "QPSK", 10e6, 0.5)
+
+
+class TestEyeOpening:
+    def test_clean_nrz_eye_is_open(self, rng):
+        symbols = (2 * rng.integers(0, 2, 200) - 1).astype(float)
+        sig = Signal.from_symbols(symbols, 1e6, 8)
+        assert eye_opening(sig, 8) > 0.95
+
+    def test_noisy_eye_partially_closed(self, rng):
+        symbols = (2 * rng.integers(0, 2, 400) - 1).astype(float)
+        sig = Signal.from_symbols(symbols, 1e6, 8)
+        noisy = Signal(sig.samples + 0.3 * rng.standard_normal(sig.num_samples), 1e6)
+        opening = eye_opening(noisy, 8)
+        assert 0.0 <= opening < 0.8
+
+    def test_slew_limited_eye_smaller_at_edges(self, rng):
+        from repro.dsp.filters import single_pole_lowpass
+
+        symbols = (2 * rng.integers(0, 2, 300) - 1).astype(float)
+        sig = Signal.from_symbols(symbols, 10e6, 8)
+        slow = single_pole_lowpass(sig, 4e6)
+        edge = eye_opening(slow, 8, sample_offset=1)
+        centre = eye_opening(slow, 8, sample_offset=6)
+        assert centre > edge
+
+    def test_rejects_bad_args(self):
+        sig = Signal.from_symbols(np.ones(10), 1e6, 4)
+        with pytest.raises(ValueError):
+            eye_opening(sig, 1)
+        with pytest.raises(ValueError):
+            eye_opening(sig, 4, sample_offset=7)
+
+    def test_too_few_symbols_raises(self):
+        sig = Signal.from_symbols(np.ones(2), 1e6, 4)
+        with pytest.raises(ValueError):
+            eye_opening(sig, 4)
+
+
+class TestSoftBits:
+    def test_signs_match_hard_decisions(self, rng):
+        bits = rng.integers(0, 2, 200).astype(np.int8)
+        symbols = QPSK.constellation.modulate(bits)
+        noisy = symbols + 0.1 * (
+            rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+        )
+        llrs = QPSK.constellation.soft_bits(noisy, noise_variance=0.01)
+        hard = (llrs < 0).astype(np.int8)
+        assert np.array_equal(hard, QPSK.constellation.demodulate(noisy))
+
+    def test_confidence_scales_with_distance(self):
+        # a symbol close to the boundary has a smaller |LLR|
+        near_boundary = np.array([0.05 + 0.05j])
+        confident = np.array([1.0 + 1.0j]) / np.sqrt(2)
+        llr_near = QPSK.constellation.soft_bits(near_boundary, 0.1)
+        llr_far = QPSK.constellation.soft_bits(confident, 0.1)
+        assert np.all(np.abs(llr_far) > np.abs(llr_near))
+
+    def test_bpsk_llr_closed_form(self):
+        # max-log LLR for BPSK: 4*Re(y)/N0 (points +-1, d^2 difference)
+        y = np.array([0.3 + 0.1j])
+        llr = BPSK.constellation.soft_bits(y, noise_variance=0.5)
+        assert llr[0] == pytest.approx(4 * 0.3 / 0.5)
+
+    def test_output_length(self, rng):
+        bits = rng.integers(0, 2, 64).astype(np.int8)
+        symbols = QAM16.constellation.modulate(bits)
+        llrs = QAM16.constellation.soft_bits(symbols, 0.1)
+        assert llrs.size == bits.size
+
+    def test_rejects_bad_noise_variance(self):
+        with pytest.raises(ValueError):
+            QPSK.constellation.soft_bits(np.array([1.0 + 0j]), 0.0)

@@ -1,0 +1,102 @@
+"""Tests for repro.core.harvesting."""
+
+import pytest
+
+from repro.core.energy import TagEnergyModel
+from repro.core.harvesting import HarvestingBudget, Rectifier
+
+
+class TestRectifier:
+    def test_below_sensitivity_harvests_nothing(self):
+        rectifier = Rectifier(sensitivity_dbm=-20.0)
+        assert rectifier.efficiency(-25.0) == 0.0
+        assert rectifier.harvested_power_w(-25.0) == 0.0
+
+    def test_ramps_to_peak(self):
+        rectifier = Rectifier(sensitivity_dbm=-20.0, peak_efficiency=0.3, ramp_db=10.0)
+        assert rectifier.efficiency(-15.0) == pytest.approx(0.15)
+        assert rectifier.efficiency(-10.0) == pytest.approx(0.3)
+        assert rectifier.efficiency(10.0) == pytest.approx(0.3)
+
+    def test_harvested_power_scales_with_input(self):
+        rectifier = Rectifier()
+        assert rectifier.harvested_power_w(0.0) > rectifier.harvested_power_w(-10.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Rectifier(peak_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Rectifier(ramp_db=0.0)
+
+
+class TestHarvestingBudget:
+    def test_incident_power_follows_friis(self):
+        budget = HarvestingBudget()
+        near = budget.incident_power_dbm(1.0)
+        far = budget.incident_power_dbm(10.0)
+        assert near - far == pytest.approx(20.0, abs=1e-9)
+
+    def test_harvest_decreases_with_distance(self):
+        budget = HarvestingBudget()
+        assert budget.harvested_power_w(0.5) > budget.harvested_power_w(1.0)
+
+    def test_max_duty_zero_beyond_knee(self):
+        budget = HarvestingBudget()
+        assert budget.max_duty_cycle(5.0) == 0.0
+
+    def test_max_duty_positive_point_blank(self):
+        budget = HarvestingBudget()
+        assert budget.max_duty_cycle(0.5) > 0.0
+
+    def test_max_duty_capped_at_one(self):
+        # an absurdly efficient harvester at point-blank range
+        budget = HarvestingBudget(
+            rectifier=Rectifier(sensitivity_dbm=-60.0, peak_efficiency=1.0),
+            tx_power_dbm=40.0,
+        )
+        assert budget.max_duty_cycle(0.1) == 1.0
+
+    def test_battery_free_range_monotone_in_duty(self):
+        budget = HarvestingBudget()
+        low_duty = budget.battery_free_range_m(1e-5)
+        high_duty = budget.battery_free_range_m(1e-3)
+        assert low_duty >= high_duty
+
+    def test_battery_free_range_boundary_consistent(self):
+        budget = HarvestingBudget()
+        duty = 1e-4
+        range_m = budget.battery_free_range_m(duty)
+        assert range_m > 0
+        assert budget.max_duty_cycle(range_m * 0.95) >= duty
+        assert budget.max_duty_cycle(range_m * 1.1) < duty
+
+    def test_unreachable_duty_gives_zero_range(self):
+        budget = HarvestingBudget()
+        assert budget.battery_free_range_m(1.0) == 0.0
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError):
+            HarvestingBudget().battery_free_range_m(0.0)
+
+    def test_sustainable_rate_scales_with_modulation(self):
+        budget = HarvestingBudget()
+        qpsk = budget.sustainable_bit_rate_hz(0.8, "QPSK")
+        qam = budget.sustainable_bit_rate_hz(0.8, "16QAM")
+        assert qam > qpsk  # more bits per active symbol
+
+    def test_honest_finding_battery_free_is_short_range(self):
+        # the result this module exists to surface: at mW-class node
+        # power, mmWave harvest sustains kbps-class duty only within
+        # a couple of metres - beyond that a battery/supercap is needed
+        budget = HarvestingBudget()
+        assert budget.battery_free_range_m(5e-5) < 2.5
+
+    def test_sleep_power_gates_the_range(self):
+        frugal = HarvestingBudget(
+            energy_model=TagEnergyModel(standby_power_w=1e-7)
+        )
+        hungry = HarvestingBudget(
+            energy_model=TagEnergyModel(standby_power_w=1e-4)
+        )
+        duty = 1e-6
+        assert frugal.battery_free_range_m(duty) > hungry.battery_free_range_m(duty)

@@ -1,0 +1,138 @@
+"""Tests for repro.core.inventory — the Gen2-style arbitration protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.inventory import (
+    InventorySession,
+    ProtocolTag,
+    QAlgorithm,
+    SlotOutcome,
+    TagProtocolState,
+)
+
+
+class TestProtocolTag:
+    def test_begin_round_arms_tag(self, rng):
+        tag = ProtocolTag(tag_id=1)
+        tag.begin_round(q=4, rng=rng)
+        assert tag.state is TagProtocolState.ARBITRATE
+        assert 0 <= tag.slot_counter < 16
+
+    def test_acknowledged_tag_stays_quiet(self, rng):
+        tag = ProtocolTag(tag_id=1, state=TagProtocolState.ACKNOWLEDGED)
+        tag.begin_round(q=4, rng=rng)
+        assert tag.state is TagProtocolState.ACKNOWLEDGED
+        assert not tag.advance_slot()
+
+    def test_advance_counts_down_then_replies(self, rng):
+        tag = ProtocolTag(tag_id=1)
+        tag.begin_round(q=2, rng=np.random.default_rng(0))
+        replies = [tag.advance_slot() for _ in range(4)]
+        assert sum(replies) <= 1  # replies at most once per round
+        if any(replies):
+            assert tag.state is TagProtocolState.REPLY
+
+    def test_acknowledge_requires_reply_state(self):
+        tag = ProtocolTag(tag_id=1)
+        with pytest.raises(ValueError):
+            tag.acknowledge()
+
+
+class TestQAlgorithm:
+    def test_idle_decreases_q(self):
+        controller = QAlgorithm(q_float=4.0, step=0.5)
+        controller.update(SlotOutcome.IDLE)
+        assert controller.q_float == pytest.approx(3.5)
+
+    def test_collision_increases_q(self):
+        controller = QAlgorithm(q_float=4.0, step=0.5)
+        controller.update(SlotOutcome.COLLISION)
+        assert controller.q_float == pytest.approx(4.5)
+
+    def test_single_leaves_q(self):
+        controller = QAlgorithm(q_float=4.0)
+        controller.update(SlotOutcome.SINGLE)
+        assert controller.q_float == 4.0
+
+    def test_clamped_at_bounds(self):
+        controller = QAlgorithm(q_float=0.0, step=0.5)
+        controller.update(SlotOutcome.IDLE)
+        assert controller.q_float == 0.0
+        controller = QAlgorithm(q_float=15.0, step=0.5)
+        controller.update(SlotOutcome.COLLISION)
+        assert controller.q_float == 15.0
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            QAlgorithm(step=0.0)
+
+
+class TestInventorySession:
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            InventorySession([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            InventorySession([1, 1])
+
+    def test_rejects_bad_read_probability(self):
+        with pytest.raises(ValueError):
+            InventorySession([1], read_success_probability=0.0)
+
+    def test_reads_every_tag_eventually(self):
+        session = InventorySession(list(range(40)))
+        stats = session.run_until_complete(rng=0)
+        assert session.unread_count() == 0
+        assert stats.slots_single >= 40
+
+    def test_slot_accounting_consistent(self):
+        session = InventorySession(list(range(20)))
+        stats = session.run_until_complete(rng=1)
+        assert (
+            stats.slots_idle + stats.slots_single + stats.slots_collision
+            == stats.slots_total
+        )
+
+    def test_efficiency_in_aloha_ballpark(self):
+        # framed slotted ALOHA with an adaptive Q settles near 1/e
+        session = InventorySession(list(range(200)), controller=QAlgorithm(q_float=8.0))
+        stats = session.run_until_complete(rng=2)
+        assert 0.15 < stats.efficiency < 0.5
+
+    def test_q_adapts_down_for_tiny_population(self):
+        session = InventorySession([1, 2], controller=QAlgorithm(q_float=8.0))
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            session.run_round(rng)
+        assert session.controller.q < 8
+
+    def test_lossy_channel_costs_slots_but_completes(self):
+        clean = InventorySession(list(range(30)))
+        clean_stats = clean.run_until_complete(rng=4)
+        lossy = InventorySession(list(range(30)), read_success_probability=0.6)
+        lossy_stats = lossy.run_until_complete(rng=4)
+        assert lossy.unread_count() == 0
+        assert lossy_stats.slots_total > clean_stats.slots_total
+        assert lossy_stats.reads_failed_channel > 0
+
+    def test_round_report_contents(self):
+        session = InventorySession([1, 2, 3])
+        round_result = session.run_round(np.random.default_rng(5))
+        assert len(round_result.outcomes) == 2**round_result.q
+        assert set(round_result.read_tag_ids) <= {1, 2, 3}
+
+    def test_deterministic_given_seed(self):
+        a = InventorySession(list(range(25)))
+        b = InventorySession(list(range(25)))
+        stats_a = a.run_until_complete(rng=7)
+        stats_b = b.run_until_complete(rng=7)
+        assert stats_a == stats_b
+
+    def test_max_rounds_cap_respected(self):
+        session = InventorySession(
+            list(range(50)), controller=QAlgorithm(q_float=0.0, step=0.01)
+        )
+        stats = session.run_until_complete(rng=8, max_rounds=3)
+        assert stats.rounds <= 3

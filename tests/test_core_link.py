@@ -1,0 +1,166 @@
+"""Tests for repro.core.link — the end-to-end chain."""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.channel.blockage import BlockageEvent
+from repro.channel.environment import Environment
+from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.core.tag import TagConfig
+from repro.em.vanatta import VanAttaArray
+
+
+class TestLinkConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"distance_m": 0.0},
+            {"incidence_angle_deg": 90.0},
+            {"incidence_angle_deg": -95.0},
+            {"implementation_loss_db": -1.0},
+        ],
+    )
+    def test_invalid_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkConfig(**kwargs)
+
+    def test_with_distance(self):
+        assert LinkConfig(distance_m=3.0).with_distance(7.0).distance_m == 7.0
+
+    def test_with_modulation(self):
+        assert LinkConfig().with_modulation("ook").tag.modulation == "OOK"
+
+
+class TestAnalyticSnr:
+    def test_d4_slope(self):
+        near = link_snr_db(LinkConfig(distance_m=2.0))
+        far = link_snr_db(LinkConfig(distance_m=4.0))
+        assert near - far == pytest.approx(40.0 * math.log10(2.0), abs=1e-9)
+
+    def test_ook_3db_below_psk(self):
+        psk = link_snr_db(LinkConfig().with_modulation("QPSK"))
+        ook = link_snr_db(LinkConfig().with_modulation("OOK"))
+        assert psk - ook == pytest.approx(3.01, abs=0.01)
+
+    def test_more_pairs_more_snr(self):
+        small = LinkConfig(tag=TagConfig(array=VanAttaArray(num_pairs=2)))
+        large = LinkConfig(tag=TagConfig(array=VanAttaArray(num_pairs=8)))
+        # doubling elements twice: +12 dB on the round trip... (N^2)
+        assert link_snr_db(large) - link_snr_db(small) == pytest.approx(
+            40.0 * math.log10(2.0), abs=0.01
+        )
+
+    def test_higher_symbol_rate_lower_snr(self):
+        slow = LinkConfig(tag=TagConfig(symbol_rate_hz=10e6))
+        fast = LinkConfig(tag=TagConfig(symbol_rate_hz=40e6))
+        assert link_snr_db(slow) - link_snr_db(fast) == pytest.approx(6.02, abs=0.01)
+
+    def test_off_axis_snr_drops(self):
+        assert link_snr_db(LinkConfig(incidence_angle_deg=45.0)) < link_snr_db(
+            LinkConfig(incidence_angle_deg=0.0)
+        )
+
+
+class TestSimulateLink:
+    def test_clean_link_delivers_frame(self, office_link_config):
+        result = simulate_link(office_link_config, num_payload_bits=512, rng=0)
+        assert result.frame_success
+        assert result.ber == 0.0
+        assert result.detected
+
+    def test_measured_snr_matches_analytic(self, office_link_config):
+        result = simulate_link(office_link_config, num_payload_bits=2048, rng=1)
+        assert result.snr_measured_db == pytest.approx(
+            result.snr_analytic_db, abs=1.5
+        )
+
+    def test_deterministic_given_seed(self, office_link_config):
+        a = simulate_link(office_link_config, num_payload_bits=256, rng=42)
+        b = simulate_link(office_link_config, num_payload_bits=256, rng=42)
+        assert a.ber == b.ber
+        assert a.snr_measured_db == b.snr_measured_db
+
+    def test_explicit_payload_used(self, quiet_link_config):
+        payload = np.ones(128, dtype=np.int8)
+        result = simulate_link(quiet_link_config, payload_bits=payload, rng=0)
+        assert result.frame_success
+        assert np.array_equal(result.receiver.payload_bits[:128], payload)
+
+    def test_far_link_fails(self):
+        config = LinkConfig(distance_m=60.0)
+        result = simulate_link(config, num_payload_bits=256, rng=0)
+        assert not result.frame_success
+        assert result.ber > 0.05
+
+    def test_ber_saturates_at_half_when_lost(self):
+        config = LinkConfig(distance_m=200.0)
+        result = simulate_link(config, num_payload_bits=256, rng=0)
+        assert result.ber == pytest.approx(0.5, abs=0.05)
+
+    def test_energy_report_attached(self, office_link_config):
+        result = simulate_link(office_link_config, num_payload_bits=128, rng=0)
+        assert result.energy.energy_per_bit_nj == pytest.approx(2.4, rel=1e-6)
+
+    @pytest.mark.parametrize("modulation", ["OOK", "BPSK", "QPSK", "8PSK", "16QAM"])
+    def test_all_modulations_work_at_close_range(self, modulation):
+        config = LinkConfig(distance_m=2.0).with_modulation(modulation)
+        result = simulate_link(config, num_payload_bits=240, rng=3)
+        assert result.frame_success, modulation
+
+
+class TestImpairments:
+    def test_blockage_kills_midburst_frame(self, office_link_config):
+        config = replace(
+            office_link_config,
+            blockage_events=(BlockageEvent(0.0, 1.0, attenuation_db=30.0),),
+        )
+        result = simulate_link(config, num_payload_bits=512, rng=0)
+        assert not result.frame_success
+
+    def test_mild_blockage_survivable(self, office_link_config):
+        config = replace(
+            office_link_config,
+            distance_m=2.0,
+            blockage_events=(BlockageEvent(0.0, 1.0, attenuation_db=3.0),),
+        )
+        result = simulate_link(config, num_payload_bits=512, rng=0)
+        assert result.frame_success
+
+    def test_strong_multipath_degrades_snr(self, office_link_config):
+        los = simulate_link(office_link_config, num_payload_bits=2048, rng=5)
+        nlos_cfg = replace(office_link_config, rician_k_db=0.0, num_nlos_paths=6)
+        nlos_runs = [
+            simulate_link(nlos_cfg, num_payload_bits=2048, rng=s).snr_measured_db
+            for s in range(5)
+        ]
+        usable = [s for s in nlos_runs if s is not None]
+        assert usable, "all NLOS runs lost sync"
+        assert np.mean(usable) < los.snr_measured_db
+
+    def test_doppler_tolerated_at_walking_speed(self, office_link_config):
+        config = replace(office_link_config, radial_velocity_m_s=-1.5)
+        result = simulate_link(config, num_payload_bits=512, rng=2)
+        assert result.frame_success
+
+    def test_noise_free_has_zero_ber(self, quiet_link_config):
+        result = simulate_link(quiet_link_config, num_payload_bits=512, rng=0)
+        assert result.ber == 0.0
+        assert result.snr_measured_db > 40
+
+
+class TestEnvironmentInteraction:
+    def test_office_clutter_small_penalty(self):
+        quiet = LinkConfig(distance_m=4.0, environment=Environment.anechoic())
+        office = LinkConfig(distance_m=4.0, environment=Environment.typical_office())
+        snr_quiet = simulate_link(quiet, num_payload_bits=2048, rng=9).snr_measured_db
+        snr_office = simulate_link(office, num_payload_bits=2048, rng=9).snr_measured_db
+        assert snr_office > snr_quiet - 3.0
+
+    def test_poor_isolation_still_works_with_dc_block(self):
+        harsh = Environment(tx_rx_isolation_db=20.0)
+        config = LinkConfig(distance_m=3.0, environment=harsh)
+        result = simulate_link(config, num_payload_bits=512, rng=4)
+        assert result.frame_success

@@ -1,0 +1,196 @@
+"""Tests for repro.core.modulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.modulation import (
+    BPSK,
+    OOK,
+    PSK8,
+    QAM16,
+    QPSK,
+    Constellation,
+    TagState,
+    available_schemes,
+    get_scheme,
+)
+
+ALL_SCHEMES = [OOK, BPSK, QPSK, PSK8, QAM16]
+
+
+class TestTagState:
+    def test_terminated_state_zero_reflection(self):
+        state = TagState(None, 0.0)
+        assert state.reflection == 0.0
+        assert state.is_absorptive
+
+    def test_line_state_reflection(self):
+        state = TagState(math.pi / 2, 1.0)
+        assert state.reflection == pytest.approx(1j)
+
+    def test_partial_amplitude(self):
+        state = TagState(0.0, 0.5)
+        assert state.reflection == pytest.approx(0.5)
+
+    def test_rejects_amplitude_out_of_range(self):
+        with pytest.raises(ValueError):
+            TagState(0.0, 1.5)
+
+
+class TestConstellationValidation:
+    def test_rejects_non_power_of_two(self):
+        points = np.array([1.0, -1.0, 1j])
+        labels = np.array([[0, 0], [0, 1], [1, 0]])
+        with pytest.raises(ValueError):
+            Constellation(points, labels)
+
+    def test_rejects_duplicate_labels(self):
+        points = np.array([1.0, -1.0])
+        labels = np.array([[0], [0]])
+        with pytest.raises(ValueError):
+            Constellation(points, labels)
+
+    def test_rejects_wrong_label_width(self):
+        points = np.array([1.0, -1.0])
+        labels = np.array([[0, 0], [0, 1]])
+        with pytest.raises(ValueError):
+            Constellation(points, labels)
+
+
+class TestModulateDemodulate:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_round_trip_is_exact(self, scheme, rng):
+        k = scheme.bits_per_symbol
+        bits = rng.integers(0, 2, size=120 * k).astype(np.int8)
+        symbols = scheme.constellation.modulate(bits)
+        assert np.array_equal(scheme.constellation.demodulate(symbols), bits)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_round_trip_with_small_noise(self, scheme, rng):
+        k = scheme.bits_per_symbol
+        bits = rng.integers(0, 2, size=120 * k).astype(np.int8)
+        symbols = scheme.constellation.modulate(bits)
+        jitter = 0.01 * (
+            rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+        )
+        assert np.array_equal(scheme.constellation.demodulate(symbols + jitter), bits)
+
+    def test_modulate_rejects_partial_symbol(self):
+        with pytest.raises(ValueError):
+            QPSK.constellation.modulate(np.array([0, 1, 0], dtype=np.int8))
+
+    def test_symbol_indices_match_modulate(self, rng):
+        bits = rng.integers(0, 2, size=60).astype(np.int8)
+        indices = QPSK.constellation.symbol_indices(bits)
+        symbols = QPSK.constellation.modulate(bits)
+        assert np.array_equal(QPSK.constellation.points[indices], symbols)
+
+
+class TestGrayCoding:
+    @pytest.mark.parametrize("scheme", [BPSK, QPSK, PSK8], ids=lambda s: s.name)
+    def test_adjacent_psk_points_differ_in_one_bit(self, scheme):
+        m = scheme.constellation.size
+        labels = scheme.constellation.bit_labels
+        for i in range(m):
+            j = (i + 1) % m
+            assert int(np.sum(labels[i] != labels[j])) == 1
+
+
+class TestSchemeProperties:
+    def test_registry_contains_all(self):
+        assert set(available_schemes()) == {"OOK", "BPSK", "QPSK", "8PSK", "16QAM"}
+
+    def test_get_scheme_case_insensitive(self):
+        assert get_scheme("qpsk") is QPSK
+
+    def test_get_scheme_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scheme("64QAM")
+
+    @pytest.mark.parametrize(
+        "scheme,k", [(OOK, 1), (BPSK, 1), (QPSK, 2), (PSK8, 3), (QAM16, 4)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_bits_per_symbol(self, scheme, k):
+        assert scheme.bits_per_symbol == k
+
+    def test_ook_modulation_loss_3db(self):
+        assert OOK.modulation_loss_db() == pytest.approx(3.01, abs=0.01)
+
+    @pytest.mark.parametrize("scheme", [BPSK, QPSK, PSK8], ids=lambda s: s.name)
+    def test_psk_has_no_modulation_loss(self, scheme):
+        assert scheme.modulation_loss_db() == pytest.approx(0.0, abs=1e-9)
+
+    def test_qam16_modulation_loss_positive(self):
+        assert 0.0 < QAM16.modulation_loss_db() < 3.5
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_states_are_passive(self, scheme):
+        for state in scheme.states:
+            assert abs(state.reflection) <= 1.0 + 1e-12
+
+    def test_num_lines(self):
+        assert OOK.num_lines == 1
+        assert BPSK.num_lines == 2
+        assert QPSK.num_lines == 4
+        assert PSK8.num_lines == 8
+        assert QAM16.num_lines == 16
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_average_transitions(self, scheme):
+        m = scheme.constellation.size
+        assert scheme.average_transitions_per_symbol() == pytest.approx(1 - 1 / m)
+
+
+class TestTheoreticalBer:
+    def test_bpsk_known_point(self):
+        # BPSK at 9.6 dB Eb/N0 -> ~1e-5 BER
+        assert BPSK.theoretical_ber(9.6) == pytest.approx(1e-5, rel=0.3)
+
+    def test_qpsk_equals_bpsk_per_bit(self):
+        # At equal Eb/N0 (QPSK Es = 2 Eb) QPSK and BPSK have equal BER.
+        eb_n0_db = 8.0
+        assert QPSK.theoretical_ber(eb_n0_db + 3.01) == pytest.approx(
+            BPSK.theoretical_ber(eb_n0_db), rel=0.01
+        )
+
+    def test_ook_3db_worse_than_bpsk(self):
+        # Equal BER requires ~3 dB more average SNR for OOK.
+        snr = 10.0
+        assert OOK.theoretical_ber(snr + 3.01) == pytest.approx(
+            BPSK.theoretical_ber(snr), rel=0.05
+        )
+
+    def test_ordering_denser_is_worse(self):
+        snr = 12.0
+        bers = [s.theoretical_ber(snr) for s in (BPSK, QPSK, PSK8, QAM16)]
+        assert bers[0] <= bers[1] <= bers[2] <= bers[3]
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_monotone_decreasing_in_snr(self, scheme):
+        bers = [scheme.theoretical_ber(snr) for snr in range(-5, 30, 5)]
+        assert all(a >= b for a, b in zip(bers, bers[1:]))
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_bounded_by_half(self, scheme):
+        assert scheme.theoretical_ber(-20.0) <= 0.5
+
+    def test_union_bound_close_to_exact_for_qpsk_high_snr(self):
+        snr = 14.0
+        exact = QPSK.theoretical_ber(snr)
+        bound = QPSK.constellation.union_bound_ber(snr)
+        assert bound >= exact * 0.99
+        assert bound < exact * 3.0
+
+
+class TestPhysicalConsistency:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_states_realise_constellation(self, scheme):
+        for state, point in zip(scheme.states, scheme.constellation.points):
+            assert state.reflection == pytest.approx(point, abs=1e-12)
+
+    def test_ook_off_state_is_terminated(self):
+        off_index = int(np.argmin(np.abs(OOK.constellation.points)))
+        assert OOK.states[off_index].is_absorptive

@@ -1,0 +1,237 @@
+"""Tests for repro.core.network."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.network import (
+    FdmaPlan,
+    InventoryResult,
+    MmTagNetwork,
+    NetworkTag,
+    TdmaSchedule,
+)
+from repro.core.tag import TagConfig
+
+
+def _make_network(num_tags=3, symbol_rate=2e6, sps=64, **net_kwargs):
+    tags = [
+        NetworkTag(
+            config=TagConfig(
+                tag_id=i, symbol_rate_hz=symbol_rate, samples_per_symbol=sps
+            ),
+            distance_m=2.0 + i,
+            incidence_angle_deg=4.0 * i,
+        )
+        for i in range(num_tags)
+    ]
+    return MmTagNetwork(tags, environment=Environment.anechoic(), **net_kwargs)
+
+
+class TestFdmaPlan:
+    def test_spacing(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6, guard_factor=1.5)
+        assert plan.spacing_hz == pytest.approx(6e6)
+
+    def test_subcarriers_harmonic_safe(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6)
+        for n in (1, 2, 4, 8):
+            subs = plan.subcarriers(n)
+            lowest, highest = subs[0], subs[-1]
+            # third harmonic of the lowest must clear the occupied band
+            assert 3 * lowest > highest + plan.symbol_rate_hz
+
+    def test_subcarriers_distinct_and_spaced(self):
+        subs = FdmaPlan(symbol_rate_hz=2e6).subcarriers(5)
+        diffs = np.diff(subs)
+        assert np.allclose(diffs, FdmaPlan(symbol_rate_hz=2e6).spacing_hz)
+
+    def test_subcarrier_for_index_bounds(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6)
+        with pytest.raises(ValueError):
+            plan.subcarrier_for(-1)
+        with pytest.raises(ValueError):
+            plan.subcarrier_for(3, num_tags=2)
+
+    def test_max_tags_monotone_in_sample_rate(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6)
+        assert plan.max_tags(512e6) >= plan.max_tags(128e6) >= 0
+
+    def test_guard_factor_validation(self):
+        with pytest.raises(ValueError):
+            FdmaPlan(symbol_rate_hz=2e6, guard_factor=0.5)
+
+    def test_explicit_base(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6, base_subcarrier_hz=50e6)
+        assert plan.subcarriers(1)[0] == pytest.approx(50e6)
+
+
+class TestTdmaSchedule:
+    def test_round_robin(self):
+        schedule = TdmaSchedule(tag_ids=(5, 7, 9), slot_duration_s=1e-3)
+        assert [schedule.owner_of_slot(i) for i in range(5)] == [5, 7, 9, 5, 7]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            TdmaSchedule(tag_ids=(1, 1), slot_duration_s=1e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TdmaSchedule(tag_ids=(), slot_duration_s=1e-3)
+
+    def test_rejects_negative_slot_index(self):
+        schedule = TdmaSchedule(tag_ids=(1,), slot_duration_s=1e-3)
+        with pytest.raises(ValueError):
+            schedule.owner_of_slot(-1)
+
+
+class TestNetworkConstruction:
+    def test_rejects_duplicate_ids(self):
+        tags = [
+            NetworkTag(config=TagConfig(tag_id=1), distance_m=2.0),
+            NetworkTag(config=TagConfig(tag_id=1), distance_m=3.0),
+        ]
+        with pytest.raises(ValueError):
+            MmTagNetwork(tags)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MmTagNetwork([])
+
+    def test_network_tag_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            NetworkTag(config=TagConfig(), distance_m=0.0)
+
+
+class TestConcurrentUplink:
+    def test_all_tags_decoded(self):
+        net = _make_network(3)
+        net.assign_subcarriers(FdmaPlan(symbol_rate_hz=2e6))
+        results = net.simulate_concurrent_uplink(num_payload_bits=256, rng=0)
+        assert len(results) == 3
+        for tag_id, (res, ber) in results.items():
+            assert res.success, f"tag {tag_id} failed"
+            assert ber == 0.0
+
+    def test_requires_subcarriers(self):
+        net = _make_network(2)
+        with pytest.raises(ValueError, match="subcarrier"):
+            net.simulate_concurrent_uplink(rng=0)
+
+    def test_requires_common_sample_rate(self):
+        tags = [
+            NetworkTag(
+                config=TagConfig(tag_id=0, subcarrier_hz=12e6, samples_per_symbol=32),
+                distance_m=2.0,
+            ),
+            NetworkTag(
+                config=TagConfig(tag_id=1, subcarrier_hz=18e6, samples_per_symbol=64),
+                distance_m=3.0,
+            ),
+        ]
+        net = MmTagNetwork(tags)
+        with pytest.raises(ValueError, match="sample rate"):
+            net.simulate_concurrent_uplink(rng=0)
+
+    def test_deterministic_given_seed(self):
+        net1 = _make_network(2)
+        net1.assign_subcarriers(FdmaPlan(symbol_rate_hz=2e6))
+        net2 = _make_network(2)
+        net2.assign_subcarriers(FdmaPlan(symbol_rate_hz=2e6))
+        a = net1.simulate_concurrent_uplink(num_payload_bits=128, rng=7)
+        b = net2.simulate_concurrent_uplink(num_payload_bits=128, rng=7)
+        assert {k: v[1] for k, v in a.items()} == {k: v[1] for k, v in b.items()}
+
+
+class TestTdmaInventory:
+    def test_close_tags_deliver_everything(self):
+        net = _make_network(3)
+        result = net.tdma_inventory(num_rounds=20, rng=0)
+        assert result.num_slots == 60
+        for tag_id, delivered in result.delivered_bits.items():
+            assert delivered == result.attempted_bits[tag_id]
+
+    def test_fairness_one_for_equal_tags(self):
+        tags = [
+            NetworkTag(config=TagConfig(tag_id=i), distance_m=3.0) for i in range(4)
+        ]
+        net = MmTagNetwork(tags, environment=Environment.anechoic())
+        result = net.tdma_inventory(num_rounds=10, rng=0)
+        assert result.jain_fairness() == pytest.approx(1.0)
+
+    def test_far_tag_delivers_less(self):
+        tags = [
+            NetworkTag(config=TagConfig(tag_id=0), distance_m=2.0),
+            NetworkTag(config=TagConfig(tag_id=1), distance_m=40.0),
+        ]
+        net = MmTagNetwork(tags, environment=Environment.anechoic())
+        result = net.tdma_inventory(num_rounds=30, rng=0)
+        assert result.delivered_bits[1] < result.delivered_bits[0]
+
+    def test_goodput_positive(self):
+        net = _make_network(2)
+        result = net.tdma_inventory(num_rounds=5, rng=0)
+        assert result.aggregate_goodput_bps > 0
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            _make_network(1).tdma_inventory(num_rounds=0)
+
+
+class TestAlohaDiscovery:
+    def test_discovers_all_eventually(self):
+        net = _make_network(5, sps=8)
+        discovered, slots = net.slotted_aloha_discovery(500, rng=0)
+        assert discovered == {0, 1, 2, 3, 4}
+        assert slots < 500
+
+    def test_deterministic(self):
+        net = _make_network(4, sps=8)
+        a = net.slotted_aloha_discovery(200, rng=3)
+        b = net.slotted_aloha_discovery(200, rng=3)
+        assert a == b
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(ValueError):
+            _make_network(2, sps=8).slotted_aloha_discovery(10, transmit_probability=0.0)
+
+    def test_always_transmit_two_tags_never_discovered(self):
+        # p = 1 with >= 2 tags: every slot collides, nothing discovered.
+        net = _make_network(2, sps=8)
+        discovered, _ = net.slotted_aloha_discovery(50, rng=0, transmit_probability=1.0)
+        assert discovered == set()
+
+
+class TestDiagnostics:
+    def test_per_tag_snr_ordering(self):
+        net = _make_network(3)
+        snrs = net.per_tag_snr_db()
+        assert snrs[0] > snrs[2]  # closer tag, higher SNR
+
+    def test_run_single_link(self):
+        net = _make_network(2, sps=8)
+        result = net.run_single_link(1, num_payload_bits=256, rng=0)
+        assert result.frame_success
+
+    def test_run_single_link_unknown_id(self):
+        with pytest.raises(KeyError):
+            _make_network(1).run_single_link(99)
+
+
+class TestInventoryResult:
+    def test_aggregate_and_per_tag(self):
+        result = InventoryResult(
+            num_slots=10,
+            slot_duration_s=0.1,
+            delivered_bits={1: 500, 2: 1000},
+            attempted_bits={1: 1000, 2: 1000},
+        )
+        assert result.duration_s == pytest.approx(1.0)
+        assert result.aggregate_goodput_bps == pytest.approx(1500.0)
+        assert result.per_tag_goodput_bps()[1] == pytest.approx(500.0)
+
+    def test_jain_bounds(self):
+        unfair = InventoryResult(10, 0.1, {1: 1000, 2: 0}, {1: 1000, 2: 1000})
+        assert 0.5 <= unfair.jain_fairness() <= 0.500001
+        empty = InventoryResult(10, 0.1, {1: 0}, {1: 0})
+        assert empty.jain_fairness() == 0.0

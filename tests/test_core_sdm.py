@@ -1,0 +1,109 @@
+"""Tests for repro.core.sdm — spatial reuse."""
+
+import math
+
+import pytest
+
+from repro.core.sdm import SdmCell, SdmLink
+from repro.em.antenna import patch_element
+from repro.em.array import UniformLinearArray
+
+
+def _pair(separation_deg: float, elements: int = 32, distance: float = 4.0):
+    array = UniformLinearArray(num_elements=elements, element=patch_element(5.0))
+    return [
+        SdmLink(
+            name="left",
+            tag_bearing_deg=-separation_deg / 2,
+            tag_distance_m=distance,
+            ap_array=array,
+        ),
+        SdmLink(
+            name="right",
+            tag_bearing_deg=separation_deg / 2,
+            tag_distance_m=distance,
+            ap_array=array,
+        ),
+    ]
+
+
+class TestSdmLink:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SdmLink(name="x", tag_bearing_deg=0.0, tag_distance_m=0.0)
+        with pytest.raises(ValueError):
+            SdmLink(name="x", tag_bearing_deg=95.0, tag_distance_m=2.0)
+
+    def test_gain_peaks_at_own_tag(self):
+        link = SdmLink(name="x", tag_bearing_deg=20.0, tag_distance_m=3.0)
+        at_tag = link.ap_gain_toward(20.0)
+        away = link.ap_gain_toward(-20.0)
+        assert at_tag > 100 * away
+
+
+class TestSdmCell:
+    def test_rejects_duplicate_names(self):
+        links = _pair(30.0)
+        links[1] = SdmLink(
+            name="left", tag_bearing_deg=15.0, tag_distance_m=4.0,
+            ap_array=links[1].ap_array,
+        )
+        with pytest.raises(ValueError):
+            SdmCell(links)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SdmCell([])
+
+    def test_single_link_sinr_equals_snr(self):
+        cell = SdmCell(_pair(40.0)[:1])
+        report = cell.evaluate()
+        assert report.sinr_db["left"] == pytest.approx(report.snr_db["left"])
+
+    def test_well_separated_links_barely_degrade(self):
+        cell = SdmCell(_pair(60.0))
+        report = cell.evaluate()
+        for name in ("left", "right"):
+            assert report.degradation_db(name) < 1.0
+            assert report.sinr_db[name] > 15.0
+
+    def test_nearly_collinear_links_interfere(self):
+        wide = SdmCell(_pair(60.0)).evaluate()
+        tight = SdmCell(_pair(3.0)).evaluate()
+        assert tight.degradation_db("left") > wide.degradation_db("left") + 3.0
+
+    def test_degradation_non_negative(self):
+        for separation in (5.0, 15.0, 45.0):
+            report = SdmCell(_pair(separation)).evaluate()
+            assert report.degradation_db("left") >= -1e-9
+
+    def test_larger_array_allows_tighter_packing(self):
+        small = SdmCell(_pair(0.0, elements=8)[:1])  # placeholder for API
+        del small
+        sep_small = SdmCell(_pair(10.0, elements=16)).minimum_separation_deg(10.0)
+        sep_large = SdmCell(_pair(10.0, elements=64)).minimum_separation_deg(10.0)
+        assert sep_large < sep_small
+
+    def test_minimum_separation_requires_two_links(self):
+        cell = SdmCell(_pair(30.0)[:1])
+        with pytest.raises(ValueError):
+            cell.minimum_separation_deg()
+
+    def test_minimum_separation_is_sufficient(self):
+        cell = SdmCell(_pair(30.0))
+        separation = cell.minimum_separation_deg(10.0)
+        report = SdmCell(_pair(separation * 1.05)).evaluate()
+        assert report.all_above(10.0)
+
+    def test_all_above_threshold_helper(self):
+        report = SdmCell(_pair(60.0)).evaluate()
+        assert report.all_above(0.0)
+        assert not report.all_above(200.0)
+
+
+class TestPhysicalScaling:
+    def test_snr_falls_with_distance(self):
+        near = SdmCell(_pair(40.0, distance=2.0)).evaluate()
+        far = SdmCell(_pair(40.0, distance=8.0)).evaluate()
+        drop = near.snr_db["left"] - far.snr_db["left"]
+        assert drop == pytest.approx(40.0 * math.log10(4.0), abs=0.5)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.session."""
+
+import numpy as np
+import pytest
+
+from repro.channel.waypoint import RandomWaypointModel, TracePoint
+from repro.core.session import EpochRecord, MobileSession, SessionSummary
+
+
+def _static_trace(distance: float, num_points: int = 4) -> list[TracePoint]:
+    return [
+        TracePoint(time_s=float(k), x_m=distance, y_m=0.0) for k in range(num_points)
+    ]
+
+
+class TestSessionSummary:
+    def _record(self, mcs, ok, bits, t=0.0):
+        return EpochRecord(
+            time_s=t, distance_m=3.0, azimuth_deg=0.0, snr_db=20.0,
+            modulation=mcs, frame_success=ok, delivered_bits=bits,
+        )
+
+    def test_delivered_bits_sum(self):
+        summary = SessionSummary(
+            epochs=[self._record("QPSK", True, 100), self._record("QPSK", False, 0)]
+        )
+        assert summary.delivered_bits == 100
+
+    def test_outage_fraction(self):
+        summary = SessionSummary(
+            epochs=[self._record(None, False, 0), self._record("QPSK", True, 10)]
+        )
+        assert summary.outage_fraction == pytest.approx(0.5)
+
+    def test_frame_success_fraction_ignores_outage(self):
+        summary = SessionSummary(
+            epochs=[
+                self._record(None, False, 0),
+                self._record("QPSK", True, 10),
+                self._record("QPSK", False, 0),
+            ]
+        )
+        assert summary.frame_success_fraction == pytest.approx(0.5)
+
+    def test_mcs_switch_count(self):
+        summary = SessionSummary(
+            epochs=[
+                self._record("16QAM", True, 1),
+                self._record("16QAM", True, 1),
+                self._record("QPSK", True, 1),
+                self._record(None, False, 0),
+                self._record("BPSK", True, 1),
+            ]
+        )
+        assert summary.mcs_switches() == 2
+
+    def test_mean_goodput(self):
+        summary = SessionSummary(
+            epochs=[self._record("QPSK", True, 1000), self._record("QPSK", True, 1000)]
+        )
+        assert summary.mean_goodput_bps(epoch_duration_s=1.0) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            summary.mean_goodput_bps(0.0)
+
+    def test_empty_summary_safe(self):
+        summary = SessionSummary()
+        assert summary.outage_fraction == 0.0
+        assert summary.frame_success_fraction == 0.0
+        assert summary.mean_goodput_bps(1.0) == 0.0
+
+
+class TestMobileSession:
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(ValueError):
+            MobileSession(frame_bits=4)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            MobileSession().run_trace([])
+
+    def test_close_static_trace_delivers_everything(self):
+        session = MobileSession(frame_bits=512)
+        summary = session.run_trace(_static_trace(2.0), rng=0)
+        assert summary.outage_fraction == 0.0
+        assert summary.frame_success_fraction == 1.0
+        assert summary.delivered_bits == 4 * 512
+
+    def test_far_static_trace_is_outage(self):
+        session = MobileSession(frame_bits=512)
+        summary = session.run_trace(_static_trace(40.0), rng=0)
+        assert summary.outage_fraction == 1.0
+        assert summary.delivered_bits == 0
+
+    def test_close_epochs_use_denser_mcs_than_far(self):
+        session = MobileSession(frame_bits=256)
+        trace = _static_trace(1.5, 2) + _static_trace(11.0, 2)
+        summary = session.run_trace(trace, rng=1)
+        near_mcs = summary.epochs[0].modulation
+        far_mcs = summary.epochs[-1].modulation
+        from repro.core.modulation import get_scheme
+
+        assert get_scheme(near_mcs).bits_per_symbol > get_scheme(far_mcs).bits_per_symbol
+
+    def test_azimuth_clipped_to_valid_incidence(self):
+        session = MobileSession(frame_bits=256)
+        trace = [TracePoint(time_s=0.0, x_m=0.1, y_m=3.0)]  # ~88 degrees
+        summary = session.run_trace(trace, rng=0)
+        assert abs(summary.epochs[0].azimuth_deg) <= 85.0
+
+    def test_random_walk_end_to_end(self):
+        model = RandomWaypointModel(x_min=1.5, x_max=6.0, y_min=-2.0, y_max=2.0)
+        session = MobileSession(frame_bits=512)
+        summary = session.run_random_walk(
+            duration_s=6.0, epoch_interval_s=1.0, model=model, rng=3
+        )
+        assert summary.num_epochs == 7
+        assert summary.delivered_bits > 0
+        assert summary.frame_success_fraction > 0.7
+
+    def test_deterministic_given_seed(self):
+        model = RandomWaypointModel()
+        a = MobileSession(frame_bits=256).run_random_walk(4.0, 1.0, model, rng=9)
+        b = MobileSession(frame_bits=256).run_random_walk(4.0, 1.0, model, rng=9)
+        assert a.epochs == b.epochs

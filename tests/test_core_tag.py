@@ -1,0 +1,173 @@
+"""Tests for repro.core.tag."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.framing import PREAMBLE_SYMBOLS
+from repro.core.tag import Tag, TagConfig
+from repro.em.vanatta import VanAttaArray
+from repro.rf.components import RFSwitch
+
+
+class TestTagConfig:
+    def test_defaults_valid(self):
+        config = TagConfig()
+        assert config.sample_rate_hz == pytest.approx(80e6)
+        assert config.scheme.name == "QPSK"
+
+    def test_bit_rate(self):
+        config = TagConfig(modulation="QPSK", symbol_rate_hz=10e6)
+        assert config.bit_rate_hz() == pytest.approx(20e6)
+
+    def test_with_modulation(self):
+        config = TagConfig().with_modulation("ook")
+        assert config.modulation == "OOK"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"symbol_rate_hz": 0.0},
+            {"samples_per_symbol": 1},
+            {"subcarrier_hz": -1.0},
+            {"subcarrier_hz": 5e6},  # below symbol rate
+            {"modulation": "QAM4096"},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises((ValueError, KeyError)):
+            TagConfig(**kwargs)
+
+    def test_subcarrier_needs_enough_oversampling(self):
+        with pytest.raises(ValueError, match="samples_per_symbol too low"):
+            TagConfig(subcarrier_hz=30e6, samples_per_symbol=4)
+
+
+class TestStateSequence:
+    def test_preamble_maps_to_bpsk_states(self, rng):
+        tag = Tag(TagConfig())
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        states = tag.state_sequence(frame)
+        preamble_states = states[: PREAMBLE_SYMBOLS.size]
+        reflections = [s.reflection for s in preamble_states]
+        assert np.allclose(reflections, PREAMBLE_SYMBOLS)
+
+    def test_sequence_length_matches_frame(self, rng):
+        tag = Tag(TagConfig(modulation="8PSK"))
+        frame = tag.make_frame(rng.integers(0, 2, 90).astype(np.int8))
+        assert len(tag.state_sequence(frame)) == frame.num_symbols()
+
+    def test_ook_payload_contains_absorptive_states(self, rng):
+        tag = Tag(TagConfig(modulation="OOK"))
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        payload_states = tag.state_sequence(frame)[26 + 60 :]
+        assert any(s.is_absorptive for s in payload_states)
+
+
+class TestReflectionSequence:
+    def test_magnitude_bounded_by_losses(self, rng):
+        config = TagConfig()
+        tag = Tag(config)
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        reflections = tag.reflection_sequence(frame, 0.0)
+        ceiling = (
+            10 ** (-config.array.line_loss_db / 20)
+            * config.switch.through_amplitude()
+        )
+        assert np.max(np.abs(reflections)) <= ceiling + 1e-12
+
+    def test_terminated_state_shows_switch_leakage(self, rng):
+        config = TagConfig(modulation="OOK")
+        tag = Tag(config)
+        frame = tag.make_frame(np.zeros(64, dtype=np.int8))
+        reflections = tag.reflection_sequence(frame, 0.0)
+        minimum = np.min(np.abs(reflections))
+        assert minimum == pytest.approx(config.switch.leakage_amplitude(), rel=1e-9)
+
+    def test_angle_changes_nothing_for_ideal_array(self, rng):
+        tag = Tag(TagConfig())
+        frame = tag.make_frame(rng.integers(0, 2, 32).astype(np.int8))
+        r0 = tag.reflection_sequence(frame, 0.0)
+        r30 = tag.reflection_sequence(frame, math.radians(30.0))
+        assert np.allclose(r0, r30)
+
+
+class TestBackscatterWaveform:
+    def test_waveform_length(self, rng):
+        config = TagConfig(samples_per_symbol=4)
+        tag = Tag(config)
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        waveform, stats = tag.backscatter_waveform(frame)
+        assert waveform.num_samples == frame.num_symbols() * 4
+        assert stats.num_symbols == frame.num_symbols()
+
+    def test_waveform_passive(self, rng):
+        tag = Tag(TagConfig())
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        waveform, _ = tag.backscatter_waveform(frame)
+        assert np.max(np.abs(waveform.samples)) <= 1.0 + 1e-9
+
+    def test_transition_count_bounded(self, rng):
+        tag = Tag(TagConfig())
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        _, stats = tag.backscatter_waveform(frame)
+        assert 0 < stats.num_rf_transitions < stats.num_symbols
+
+    def test_subcarrier_toggle_accounting(self, rng):
+        config = TagConfig(subcarrier_hz=20e6, samples_per_symbol=16)
+        tag = Tag(config)
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        waveform, stats = tag.backscatter_waveform(frame)
+        expected = round(2 * 20e6 * waveform.duration)
+        assert stats.num_subcarrier_toggles == pytest.approx(expected, abs=2)
+
+    def test_subcarrier_moves_spectrum_off_dc(self, rng):
+        from repro.dsp.spectrum import tone_power
+
+        base_cfg = TagConfig(samples_per_symbol=16)
+        sub_cfg = TagConfig(subcarrier_hz=20e6, samples_per_symbol=16)
+        bits = rng.integers(0, 2, 256).astype(np.int8)
+        base_wf, _ = Tag(base_cfg).backscatter_waveform(Tag(base_cfg).make_frame(bits))
+        sub_wf, _ = Tag(sub_cfg).backscatter_waveform(Tag(sub_cfg).make_frame(bits))
+        band = 8e6
+        base_dc_band = tone_power(base_wf, 0.0, band)
+        sub_dc_band = tone_power(sub_wf, 0.0, band)
+        sub_offset_band = tone_power(sub_wf, 20e6, band) + tone_power(
+            sub_wf, -20e6, band
+        )
+        assert sub_dc_band < 0.2 * base_dc_band
+        assert sub_offset_band > sub_dc_band
+
+    def test_slow_switch_smears_transitions(self, rng):
+        slow = RFSwitch(rise_time_s=200e-9)  # 1.75 MHz bandwidth
+        config = TagConfig(symbol_rate_hz=10e6, samples_per_symbol=8, switch=slow)
+        tag = Tag(config)
+        frame = tag.make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        waveform, _ = tag.backscatter_waveform(frame)
+        fast_cfg = TagConfig(symbol_rate_hz=10e6, samples_per_symbol=8)
+        fast_wf, _ = Tag(fast_cfg).backscatter_waveform(
+            Tag(fast_cfg).make_frame(rng.integers(0, 2, 64).astype(np.int8))
+        )
+        # the slow switch removes high-frequency content
+        from repro.dsp.spectrum import occupied_bandwidth
+
+        assert occupied_bandwidth(waveform) < occupied_bandwidth(fast_wf)
+
+
+class TestLinkBudgetHook:
+    def test_ideal_gain_excludes_line_loss(self):
+        lossy = TagConfig(array=VanAttaArray(num_pairs=4, line_loss_db=3.0))
+        clean = TagConfig(array=VanAttaArray(num_pairs=4, line_loss_db=0.0))
+        assert Tag(lossy).ideal_roundtrip_gain_db(0.0) == pytest.approx(
+            Tag(clean).ideal_roundtrip_gain_db(0.0)
+        )
+
+    def test_ideal_gain_value(self):
+        tag = Tag(TagConfig(array=VanAttaArray(num_pairs=4)))
+        # (8 elements * 3.162 element gain)^2 -> 28.06 dB
+        assert tag.ideal_roundtrip_gain_db(0.0) == pytest.approx(28.06, abs=0.05)
+
+    def test_gain_drops_off_axis(self):
+        tag = Tag(TagConfig())
+        assert tag.ideal_roundtrip_gain_db(math.radians(45)) < tag.ideal_roundtrip_gain_db(0.0)

@@ -1,0 +1,79 @@
+"""Tests for repro.dsp.cfo."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.cfo import correct_cfo, estimate_cfo_from_tone, estimate_phase_offset
+from repro.dsp.signal import Signal
+
+
+class TestEstimateCfo:
+    def test_on_bin_tone_exact(self):
+        fs, n = 1e6, 4096
+        freq = 20 * fs / n
+        sig = Signal.tone(freq, fs, n / fs)
+        assert estimate_cfo_from_tone(sig) == pytest.approx(freq, abs=1.0)
+
+    def test_off_bin_tone_sub_bin_accuracy(self):
+        fs, n = 1e6, 4096
+        bin_width = fs / n
+        freq = 20.3 * bin_width
+        sig = Signal.tone(freq, fs, n / fs)
+        assert estimate_cfo_from_tone(sig) == pytest.approx(freq, abs=bin_width / 4)
+
+    def test_negative_frequency(self):
+        fs, n = 1e6, 2048
+        freq = -37 * fs / n
+        sig = Signal.tone(freq, fs, n / fs)
+        assert estimate_cfo_from_tone(sig) == pytest.approx(freq, abs=fs / n)
+
+    def test_search_band_restricts(self):
+        fs, n = 1e6, 4096
+        sig = Signal.tone(5e3, fs, n / fs) + Signal.tone(300e3, fs, n / fs).scale(5.0)
+        est = estimate_cfo_from_tone(sig, search_bandwidth_hz=50e3)
+        assert est == pytest.approx(5e3, abs=500)
+
+    def test_bad_search_band_raises(self):
+        sig = Signal.tone(1e3, 1e6, 1e-3)
+        with pytest.raises(ValueError):
+            estimate_cfo_from_tone(sig, search_bandwidth_hz=-1.0)
+
+    def test_robust_in_noise(self, rng):
+        fs, n = 1e6, 8192
+        sig = Signal.tone(123e3, fs, n / fs)
+        noisy = Signal(
+            sig.samples + 0.3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n)),
+            fs,
+        )
+        assert estimate_cfo_from_tone(noisy) == pytest.approx(123e3, abs=fs / n)
+
+
+class TestCorrectCfo:
+    def test_estimate_then_correct_leaves_dc(self):
+        fs, n = 1e6, 4096
+        sig = Signal.tone(40e3, fs, n / fs)
+        est = estimate_cfo_from_tone(sig)
+        corrected = correct_cfo(sig, est)
+        assert estimate_cfo_from_tone(corrected) == pytest.approx(0.0, abs=fs / n)
+
+
+class TestPhaseOffset:
+    def test_known_rotation_recovered(self, rng):
+        ref = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        rotated = ref * np.exp(1j * 1.2)
+        assert estimate_phase_offset(rotated, ref) == pytest.approx(1.2, abs=1e-9)
+
+    def test_noise_tolerance(self, rng):
+        ref = np.exp(1j * rng.uniform(0, 2 * np.pi, 4096))
+        rotated = ref * np.exp(1j * -0.7) + 0.05 * (
+            rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+        )
+        assert estimate_phase_offset(rotated, ref) == pytest.approx(-0.7, abs=0.02)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            estimate_phase_offset(np.ones(3), np.ones(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_phase_offset(np.zeros(0), np.zeros(0))

@@ -1,0 +1,122 @@
+"""Tests for repro.dsp.equalizer."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.equalizer import LmsEqualizer, zero_forcing_taps
+
+
+def _isi_channel(symbols: np.ndarray, channel: np.ndarray) -> np.ndarray:
+    return np.convolve(symbols, channel)[: symbols.size]
+
+
+class TestZeroForcing:
+    def test_identity_channel_identity_equalizer(self):
+        taps = zero_forcing_taps(np.array([1.0]), num_taps=5)
+        combined = np.convolve(np.array([1.0]), taps)
+        peak = np.argmax(np.abs(combined))
+        assert abs(combined[peak]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_opens_a_closed_channel(self):
+        channel = np.array([1.0, 0.6])
+        taps = zero_forcing_taps(channel, num_taps=15)
+        combined = np.convolve(channel, taps)
+        peak = int(np.argmax(np.abs(combined)))
+        sidelobes = np.delete(np.abs(combined), peak)
+        assert abs(combined[peak]) == pytest.approx(1.0, rel=0.05)
+        assert np.max(sidelobes) < 0.1
+
+    def test_complex_channel(self):
+        channel = np.array([1.0, 0.4j, -0.2])
+        taps = zero_forcing_taps(channel, num_taps=21)
+        combined = np.convolve(channel, taps)
+        peak = int(np.argmax(np.abs(combined)))
+        assert abs(combined[peak]) > 0.95
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zero_forcing_taps(np.zeros(0), 5)
+        with pytest.raises(ValueError):
+            zero_forcing_taps(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            zero_forcing_taps(np.array([1.0]), 5, delay=99)
+
+
+class TestLmsEqualizer:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            LmsEqualizer(num_taps=0)
+        with pytest.raises(ValueError):
+            LmsEqualizer(step_size=0.0)
+
+    def test_initial_state_is_passthrough(self, rng):
+        eq = LmsEqualizer(num_taps=5)
+        symbols = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        assert np.allclose(eq.apply(symbols), symbols)
+
+    def test_learns_gain_and_phase(self, rng):
+        reference = (2 * rng.integers(0, 2, 64) - 1).astype(complex)
+        received = 0.5 * np.exp(1j * 1.1) * reference
+        eq = LmsEqualizer(num_taps=5, step_size=0.1)
+        mse = eq.train(received, reference, passes=10)
+        assert mse < 1e-2
+        out = eq.apply(received)
+        assert np.allclose(out[2:-2], reference[2:-2], atol=0.15)
+
+    def test_opens_isi_channel(self, rng):
+        reference = (2 * rng.integers(0, 2, 256) - 1).astype(complex)
+        channel = np.array([1.0, 0.5])
+        received = _isi_channel(reference, channel)
+        # without equalization many decisions are near the boundary
+        raw_margin = np.min(np.abs(received.real))
+        eq = LmsEqualizer(num_taps=9, step_size=0.05)
+        eq.train(received, reference, passes=8)
+        out = eq.apply(received)
+        decisions = np.sign(out.real)
+        errors = np.count_nonzero(decisions[4:-4] != reference[4:-4].real)
+        assert errors == 0
+        assert np.min(np.abs(out.real[4:-4])) > raw_margin
+
+    def test_training_shorter_than_taps_rejected(self):
+        eq = LmsEqualizer(num_taps=9)
+        with pytest.raises(ValueError):
+            eq.train(np.ones(4, dtype=complex), np.ones(4, dtype=complex))
+
+    def test_shape_mismatch_rejected(self):
+        eq = LmsEqualizer()
+        with pytest.raises(ValueError):
+            eq.train(np.ones(8, dtype=complex), np.ones(9, dtype=complex))
+
+
+class TestReceiverIntegration:
+    def test_equalizer_rescues_heavy_multipath(self):
+        """The E-ablation behaviour: LMS on vs off under strong ISI."""
+        from dataclasses import replace
+
+        from repro.channel.environment import Environment
+        from repro.core.ap import APConfig
+        from repro.core.link import LinkConfig, simulate_link
+
+        # heavy NLOS: echoes with delays around one symbol period
+        symbol_period = 1 / 10e6
+        base = LinkConfig(distance_m=3.0, environment=Environment.anechoic())
+
+        def run(equalizer_taps: int, seed: int) -> float:
+            cfg = replace(
+                base,
+                ap=APConfig(equalizer_taps=equalizer_taps),
+                rician_k_db=2.0,
+                num_nlos_paths=2,
+                max_excess_delay_s=1.2 * symbol_period,
+            )
+            total_errors = 0
+            total_bits = 0
+            for s in range(6):
+                result = simulate_link(cfg, num_payload_bits=1024, rng=seed + s)
+                total_errors += result.bit_errors
+                total_bits += result.num_payload_bits
+            return total_errors / total_bits
+
+        ber_one_tap = run(0, seed=11)
+        ber_lms = run(9, seed=11)
+        assert ber_lms <= ber_one_tap

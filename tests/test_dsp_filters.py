@@ -1,0 +1,180 @@
+"""Tests for repro.dsp.filters."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    dc_block,
+    design_fir_bandpass,
+    design_fir_highpass,
+    design_fir_lowpass,
+    fir_filter,
+    moving_average,
+    single_pole_lowpass,
+)
+from repro.dsp.signal import Signal
+
+
+def _tone(freq, fs=1e6, duration=2e-3):
+    return Signal.tone(frequency=freq, sample_rate=fs, duration=duration)
+
+
+class TestLowpassDesign:
+    def test_passes_low_frequency(self):
+        taps = design_fir_lowpass(50e3, 1e6, 129)
+        out = fir_filter(_tone(10e3), taps)
+        # ignore edges where the filter has not filled
+        assert out.slice_time(5e-4, 1.5e-3).power() == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_high_frequency(self):
+        taps = design_fir_lowpass(50e3, 1e6, 129)
+        out = fir_filter(_tone(200e3), taps)
+        assert out.slice_time(5e-4, 1.5e-3).power() < 1e-3
+
+    def test_dc_gain_is_unity(self):
+        taps = design_fir_lowpass(50e3, 1e6)
+        assert np.sum(taps) == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("cutoff", [0.0, -10.0, 6e5])
+    def test_rejects_bad_cutoff(self, cutoff):
+        with pytest.raises(ValueError):
+            design_fir_lowpass(cutoff, 1e6)
+
+    def test_rejects_tiny_tap_count(self):
+        with pytest.raises(ValueError):
+            design_fir_lowpass(1e3, 1e6, num_taps=2)
+
+
+class TestHighpassDesign:
+    def test_rejects_dc(self):
+        # windowed designs are not exactly null at DC; -50 dB is plenty
+        taps = design_fir_highpass(100e3, 1e6)
+        assert abs(np.sum(taps)) < 3e-3
+
+    def test_passes_high_frequency(self):
+        taps = design_fir_highpass(50e3, 1e6, 129)
+        out = fir_filter(_tone(300e3), taps)
+        assert out.slice_time(5e-4, 1.5e-3).power() == pytest.approx(1.0, abs=0.05)
+
+    def test_even_taps_bumped_to_odd(self):
+        taps = design_fir_highpass(50e3, 1e6, num_taps=128)
+        assert taps.size % 2 == 1
+
+
+class TestBandpassDesign:
+    def test_passes_in_band(self):
+        taps = design_fir_bandpass(80e3, 120e3, 1e6, 201)
+        out = fir_filter(_tone(100e3), taps)
+        assert out.slice_time(5e-4, 1.5e-3).power() == pytest.approx(1.0, abs=0.1)
+
+    def test_rejects_out_of_band_both_sides(self):
+        taps = design_fir_bandpass(80e3, 120e3, 1e6, 201)
+        for freq in (10e3, 300e3):
+            out = fir_filter(_tone(freq), taps)
+            assert out.slice_time(5e-4, 1.5e-3).power() < 1e-2
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            design_fir_bandpass(120e3, 80e3, 1e6)
+
+
+class TestFirFilter:
+    def test_delay_compensation_keeps_alignment(self):
+        taps = design_fir_lowpass(100e3, 1e6, 65)
+        impulse = Signal(np.concatenate([[1.0], np.zeros(199)]), 1e6)
+        out = fir_filter(impulse, taps, compensate_delay=True)
+        assert int(np.argmax(np.abs(out.samples))) == 0
+
+    def test_without_compensation_peak_at_group_delay(self):
+        taps = design_fir_lowpass(100e3, 1e6, 65)
+        impulse = Signal(np.concatenate([[1.0], np.zeros(199)]), 1e6)
+        out = fir_filter(impulse, taps, compensate_delay=False)
+        assert int(np.argmax(np.abs(out.samples))) == 32
+
+
+class TestDcBlock:
+    def test_removes_constant_offset(self):
+        sig = Signal(np.full(4000, 3.0 + 1j), 1e6)
+        out = dc_block(sig, pole=0.999)
+        assert out.slice_time(1e-3, 4e-3).power() < 1e-8
+
+    def test_no_startup_transient_for_constant_input(self):
+        sig = Signal(np.full(100, 5.0), 1e6)
+        out = dc_block(sig, pole=0.999)
+        assert np.max(np.abs(out.samples)) < 1e-9
+
+    def test_passes_high_frequency_modulation(self):
+        sig = _tone(100e3, fs=1e6, duration=1e-3)
+        out = dc_block(sig, pole=0.999)
+        assert out.power() == pytest.approx(1.0, rel=0.05)
+
+    def test_preserves_modulated_plus_offset(self):
+        tone = _tone(100e3, fs=1e6, duration=1e-3)
+        offset = Signal(np.full(tone.num_samples, 10.0), 1e6)
+        out = dc_block(tone + offset, pole=0.999)
+        # the tone survives, the offset dies
+        assert out.power() == pytest.approx(1.0, rel=0.1)
+
+    @pytest.mark.parametrize("pole", [0.0, 1.0, 1.5, -0.5])
+    def test_rejects_bad_pole(self, pole):
+        with pytest.raises(ValueError):
+            dc_block(Signal.zeros(4, 1e6), pole=pole)
+
+    def test_rejects_bad_init_window(self):
+        with pytest.raises(ValueError):
+            dc_block(Signal.zeros(4, 1e6), init_window=0)
+
+    def test_empty_signal_passthrough(self):
+        out = dc_block(Signal.zeros(0, 1e6))
+        assert out.num_samples == 0
+
+
+class TestMovingAverage:
+    def test_flat_input_unchanged(self):
+        sig = Signal(np.ones(20), 1e6)
+        out = moving_average(sig, 4)
+        assert np.allclose(out.samples[4:], 1.0)
+
+    def test_window_of_one_is_identity(self):
+        sig = Signal(np.arange(5, dtype=float), 1e6)
+        out = moving_average(sig, 1)
+        assert np.allclose(out.samples, sig.samples)
+
+    def test_noise_variance_reduced_by_window(self, rng):
+        noise = rng.standard_normal(200_000) + 1j * rng.standard_normal(200_000)
+        sig = Signal(noise, 1e6)
+        out = moving_average(sig, 8)
+        assert out.power() == pytest.approx(sig.power() / 8.0, rel=0.05)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            moving_average(Signal.zeros(4, 1e6), 0)
+
+
+class TestSinglePoleLowpass:
+    def test_dc_gain_unity(self):
+        sig = Signal(np.ones(50_000), 1e6)
+        out = single_pole_lowpass(sig, 10e3)
+        assert abs(out.samples[-1]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_step_rise_time_matches_bandwidth(self):
+        fs = 1e9
+        bandwidth = 350e6 * 0  # placeholder replaced below
+        bandwidth = 35e6  # tr = 0.35/B = 10 ns
+        step = Signal(np.ones(5000), fs)
+        out = single_pole_lowpass(step, bandwidth)
+        magnitude = np.abs(out.samples)
+        t10 = np.argmax(magnitude >= 0.1) / fs
+        t90 = np.argmax(magnitude >= 0.9) / fs
+        assert (t90 - t10) == pytest.approx(0.35 / bandwidth, rel=0.05)
+
+    def test_attenuates_above_cutoff(self):
+        sig = _tone(200e3, fs=1e6, duration=2e-3)
+        out = single_pole_lowpass(sig, 20e3)
+        # one-pole rolloff: ~20 dB at 10x cutoff
+        steady = out.slice_time(1e-3, 2e-3).power()
+        assert steady == pytest.approx(10 ** (-20 / 10), rel=0.5)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            single_pole_lowpass(Signal.zeros(4, 1e6), 0.0)

@@ -1,0 +1,119 @@
+"""Tests for repro.dsp.goertzel and repro.dsp.agc."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.agc import block_agc, feedback_agc
+from repro.dsp.goertzel import detect_active_subcarriers, goertzel_bin, goertzel_power
+from repro.dsp.signal import Signal
+
+
+class TestGoertzelBin:
+    def test_matches_direct_dft(self, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        for freq in (0.0, 0.125, -0.25, 0.33):
+            direct = np.sum(x * np.exp(-2j * np.pi * freq * np.arange(128)))
+            assert goertzel_bin(x, freq) == pytest.approx(direct, abs=1e-6)
+
+    def test_empty_input(self):
+        assert goertzel_bin(np.zeros(0), 0.1) == 0.0
+
+    def test_rejects_out_of_range_frequency(self):
+        with pytest.raises(ValueError):
+            goertzel_bin(np.ones(4), 0.6)
+
+
+class TestGoertzelPower:
+    def test_unit_tone_gives_one(self):
+        sig = Signal.tone(10e3, 1e6, 1.024e-3)
+        assert goertzel_power(sig, 10e3) == pytest.approx(1.0, abs=1e-3)
+
+    def test_off_frequency_low(self):
+        sig = Signal.tone(10e3, 1e6, 1.024e-3)
+        assert goertzel_power(sig, 200e3) < 1e-4
+
+    def test_rejects_above_nyquist(self):
+        sig = Signal.tone(1e3, 1e6, 1e-4)
+        with pytest.raises(ValueError):
+            goertzel_power(sig, 600e3)
+
+    def test_empty_signal(self):
+        assert goertzel_power(Signal.zeros(0, 1e6), 1e3) == 0.0
+
+
+class TestDetectActiveSubcarriers:
+    def test_finds_the_active_ones(self):
+        sig = Signal.tone(50e3, 1e6, 2e-3) + Signal.tone(150e3, 1e6, 2e-3)
+        candidates = [50e3, 100e3, 150e3, 200e3]
+        active = detect_active_subcarriers(sig, candidates)
+        assert set(active) == {50e3, 150e3}
+
+    def test_empty_candidates(self):
+        sig = Signal.tone(1e3, 1e6, 1e-4)
+        assert detect_active_subcarriers(sig, []) == []
+
+    def test_rejects_bad_threshold(self):
+        sig = Signal.tone(1e3, 1e6, 1e-4)
+        with pytest.raises(ValueError):
+            detect_active_subcarriers(sig, [1e3], threshold_ratio=1.0)
+
+    def test_robust_in_noise(self, rng):
+        sig = Signal.tone(100e3, 1e6, 4e-3)
+        noisy = Signal(
+            sig.samples
+            + 0.05 * (rng.standard_normal(sig.num_samples)
+                      + 1j * rng.standard_normal(sig.num_samples)),
+            1e6,
+        )
+        active = detect_active_subcarriers(noisy, [50e3, 100e3, 200e3, 300e3])
+        assert active == [100e3]
+
+
+class TestBlockAgc:
+    def test_reaches_target_rms(self):
+        sig = Signal(1e-4 * np.ones(100), 1e6)
+        out, gain_db = block_agc(sig, target_rms=1.0)
+        assert out.rms() == pytest.approx(1.0)
+        assert gain_db == pytest.approx(80.0)
+
+    def test_gain_capped(self):
+        sig = Signal(1e-9 * np.ones(100), 1e6)
+        out, gain_db = block_agc(sig, target_rms=1.0, max_gain_db=40.0)
+        assert gain_db == pytest.approx(40.0)
+        assert out.rms() < 1.0
+
+    def test_silence_unchanged(self):
+        out, gain_db = block_agc(Signal.zeros(10, 1e6))
+        assert gain_db == 0.0
+        assert out.power() == 0.0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            block_agc(Signal.zeros(4, 1e6), target_rms=0.0)
+
+
+class TestFeedbackAgc:
+    def test_levels_a_step(self):
+        # amplitude jumps 20x mid-stream; the loop re-levels it
+        samples = np.concatenate([0.05 * np.ones(5000), 1.0 * np.ones(5000)])
+        sig = Signal(samples, 1e6)
+        out = feedback_agc(sig, target_rms=1.0, time_constant_s=50e-6)
+        settled_a = np.abs(out.samples[4000:5000]).mean()
+        settled_b = np.abs(out.samples[9000:]).mean()
+        assert settled_a == pytest.approx(1.0, rel=0.1)
+        assert settled_b == pytest.approx(1.0, rel=0.1)
+
+    def test_preserves_fast_modulation(self):
+        # symbol amplitude structure faster than the loop must survive
+        symbols = np.tile([1.0, 0.4], 500)
+        sig = Signal.from_symbols(symbols, 1e6, 4)
+        out = feedback_agc(sig, target_rms=1.0, time_constant_s=100e-6)
+        tail = np.abs(out.samples[-800:])
+        ratio = tail.max() / tail.min()
+        assert ratio == pytest.approx(2.5, rel=0.2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            feedback_agc(Signal.zeros(4, 1e6), target_rms=-1.0)
+        with pytest.raises(ValueError):
+            feedback_agc(Signal.zeros(4, 1e6), time_constant_s=0.0)

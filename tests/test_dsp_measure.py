@@ -1,0 +1,129 @@
+"""Tests for repro.dsp.measure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.measure import (
+    bit_error_rate,
+    count_bit_errors,
+    evm_rms,
+    evm_to_snr_db,
+    measure_snr,
+    q_function,
+    q_function_inverse,
+    signal_power,
+    signal_power_dbm,
+)
+from repro.dsp.signal import Signal
+
+
+class TestPower:
+    def test_signal_power(self):
+        assert signal_power(Signal(2 * np.ones(5), 1e6)) == pytest.approx(4.0)
+
+    def test_dbm_of_one_milliwatt(self):
+        amp = math.sqrt(1e-3)
+        sig = Signal(np.full(10, amp), 1e6)
+        assert signal_power_dbm(sig) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dbm_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            signal_power_dbm(Signal.zeros(5, 1e6))
+
+
+class TestMeasureSnr:
+    def test_known_snr_recovered(self, rng):
+        n = 200_000
+        ref = (2 * rng.integers(0, 2, n) - 1).astype(complex)
+        noise = (rng.standard_normal(n) + 1j * rng.standard_normal(n)) * math.sqrt(
+            0.05
+        )
+        received = 3.0 * np.exp(1j * 0.4) * ref + noise
+        expected = 10 * math.log10(9.0 / 0.1)
+        assert measure_snr(received, ref) == pytest.approx(expected, abs=0.1)
+
+    def test_gain_and_phase_invariant(self, rng):
+        n = 10_000
+        ref = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        received = 0.01 * np.exp(1j * 2.7) * ref
+        # numerically: residual at double-precision rounding, > 200 dB
+        assert measure_snr(received, ref) > 200.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            measure_snr(np.ones(3), np.ones(4))
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            measure_snr(np.ones(4), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            measure_snr(np.zeros(0), np.zeros(0))
+
+
+class TestEvm:
+    def test_perfect_signal_zero_evm(self, rng):
+        ref = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        assert evm_rms(2.0 * ref, ref) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_evm(self, rng):
+        n = 500_000
+        ref = np.exp(1j * rng.uniform(0, 2 * np.pi, n))
+        error = 0.1 / math.sqrt(2) * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        )
+        assert evm_rms(ref + error, ref) == pytest.approx(0.1, rel=0.05)
+
+    def test_evm_snr_round_trip(self):
+        assert evm_to_snr_db(0.1) == pytest.approx(20.0)
+
+    def test_evm_to_snr_rejects_zero(self):
+        with pytest.raises(ValueError):
+            evm_to_snr_db(0.0)
+
+
+class TestBitErrors:
+    def test_count(self):
+        sent = np.array([0, 1, 1, 0])
+        got = np.array([0, 0, 1, 1])
+        assert count_bit_errors(sent, got) == 2
+
+    def test_rate(self):
+        sent = np.zeros(10, dtype=int)
+        got = np.concatenate([np.ones(2, dtype=int), np.zeros(8, dtype=int)])
+        assert bit_error_rate(sent, got) == pytest.approx(0.2)
+
+    def test_empty_rate_is_zero(self):
+        assert bit_error_rate(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            count_bit_errors(np.zeros(3), np.zeros(4))
+
+
+class TestQFunction:
+    def test_q_of_zero_is_half(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # Q(1) ~ 0.1587
+        assert float(q_function(1.0)) == pytest.approx(0.158655, rel=1e-4)
+
+    def test_symmetry(self):
+        assert float(q_function(-1.0)) == pytest.approx(1.0 - float(q_function(1.0)))
+
+    def test_inverse_round_trip(self):
+        for p in (0.4, 0.1, 1e-3, 1e-6):
+            assert float(q_function(q_function_inverse(p))) == pytest.approx(p, rel=1e-6)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 2.0])
+    def test_inverse_rejects_bad_probability(self, p):
+        with pytest.raises(ValueError):
+            q_function_inverse(p)
+
+    def test_vectorised(self):
+        out = q_function(np.array([0.0, 1.0]))
+        assert out.shape == (2,)

@@ -1,0 +1,113 @@
+"""Tests for repro.dsp.pulse."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.pulse import (
+    matched_filter,
+    raised_cosine_taps,
+    rectangular_taps,
+    root_raised_cosine_taps,
+    shape_symbols,
+)
+from repro.dsp.signal import Signal
+
+
+class TestRectangular:
+    def test_unit_energy(self):
+        taps = rectangular_taps(8)
+        assert np.sum(taps**2) == pytest.approx(1.0)
+
+    def test_rejects_zero_sps(self):
+        with pytest.raises(ValueError):
+            rectangular_taps(0)
+
+
+class TestRaisedCosine:
+    def test_unit_energy(self):
+        taps = raised_cosine_taps(8, 0.35)
+        assert np.linalg.norm(taps) == pytest.approx(1.0)
+
+    def test_nyquist_zero_crossings(self):
+        # RC pulse crosses zero at every non-zero symbol instant.
+        sps = 8
+        taps = raised_cosine_taps(sps, 0.35, span_symbols=10)
+        centre = taps.size // 2
+        for k in range(1, 5):
+            assert abs(taps[centre + k * sps]) < 1e-3 * abs(taps[centre])
+
+    def test_zero_rolloff_is_sinc(self):
+        sps = 4
+        taps = raised_cosine_taps(sps, 0.0, span_symbols=8)
+        centre = taps.size // 2
+        t = np.arange(-(taps.size // 2), taps.size // 2 + 1) / sps
+        expected = np.sinc(t)
+        expected = expected / np.linalg.norm(expected)
+        assert np.allclose(taps, expected)
+        assert np.argmax(taps) == centre
+
+    def test_singular_point_handled(self):
+        # rolloff such that 1/(2*rolloff) lands exactly on a sample
+        taps = raised_cosine_taps(4, 0.5, span_symbols=8)
+        assert np.all(np.isfinite(taps))
+
+    @pytest.mark.parametrize("rolloff", [-0.1, 1.5])
+    def test_rejects_bad_rolloff(self, rolloff):
+        with pytest.raises(ValueError):
+            raised_cosine_taps(8, rolloff)
+
+
+class TestRootRaisedCosine:
+    def test_unit_energy(self):
+        taps = root_raised_cosine_taps(8, 0.35)
+        assert np.linalg.norm(taps) == pytest.approx(1.0)
+
+    def test_rrc_convolved_with_itself_is_nyquist(self):
+        # RRC * RRC = RC: zero ISI at symbol instants.
+        sps = 8
+        taps = root_raised_cosine_taps(sps, 0.35, span_symbols=12)
+        rc = np.convolve(taps, taps)
+        centre = rc.size // 2
+        peak = rc[centre]
+        for k in range(1, 5):
+            assert abs(rc[centre + k * sps]) < 1e-2 * peak
+
+    def test_singular_points_finite(self):
+        taps = root_raised_cosine_taps(4, 0.25, span_symbols=8)
+        assert np.all(np.isfinite(taps))
+
+    def test_zero_rolloff_finite(self):
+        taps = root_raised_cosine_taps(8, 0.0)
+        assert np.all(np.isfinite(taps))
+
+
+class TestShapeAndMatch:
+    def test_shape_output_length(self):
+        symbols = np.array([1, -1, 1, 1], dtype=complex)
+        taps = root_raised_cosine_taps(4, 0.35)
+        sig = shape_symbols(symbols, taps, 4, 1e6)
+        assert sig.num_samples == 16
+        assert sig.sample_rate == pytest.approx(4e6)
+
+    def test_symbol_peaks_at_expected_indices(self):
+        symbols = np.array([1, 0, 0, 0, 1, 0, 0, 0], dtype=complex)
+        taps = raised_cosine_taps(8, 0.35)
+        sig = shape_symbols(symbols, taps, 8, 1e6)
+        magnitude = np.abs(sig.samples)
+        assert magnitude[0] == pytest.approx(np.max(magnitude[:4]), rel=1e-6)
+        assert magnitude[32] > magnitude[36]
+
+    def test_matched_filter_recovers_symbols(self, rng):
+        sps = 8
+        symbols = (2 * rng.integers(0, 2, 64) - 1).astype(complex)
+        taps = root_raised_cosine_taps(sps, 0.35, span_symbols=10)
+        shaped = shape_symbols(symbols, taps, sps, 1e6)
+        matched = matched_filter(shaped, taps)
+        decisions = np.sign(matched.samples[::sps].real)
+        # edge symbols lose pulse tails; check the interior
+        assert np.array_equal(decisions[2:-2], symbols[2:-2].real)
+
+    def test_matched_filter_preserves_length(self):
+        sig = Signal(np.ones(100), 1e6)
+        taps = rectangular_taps(8)
+        assert matched_filter(sig, taps).num_samples == 100

@@ -1,0 +1,60 @@
+"""Tests for repro.dsp.resample."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import decimate_signal, resample_signal
+from repro.dsp.signal import Signal
+
+
+class TestResample:
+    def test_doubling_rate_doubles_samples(self):
+        sig = Signal.tone(10e3, 1e6, 1e-3)
+        up = resample_signal(sig, 2e6)
+        assert up.sample_rate == pytest.approx(2e6)
+        assert up.num_samples == 2 * sig.num_samples
+
+    def test_tone_survives_resampling(self):
+        sig = Signal.tone(10e3, 1e6, 4e-3)
+        up = resample_signal(sig, 2e6)
+        phase = np.unwrap(np.angle(up.samples[100:-100]))
+        freq = np.diff(phase) * up.sample_rate / (2 * np.pi)
+        assert np.median(freq) == pytest.approx(10e3, rel=1e-3)
+
+    def test_identity_when_rates_match(self):
+        sig = Signal.tone(1e3, 1e6, 1e-4)
+        out = resample_signal(sig, 1e6)
+        assert np.array_equal(out.samples, sig.samples)
+        assert out.samples is not sig.samples  # a copy, not a view
+
+    def test_power_preserved(self):
+        sig = Signal.tone(10e3, 1e6, 4e-3)
+        down = resample_signal(sig, 0.5e6)
+        assert down.power() == pytest.approx(sig.power(), rel=0.05)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            resample_signal(Signal.zeros(4, 1e6), 0.0)
+
+
+class TestDecimate:
+    def test_factor_reduces_rate_and_length(self):
+        sig = Signal.tone(1e3, 1e6, 1e-3)
+        out = decimate_signal(sig, 4)
+        assert out.sample_rate == pytest.approx(0.25e6)
+        assert out.num_samples == pytest.approx(sig.num_samples / 4, abs=1)
+
+    def test_factor_one_is_copy(self):
+        sig = Signal.tone(1e3, 1e6, 1e-4)
+        out = decimate_signal(sig, 1)
+        assert np.array_equal(out.samples, sig.samples)
+
+    def test_antialiasing_removes_high_tone(self):
+        # 400 kHz tone aliases without filtering at factor 4 (new Nyquist 125 kHz)
+        sig = Signal.tone(400e3, 1e6, 2e-3)
+        out = decimate_signal(sig, 4)
+        assert out.power() < 0.05
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            decimate_signal(Signal.zeros(4, 1e6), 0)

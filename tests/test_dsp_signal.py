@@ -1,0 +1,178 @@
+"""Tests for repro.dsp.signal."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+
+
+class TestConstruction:
+    def test_real_input_promoted_to_complex(self):
+        sig = Signal(np.ones(4), 1e6)
+        assert np.issubdtype(sig.samples.dtype, np.complexfloating)
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Signal(np.ones((2, 2)), 1e6)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rejects_non_positive_rate(self, rate):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Signal(np.ones(4), rate)
+
+    def test_zeros_constructor(self):
+        sig = Signal.zeros(10, 1e6)
+        assert sig.num_samples == 10
+        assert sig.power() == 0.0
+
+    def test_zeros_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Signal.zeros(-1, 1e6)
+
+
+class TestTone:
+    def test_tone_length_and_power(self):
+        sig = Signal.tone(frequency=1e3, sample_rate=1e6, duration=1e-3)
+        assert sig.num_samples == 1000
+        assert sig.power() == pytest.approx(1.0)
+
+    def test_tone_frequency_is_correct(self):
+        sig = Signal.tone(frequency=5e3, sample_rate=1e6, duration=2e-3)
+        # instantaneous frequency from phase increments
+        phase = np.unwrap(np.angle(sig.samples))
+        freq = np.diff(phase) * sig.sample_rate / (2 * np.pi)
+        assert np.allclose(freq, 5e3)
+
+    def test_negative_frequency_tone(self):
+        sig = Signal.tone(frequency=-5e3, sample_rate=1e6, duration=1e-3)
+        phase = np.unwrap(np.angle(sig.samples))
+        freq = np.diff(phase) * sig.sample_rate / (2 * np.pi)
+        assert np.allclose(freq, -5e3)
+
+    def test_tone_amplitude_and_phase(self):
+        sig = Signal.tone(0.0, 1e6, 1e-5, amplitude=2.0, phase=np.pi / 2)
+        assert sig.samples[0] == pytest.approx(2j)
+
+
+class TestFromSymbols:
+    def test_zero_order_hold_repeats(self):
+        sig = Signal.from_symbols(np.array([1, -1]), symbol_rate=1e6, samples_per_symbol=3)
+        assert np.allclose(sig.samples, [1, 1, 1, -1, -1, -1])
+
+    def test_sample_rate_is_symbolrate_times_sps(self):
+        sig = Signal.from_symbols(np.array([1.0]), 2e6, 4)
+        assert sig.sample_rate == pytest.approx(8e6)
+
+    def test_rejects_zero_sps(self):
+        with pytest.raises(ValueError):
+            Signal.from_symbols(np.array([1.0]), 1e6, 0)
+
+
+class TestBasicProperties:
+    def test_duration(self):
+        sig = Signal.zeros(100, 1e3)
+        assert sig.duration == pytest.approx(0.1)
+
+    def test_time_vector_starts_at_zero_with_step_1_over_fs(self):
+        sig = Signal.zeros(3, 10.0)
+        assert np.allclose(sig.time_vector(), [0.0, 0.1, 0.2])
+
+    def test_power_of_unit_constant(self):
+        sig = Signal(np.ones(8), 1e6)
+        assert sig.power() == pytest.approx(1.0)
+
+    def test_power_of_empty_signal_is_zero(self):
+        assert Signal.zeros(0, 1e6).power() == 0.0
+
+    def test_energy_equals_power_times_duration(self):
+        sig = Signal(2.0 * np.ones(100), 1e3)
+        assert sig.energy() == pytest.approx(sig.power() * sig.duration)
+
+    def test_rms_is_sqrt_power(self):
+        sig = Signal(3.0 * np.ones(5), 1e6)
+        assert sig.rms() == pytest.approx(3.0)
+
+    def test_len_matches_num_samples(self):
+        assert len(Signal.zeros(17, 1e6)) == 17
+
+
+class TestTransforms:
+    def test_scale_by_complex_factor(self):
+        sig = Signal(np.ones(4), 1e6).scale(2j)
+        assert np.allclose(sig.samples, 2j * np.ones(4))
+
+    def test_frequency_shift_moves_tone(self):
+        sig = Signal.tone(0.0, 1e6, 1e-3)
+        shifted = sig.frequency_shift(10e3)
+        phase = np.unwrap(np.angle(shifted.samples))
+        freq = np.diff(phase) * sig.sample_rate / (2 * np.pi)
+        assert np.allclose(freq, 10e3)
+
+    def test_frequency_shift_preserves_power(self):
+        sig = Signal.tone(1e3, 1e6, 1e-3)
+        assert sig.frequency_shift(7e3).power() == pytest.approx(sig.power())
+
+    def test_integer_delay_prepends_zeros(self):
+        sig = Signal(np.array([1.0, 2.0]), 10.0)
+        delayed = sig.delay(0.2)  # two samples
+        assert np.allclose(delayed.samples[:2], 0.0)
+        assert np.allclose(delayed.samples[2:], [1.0, 2.0])
+
+    def test_fractional_delay_shifts_tone_phase(self):
+        fs = 1e6
+        sig = Signal.tone(frequency=1e4, sample_rate=fs, duration=1e-3)
+        delayed = sig.delay(0.5 / fs)
+        expected_phase = -2 * np.pi * 1e4 * 0.5 / fs
+        # compare mid-signal samples (away from wrap effects)
+        ratio = delayed.samples[100] / sig.samples[100]
+        assert np.angle(ratio) == pytest.approx(expected_phase, abs=1e-2)
+
+    def test_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Signal.zeros(4, 1e6).delay(-1e-6)
+
+    def test_slice_time(self):
+        sig = Signal(np.arange(10, dtype=float), 10.0)
+        part = sig.slice_time(0.2, 0.5)
+        assert np.allclose(part.samples.real, [2, 3, 4])
+
+    def test_slice_time_rejects_reversed_bounds(self):
+        with pytest.raises(ValueError):
+            Signal.zeros(4, 1e6).slice_time(1.0, 0.5)
+
+    def test_append_concatenates(self):
+        a = Signal(np.ones(2), 1e6)
+        b = Signal(2 * np.ones(3), 1e6)
+        assert a.append(b).num_samples == 5
+
+    def test_append_rejects_rate_mismatch(self):
+        a = Signal(np.ones(2), 1e6)
+        b = Signal(np.ones(2), 2e6)
+        with pytest.raises(ValueError, match="sample rates differ"):
+            a.append(b)
+
+    def test_pad(self):
+        sig = Signal(np.ones(2), 1e6).pad(1, 3)
+        assert sig.num_samples == 6
+        assert sig.samples[0] == 0 and np.all(sig.samples[3:] == 0)
+
+    def test_pad_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Signal.zeros(2, 1e6).pad(-1, 0)
+
+
+class TestAddition:
+    def test_add_equal_length(self):
+        a = Signal(np.ones(3), 1e6)
+        b = Signal(2 * np.ones(3), 1e6)
+        assert np.allclose((a + b).samples, 3.0)
+
+    def test_add_pads_shorter_operand(self):
+        a = Signal(np.ones(2), 1e6)
+        b = Signal(np.ones(4), 1e6)
+        total = a + b
+        assert np.allclose(total.samples, [2, 2, 1, 1])
+
+    def test_add_rejects_rate_mismatch(self):
+        with pytest.raises(ValueError):
+            Signal(np.ones(2), 1e6) + Signal(np.ones(2), 2e6)

@@ -1,0 +1,118 @@
+"""Tests for repro.dsp.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.dsp.spectrum import (
+    find_spectral_peaks,
+    occupied_bandwidth,
+    power_spectral_density,
+    spectrum,
+    tone_power,
+)
+
+
+def _tone(freq, amp=1.0, fs=1e6, n=4096):
+    t = np.arange(n) / fs
+    return Signal(amp * np.exp(2j * np.pi * freq * t), fs)
+
+
+class TestSpectrum:
+    def test_tone_concentrates_power_in_one_bin(self):
+        fs, n = 1e6, 4096
+        freq = 10 * fs / n  # exactly on a bin
+        freqs, power = spectrum(_tone(freq, fs=fs, n=n))
+        peak = np.argmax(power)
+        assert freqs[peak] == pytest.approx(freq)
+        assert power[peak] == pytest.approx(1.0, rel=1e-6)
+
+    def test_total_power_parseval(self):
+        sig = _tone(25e3, amp=2.0)
+        _, power = spectrum(sig)
+        assert np.sum(power) == pytest.approx(sig.power(), rel=1e-9)
+
+    def test_frequencies_ascending_and_centred(self):
+        freqs, _ = spectrum(_tone(0.0))
+        assert np.all(np.diff(freqs) > 0)
+        assert freqs[0] < 0 < freqs[-1]
+
+    def test_empty_signal_raises(self):
+        with pytest.raises(ValueError):
+            spectrum(Signal.zeros(0, 1e6))
+
+
+class TestPsd:
+    def test_integrated_psd_matches_power(self):
+        sig = _tone(50e3, amp=1.5)
+        freqs, psd = power_spectral_density(sig)
+        df = freqs[1] - freqs[0]
+        assert np.sum(psd) * df == pytest.approx(sig.power(), rel=0.05)
+
+    def test_white_noise_flat(self, rng):
+        noise = rng.standard_normal(100_000) + 1j * rng.standard_normal(100_000)
+        sig = Signal(noise, 1e6)
+        _, psd = power_spectral_density(sig, nperseg=256)
+        assert np.std(psd) / np.mean(psd) < 0.3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            power_spectral_density(Signal.zeros(0, 1e6))
+
+
+class TestPeakFinding:
+    def test_finds_two_tones_strongest_first(self):
+        sig = _tone(100e3, amp=1.0) + _tone(-50e3, amp=0.5)
+        peaks = find_spectral_peaks(sig, num_peaks=2, min_separation_hz=20e3)
+        assert peaks[0][0] == pytest.approx(100e3, abs=500)
+        assert peaks[1][0] == pytest.approx(-50e3, abs=500)
+        assert peaks[0][1] > peaks[1][1]
+
+    def test_dc_exclusion(self):
+        sig = _tone(0.0, amp=10.0) + _tone(80e3, amp=0.1)
+        peaks = find_spectral_peaks(sig, num_peaks=1, exclude_dc_hz=10e3)
+        assert peaks[0][0] == pytest.approx(80e3, abs=500)
+
+    def test_min_separation_suppresses_sidelobes(self):
+        # An off-bin tone leaks into neighbours; min separation should
+        # prevent returning two peaks from the same tone.
+        fs, n = 1e6, 4096
+        freq = 10.5 * fs / n
+        peaks = find_spectral_peaks(
+            _tone(freq, fs=fs, n=n), num_peaks=2, min_separation_hz=5e3
+        )
+        if len(peaks) == 2:
+            assert abs(peaks[0][0] - peaks[1][0]) >= 5e3
+
+    def test_rejects_zero_peaks(self):
+        with pytest.raises(ValueError):
+            find_spectral_peaks(_tone(1e3), num_peaks=0)
+
+
+class TestOccupiedBandwidth:
+    def test_tone_has_narrow_bandwidth(self):
+        assert occupied_bandwidth(_tone(50e3)) < 5e3
+
+    def test_wideband_signal_wider_than_tone(self, rng):
+        noise = rng.standard_normal(50_000) + 1j * rng.standard_normal(50_000)
+        wide = occupied_bandwidth(Signal(noise, 1e6))
+        narrow = occupied_bandwidth(_tone(50e3))
+        assert wide > 50 * narrow
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            occupied_bandwidth(_tone(1e3), fraction=1.5)
+
+
+class TestTonePower:
+    def test_reads_tone_power(self):
+        sig = _tone(100e3, amp=2.0)
+        assert tone_power(sig, 100e3, 10e3) == pytest.approx(4.0, rel=0.01)
+
+    def test_ignores_out_of_window_tone(self):
+        sig = _tone(100e3, amp=2.0)
+        assert tone_power(sig, -100e3, 10e3) < 0.01
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            tone_power(_tone(1e3), 1e3, 0.0)

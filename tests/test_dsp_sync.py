@@ -1,0 +1,116 @@
+"""Tests for repro.dsp.sync."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.dsp.sync import (
+    barker_sequence,
+    correlate_preamble,
+    detect_frame_start,
+    estimate_symbol_timing,
+)
+
+
+class TestBarker:
+    @pytest.mark.parametrize("length", [2, 3, 4, 5, 7, 11, 13])
+    def test_known_lengths_available(self, length):
+        code = barker_sequence(length)
+        assert code.size == length
+        assert set(np.unique(code)) <= {-1.0, 1.0}
+
+    @pytest.mark.parametrize("length", [13, 11, 7])
+    def test_autocorrelation_sidelobes_at_most_one(self, length):
+        code = barker_sequence(length)
+        corr = np.correlate(code, code, mode="full")
+        centre = corr.size // 2
+        sidelobes = np.abs(np.delete(corr, centre))
+        assert np.max(sidelobes) <= 1.0 + 1e-9
+        assert corr[centre] == pytest.approx(length)
+
+    @pytest.mark.parametrize("length", [1, 6, 14, 0])
+    def test_invalid_length_raises(self, length):
+        with pytest.raises(ValueError):
+            barker_sequence(length)
+
+
+def _burst(preamble, sps, offset, total, amplitude=1.0, phase=0.0):
+    template = np.repeat(preamble.astype(complex), sps) * amplitude * np.exp(1j * phase)
+    samples = np.zeros(total, dtype=complex)
+    samples[offset : offset + template.size] = template
+    return Signal(samples, 1e6)
+
+
+class TestCorrelatePreamble:
+    def test_peak_at_burst_offset(self):
+        preamble = barker_sequence(13)
+        sig = _burst(preamble, 4, offset=100, total=400)
+        corr = correlate_preamble(sig, preamble, 4)
+        assert int(np.argmax(corr)) == 100
+
+    def test_peak_invariant_to_carrier_phase(self):
+        preamble = barker_sequence(13)
+        sig = _burst(preamble, 4, offset=77, total=300, phase=2.1)
+        corr = correlate_preamble(sig, preamble, 4)
+        assert int(np.argmax(corr)) == 77
+
+    def test_rejects_zero_sps(self):
+        with pytest.raises(ValueError):
+            correlate_preamble(Signal.zeros(10, 1e6), barker_sequence(7), 0)
+
+
+class TestDetectFrameStart:
+    def test_detects_clean_burst(self):
+        preamble = barker_sequence(13)
+        sig = _burst(preamble, 8, offset=200, total=1000)
+        assert detect_frame_start(sig, preamble, 8) == 200
+
+    def test_detects_in_noise(self, rng):
+        preamble = barker_sequence(13)
+        sig = _burst(preamble, 8, offset=300, total=1200, amplitude=1.0)
+        noisy = Signal(
+            sig.samples
+            + 0.2 * (rng.standard_normal(1200) + 1j * rng.standard_normal(1200)),
+            1e6,
+        )
+        assert detect_frame_start(noisy, preamble, 8) == 300
+
+    def test_returns_none_for_pure_noise(self, rng):
+        noise = Signal(
+            rng.standard_normal(2000) + 1j * rng.standard_normal(2000), 1e6
+        )
+        preamble = barker_sequence(13)
+        assert detect_frame_start(noise, preamble, 8, threshold_ratio=6.0) is None
+
+    def test_returns_none_for_empty_signal(self):
+        assert detect_frame_start(Signal.zeros(0, 1e6), barker_sequence(7), 4) is None
+
+
+class TestSymbolTiming:
+    def test_finds_correct_offset(self):
+        # Symbols with energy only in their hold region; offset by 3
+        sps = 8
+        symbols = np.ones(50, dtype=complex)
+        samples = np.zeros(3 + 50 * sps, dtype=complex)
+        samples[3 :: 1] = 0  # noqa: E203 - keep zeros
+        template = np.repeat(symbols, sps)
+        samples[3 : 3 + template.size] = template
+        # zero out one sample per symbol except the hold to bias timing
+        sig = Signal(samples, 1e6)
+        offset = estimate_symbol_timing(sig, sps)
+        assert 0 <= offset < sps
+
+    def test_prefers_high_energy_phase(self):
+        sps = 4
+        # energy only at offset-2 samples of each symbol
+        samples = np.zeros(400, dtype=complex)
+        samples[2::sps] = 1.0
+        sig = Signal(samples, 1e6)
+        assert estimate_symbol_timing(sig, sps) == 2
+
+    def test_empty_signal_returns_zero(self):
+        assert estimate_symbol_timing(Signal.zeros(0, 1e6), 4) == 0
+
+    def test_rejects_zero_sps(self):
+        with pytest.raises(ValueError):
+            estimate_symbol_timing(Signal.zeros(10, 1e6), 0)

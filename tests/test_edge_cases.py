@@ -1,0 +1,184 @@
+"""Assorted edge-case coverage across modules.
+
+Each test pins a boundary behaviour a refactor could silently change:
+degenerate sizes, exact thresholds, metadata propagation, and the
+receiver's partial-failure paths.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.ap import AccessPoint, APConfig, ReceiverResult
+from repro.core.framing import HEADER_TOTAL_BITS, PREAMBLE_SYMBOLS
+from repro.core.link import LinkConfig, simulate_link
+from repro.core.network import FdmaPlan
+from repro.core.tag import Tag, TagConfig, square_subcarrier_wave
+from repro.dsp.signal import Signal
+from repro.em.vanatta import VanAttaArray
+
+
+class TestSignalMetadata:
+    def test_scale_preserves_metadata(self):
+        sig = Signal(np.ones(4), 1e6, metadata={"origin": "tag3"})
+        assert sig.scale(2.0).metadata == {"origin": "tag3"}
+
+    def test_frequency_shift_preserves_metadata(self):
+        sig = Signal(np.ones(4), 1e6, metadata={"k": 1})
+        assert sig.frequency_shift(1e3).metadata == {"k": 1}
+
+    def test_metadata_copied_not_shared(self):
+        sig = Signal(np.ones(4), 1e6, metadata={"k": 1})
+        copy = sig.scale(1.0)
+        copy.metadata["k"] = 2
+        assert sig.metadata["k"] == 1
+
+    def test_slice_time_clamps_to_bounds(self):
+        sig = Signal(np.arange(10, dtype=float), 10.0)
+        part = sig.slice_time(-5.0, 100.0)
+        assert part.num_samples == 10
+
+
+class TestReceiverPartialFailures:
+    def test_decode_stream_too_short_not_detected(self):
+        ap = AccessPoint(APConfig(adc=None))
+        short = np.ones(PREAMBLE_SYMBOLS.size, dtype=complex)
+        result = ap.decode_symbol_stream(short, start=0)
+        assert not result.detected
+
+    def test_zero_gain_stream_detected_but_undecoded(self):
+        ap = AccessPoint(APConfig(adc=None))
+        silent = np.zeros(PREAMBLE_SYMBOLS.size + HEADER_TOTAL_BITS + 8, dtype=complex)
+        result = ap.decode_symbol_stream(silent, start=5)
+        assert result.detected
+        assert not result.header_ok
+        assert result.start_sample == 5
+
+    def test_result_success_requires_both_flags(self):
+        result = ReceiverResult(detected=True, header_ok=True, payload_crc_ok=False)
+        assert not result.success
+        result = ReceiverResult(detected=True, header_ok=False, payload_crc_ok=True)
+        assert not result.success
+
+    def test_capture_on_pure_noise_returns_none(self, rng):
+        ap = AccessPoint(APConfig(adc=None))
+        noise = Signal(
+            1e-6 * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000)), 80e6
+        )
+        assert ap.capture_symbols(noise, samples_per_symbol=8) is None
+
+
+class TestTagEdgeCases:
+    def test_empty_payload_frame_still_has_preamble_and_header(self):
+        tag = Tag(TagConfig(samples_per_symbol=4))
+        frame = tag.make_frame(np.zeros(0, dtype=np.int8))
+        waveform, stats = tag.backscatter_waveform(frame)
+        minimum = PREAMBLE_SYMBOLS.size + HEADER_TOTAL_BITS
+        assert stats.num_symbols >= minimum
+        assert waveform.num_samples == stats.num_symbols * 4
+
+    def test_empty_payload_round_trips(self):
+        tag = Tag(TagConfig(samples_per_symbol=8))
+        frame = tag.make_frame(np.zeros(0, dtype=np.int8))
+        waveform, _ = tag.backscatter_waveform(frame)
+        sig = waveform.scale(1e-3).pad(256, 256)
+        result = AccessPoint(APConfig(adc=None)).receive_burst(sig, 8)
+        assert result.success
+        assert result.payload_bits.size == frame.payload_bits.size
+
+    def test_single_bit_payload(self):
+        tag = Tag(TagConfig(modulation="BPSK", samples_per_symbol=8))
+        frame = tag.make_frame(np.array([1], dtype=np.int8))
+        waveform, _ = tag.backscatter_waveform(frame)
+        sig = waveform.scale(1e-3).pad(256, 256)
+        result = AccessPoint(APConfig(adc=None)).receive_burst(sig, 8)
+        assert result.success
+        assert result.payload_bits[0] == 1
+
+    def test_square_wave_first_sample_positive(self):
+        wave = square_subcarrier_wave(8, 1e8, 12.5e6)
+        assert wave[0] == 1.0
+
+    def test_waveform_stats_duration_consistent(self):
+        config = TagConfig(samples_per_symbol=4)
+        tag = Tag(config)
+        frame = tag.make_frame(np.zeros(64, dtype=np.int8))
+        waveform, stats = tag.backscatter_waveform(frame)
+        assert stats.duration_s == pytest.approx(waveform.duration)
+
+
+class TestVanAttaEdgeCases:
+    def test_single_pair_array(self):
+        array = VanAttaArray(num_pairs=1, line_loss_db=0.0)
+        expected = (2 * array.element.boresight_gain) ** 2
+        assert array.monostatic_gain(0.0) == pytest.approx(expected, rel=1e-9)
+
+    def test_gain_at_grazing_angle_far_below_broadside(self):
+        array = VanAttaArray(num_pairs=4)
+        grazing = array.monostatic_gain_db(math.radians(89.999))
+        assert grazing < array.monostatic_gain_db(0.0) - 50.0
+
+    def test_gain_exactly_behind_is_zero(self):
+        array = VanAttaArray(num_pairs=4)
+        assert array.monostatic_gain(math.radians(120.0)) == 0.0
+
+
+class TestFdmaPlanEdgeCases:
+    def test_single_tag_plan(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6)
+        subs = plan.subcarriers(1)
+        assert len(subs) == 1
+        assert subs[0] >= plan.symbol_rate_hz
+
+    def test_max_tags_zero_when_rate_too_low(self):
+        plan = FdmaPlan(symbol_rate_hz=2e6)
+        assert plan.max_tags(sample_rate_hz=8e6) == 0
+
+    def test_rejects_zero_tag_request(self):
+        with pytest.raises(ValueError):
+            FdmaPlan(symbol_rate_hz=1e6).subcarriers(0)
+
+
+class TestLinkEdgeCases:
+    def test_minimum_distance_works(self):
+        config = LinkConfig(distance_m=0.2, environment=Environment.anechoic())
+        result = simulate_link(config, num_payload_bits=128, rng=0)
+        assert result.frame_success
+
+    def test_payload_not_multiple_of_bits_per_symbol(self):
+        # 13 bits on QPSK: frame build pads; chain must round trip
+        config = LinkConfig(distance_m=2.0)
+        payload = np.ones(13, dtype=np.int8)
+        result = simulate_link(config, payload_bits=payload, rng=1)
+        assert result.frame_success
+        assert np.array_equal(result.receiver.payload_bits[:13], payload)
+
+    def test_noise_free_interference_free_is_errorless_at_any_range(self):
+        config = LinkConfig(
+            distance_m=30.0,
+            environment=Environment.anechoic(),
+            include_noise=False,
+            phase_noise=None,
+        )
+        result = simulate_link(config, num_payload_bits=256, rng=0)
+        assert result.ber == 0.0
+
+    def test_angle_sign_symmetric(self):
+        plus = LinkConfig(distance_m=4.0, incidence_angle_deg=30.0)
+        minus = LinkConfig(distance_m=4.0, incidence_angle_deg=-30.0)
+        from repro.core.link import link_snr_db
+
+        assert link_snr_db(plus) == pytest.approx(link_snr_db(minus))
+
+
+class TestEnvironmentEdgeCases:
+    def test_zero_isolation_allowed(self):
+        env = Environment(tx_rx_isolation_db=0.0)
+        assert env.total_clutter_power(1.0) == pytest.approx(1.0)
+
+    def test_interference_waveform_zero_samples(self, rng):
+        env = Environment.typical_office()
+        wave = env.interference_waveform(0, 1e6, 1.0, rng)
+        assert wave.num_samples == 0

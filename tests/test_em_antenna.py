@@ -1,0 +1,76 @@
+"""Tests for repro.em.antenna."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.em.antenna import AntennaElement, horn_antenna, isotropic_element, patch_element
+
+
+class TestIsotropic:
+    def test_gain_is_unity_everywhere(self):
+        el = isotropic_element()
+        angles = np.linspace(-np.pi, np.pi, 17)
+        assert np.allclose(el.gain(angles), 1.0)
+
+    def test_beamwidth_is_full_circle(self):
+        assert isotropic_element().half_power_beamwidth_deg() == 360.0
+
+
+class TestPatch:
+    def test_boresight_gain_matches_spec(self):
+        el = patch_element(5.0)
+        assert float(el.gain_db(0.0)) == pytest.approx(5.0, abs=1e-9)
+
+    def test_gain_monotonically_decreases_off_boresight(self):
+        el = patch_element(5.0)
+        angles = np.radians(np.linspace(0, 85, 18))
+        gains = el.gain(angles)
+        assert np.all(np.diff(gains) < 0)
+
+    def test_zero_gain_behind(self):
+        el = patch_element(5.0)
+        assert float(el.gain(np.pi)) == 0.0
+        assert float(el.gain(np.radians(91))) == 0.0
+
+    def test_pattern_integrates_to_isotropic_power(self):
+        # Directivity consistency: average of G over the sphere = 1.
+        el = patch_element(5.0)
+        theta = np.linspace(0, np.pi, 20_000)
+        gains = el.gain(theta)
+        average = np.trapezoid(gains * np.sin(theta), theta) / 2.0
+        assert average == pytest.approx(1.0, rel=0.01)
+
+    def test_beamwidth_reasonable_for_5dbi(self):
+        # cos^2q model: a 5 dBi element is a broad radiator (~145 deg)
+        bw = patch_element(5.0).half_power_beamwidth_deg()
+        assert 60 < bw < 160
+
+    def test_amplitude_is_sqrt_gain(self):
+        el = patch_element(5.0)
+        theta = 0.3
+        assert float(el.amplitude(theta)) == pytest.approx(
+            math.sqrt(float(el.gain(theta)))
+        )
+
+
+class TestHorn:
+    def test_default_20dbi(self):
+        assert horn_antenna().gain_dbi == 20.0
+
+    def test_narrower_than_patch(self):
+        assert (
+            horn_antenna(20.0).half_power_beamwidth_deg()
+            < patch_element(5.0).half_power_beamwidth_deg()
+        )
+
+
+class TestValidation:
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            AntennaElement(gain_dbi=-3.0)
+
+    def test_gain_db_is_negative_infinity_behind(self):
+        el = patch_element(5.0)
+        assert float(el.gain_db(np.pi)) == -math.inf

@@ -1,0 +1,100 @@
+"""Tests for repro.em.array."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.em.antenna import patch_element
+from repro.em.array import UniformLinearArray, array_factor, half_power_beamwidth_deg
+
+
+class TestArrayFactor:
+    def test_peak_is_n_at_broadside(self):
+        af = array_factor(8, DEFAULT_WAVELENGTH_M / 2, DEFAULT_WAVELENGTH_M, 0.0)
+        assert abs(af) == pytest.approx(8.0)
+
+    def test_steering_moves_peak(self):
+        steer = np.radians(20.0)
+        af_at_steer = array_factor(
+            8, DEFAULT_WAVELENGTH_M / 2, DEFAULT_WAVELENGTH_M, steer, steer_rad=steer
+        )
+        assert abs(af_at_steer) == pytest.approx(8.0)
+
+    def test_nulls_exist_off_peak(self):
+        # First null of an 8-element half-wave ULA at sin(theta) = 1/4
+        theta_null = np.arcsin(2.0 / 8.0)
+        af = array_factor(8, DEFAULT_WAVELENGTH_M / 2, DEFAULT_WAVELENGTH_M, theta_null)
+        assert abs(af) < 1e-9
+
+    def test_weights_change_pattern(self):
+        taper = np.hamming(8)
+        uniform = array_factor(
+            8, DEFAULT_WAVELENGTH_M / 2, DEFAULT_WAVELENGTH_M, np.radians(12.0)
+        )
+        tapered = array_factor(
+            8,
+            DEFAULT_WAVELENGTH_M / 2,
+            DEFAULT_WAVELENGTH_M,
+            np.radians(12.0),
+            weights=taper,
+        )
+        assert abs(tapered) != pytest.approx(abs(uniform), rel=1e-3)
+
+    def test_vectorised_over_theta(self):
+        thetas = np.linspace(-1, 1, 11)
+        af = array_factor(4, DEFAULT_WAVELENGTH_M / 2, DEFAULT_WAVELENGTH_M, thetas)
+        assert af.shape == (11,)
+
+    def test_wrong_weight_count_raises(self):
+        with pytest.raises(ValueError):
+            array_factor(4, 1e-3, 1e-2, 0.0, weights=np.ones(3))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_elements": 0},
+        {"spacing_m": 0.0},
+        {"wavelength_m": -1.0},
+    ])
+    def test_invalid_geometry_raises(self, kwargs):
+        defaults = dict(
+            num_elements=4, spacing_m=1e-3, wavelength_m=1e-2, theta_rad=0.0
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            array_factor(**defaults)
+
+
+class TestBeamwidth:
+    def test_formula(self):
+        bw = half_power_beamwidth_deg(8, DEFAULT_WAVELENGTH_M / 2, DEFAULT_WAVELENGTH_M)
+        assert bw == pytest.approx(np.degrees(0.886 / 4.0), rel=1e-6)
+
+    def test_larger_array_narrower_beam(self):
+        small = half_power_beamwidth_deg(4, 6e-3, 12e-3)
+        large = half_power_beamwidth_deg(16, 6e-3, 12e-3)
+        assert large < small
+
+
+class TestUniformLinearArray:
+    def test_boresight_gain_n_times_element(self):
+        ula = UniformLinearArray(num_elements=8, element=patch_element(5.0))
+        expected_db = 5.0 + 10 * np.log10(8)
+        assert ula.boresight_gain_dbi() == pytest.approx(expected_db, abs=0.01)
+
+    def test_steered_gain_near_peak_when_aligned(self):
+        ula = UniformLinearArray(num_elements=8, element=patch_element(5.0))
+        steer = np.radians(15.0)
+        aligned = float(ula.gain_db(steer, steer_rad=steer))
+        broadside = ula.boresight_gain_dbi()
+        # element roll-off only; array factor fully recovered
+        assert aligned > broadside - 1.5
+
+    def test_gain_far_down_in_null(self):
+        ula = UniformLinearArray(num_elements=8)
+        theta_null = np.arcsin(2.0 / 8.0)
+        assert float(ula.gain_db(theta_null)) < -40
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            UniformLinearArray(num_elements=0)
+        with pytest.raises(ValueError):
+            UniformLinearArray(num_elements=4, spacing_m=-1.0)

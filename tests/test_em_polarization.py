@@ -1,0 +1,64 @@
+"""Tests for repro.em.polarization."""
+
+import math
+
+import pytest
+
+from repro.em.polarization import (
+    max_roll_for_loss_db,
+    polarization_loss,
+    polarization_loss_db,
+    roundtrip_polarization_loss_db,
+)
+
+
+class TestOneWayLoss:
+    def test_aligned_is_lossless(self):
+        assert polarization_loss(0.0) == pytest.approx(1.0)
+        assert polarization_loss_db(0.0) == pytest.approx(0.0)
+
+    def test_45_degrees_is_3db(self):
+        assert polarization_loss_db(math.radians(45.0)) == pytest.approx(3.01, abs=0.01)
+
+    def test_cross_pol_floored_at_30db(self):
+        assert polarization_loss_db(math.radians(90.0)) == pytest.approx(30.0)
+
+    def test_monotone_to_90(self):
+        losses = [polarization_loss_db(math.radians(a)) for a in (0, 20, 40, 60, 80)]
+        assert losses == sorted(losses)
+
+
+class TestRoundTrip:
+    def test_double_the_one_way(self):
+        angle = math.radians(30.0)
+        assert roundtrip_polarization_loss_db(angle) == pytest.approx(
+            2 * polarization_loss_db(angle)
+        )
+
+    def test_45_degrees_costs_6db_roundtrip(self):
+        assert roundtrip_polarization_loss_db(math.radians(45.0)) == pytest.approx(
+            6.02, abs=0.02
+        )
+
+
+class TestMountingBudget:
+    def test_inverse_of_roundtrip_loss(self):
+        budget = 3.0
+        roll = max_roll_for_loss_db(budget)
+        assert roundtrip_polarization_loss_db(roll) == pytest.approx(budget, abs=0.01)
+
+    def test_zero_budget_zero_roll(self):
+        assert max_roll_for_loss_db(0.0) == pytest.approx(0.0)
+
+    def test_generous_budget_capped_by_floor(self):
+        roll = max_roll_for_loss_db(100.0)
+        assert roll <= math.radians(90.0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            max_roll_for_loss_db(-1.0)
+
+    def test_practical_mounting_answer(self):
+        # a 1 dB round-trip budget allows ~19 degrees of roll
+        roll_deg = math.degrees(max_roll_for_loss_db(1.0))
+        assert 17.0 < roll_deg < 22.0

@@ -1,0 +1,127 @@
+"""Tests for repro.em.propagation."""
+
+
+import pytest
+
+from repro.constants import DEFAULT_CARRIER_HZ
+from repro.em.propagation import (
+    LinkBudget,
+    backscatter_link_budget,
+    backscatter_received_power_dbm,
+    free_space_path_loss_db,
+    friis_received_power_dbm,
+    two_ray_gain,
+)
+
+
+class TestFspl:
+    def test_known_value_at_1m_24ghz(self):
+        # FSPL(1 m, 24.125 GHz) = 20*log10(4*pi/lambda) ~ 60.1 dB
+        assert free_space_path_loss_db(1.0, DEFAULT_CARRIER_HZ) == pytest.approx(
+            60.1, abs=0.2
+        )
+
+    def test_20db_per_decade(self):
+        one = free_space_path_loss_db(1.0, DEFAULT_CARRIER_HZ)
+        ten = free_space_path_loss_db(10.0, DEFAULT_CARRIER_HZ)
+        assert ten - one == pytest.approx(20.0, abs=1e-9)
+
+    def test_higher_frequency_higher_loss(self):
+        assert free_space_path_loss_db(5.0, 60e9) > free_space_path_loss_db(5.0, 24e9)
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 24e9)
+
+
+class TestFriis:
+    def test_composition(self):
+        power = friis_received_power_dbm(20.0, 10.0, 10.0, 2.0, DEFAULT_CARRIER_HZ)
+        expected = 40.0 - free_space_path_loss_db(2.0, DEFAULT_CARRIER_HZ)
+        assert power == pytest.approx(expected)
+
+
+class TestBackscatterBudget:
+    def test_d4_slope(self):
+        kwargs = dict(
+            tx_power_dbm=20.0,
+            ap_tx_gain_dbi=20.0,
+            ap_rx_gain_dbi=20.0,
+            tag_roundtrip_gain_db=26.0,
+            carrier_hz=DEFAULT_CARRIER_HZ,
+        )
+        p1 = backscatter_received_power_dbm(distance_m=1.0, **kwargs)
+        p10 = backscatter_received_power_dbm(distance_m=10.0, **kwargs)
+        assert p1 - p10 == pytest.approx(40.0, abs=1e-9)
+
+    def test_modulation_loss_subtracts(self):
+        base = backscatter_received_power_dbm(20, 20, 20, 26, 4.0, DEFAULT_CARRIER_HZ)
+        with_loss = backscatter_received_power_dbm(
+            20, 20, 20, 26, 4.0, DEFAULT_CARRIER_HZ, modulation_loss_db=3.0
+        )
+        assert base - with_loss == pytest.approx(3.0)
+
+    def test_backscatter_weaker_than_one_way(self):
+        one_way = friis_received_power_dbm(20, 20, 20, 4.0, DEFAULT_CARRIER_HZ)
+        roundtrip = backscatter_received_power_dbm(
+            20, 20, 20, 26.0, 4.0, DEFAULT_CARRIER_HZ
+        )
+        assert roundtrip < one_way
+
+
+class TestLinkBudgetObject:
+    def test_snr_is_rx_minus_noise(self):
+        budget = LinkBudget(4.0, received_power_dbm=-60.0, noise_power_dbm=-98.0)
+        assert budget.snr_db == pytest.approx(38.0)
+        assert budget.snr_linear() == pytest.approx(10**3.8)
+
+    def test_budget_function_noise_floor(self):
+        budget = backscatter_link_budget(
+            distance_m=4.0,
+            tag_roundtrip_gain_db=26.0,
+            bandwidth_hz=10e6,
+            noise_figure_db=6.0,
+        )
+        # -174 + 70 + 6 = -98 dBm
+        assert budget.noise_power_dbm == pytest.approx(-98.0, abs=0.1)
+
+    def test_budget_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            backscatter_link_budget(4.0, 26.0, bandwidth_hz=0.0)
+
+    def test_wider_bandwidth_lower_snr(self):
+        narrow = backscatter_link_budget(4.0, 26.0, bandwidth_hz=1e6)
+        wide = backscatter_link_budget(4.0, 26.0, bandwidth_hz=100e6)
+        assert narrow.snr_db - wide.snr_db == pytest.approx(20.0, abs=1e-6)
+
+
+class TestTwoRay:
+    def test_gain_bounded_zero_to_four(self):
+        for d in (1.0, 3.0, 10.0, 30.0):
+            g = two_ray_gain(d, 1.5, 1.0, DEFAULT_CARRIER_HZ)
+            assert 0.0 <= g <= 4.0 + 1e-9
+
+    def test_far_field_approaches_deep_fades_and_peaks(self):
+        gains = [
+            two_ray_gain(d, 1.5, 1.0, DEFAULT_CARRIER_HZ)
+            for d in [2 + 0.001 * k for k in range(2000)]
+        ]
+        assert max(gains) > 2.0
+        assert min(gains) < 0.3
+
+    def test_attenuated_reflection_reduces_ripple(self):
+        strong = [
+            two_ray_gain(d, 1.5, 1.0, DEFAULT_CARRIER_HZ, reflection_coefficient=-1.0)
+            for d in [3 + 0.01 * k for k in range(100)]
+        ]
+        weak = [
+            two_ray_gain(d, 1.5, 1.0, DEFAULT_CARRIER_HZ, reflection_coefficient=-0.1)
+            for d in [3 + 0.01 * k for k in range(100)]
+        ]
+        assert (max(strong) - min(strong)) > (max(weak) - min(weak))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            two_ray_gain(0.0, 1.0, 1.0, 24e9)
+        with pytest.raises(ValueError):
+            two_ray_gain(5.0, -1.0, 1.0, 24e9)

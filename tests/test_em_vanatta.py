@@ -1,0 +1,122 @@
+"""Tests for repro.em.vanatta — the tag's retro-reflective array."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.em.antenna import isotropic_element, patch_element
+from repro.em.vanatta import VanAttaArray
+
+
+class TestGeometry:
+    def test_element_count(self):
+        assert VanAttaArray(num_pairs=4).num_elements == 8
+
+    def test_positions_centred(self):
+        array = VanAttaArray(num_pairs=2)
+        positions = array.element_positions()
+        assert np.sum(positions) == pytest.approx(0.0, abs=1e-12)
+
+    def test_partner_is_mirror(self):
+        array = VanAttaArray(num_pairs=3)
+        for n in range(6):
+            assert array.partner_index(n) == 5 - n
+            # pairing is symmetric
+            assert array.partner_index(array.partner_index(n)) == n
+
+    def test_partner_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            VanAttaArray(num_pairs=2).partner_index(4)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_pairs": 0},
+        {"spacing_m": 0.0},
+        {"line_loss_db": -1.0},
+        {"line_phase_errors_rad": (0.1,)},  # wrong length for 4 pairs
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            VanAttaArray(**kwargs)
+
+
+class TestRetroReflection:
+    def test_broadside_gain_matches_theory(self):
+        # Lossless array: monostatic gain = (N_elem * G_elem)^2
+        array = VanAttaArray(num_pairs=4, element=patch_element(5.0), line_loss_db=0.0)
+        expected = (8 * 10 ** 0.5) ** 2
+        assert array.monostatic_gain(0.0) == pytest.approx(expected, rel=1e-9)
+
+    def test_retro_gain_flat_over_wide_angles_with_isotropic_elements(self):
+        # The defining Van Atta property: with no element roll-off the
+        # retro-reflected gain is angle-independent.
+        array = VanAttaArray(num_pairs=4, element=isotropic_element(), line_loss_db=0.0)
+        gains = array.retro_pattern(np.radians(np.linspace(-60, 60, 13)))
+        assert np.max(gains) / np.min(gains) == pytest.approx(1.0, rel=1e-9)
+
+    def test_retro_gain_follows_element_pattern_squared(self):
+        array = VanAttaArray(num_pairs=4, element=patch_element(5.0), line_loss_db=0.0)
+        theta = math.radians(30.0)
+        ratio = array.monostatic_gain(theta) / array.monostatic_gain(0.0)
+        element_ratio = float(
+            patch_element(5.0).gain(theta) / patch_element(5.0).gain(0.0)
+        )
+        assert ratio == pytest.approx(element_ratio**2, rel=1e-9)
+
+    def test_line_loss_reduces_gain(self):
+        lossless = VanAttaArray(num_pairs=4, line_loss_db=0.0)
+        lossy = VanAttaArray(num_pairs=4, line_loss_db=2.0)
+        delta_db = lossless.monostatic_gain_db(0.0) - lossy.monostatic_gain_db(0.0)
+        assert delta_db == pytest.approx(2.0, abs=1e-9)
+
+    def test_gain_scales_with_pair_count_squared(self):
+        g2 = VanAttaArray(num_pairs=2, line_loss_db=0.0).monostatic_gain(0.0)
+        g4 = VanAttaArray(num_pairs=4, line_loss_db=0.0).monostatic_gain(0.0)
+        assert g4 / g2 == pytest.approx(4.0, rel=1e-9)
+
+    def test_bistatic_off_retro_direction_is_weaker(self):
+        array = VanAttaArray(num_pairs=4, element=isotropic_element())
+        theta_in = math.radians(20.0)
+        retro = abs(array.bistatic_field(theta_in, theta_in)) ** 2
+        away = abs(array.bistatic_field(theta_in, math.radians(-40.0))) ** 2
+        assert retro > 5 * away
+
+
+class TestModulation:
+    def test_line_phase_rotates_reflection(self):
+        array = VanAttaArray(num_pairs=4, line_loss_db=0.0)
+        base = array.monostatic_field(0.1, line_phase_rad=0.0)
+        rotated = array.monostatic_field(0.1, line_phase_rad=math.pi / 2)
+        assert rotated / base == pytest.approx(1j, rel=1e-9)
+
+    def test_reflection_coefficient_terminated_is_zero(self):
+        array = VanAttaArray()
+        assert array.reflection_coefficient(0.0, None) == 0.0
+
+    def test_reflection_coefficient_magnitude_is_line_loss(self):
+        array = VanAttaArray(num_pairs=4, line_loss_db=1.0)
+        gamma = array.reflection_coefficient(0.0, 0.0)
+        assert abs(gamma) == pytest.approx(10 ** (-1.0 / 20.0), rel=1e-9)
+
+    def test_reflection_coefficient_angle_invariant_for_ideal_array(self):
+        array = VanAttaArray(num_pairs=4, line_loss_db=1.0)
+        g0 = array.reflection_coefficient(0.0, math.pi / 4)
+        g30 = array.reflection_coefficient(math.radians(30.0), math.pi / 4)
+        assert g30 == pytest.approx(g0, rel=1e-9)
+
+    def test_phase_errors_reduce_coherence(self):
+        rng = np.random.default_rng(3)
+        errors = tuple(rng.normal(0.0, 0.5, size=4))
+        clean = VanAttaArray(num_pairs=4, line_loss_db=0.0)
+        dirty = VanAttaArray(num_pairs=4, line_loss_db=0.0, line_phase_errors_rad=errors)
+        assert dirty.monostatic_gain(0.0) < clean.monostatic_gain(0.0)
+
+    def test_passivity_reflection_never_amplifies(self):
+        # |Gamma| <= 1 for every state and angle - energy conservation.
+        rng = np.random.default_rng(9)
+        errors = tuple(rng.normal(0.0, 0.3, size=4))
+        array = VanAttaArray(num_pairs=4, line_loss_db=0.5, line_phase_errors_rad=errors)
+        for theta_deg in (-50, -20, 0, 15, 45):
+            for phase in (0.0, math.pi / 2, math.pi, 3 * math.pi / 2):
+                gamma = array.reflection_coefficient(math.radians(theta_deg), phase)
+                assert abs(gamma) <= 1.0 + 1e-9

@@ -1,0 +1,190 @@
+"""Integration tests across modules: the invariants the experiments rely on."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.adaptation import RateAdapter
+from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.core.modulation import get_scheme
+from repro.core.tag import TagConfig
+from repro.em.vanatta import VanAttaArray
+from repro.sim.monte_carlo import awgn_symbol_ber, estimate_link_ber
+
+
+class TestSnrDistanceLaw:
+    def test_measured_snr_follows_d4(self):
+        """The headline radar-equation behaviour, measured end to end."""
+        snrs = []
+        for distance in (2.0, 4.0, 8.0):
+            result = simulate_link(
+                LinkConfig(distance_m=distance), num_payload_bits=2048, rng=17
+            )
+            snrs.append(result.snr_measured_db)
+        # each doubling of distance costs ~12 dB
+        assert snrs[0] - snrs[1] == pytest.approx(12.04, abs=2.0)
+        assert snrs[1] - snrs[2] == pytest.approx(12.04, abs=2.0)
+
+    def test_measured_tracks_analytic_across_range(self):
+        # The receiver has an implementation floor near 48 dB (ADC
+        # quantization plus channel-estimate error), so compare against
+        # the analytic value capped at that floor.
+        for distance in (1.0, 3.0, 6.0, 10.0):
+            config = LinkConfig(distance_m=distance)
+            result = simulate_link(config, num_payload_bits=2048, rng=5)
+            expected = min(link_snr_db(config), 47.0)
+            assert result.snr_measured_db >= expected - 2.0
+            assert result.snr_measured_db <= link_snr_db(config) + 2.0
+
+
+class TestBerTheoryAgreement:
+    @pytest.mark.parametrize("name", ["BPSK", "QPSK"])
+    def test_symbol_level_matches_closed_form(self, name):
+        scheme = get_scheme(name)
+        for snr_db in (4.0, 8.0):
+            measured = awgn_symbol_ber(scheme, snr_db, num_bits=300_000, seed=2)
+            assert measured == pytest.approx(
+                scheme.theoretical_ber(snr_db), rel=0.2
+            )
+
+    def test_full_chain_ber_near_theory_at_sensitivity(self):
+        # Park the link where QPSK theory says BER ~ 1e-2 and check the
+        # waveform chain lands within a small factor of it.  Condition
+        # on header success: at this SNR a fraction of headers are lost
+        # (scored 0.5 by design), which is a framing property, not a
+        # payload-BER property.
+        import numpy as np
+
+        config = LinkConfig(distance_m=4.0)
+        target_snr = 7.3  # QPSK theory: ~1e-2
+        # solve distance: snr(d) = snr(4m) - 40 log10(d/4)
+        snr_at_4 = link_snr_db(config)
+        distance = 4.0 * 10 ** ((snr_at_4 - target_snr) / 40.0)
+        at_sensitivity = config.with_distance(distance)
+        errors = 0
+        bits = 0
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            result = simulate_link(at_sensitivity, num_payload_bits=2048, rng=rng)
+            if result.receiver.header_ok and result.ber < 0.5:
+                errors += result.bit_errors
+                bits += result.num_payload_bits
+            if errors > 200:
+                break
+        assert bits > 0, "no frame decoded at sensitivity"
+        theory = get_scheme("QPSK").theoretical_ber(target_snr)
+        assert errors / bits == pytest.approx(theory, rel=0.6)
+
+
+class TestVanAttaIsLoadBearing:
+    def test_retro_array_extends_range_over_single_antenna(self):
+        # Replace the 4-pair array with a 1-pair array: ~18 dB less
+        # round-trip gain, so the same distance that works with the
+        # default tag fails.
+        far = 11.0
+        default = simulate_link(
+            LinkConfig(distance_m=far), num_payload_bits=1024, rng=8
+        )
+        tiny_array = TagConfig(array=VanAttaArray(num_pairs=1))
+        crippled = simulate_link(
+            LinkConfig(distance_m=far, tag=tiny_array), num_payload_bits=1024, rng=8
+        )
+        assert default.frame_success
+        assert not crippled.frame_success
+
+    def test_angle_robustness_comes_from_retro_directivity(self):
+        # At 40 degrees incidence the Van Atta tag loses only the element
+        # pattern; the link still works at moderate range.
+        result = simulate_link(
+            LinkConfig(distance_m=4.0, incidence_angle_deg=40.0),
+            num_payload_bits=1024,
+            rng=2,
+        )
+        assert result.frame_success
+
+
+class TestRateAdaptationEndToEnd:
+    def test_adapter_choice_is_decodable(self):
+        adapter = RateAdapter()
+        for distance in (2.0, 5.0, 9.0):
+            config = LinkConfig(distance_m=distance)
+            entry = adapter.select(link_snr_db(config))
+            assert entry is not None
+            result = simulate_link(
+                config.with_modulation(entry.modulation),
+                num_payload_bits=1024,
+                rng=11,
+            )
+            assert result.frame_success, (distance, entry.modulation)
+
+    def test_adapter_rate_decreases_with_distance(self):
+        adapter = RateAdapter()
+        rates = []
+        for distance in (1.0, 4.0, 8.0, 14.0):
+            entry = adapter.select(link_snr_db(LinkConfig(distance_m=distance)))
+            rates.append(entry.bits_per_symbol if entry else 0)
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestEnergyStory:
+    def test_uplink_energy_two_orders_below_active_radio(self):
+        from repro.baselines.active_radio import ActiveMmWaveRadio
+
+        result = simulate_link(LinkConfig(distance_m=3.0), num_payload_bits=512, rng=0)
+        radio = ActiveMmWaveRadio()
+        rate = result.energy.bit_rate_hz
+        assert radio.energy_per_bit_nj(rate) / result.energy.energy_per_bit_nj > 5
+
+
+class TestInterferenceRejection:
+    def test_office_environment_barely_costs_snr(self):
+        quiet = simulate_link(
+            LinkConfig(distance_m=5.0, environment=Environment.anechoic()),
+            num_payload_bits=2048,
+            rng=13,
+        )
+        office = simulate_link(
+            LinkConfig(distance_m=5.0, environment=Environment.typical_office()),
+            num_payload_bits=2048,
+            rng=13,
+        )
+        assert office.snr_measured_db > quiet.snr_measured_db - 2.0
+
+    def test_self_coherent_phase_noise_is_free(self):
+        base = LinkConfig(distance_m=5.0)
+        with_pn = simulate_link(base, num_payload_bits=2048, rng=19)
+        without_pn = simulate_link(
+            replace(base, phase_noise=None), num_payload_bits=2048, rng=19
+        )
+        assert with_pn.snr_measured_db == pytest.approx(
+            without_pn.snr_measured_db, abs=1.0
+        )
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_everything(self):
+        config = LinkConfig(distance_m=6.0, environment=Environment.typical_office())
+        a = simulate_link(config, num_payload_bits=512, rng=123)
+        b = simulate_link(config, num_payload_bits=512, rng=123)
+        assert a.ber == b.ber
+        assert a.snr_measured_db == b.snr_measured_db
+        assert a.evm == b.evm
+        assert np.array_equal(a.receiver.payload_bits, b.receiver.payload_bits)
+
+    def test_different_seeds_differ(self):
+        config = LinkConfig(distance_m=6.0)
+        a = simulate_link(config, num_payload_bits=512, rng=1)
+        b = simulate_link(config, num_payload_bits=512, rng=2)
+        assert a.snr_measured_db != b.snr_measured_db
+
+
+class TestHeaderRobustness:
+    def test_header_survives_where_dense_payload_fails(self):
+        # At a distance where 16QAM payload BER is high, the BPSK header
+        # still parses - the designed behaviour of always-BPSK headers.
+        config = LinkConfig(distance_m=13.0).with_modulation("16QAM")
+        result = simulate_link(config, num_payload_bits=1024, rng=4)
+        assert result.receiver.header_ok
+        assert not result.frame_success

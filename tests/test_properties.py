@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coding import (
+    append_crc16,
+    append_crc32,
+    block_deinterleave,
+    block_interleave,
+    check_crc16,
+    check_crc32,
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+)
+from repro.core.framing import Frame, FrameHeader, bits_from_bytes, bytes_from_bits
+from repro.core.modulation import available_schemes, get_scheme
+from repro.dsp.signal import Signal
+from repro.em.vanatta import VanAttaArray
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=0, max_size=256).map(
+    lambda xs: np.array(xs, dtype=np.int8)
+)
+
+
+class TestCodingProperties:
+    @given(bits=bits_arrays)
+    def test_crc16_round_trip(self, bits):
+        assert check_crc16(append_crc16(bits))
+
+    @given(bits=bits_arrays)
+    def test_crc32_round_trip(self, bits):
+        assert check_crc32(append_crc32(bits))
+
+    @given(bits=bits_arrays, position=st.integers(0, 1000))
+    def test_crc16_detects_any_single_flip(self, bits, position):
+        protected = append_crc16(bits)
+        corrupted = protected.copy()
+        corrupted[position % protected.size] ^= 1
+        assert not check_crc16(corrupted)
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=4, max_size=64).filter(
+            lambda xs: len(xs) % 4 == 0
+        ).map(lambda xs: np.array(xs, dtype=np.int8))
+    )
+    def test_hamming_round_trip(self, bits):
+        assert np.array_equal(hamming74_decode(hamming74_encode(bits)), bits)
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=4, max_size=32).filter(
+            lambda xs: len(xs) % 4 == 0
+        ).map(lambda xs: np.array(xs, dtype=np.int8)),
+        error_position=st.integers(0, 10_000),
+    )
+    def test_hamming_corrects_one_flip_anywhere(self, bits, error_position):
+        coded = hamming74_encode(bits)
+        corrupted = coded.copy()
+        corrupted[error_position % coded.size] ^= 1
+        assert np.array_equal(hamming74_decode(corrupted), bits)
+
+    @given(bits=bits_arrays, factor=st.integers(1, 7))
+    def test_repetition_round_trip(self, bits, factor):
+        assert np.array_equal(
+            repetition_decode(repetition_encode(bits, factor), factor), bits
+        )
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=200).map(
+            lambda xs: np.array(xs, dtype=np.int8)
+        ),
+        depth=st.integers(1, 16),
+    )
+    def test_interleaver_round_trip(self, bits, depth):
+        interleaved = block_interleave(bits, depth)
+        restored = block_deinterleave(interleaved, depth, bits.size)
+        assert np.array_equal(restored, bits)
+
+
+class TestBytePackingProperties:
+    @given(data=st.binary(max_size=64))
+    def test_bytes_bits_round_trip(self, data):
+        assert bytes_from_bits(bits_from_bytes(data)) == data
+
+
+class TestModulationProperties:
+    @given(
+        scheme_name=st.sampled_from(available_schemes()),
+        data=st.data(),
+    )
+    def test_modulate_demodulate_round_trip(self, scheme_name, data):
+        scheme = get_scheme(scheme_name)
+        k = scheme.bits_per_symbol
+        num_symbols = data.draw(st.integers(1, 64))
+        bits = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, 1),
+                    min_size=num_symbols * k,
+                    max_size=num_symbols * k,
+                )
+            ),
+            dtype=np.int8,
+        )
+        symbols = scheme.constellation.modulate(bits)
+        assert np.array_equal(scheme.constellation.demodulate(symbols), bits)
+
+    @given(scheme_name=st.sampled_from(available_schemes()))
+    def test_constellation_passivity(self, scheme_name):
+        scheme = get_scheme(scheme_name)
+        assert np.all(np.abs(scheme.constellation.points) <= 1.0 + 1e-12)
+
+    @given(
+        scheme_name=st.sampled_from(available_schemes()),
+        snr_db=st.floats(-10.0, 40.0),
+    )
+    def test_theoretical_ber_in_valid_range(self, scheme_name, snr_db):
+        ber = get_scheme(scheme_name).theoretical_ber(snr_db)
+        assert 0.0 <= ber <= 0.5
+
+
+class TestFrameProperties:
+    @given(
+        tag_id=st.integers(0, 255),
+        modulation=st.sampled_from(available_schemes()),
+        payload_len=st.integers(0, 300),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_frame_build_and_header_round_trip(
+        self, tag_id, modulation, payload_len, data
+    ):
+        bits = np.array(
+            data.draw(
+                st.lists(st.integers(0, 1), min_size=payload_len, max_size=payload_len)
+            ),
+            dtype=np.int8,
+        )
+        frame = Frame.build(tag_id=tag_id, modulation=modulation, payload_bits=bits)
+        parsed = FrameHeader.from_bits(frame.header.to_bits())
+        assert parsed == frame.header
+        assert np.array_equal(frame.payload_bits[:payload_len], bits)
+        # padding always fills whole symbols
+        k = frame.payload_scheme.bits_per_symbol
+        assert (frame.payload_bits.size + 32) % k == 0
+
+
+class TestSignalProperties:
+    @given(
+        amplitude=st.floats(1e-6, 1e3),
+        frequency=st.floats(-4e5, 4e5),
+        phase=st.floats(0, 2 * math.pi),
+    )
+    def test_tone_power_is_amplitude_squared(self, amplitude, frequency, phase):
+        sig = Signal.tone(frequency, 1e6, 1e-4, amplitude=amplitude, phase=phase)
+        assert sig.power() == pytest.approx(amplitude**2, rel=1e-9)
+
+    @given(offset=st.floats(-4e5, 4e5))
+    def test_frequency_shift_preserves_power(self, offset):
+        sig = Signal.tone(1e4, 1e6, 1e-4)
+        assert sig.frequency_shift(offset).power() == pytest.approx(
+            sig.power(), rel=1e-9
+        )
+
+    @given(n_before=st.integers(0, 64), n_after=st.integers(0, 64))
+    def test_pad_preserves_energy(self, n_before, n_after):
+        sig = Signal.tone(1e4, 1e6, 1e-4)
+        padded = sig.pad(n_before, n_after)
+        assert padded.energy() == pytest.approx(sig.energy(), rel=1e-12)
+
+
+class TestVanAttaProperties:
+    @given(
+        num_pairs=st.integers(1, 8),
+        theta_deg=st.floats(-80.0, 80.0),
+        line_phase=st.floats(0.0, 2 * math.pi),
+        line_loss_db=st.floats(0.0, 6.0),
+    )
+    @settings(max_examples=60)
+    def test_reflection_never_amplifies(
+        self, num_pairs, theta_deg, line_phase, line_loss_db
+    ):
+        array = VanAttaArray(num_pairs=num_pairs, line_loss_db=line_loss_db)
+        gamma = array.reflection_coefficient(math.radians(theta_deg), line_phase)
+        assert abs(gamma) <= 1.0 + 1e-9
+
+    @given(num_pairs=st.integers(1, 8), theta_deg=st.floats(-80.0, 80.0))
+    @settings(max_examples=60)
+    def test_monostatic_gain_bounded_by_ideal(self, num_pairs, theta_deg):
+        array = VanAttaArray(num_pairs=num_pairs, line_loss_db=0.0)
+        theta = math.radians(theta_deg)
+        amp = float(array.element.amplitude(theta))
+        ideal = (array.num_elements * amp * amp) ** 2
+        assert array.monostatic_gain(theta) <= ideal * (1 + 1e-9)
+
+    @given(
+        num_pairs=st.integers(1, 6),
+        theta_deg=st.floats(-60.0, 60.0),
+        phase_a=st.floats(0.0, 2 * math.pi),
+        phase_b=st.floats(0.0, 2 * math.pi),
+    )
+    @settings(max_examples=60)
+    def test_line_phase_rotates_without_changing_magnitude(
+        self, num_pairs, theta_deg, phase_a, phase_b
+    ):
+        array = VanAttaArray(num_pairs=num_pairs)
+        theta = math.radians(theta_deg)
+        a = array.monostatic_field(theta, phase_a)
+        b = array.monostatic_field(theta, phase_b)
+        assert abs(a) == pytest.approx(abs(b), rel=1e-9)

@@ -1,0 +1,130 @@
+"""Additional hypothesis property tests for the extension modules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arq import ArqAnalysis
+from repro.core.convolutional import K7_CODE
+from repro.core.inventory import QAlgorithm, SlotOutcome
+from repro.core.tag import square_subcarrier_wave
+from repro.dsp.goertzel import goertzel_bin
+from repro.em.polarization import (
+    polarization_loss,
+    roundtrip_polarization_loss_db,
+)
+
+bits_multiple_of_one = st.lists(st.integers(0, 1), min_size=1, max_size=120).map(
+    lambda xs: np.array(xs, dtype=np.int8)
+)
+
+
+class TestConvolutionalProperties:
+    @given(bits=bits_multiple_of_one)
+    @settings(max_examples=30)
+    def test_clean_round_trip_any_length(self, bits):
+        assert np.array_equal(K7_CODE.decode_hard(K7_CODE.encode(bits)), bits)
+
+    @given(bits=bits_multiple_of_one, position=st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_single_flip_always_corrected(self, bits, position):
+        coded = K7_CODE.encode(bits)
+        coded[position % coded.size] ^= 1
+        assert np.array_equal(K7_CODE.decode_hard(coded), bits)
+
+    @given(bits=bits_multiple_of_one, scale=st.floats(0.1, 100.0))
+    @settings(max_examples=20)
+    def test_soft_decode_scale_invariant(self, bits, scale):
+        coded = K7_CODE.encode(bits)
+        soft = (1.0 - 2.0 * coded) * scale
+        assert np.array_equal(K7_CODE.decode_soft(soft), bits)
+
+
+class TestArqProperties:
+    @given(fer=st.floats(0.0, 0.95), budget=st.integers(1, 10))
+    def test_delivery_probability_bounds(self, fer, budget):
+        analysis = ArqAnalysis(fer, budget)
+        assert 0.0 <= analysis.delivery_probability() <= 1.0
+
+    @given(fer=st.floats(0.01, 0.9), budget=st.integers(1, 9))
+    def test_extra_retry_never_hurts(self, fer, budget):
+        a = ArqAnalysis(fer, budget)
+        b = ArqAnalysis(fer, budget + 1)
+        assert b.delivery_probability() >= a.delivery_probability()
+
+    @given(fer=st.floats(0.0, 0.9), budget=st.integers(1, 10))
+    def test_expected_transmissions_within_budget(self, fer, budget):
+        analysis = ArqAnalysis(fer, budget)
+        assert 1.0 <= analysis.expected_transmissions() <= budget + 1e-9
+
+
+class TestQAlgorithmProperties:
+    @given(
+        q0=st.floats(0.0, 15.0),
+        outcomes=st.lists(
+            st.sampled_from(list(SlotOutcome)), min_size=0, max_size=200
+        ),
+    )
+    def test_q_always_in_bounds(self, q0, outcomes):
+        controller = QAlgorithm(q_float=q0)
+        for outcome in outcomes:
+            controller.update(outcome)
+        assert 0.0 <= controller.q_float <= 15.0
+        assert 0 <= controller.q <= 15
+
+
+class TestSubcarrierWaveProperties:
+    @given(
+        num_samples=st.integers(16, 2048),
+        ratio=st.integers(4, 64),
+    )
+    def test_integer_ratio_wave_is_balanced(self, num_samples, ratio):
+        # when fs is an even multiple of 2*f the wave must be DC-free
+        fs = 1e8
+        frequency = fs / ratio
+        num_samples = (num_samples // ratio) * ratio
+        if num_samples == 0:
+            return
+        wave = square_subcarrier_wave(num_samples, fs, frequency)
+        if ratio % 2 == 0:
+            assert abs(np.sum(wave)) < 1e-9
+        assert set(np.unique(wave)) <= {-1.0, 1.0}
+
+    @given(num_samples=st.integers(1, 512), frequency=st.floats(1e5, 2e7))
+    def test_wave_squared_is_one(self, num_samples, frequency):
+        wave = square_subcarrier_wave(num_samples, 1e8, frequency)
+        assert np.allclose(wave * wave, 1.0)
+
+
+class TestGoertzelProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        size=st.integers(4, 256),
+        bin_index=st.integers(0, 64),
+    )
+    @settings(max_examples=30)
+    def test_matches_fft_on_bin_frequencies(self, seed, size, bin_index):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(size) + 1j * rng.standard_normal(size)
+        k = bin_index % size
+        freq = k / size
+        if freq >= 0.5:
+            freq -= 1.0
+        direct = np.fft.fft(x)[k]
+        assert goertzel_bin(x, freq) == pytest.approx(direct, abs=1e-6 * size)
+
+
+class TestPolarizationProperties:
+    @given(angle=st.floats(0.0, math.pi / 2))
+    def test_loss_factor_bounds(self, angle):
+        assert 0.0 < polarization_loss(angle) <= 1.0
+
+    @given(angle=st.floats(0.0, math.pi / 2 - 0.01))
+    def test_roundtrip_loss_monotone(self, angle):
+        step = 0.01
+        assert roundtrip_polarization_loss_db(
+            angle + step
+        ) >= roundtrip_polarization_loss_db(angle) - 1e-9

@@ -1,0 +1,66 @@
+"""Tests for repro.rf.cascade."""
+
+import pytest
+
+from repro.rf.cascade import CascadeStage, cascade_gain, cascade_noise_figure
+
+
+class TestCascadeStage:
+    def test_passive_stage_nf_equals_loss(self):
+        cable = CascadeStage.passive("cable", 3.0)
+        assert cable.gain_db == -3.0
+        assert cable.noise_figure_db == 3.0
+
+    def test_passive_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            CascadeStage.passive("cable", -1.0)
+
+
+class TestCascadeGain:
+    def test_gains_sum_in_db(self):
+        stages = [
+            CascadeStage("lna", 20.0, 3.0),
+            CascadeStage.passive("mixer", 7.0),
+            CascadeStage("if_amp", 30.0, 5.0),
+        ]
+        assert cascade_gain(stages) == pytest.approx(43.0)
+
+
+class TestCascadeNoiseFigure:
+    def test_single_stage_is_its_own_nf(self):
+        assert cascade_noise_figure([CascadeStage("lna", 20.0, 3.0)]) == pytest.approx(3.0)
+
+    def test_friis_two_stage_known_value(self):
+        # F = 2 + (10-1)/100 = 2.09 -> 3.2 dB
+        stages = [
+            CascadeStage("lna", 20.0, 3.0103),  # F = 2
+            CascadeStage("if", 10.0, 10.0),  # F = 10
+        ]
+        assert cascade_noise_figure(stages) == pytest.approx(3.2, abs=0.05)
+
+    def test_front_end_gain_suppresses_later_noise(self):
+        noisy_backend = CascadeStage("backend", 0.0, 15.0)
+        with_lna = [CascadeStage("lna", 25.0, 2.0), noisy_backend]
+        without_lna = [CascadeStage("lna", 0.0, 2.0), noisy_backend]
+        assert cascade_noise_figure(with_lna) < cascade_noise_figure(without_lna)
+
+    def test_lossy_front_end_adds_directly(self):
+        # 3 dB cable ahead of a 3 dB-NF LNA: composite NF ~ 6 dB
+        stages = [CascadeStage.passive("cable", 3.0), CascadeStage("lna", 20.0, 3.0)]
+        assert cascade_noise_figure(stages) == pytest.approx(6.0, abs=0.1)
+
+    def test_empty_cascade_raises(self):
+        with pytest.raises(ValueError):
+            cascade_noise_figure([])
+
+    def test_ap_receiver_budget_consistent_with_config_default(self):
+        # The DESIGN.md 6 dB AP noise figure should be reachable with the
+        # stated parts: LNA 3 dB NF / 20 dB gain, then mixer 7 dB loss,
+        # then a noisy digitiser.
+        stages = [
+            CascadeStage("ADL8142 LNA", 20.0, 3.0),
+            CascadeStage.passive("ZMDB-44H mixer", 7.0),
+            CascadeStage("IF amplifier", 30.0, 5.0),
+            CascadeStage("scope front end", 0.0, 25.0),
+        ]
+        assert cascade_noise_figure(stages) < 6.5

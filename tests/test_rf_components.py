@@ -1,0 +1,158 @@
+"""Tests for repro.rf.components."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.rf.components import (
+    LNA,
+    EnvelopeDetector,
+    Mixer,
+    PowerAmplifier,
+    RFSwitch,
+    SwitchState,
+)
+
+
+class TestLNA:
+    def test_gain_applied(self, rng):
+        lna = LNA(gain_db=20.0, noise_figure_db=0.01, p1db_output_dbm=100.0)
+        sig = Signal(np.full(1000, 1e-6), 1e6)
+        out = lna.amplify(sig, rng)
+        assert out.power() == pytest.approx(sig.power() * 100.0, rel=0.05)
+
+    def test_noise_figure_adds_noise(self, rng):
+        lna = LNA(gain_db=0.0, noise_figure_db=10.0, p1db_output_dbm=100.0)
+        silent = Signal.zeros(100_000, 1e9)
+        out = lna.amplify(silent, rng)
+        from repro.rf.noise import thermal_noise_power
+
+        expected = thermal_noise_power(1e9) * (10.0 - 1.0)
+        assert out.power() == pytest.approx(expected, rel=0.05)
+
+    def test_compression_limits_output(self, rng):
+        lna = LNA(gain_db=30.0, noise_figure_db=3.0, p1db_output_dbm=0.0)
+        big = Signal(np.full(100, 1.0), 1e6)  # +30 dBm in
+        out = lna.amplify(big, rng)
+        # output must saturate near the P1dB-implied ceiling, far below
+        # the 60 dBm linear answer
+        assert out.power() < 10 ** ((10.0 - 30.0) / 10.0)
+
+
+class TestMixer:
+    def test_self_coherent_downconversion_gives_dc(self):
+        lo = Signal.tone(10e3, 1e6, 1e-3)
+        mixer = Mixer(conversion_loss_db=0.0)
+        out = mixer.downconvert(lo, lo)
+        # rf * conj(lo) with rf == lo -> |lo|^2 = 1 (pure DC)
+        assert np.allclose(out.samples, 1.0)
+
+    def test_frequency_difference_appears(self):
+        rf = Signal.tone(30e3, 1e6, 2e-3)
+        lo = Signal.tone(10e3, 1e6, 2e-3)
+        out = Mixer(conversion_loss_db=0.0).downconvert(rf, lo)
+        phase = np.unwrap(np.angle(out.samples))
+        freq = np.diff(phase) * 1e6 / (2 * np.pi)
+        assert np.allclose(freq, 20e3)
+
+    def test_conversion_loss(self):
+        lo = Signal.tone(0.0, 1e6, 1e-4)
+        out = Mixer(conversion_loss_db=6.0).downconvert(lo, lo)
+        assert out.power() == pytest.approx(10 ** (-0.6), rel=1e-6)
+
+    def test_rate_mismatch_raises(self):
+        a = Signal.tone(0.0, 1e6, 1e-4)
+        b = Signal.tone(0.0, 2e6, 1e-4)
+        with pytest.raises(ValueError):
+            Mixer().downconvert(a, b)
+
+    def test_length_mismatch_truncates(self):
+        a = Signal(np.ones(10), 1e6)
+        b = Signal(np.ones(6), 1e6)
+        assert Mixer().downconvert(a, b).num_samples == 6
+
+
+class TestPowerAmplifier:
+    def test_small_signal_gain(self):
+        pa = PowerAmplifier(gain_db=30.0, psat_output_dbm=60.0)
+        sig = Signal(np.full(10, 1e-4), 1e6)
+        out = pa.amplify(sig)
+        assert out.power() == pytest.approx(sig.power() * 1e3, rel=0.01)
+
+    def test_saturation_bounds_output(self):
+        pa = PowerAmplifier(gain_db=30.0, psat_output_dbm=27.0)
+        sig = Signal(np.full(10, 1.0), 1e6)
+        out = pa.amplify(sig)
+        psat_w = 10 ** ((27.0 - 30.0) / 10.0)
+        assert out.power() <= psat_w * 1.6  # Rapp A_sat slightly above P1dB
+
+
+class TestEnvelopeDetector:
+    def test_output_proportional_to_power(self):
+        det = EnvelopeDetector(video_bandwidth_hz=1e9)
+        sig = Signal(np.full(5000, 2.0), 1e7)
+        out = det.detect(sig)
+        assert out.samples[-1].real == pytest.approx(
+            det.responsivity_v_per_w * 4.0, rel=0.01
+        )
+
+    def test_output_is_real(self):
+        det = EnvelopeDetector()
+        sig = Signal.tone(1e5, 1e7, 1e-4)
+        out = det.detect(sig)
+        assert np.allclose(out.samples.imag, 0.0)
+
+    def test_video_bandwidth_smooths_fast_modulation(self):
+        det = EnvelopeDetector(video_bandwidth_hz=1e5)
+        # OOK at 5 MHz: detector too slow, output ripple is attenuated
+        symbols = np.tile([1.0, 0.0], 500)
+        sig = Signal.from_symbols(symbols, 5e6, 4)
+        out = det.detect(sig)
+        tail = out.samples.real[out.samples.size // 2 :]
+        mean = np.mean(tail)
+        assert np.std(tail) < 0.2 * mean
+
+
+class TestSwitchState:
+    def test_line_lookup(self):
+        assert SwitchState.line(2) is SwitchState.LINE_2
+
+    def test_line_rejects_terminated_index(self):
+        with pytest.raises(ValueError):
+            SwitchState.line(-1)
+
+    def test_line_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SwitchState.line(9)
+
+
+class TestRFSwitch:
+    def test_bandwidth_from_rise_time(self):
+        switch = RFSwitch(rise_time_s=1e-9)
+        assert switch.bandwidth_hz == pytest.approx(350e6)
+
+    def test_through_and_leakage_amplitudes(self):
+        switch = RFSwitch(insertion_loss_db=2.0, isolation_db=40.0)
+        assert switch.through_amplitude() == pytest.approx(10 ** (-0.1))
+        assert switch.leakage_amplitude() == pytest.approx(10 ** (-2.0))
+
+    def test_transition_bandwidth_noop_when_unresolvable(self):
+        switch = RFSwitch(rise_time_s=1e-9)  # 350 MHz BW
+        waveform = Signal(np.ones(100), 1e6)  # 1 MHz sampling
+        out = switch.apply_transition_bandwidth(waveform)
+        assert np.array_equal(out.samples, waveform.samples)
+
+    def test_transition_bandwidth_smooths_when_slow(self):
+        switch = RFSwitch(rise_time_s=1e-6)  # 350 kHz BW
+        step = Signal(np.concatenate([np.zeros(50), np.ones(500)]), 1e8)
+        out = switch.apply_transition_bandwidth(step)
+        assert abs(out.samples[51]) < 0.5  # still rising
+
+    def test_switching_power_scales_with_rate(self):
+        switch = RFSwitch(energy_per_transition_j=4e-9)
+        assert switch.switching_power_w(10e6) == pytest.approx(40e-3)
+        assert switch.switching_power_w(0.0) == 0.0
+
+    def test_switching_power_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            RFSwitch().switching_power_w(-1.0)

@@ -1,0 +1,82 @@
+"""Tests for repro.rf.impairments."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.rf.impairments import Saturation, apply_iq_imbalance, phase_quantization_error
+
+
+class TestSaturation:
+    def test_linear_for_small_signals(self):
+        sat = Saturation(saturation_amplitude=1.0)
+        sig = Signal(np.full(10, 0.01 + 0j), 1e6)
+        out = sat.apply(sig)
+        assert np.allclose(out.samples, sig.samples, rtol=1e-4)
+
+    def test_limits_large_signals(self):
+        sat = Saturation(saturation_amplitude=1.0)
+        sig = Signal(np.full(10, 100.0 + 0j), 1e6)
+        out = sat.apply(sig)
+        assert np.all(np.abs(out.samples) <= 1.0 + 1e-9)
+
+    def test_phase_preserved(self):
+        sat = Saturation(saturation_amplitude=1.0)
+        sig = Signal(np.array([5.0 * np.exp(1j * 0.9)]), 1e6)
+        out = sat.apply(sig)
+        assert np.angle(out.samples[0]) == pytest.approx(0.9)
+
+    def test_from_p1db_gain_drop_is_1db(self):
+        sat = Saturation.from_p1db_dbm(0.0)  # 1 mW -> amplitude 0.0316 V
+        amp_at_p1db = np.sqrt(1e-3)
+        sig = Signal(np.array([amp_at_p1db + 0j]), 1e6)
+        out = sat.apply(sig)
+        drop_db = 20 * np.log10(abs(out.samples[0]) / amp_at_p1db)
+        assert drop_db == pytest.approx(-1.0, abs=0.15)
+
+    @pytest.mark.parametrize("amp", [0.0, -1.0])
+    def test_rejects_bad_amplitude(self, amp):
+        with pytest.raises(ValueError):
+            Saturation(saturation_amplitude=amp)
+
+
+class TestIqImbalance:
+    def test_no_imbalance_is_identity(self):
+        sig = Signal.tone(10e3, 1e6, 1e-3)
+        out = apply_iq_imbalance(sig, 0.0, 0.0)
+        assert np.allclose(out.samples, sig.samples)
+
+    def test_imbalance_creates_image_tone(self):
+        sig = Signal.tone(100e3, 1e6, 4e-3)
+        out = apply_iq_imbalance(sig, gain_mismatch_db=1.0, phase_mismatch_deg=5.0)
+        from repro.dsp.spectrum import tone_power
+
+        direct = tone_power(out, 100e3, 5e3)
+        image = tone_power(out, -100e3, 5e3)
+        assert image > 1e-5
+        assert direct > 50 * image  # image well below the wanted tone
+
+    def test_image_rejection_improves_with_smaller_error(self):
+        sig = Signal.tone(100e3, 1e6, 4e-3)
+        from repro.dsp.spectrum import tone_power
+
+        big = apply_iq_imbalance(sig, 1.0, 5.0)
+        small = apply_iq_imbalance(sig, 0.1, 0.5)
+        assert tone_power(small, -100e3, 5e3) < tone_power(big, -100e3, 5e3)
+
+
+class TestPhaseQuantizationError:
+    def test_zero_rms_is_exact(self, rng):
+        nominal = np.array([0.0, np.pi / 2, np.pi])
+        out = phase_quantization_error(nominal, 0.0, rng)
+        assert np.array_equal(out, nominal)
+
+    def test_error_statistics(self):
+        nominal = np.zeros(20_000)
+        out = phase_quantization_error(nominal, 0.1, np.random.default_rng(5))
+        assert np.std(out) == pytest.approx(0.1, rel=0.05)
+        assert np.mean(out) == pytest.approx(0.0, abs=0.005)
+
+    def test_rejects_negative_rms(self, rng):
+        with pytest.raises(ValueError):
+            phase_quantization_error(np.zeros(3), -0.1, rng)

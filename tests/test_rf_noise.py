@@ -1,0 +1,133 @@
+"""Tests for repro.rf.noise."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.rf.noise import (
+    PhaseNoiseModel,
+    add_awgn,
+    awgn_for_snr,
+    thermal_noise_power,
+    thermal_noise_power_dbm,
+)
+
+
+class TestThermalNoise:
+    def test_ktb_at_1hz(self):
+        assert thermal_noise_power(1.0) == pytest.approx(4.0e-21, rel=0.01)
+
+    def test_dbm_at_1mhz(self):
+        # -174 + 60 = -114 dBm
+        assert thermal_noise_power_dbm(1e6) == pytest.approx(-114.0, abs=0.1)
+
+    def test_noise_figure_added(self):
+        assert thermal_noise_power_dbm(1e6, noise_figure_db=6.0) == pytest.approx(
+            -108.0, abs=0.1
+        )
+
+    @pytest.mark.parametrize("bw", [0.0, -1.0])
+    def test_rejects_bad_bandwidth(self, bw):
+        with pytest.raises(ValueError):
+            thermal_noise_power(bw)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power(1e6, temperature_k=0.0)
+
+
+class TestAddAwgn:
+    def test_noise_power_matches_request(self, rng):
+        sig = Signal.zeros(500_000, 1e6)
+        noisy = add_awgn(sig, 0.25, rng)
+        assert noisy.power() == pytest.approx(0.25, rel=0.02)
+
+    def test_zero_noise_is_identity_copy(self, rng):
+        sig = Signal(np.ones(10), 1e6)
+        out = add_awgn(sig, 0.0, rng)
+        assert np.array_equal(out.samples, sig.samples)
+        assert out.samples is not sig.samples
+
+    def test_noise_is_circular(self, rng):
+        noisy = add_awgn(Signal.zeros(500_000, 1e6), 1.0, rng)
+        i_power = np.mean(noisy.samples.real**2)
+        q_power = np.mean(noisy.samples.imag**2)
+        assert i_power == pytest.approx(q_power, rel=0.05)
+        correlation = np.mean(noisy.samples.real * noisy.samples.imag)
+        assert abs(correlation) < 0.01
+
+    def test_rejects_negative_power(self, rng):
+        with pytest.raises(ValueError):
+            add_awgn(Signal.zeros(4, 1e6), -1.0, rng)
+
+    def test_deterministic_given_seed(self):
+        sig = Signal.zeros(100, 1e6)
+        a = add_awgn(sig, 1.0, np.random.default_rng(7))
+        b = add_awgn(sig, 1.0, np.random.default_rng(7))
+        assert np.array_equal(a.samples, b.samples)
+
+
+class TestAwgnForSnr:
+    def test_target_snr_achieved(self, rng):
+        sig = Signal(np.ones(500_000), 1e6)
+        noisy = awgn_for_snr(sig, 10.0, rng)
+        noise = noisy.samples - sig.samples
+        measured = 10 * math.log10(1.0 / np.mean(np.abs(noise) ** 2))
+        assert measured == pytest.approx(10.0, abs=0.2)
+
+    def test_rejects_zero_power_signal(self, rng):
+        with pytest.raises(ValueError):
+            awgn_for_snr(Signal.zeros(10, 1e6), 10.0, rng)
+
+
+class TestPhaseNoise:
+    def test_diffusion_rate_positive(self):
+        model = PhaseNoiseModel(level_dbc_hz=-90.0, reference_offset_hz=100e3)
+        assert model.diffusion_rate() > 0
+
+    def test_phase_variance_grows_linearly(self, rng):
+        model = PhaseNoiseModel(level_dbc_hz=-80.0)
+        fs = 1e6
+        trials = np.array(
+            [
+                model.sample_phase(10_000, fs, np.random.default_rng(s))[-1]
+                for s in range(400)
+            ]
+        )
+        expected_var = model.diffusion_rate() * 10_000 / fs
+        assert np.var(trials) == pytest.approx(expected_var, rel=0.3)
+
+    def test_apply_preserves_magnitude(self, rng):
+        model = PhaseNoiseModel()
+        sig = Signal(np.ones(1000), 1e6)
+        out = model.apply(sig, rng)
+        assert np.allclose(np.abs(out.samples), 1.0)
+
+    def test_residual_zero_delay_is_identity(self, rng):
+        model = PhaseNoiseModel()
+        sig = Signal(np.ones(100), 1e6)
+        out = model.residual_after_delay(sig, 0.0, rng)
+        assert np.array_equal(out.samples, sig.samples)
+
+    def test_residual_small_for_short_delay(self, rng):
+        # Self-coherent backscatter: a 53 ns round trip leaves negligible
+        # residual phase noise - the property that lets mmTag use a
+        # commodity LO.
+        model = PhaseNoiseModel(level_dbc_hz=-90.0)
+        sig = Signal(np.ones(50_000), 1e8)
+        out = model.residual_after_delay(sig, 53e-9, rng)
+        phase_error = np.angle(out.samples)
+        assert np.std(phase_error) < 1e-2
+
+    def test_residual_grows_with_delay(self, rng):
+        model = PhaseNoiseModel(level_dbc_hz=-70.0)
+        sig = Signal(np.ones(20_000), 1e8)
+        short = model.residual_after_delay(sig, 1e-8, np.random.default_rng(3))
+        long = model.residual_after_delay(sig, 1e-5, np.random.default_rng(3))
+        assert np.std(np.angle(long.samples)) > np.std(np.angle(short.samples))
+
+    def test_rejects_negative_delay(self, rng):
+        with pytest.raises(ValueError):
+            PhaseNoiseModel().residual_after_delay(Signal.zeros(4, 1e6), -1.0, rng)

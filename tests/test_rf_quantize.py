@@ -1,0 +1,90 @@
+"""Tests for repro.rf.quantize."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal import Signal
+from repro.rf.quantize import ADC
+
+
+class TestConstruction:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ADC(bits=0)
+
+    def test_rejects_non_positive_full_scale(self):
+        with pytest.raises(ValueError):
+            ADC(full_scale=0.0)
+
+    def test_step_size(self):
+        adc = ADC(bits=8, full_scale=1.0)
+        assert adc.step == pytest.approx(2.0 / 256)
+
+
+class TestQuantize:
+    def test_values_on_grid(self):
+        adc = ADC(bits=4, full_scale=1.0)
+        sig = Signal(np.linspace(-0.9, 0.9, 50) + 0j, 1e6)
+        out = adc.quantize(sig)
+        levels = out.samples.real / adc.step
+        assert np.allclose(levels, np.round(levels))
+
+    def test_error_bounded_by_half_step(self, rng):
+        adc = ADC(bits=10, full_scale=1.0)
+        vals = rng.uniform(-0.99, 0.99, 1000) + 1j * rng.uniform(-0.99, 0.99, 1000)
+        sig = Signal(vals, 1e6)
+        out = adc.quantize(sig)
+        error = np.abs(out.samples.real - sig.samples.real)
+        assert np.max(error) <= adc.step / 2 + 1e-12
+
+    def test_clipping_beyond_full_scale(self):
+        adc = ADC(bits=8, full_scale=1.0)
+        sig = Signal(np.array([10.0 + 10.0j]), 1e6)
+        out = adc.quantize(sig)
+        assert abs(out.samples[0].real) <= 1.0 + adc.step
+        assert abs(out.samples[0].imag) <= 1.0 + adc.step
+
+    def test_high_resolution_nearly_transparent(self, rng):
+        adc = ADC(bits=16, full_scale=1.0)
+        vals = 0.5 * (rng.standard_normal(1000) + 1j * rng.standard_normal(1000))
+        vals = np.clip(vals.real, -1, 1) + 1j * np.clip(vals.imag, -1, 1)
+        sig = Signal(vals, 1e6)
+        out = adc.quantize(sig)
+        assert np.max(np.abs(out.samples - sig.samples)) < 1e-4
+
+    def test_sqnr_formula(self):
+        assert ADC(bits=12).ideal_sqnr_db() == pytest.approx(74.0, abs=0.1)
+
+
+class TestQuantizationNoise:
+    def test_measured_sqnr_near_ideal(self, rng):
+        # full-scale complex tone through an 8-bit ADC
+        adc = ADC(bits=8, full_scale=1.0)
+        n = 100_000
+        phase = rng.uniform(0, 2 * np.pi, n)
+        sig = Signal(0.999 * np.exp(1j * phase), 1e6)
+        out = adc.quantize(sig)
+        noise = out.samples - sig.samples
+        sqnr = 10 * np.log10(sig.power() / np.mean(np.abs(noise) ** 2))
+        # complex rails together: expect within a few dB of 6.02*8+1.76
+        assert sqnr == pytest.approx(adc.ideal_sqnr_db(), abs=4.0)
+
+
+class TestHelpers:
+    def test_clips_detection(self):
+        adc = ADC(bits=8, full_scale=1.0)
+        inside = Signal(np.array([0.5 + 0.5j]), 1e6)
+        outside = Signal(np.array([1.5 + 0j]), 1e6)
+        assert not adc.clips(inside)
+        assert adc.clips(outside)
+
+    def test_auto_ranged_fits_signal(self):
+        adc = ADC(bits=12, full_scale=1.0)
+        sig = Signal(np.array([3.0 + 4.0j]), 1e6)
+        ranged = adc.auto_ranged(sig, headroom_db=6.0)
+        assert not ranged.clips(sig)
+        assert ranged.full_scale == pytest.approx(4.0 * 10 ** (6 / 20))
+
+    def test_auto_ranged_on_silence_returns_self(self):
+        adc = ADC(bits=12)
+        assert adc.auto_ranged(Signal.zeros(8, 1e6)) is adc

@@ -1,0 +1,157 @@
+"""Tests for repro.sim: Monte-Carlo, sweeps, tables, plotting."""
+
+import pytest
+
+from repro.core.link import LinkConfig
+from repro.core.modulation import BPSK, QPSK
+from repro.sim.monte_carlo import BerEstimate, awgn_symbol_ber, estimate_link_ber
+from repro.sim.plotting import ascii_plot, format_db
+from repro.sim.results import ResultTable
+from repro.sim.sweep import SweepPoint, sweep_1d
+
+
+class TestBerEstimate:
+    def test_point_estimate(self):
+        est = BerEstimate(bit_errors=10, bits_tested=1000, frames=1, frames_detected=1)
+        assert est.ber == pytest.approx(0.01)
+
+    def test_zero_bits_gives_zero(self):
+        est = BerEstimate(0, 0, 0, 0)
+        assert est.ber == 0.0
+
+    def test_wilson_interval_contains_estimate(self):
+        est = BerEstimate(bit_errors=50, bits_tested=10_000, frames=5, frames_detected=5)
+        low, high = est.confidence_interval()
+        assert low < est.ber < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_interval_narrows_with_more_bits(self):
+        small = BerEstimate(5, 1_000, 1, 1).confidence_interval()
+        large = BerEstimate(500, 100_000, 1, 1).confidence_interval()
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+
+class TestAwgnSymbolBer:
+    @pytest.mark.parametrize("snr_db,scheme", [(6.0, BPSK), (10.0, QPSK)])
+    def test_matches_theory(self, snr_db, scheme):
+        measured = awgn_symbol_ber(scheme, snr_db, num_bits=400_000, seed=0)
+        expected = scheme.theoretical_ber(snr_db)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic(self):
+        a = awgn_symbol_ber(QPSK, 8.0, num_bits=10_000, seed=5)
+        b = awgn_symbol_ber(QPSK, 8.0, num_bits=10_000, seed=5)
+        assert a == b
+
+    def test_high_snr_zero_errors(self):
+        assert awgn_symbol_ber(BPSK, 30.0, num_bits=10_000, seed=1) == 0.0
+
+    def test_rejects_tiny_bit_count(self):
+        with pytest.raises(ValueError):
+            awgn_symbol_ber(QPSK, 10.0, num_bits=1)
+
+
+class TestEstimateLinkBer:
+    def test_good_link_converges_fast(self):
+        config = LinkConfig(distance_m=2.0)
+        est = estimate_link_ber(config, target_errors=10, max_bits=4096, bits_per_frame=2048)
+        assert est.ber < 1e-3
+        assert est.frames_detected == est.frames
+
+    def test_stops_at_max_bits(self):
+        config = LinkConfig(distance_m=2.0)
+        est = estimate_link_ber(config, target_errors=10_000, max_bits=4096, bits_per_frame=2048)
+        assert est.bits_tested <= 4096 + 2048
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            estimate_link_ber(LinkConfig(), target_errors=0)
+        with pytest.raises(ValueError):
+            estimate_link_ber(LinkConfig(), max_bits=10, bits_per_frame=100)
+
+
+class TestSweep:
+    def test_applies_function(self):
+        points = sweep_1d([1.0, 2.0, 3.0], lambda x: x * x)
+        assert [p.metric for p in points] == [1.0, 4.0, 9.0]
+
+    def test_callback_invoked(self):
+        seen = []
+        sweep_1d([1.0, 2.0], lambda x: x, on_point=lambda p: seen.append(p.value))
+        assert seen == [1.0, 2.0]
+
+    def test_point_is_frozen_record(self):
+        point = SweepPoint(1.0, "metric")
+        with pytest.raises(AttributeError):
+            point.value = 2.0
+
+
+class TestResultTable:
+    def test_text_render_contains_cells(self):
+        table = ResultTable("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.to_text()
+        assert "T" in text and "a" in text and "2.5" in text
+
+    def test_markdown_render(self):
+        table = ResultTable("T", ["x"])
+        table.add_row("v")
+        md = table.to_markdown()
+        assert md.startswith("| x |")
+        assert "| v |" in md
+
+    def test_row_arity_checked(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_csv_round_trip(self, tmp_path):
+        table = ResultTable("T", ["a", "b"])
+        table.add_row(1, "x")
+        path = tmp_path / "out.csv"
+        table.to_csv(path)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,x"
+
+    def test_small_floats_scientific(self):
+        table = ResultTable("T", ["ber"])
+        table.add_row(1.5e-6)
+        assert "e-06" in table.to_text()
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        plot = ascii_plot(
+            {"ber": ([1, 2, 3], [0.1, 0.01, 0.001])}, log_y=True, title="BER"
+        )
+        assert "BER" in plot
+        assert "o = ber" in plot
+
+    def test_log_y_skips_non_positive(self):
+        plot = ascii_plot({"s": ([1, 2], [0.0, 1.0])}, log_y=True)
+        assert "o" in plot
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_rejects_mismatched_series(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([1, 2], [1.0])})
+
+    def test_all_non_plottable_graceful(self):
+        plot = ascii_plot({"s": ([1], [0.0])}, log_y=True)
+        assert "no plottable points" in plot
+
+    def test_format_db(self):
+        assert format_db(3.14159) == "+3.1 dB"
+        assert format_db(-2.0) == "-2.0 dB"
+
+    def test_multiple_series_distinct_markers(self):
+        plot = ascii_plot(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])}
+        )
+        assert "o = a" in plot and "x = b" in plot
+
+
