@@ -1,0 +1,114 @@
+"""E18 — sweep-engine scaling: process pool and cache vs the serial path.
+
+Infrastructure benchmark (extension): runs the same 8-point distance
+sweep through every :class:`~repro.sim.executor.SweepExecutor` path and
+checks the engine's two contracts:
+
+* **determinism** — serial, process-pool, and cache-replay runs return
+  *identical* ``BerEstimate`` objects for a fixed seed (always
+  asserted, any machine);
+* **speed** — with >= 4 CPU cores the process backend finishes the
+  sweep >= 2x faster than serial, and a warm cache replays it >= 10x
+  faster (the speedup assertions are skipped, loudly, on smaller
+  machines where a pool cannot beat one core).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.link import LinkConfig
+from repro.core.tag import TagConfig
+from repro.sim.cache import ResultCache
+from repro.sim.executor import BerSweepTask, SweepExecutor
+from repro.sim.results import ResultTable
+
+_DISTANCES_M = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+_SEED = 18
+
+
+def _sweep_task() -> BerSweepTask:
+    return BerSweepTask(
+        config=LinkConfig(
+            tag=TagConfig(symbol_rate_hz=10e6, samples_per_symbol=4),
+            environment=Environment.typical_office(),
+        ),
+        param="distance_m",
+        target_errors=100,
+        max_bits=210_000,
+        bits_per_frame=3000,
+    )
+
+
+def _experiment():
+    task = _sweep_task()
+    cores = os.cpu_count() or 1
+    workers = min(8, cores)
+    cache_dir = tempfile.mkdtemp(prefix="repro-e18-cache-")
+    try:
+        runs = {}
+
+        start = time.perf_counter()
+        serial = SweepExecutor("serial").run(_DISTANCES_M, task, seed=_SEED)
+        runs["serial"] = (time.perf_counter() - start, serial)
+
+        start = time.perf_counter()
+        process = SweepExecutor("process", max_workers=workers).run(
+            _DISTANCES_M, task, seed=_SEED
+        )
+        runs["process"] = (time.perf_counter() - start, process)
+
+        cache = ResultCache(cache_dir)
+        warm = SweepExecutor("serial", cache=cache).run(
+            _DISTANCES_M, task, seed=_SEED
+        )
+        start = time.perf_counter()
+        replay = SweepExecutor("serial", cache=cache).run(
+            _DISTANCES_M, task, seed=_SEED
+        )
+        runs["cache-replay"] = (time.perf_counter() - start, replay)
+
+        assert warm.cache_misses == len(_DISTANCES_M)
+        return cores, workers, runs, cache.stats.summary()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_e18_executor_scaling(once):
+    cores, workers, runs, cache_summary = once(_experiment)
+
+    serial_s, serial = runs["serial"]
+    process_s, process = runs["process"]
+    replay_s, replay = runs["cache-replay"]
+
+    table = ResultTable(
+        f"E18: 8-point distance sweep, {cores} cores ({workers} workers)",
+        ["path", "wall_s", "speedup_vs_serial", "cache_hits"],
+    )
+    for label, (wall_s, report) in runs.items():
+        table.add_row(
+            label, round(wall_s, 3), round(serial_s / wall_s, 2), report.cache_hits
+        )
+    print()
+    print(table.to_text())
+    print(cache_summary)
+
+    # determinism contract: every path returns identical estimates
+    assert process.points == serial.points
+    assert replay.points == serial.points
+    assert replay.cache_hits == len(_DISTANCES_M)
+
+    # speed contract: a warm cache replays the sweep >= 10x faster
+    assert replay_s * 10.0 <= serial_s, (replay_s, serial_s)
+
+    # speed contract: the pool beats serial >= 2x given real parallelism
+    if cores < 4:
+        pytest.skip(
+            f"process-backend 2x speedup needs >= 4 cores (machine has {cores}); "
+            "determinism and cache-replay contracts verified above"
+        )
+    assert process_s * 2.0 <= serial_s, (process_s, serial_s)

@@ -9,24 +9,31 @@ import numpy as np
 
 from repro.core.link import LinkConfig, link_snr_db, simulate_link
 from repro.channel.environment import Environment
+from repro.sim.executor import FunctionTask, SweepExecutor
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
+_DISTANCES_M = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+
+
+def _snr_point(distance: float) -> tuple[float, float]:
+    """(analytic, measured) SNR at one range — executor work item."""
+    config = LinkConfig(
+        distance_m=distance, environment=Environment.typical_office()
+    )
+    result = simulate_link(config, num_payload_bits=2048, rng=int(distance * 10))
+    measured = (
+        result.snr_measured_db if result.snr_measured_db is not None else float("nan")
+    )
+    return link_snr_db(config), measured
+
 
 def _experiment():
-    distances = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0]
-    analytic = []
-    measured = []
-    for distance in distances:
-        config = LinkConfig(
-            distance_m=distance, environment=Environment.typical_office()
-        )
-        analytic.append(link_snr_db(config))
-        result = simulate_link(config, num_payload_bits=2048, rng=int(distance * 10))
-        measured.append(
-            result.snr_measured_db if result.snr_measured_db is not None else float("nan")
-        )
-    return distances, analytic, measured
+    executor = SweepExecutor.from_env()
+    report = executor.run(_DISTANCES_M, FunctionTask(_snr_point))
+    analytic = [metric[0] for metric in report.metrics]
+    measured = [metric[1] for metric in report.metrics]
+    return _DISTANCES_M, analytic, measured
 
 
 def test_e2_snr_vs_distance(once):

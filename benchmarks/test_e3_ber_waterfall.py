@@ -5,9 +5,12 @@ closed-form/union-bound curves.  Expected shape: measured points ride
 the theory curves; denser constellations sit to the right.
 """
 
+from functools import partial
+
 import numpy as np
 
 from repro.core.modulation import available_schemes, get_scheme
+from repro.sim.executor import FunctionTask, SweepExecutor
 from repro.sim.monte_carlo import awgn_symbol_ber
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
@@ -15,15 +18,21 @@ from repro.sim.results import ResultTable
 _SNR_GRID_DB = [0.0, 3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0]
 
 
+def _waterfall_point(name: str, snr_db: float) -> float:
+    """Measured BER of one scheme at one SNR — executor work item."""
+    return awgn_symbol_ber(get_scheme(name), snr_db, num_bits=120_000, seed=11)
+
+
 def _experiment():
+    executor = SweepExecutor.from_env()
     results = {}
     for name in available_schemes():
         scheme = get_scheme(name)
-        measured = [
-            awgn_symbol_ber(scheme, snr, num_bits=120_000, seed=11) for snr in _SNR_GRID_DB
-        ]
+        report = executor.run(
+            _SNR_GRID_DB, FunctionTask(partial(_waterfall_point, name))
+        )
         theory = [scheme.theoretical_ber(snr) for snr in _SNR_GRID_DB]
-        results[name] = (measured, theory)
+        results[name] = (report.metrics, theory)
     return results
 
 

@@ -6,12 +6,10 @@ cliff moves closer as rate rises (noise bandwidth grows), and the
 20 Mbps link is still clean at 8 m — the paper's headline range class.
 """
 
-from dataclasses import replace
-
 from repro.channel.environment import Environment
 from repro.core.link import LinkConfig
 from repro.core.tag import TagConfig
-from repro.sim.monte_carlo import estimate_link_ber
+from repro.sim.executor import BerSweepTask, SweepExecutor
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
@@ -21,27 +19,26 @@ _RATES = [
     ("80 Mbps", 40e6),
     ("160 Mbps", 80e6),
 ]
+_SEED = 4
 
 
 def _experiment():
+    executor = SweepExecutor.from_env()
     curves = {}
     for label, symbol_rate in _RATES:
-        bers = []
-        for distance in _DISTANCES_M:
-            config = LinkConfig(
-                distance_m=distance,
+        task = BerSweepTask(
+            config=LinkConfig(
                 tag=TagConfig(symbol_rate_hz=symbol_rate, samples_per_symbol=4),
                 environment=Environment.typical_office(),
-            )
-            estimate = estimate_link_ber(
-                config,
-                target_errors=40,
-                max_bits=24_000,
-                bits_per_frame=3000,
-                seed=int(distance),
-            )
-            bers.append(max(estimate.ber, 1e-6))  # floor for log plotting
-        curves[label] = bers
+            ),
+            param="distance_m",
+            target_errors=40,
+            max_bits=24_000,
+            bits_per_frame=3000,
+        )
+        report = executor.run(_DISTANCES_M, task, seed=_SEED)
+        # floor for log plotting
+        curves[label] = [max(estimate.ber, 1e-6) for estimate in report.metrics]
     return curves
 
 

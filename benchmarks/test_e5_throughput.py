@@ -9,6 +9,7 @@ with distance, hitting zero past the OOK/BPSK sensitivity cliff.
 from repro.channel.environment import Environment
 from repro.core.adaptation import RateAdapter
 from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.sim.executor import FunctionTask, SweepExecutor
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
@@ -16,28 +17,37 @@ _DISTANCES_M = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 15.0, 18.0, 22.0,
 _SYMBOL_RATE = 10e6
 
 
-def _experiment():
+def _goodput_row(distance: float) -> tuple[float, float, str, float]:
+    """Adapter decision + goodput at one range — executor work item."""
     adapter = RateAdapter()
-    rows = []
-    for distance in _DISTANCES_M:
-        config = LinkConfig(
-            distance_m=distance, environment=Environment.typical_office()
-        )
-        snr = link_snr_db(config)
-        entry = adapter.select(snr)
-        goodput = adapter.goodput_bps(snr, _SYMBOL_RATE)
-        rows.append((distance, snr, entry.modulation if entry else "-", goodput))
-    # spot-verify three adapter choices against the waveform chain
-    verified = {}
-    for distance in (2.0, 6.0, 10.0):
-        config = LinkConfig(
-            distance_m=distance, environment=Environment.typical_office()
-        )
-        entry = adapter.select(link_snr_db(config))
-        result = simulate_link(
-            config.with_modulation(entry.modulation), num_payload_bits=2048, rng=21
-        )
-        verified[distance] = result.frame_success
+    config = LinkConfig(
+        distance_m=distance, environment=Environment.typical_office()
+    )
+    snr = link_snr_db(config)
+    entry = adapter.select(snr)
+    goodput = adapter.goodput_bps(snr, _SYMBOL_RATE)
+    return (distance, snr, entry.modulation if entry else "-", goodput)
+
+
+def _verify_point(distance: float) -> bool:
+    """Spot-check one adapter choice against the waveform chain."""
+    adapter = RateAdapter()
+    config = LinkConfig(
+        distance_m=distance, environment=Environment.typical_office()
+    )
+    entry = adapter.select(link_snr_db(config))
+    result = simulate_link(
+        config.with_modulation(entry.modulation), num_payload_bits=2048, rng=21
+    )
+    return result.frame_success
+
+
+def _experiment():
+    executor = SweepExecutor.from_env()
+    rows = executor.run(_DISTANCES_M, FunctionTask(_goodput_row)).metrics
+    verify_distances = (2.0, 6.0, 10.0)
+    verify = executor.run(verify_distances, FunctionTask(_verify_point)).metrics
+    verified = dict(zip(verify_distances, verify))
     return rows, verified
 
 

@@ -13,6 +13,7 @@ from repro.channel.environment import Environment
 from repro.core.ap import APConfig
 from repro.core.network import FdmaPlan, MmTagNetwork, NetworkTag
 from repro.core.tag import TagConfig
+from repro.sim.executor import FunctionTask, SweepExecutor
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
@@ -34,30 +35,36 @@ def _make_network(num_tags: int) -> MmTagNetwork:
     return MmTagNetwork(tags, ap=APConfig(), environment=Environment.typical_office())
 
 
-def _experiment():
-    # concurrent FDMA, waveform level
-    concurrent_rows = []
-    for num_tags in (2, 4):
-        network = _make_network(num_tags)
-        network.assign_subcarriers(FdmaPlan(symbol_rate_hz=_SYMBOL_RATE))
-        results = network.simulate_concurrent_uplink(num_payload_bits=256, rng=1)
-        success = sum(1 for r, _ in results.values() if r.success)
-        worst_ber = max(ber for _, ber in results.values())
-        concurrent_rows.append((num_tags, success, worst_ber))
+def _concurrent_point(value: float) -> tuple[int, int, float]:
+    """Concurrent FDMA uplink at one tag count — executor work item."""
+    num_tags = int(value)
+    network = _make_network(num_tags)
+    network.assign_subcarriers(FdmaPlan(symbol_rate_hz=_SYMBOL_RATE))
+    results = network.simulate_concurrent_uplink(num_payload_bits=256, rng=1)
+    success = sum(1 for r, _ in results.values() if r.success)
+    worst_ber = max(ber for _, ber in results.values())
+    return (num_tags, success, worst_ber)
 
+
+def _tdma_point(value: float) -> tuple[int, float, float, float]:
+    """TDMA inventory at one tag count — executor work item."""
+    num_tags = int(value)
+    network = _make_network(num_tags)
+    inventory = network.tdma_inventory(num_rounds=40, rng=2)
+    return (
+        num_tags,
+        inventory.aggregate_goodput_bps / 1e6,
+        min(inventory.per_tag_goodput_bps().values()) / 1e6,
+        inventory.jain_fairness(),
+    )
+
+
+def _experiment():
+    executor = SweepExecutor.from_env()
+    # concurrent FDMA, waveform level
+    concurrent_rows = executor.run((2, 4), FunctionTask(_concurrent_point)).metrics
     # TDMA inventory, frame level
-    tdma_rows = []
-    for num_tags in (1, 2, 4, 8):
-        network = _make_network(num_tags)
-        inventory = network.tdma_inventory(num_rounds=40, rng=2)
-        tdma_rows.append(
-            (
-                num_tags,
-                inventory.aggregate_goodput_bps / 1e6,
-                min(inventory.per_tag_goodput_bps().values()) / 1e6,
-                inventory.jain_fairness(),
-            )
-        )
+    tdma_rows = executor.run((1, 2, 4, 8), FunctionTask(_tdma_point)).metrics
     return concurrent_rows, tdma_rows
 
 

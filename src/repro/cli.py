@@ -3,14 +3,16 @@
 ``python -m repro <command>``:
 
 * ``link``        one uplink burst at an operating point
-* ``sweep``       SNR / BER across distances
+* ``sweep``       SNR / BER across distances (parallel + cached)
 * ``energy``      node power / energy-per-bit table (+ battery life)
 * ``network``     TDMA inventory of an N-tag deployment
 * ``beamsearch``  AP beam-search strategies toward a tag
 * ``schemes``     modulation table with SNR thresholds
+* ``cache``       inspect / invalidate a sweep result cache
 
 All commands take ``--seed``; identical invocations print identical
-numbers.
+numbers — including ``sweep --backend process``, whose per-point
+seeding is bit-identical to the serial reference path.
 """
 
 from __future__ import annotations
@@ -29,7 +31,8 @@ from repro.core.link import LinkConfig, link_snr_db, simulate_link
 from repro.core.modulation import available_schemes, get_scheme
 from repro.core.network import MmTagNetwork, NetworkTag
 from repro.core.tag import TagConfig
-from repro.sim.monte_carlo import estimate_link_ber
+from repro.sim.cache import ResultCache
+from repro.sim.executor import BerSweepTask, FunctionTask, SweepExecutor
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
@@ -68,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--points", type=int, default=8)
     sweep.add_argument("--modulation", default="QPSK", choices=available_schemes())
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--backend", default="serial", choices=list(SweepExecutor.BACKENDS),
+        help="execution backend (process = pool fan-out, bit-identical to serial)",
+    )
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: CPU count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk result cache (ber metric)")
+    sweep.add_argument("--chunk-frames", type=int, default=1,
+                       help="frames batched per convergence check (ber metric)")
+    sweep.add_argument("--target-errors", type=int, default=30,
+                       help="bit errors to accumulate per point (ber metric)")
+
+    cache = sub.add_parser("cache", help="inspect / invalidate a sweep result cache")
+    cache.add_argument("--dir", required=True, help="cache directory")
+    cache.add_argument("--clear", action="store_true",
+                       help="invalidate every entry instead of listing stats")
 
     energy = sub.add_parser("energy", help="node power / energy table")
     energy.add_argument("--symbol-rate", type=float, default=10e6)
@@ -111,6 +131,7 @@ _EXPERIMENT_INDEX = [
     ("E15", "spatial reuse SINR (extension)", "test_e15_spatial_reuse"),
     ("E16", "battery-free envelope (extension)", "test_e16_harvesting"),
     ("E17", "AP receive diversity / MRC (extension)", "test_e17_diversity"),
+    ("E18", "sweep-engine scaling: pool + cache vs serial", "test_e18_executor_scaling"),
 ]
 
 
@@ -137,31 +158,52 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0 if result.frame_success else 1
 
 
+def _sweep_snr_metric(modulation: str, distance: float) -> float:
+    """Analytic SNR at one range (module-level so the pool can pickle it)."""
+    config = LinkConfig(
+        distance_m=distance,
+        tag=TagConfig(modulation=modulation),
+        environment=Environment.typical_office(),
+    )
+    return link_snr_db(config)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
+
     if args.points < 2 or args.stop <= args.start:
         print("sweep needs stop > start and points >= 2", file=sys.stderr)
         return 2
-    distances = list(np.linspace(args.start, args.stop, args.points))
+    if args.cache_dir is not None and args.metric != "ber":
+        print("--cache-dir applies to the ber metric only", file=sys.stderr)
+        return 2
+    distances = [float(d) for d in np.linspace(args.start, args.stop, args.points)]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    executor = SweepExecutor(args.backend, max_workers=args.workers, cache=cache)
+    if args.metric == "snr":
+        task = FunctionTask(functools.partial(_sweep_snr_metric, args.modulation))
+    else:
+        task = BerSweepTask(
+            config=LinkConfig(
+                tag=TagConfig(modulation=args.modulation),
+                environment=Environment.typical_office(),
+            ),
+            param="distance_m",
+            target_errors=args.target_errors,
+            max_bits=20_000,
+            bits_per_frame=2048,
+            chunk_frames=args.chunk_frames,
+        )
+    report = executor.run(distances, task, seed=args.seed)
     table = ResultTable(
         f"{args.metric} vs distance ({args.modulation})",
         ["distance_m", args.metric],
     )
     values = []
-    for distance in distances:
-        config = LinkConfig(
-            distance_m=float(distance),
-            tag=TagConfig(modulation=args.modulation),
-            environment=Environment.typical_office(),
-        )
-        if args.metric == "snr":
-            value = link_snr_db(config)
-        else:
-            value = estimate_link_ber(
-                config, target_errors=30, max_bits=20_000,
-                bits_per_frame=2048, seed=args.seed,
-            ).ber
+    for point in report.points:
+        value = point.metric.ber if args.metric == "ber" else point.metric
         values.append(value)
-        table.add_row(round(float(distance), 2), value)
+        table.add_row(round(point.value, 2), value)
     print(table.to_text())
     print()
     print(
@@ -172,6 +214,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             y_label=args.metric,
         )
     )
+    print()
+    print(report.summary())
+    if cache is not None:
+        print(cache.stats.summary())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.clear:
+        removed = cache.invalidate()
+        print(f"invalidated {removed} entries in {cache.directory}")
+        return 0
+    print(f"cache dir : {cache.directory}")
+    print(f"entries   : {len(cache)}")
+    print(f"code ver  : {cache.version[:16]}…")
     return 0
 
 
@@ -307,6 +365,7 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "link": _cmd_link,
     "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
     "energy": _cmd_energy,
     "network": _cmd_network,
     "beamsearch": _cmd_beamsearch,

@@ -1,13 +1,26 @@
 """Simulation harness: Monte-Carlo BER engine, sweeps, tables, plots.
 
 Everything the benchmarks and examples use to turn the core library
-into the paper's tables and figures.
+into the paper's tables and figures — plus the parallel, cached sweep
+execution engine (:mod:`repro.sim.executor` / :mod:`repro.sim.cache`)
+that drives production-scale campaigns without perturbing a single
+number.
 """
 
 from repro.sim.monte_carlo import BerEstimate, estimate_link_ber, awgn_symbol_ber
 from repro.sim.sweep import sweep_1d, SweepPoint
 from repro.sim.results import ResultTable
 from repro.sim.plotting import ascii_plot, format_db
+from repro.sim.cache import CacheStats, ResultCache, code_version, stable_hash
+from repro.sim.executor import (
+    BerSweepTask,
+    FunctionTask,
+    PointRecord,
+    SweepExecutor,
+    SweepReport,
+    SweepTask,
+    run_sweep,
+)
 
 __all__ = [
     "BerEstimate",
@@ -18,4 +31,15 @@ __all__ = [
     "ResultTable",
     "ascii_plot",
     "format_db",
+    "CacheStats",
+    "ResultCache",
+    "code_version",
+    "stable_hash",
+    "BerSweepTask",
+    "FunctionTask",
+    "PointRecord",
+    "SweepExecutor",
+    "SweepReport",
+    "SweepTask",
+    "run_sweep",
 ]

@@ -1,0 +1,282 @@
+"""On-disk result cache for sweep points.
+
+Monte-Carlo sweeps recompute identical operating points on every
+benchmark run.  :class:`ResultCache` memoises them on disk, keyed by a
+**stable content hash** of everything that determines the answer:
+
+* the task description (a :class:`~repro.core.link.LinkConfig` or any
+  nested dataclass tree, canonicalised field by field),
+* the sweep value and root seed,
+* the **code version** — a digest of every ``repro`` source file — so
+  editing the simulator silently invalidates stale entries instead of
+  replaying them.
+
+Entries are pickled one-file-per-key with atomic renames, so concurrent
+writers (process-pool workers, parallel CI shards) never observe a
+torn entry.  Hit/miss counters make cache behaviour observable, and
+:meth:`ResultCache.invalidate` provides an explicit invalidation API.
+
+The hash is *stable*, not merely deterministic-per-process: floats are
+hashed via ``float.hex()`` (byte-exact, locale-independent), arrays by
+their raw bytes, dataclasses by qualified name + fields, and mappings
+in sorted key order.  Python's built-in ``hash()`` is never used (it is
+salted per process for strings).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "MISS",
+    "CacheKeyError",
+    "CacheStats",
+    "ResultCache",
+    "canonicalize",
+    "stable_hash",
+    "code_version",
+]
+
+#: Bump when the on-disk entry layout changes (invalidates everything).
+CACHE_SCHEMA_VERSION = 1
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss, so that
+#: ``None`` is a cacheable value.
+MISS = object()
+
+
+class CacheKeyError(TypeError):
+    """Raised when an object cannot be canonicalised into a stable key."""
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable tree with a stable layout.
+
+    Supports the types that appear in sweep descriptions: ``None``,
+    bools, ints, strings, floats (via ``float.hex`` for byte-exactness),
+    complex numbers, numpy scalars and arrays, (frozen) dataclasses,
+    lists/tuples, dicts with string-able keys, and named module-level
+    functions (by qualified name).  Anything else raises
+    :class:`CacheKeyError` — better to refuse caching than to cache
+    under an ambiguous key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", float(obj).hex()]
+    if isinstance(obj, complex):
+        return ["c", obj.real.hex(), obj.imag.hex()]
+    if isinstance(obj, np.generic):
+        return canonicalize(obj.item())
+    if isinstance(obj, np.ndarray):
+        contiguous = np.ascontiguousarray(obj)
+        return [
+            "nd",
+            str(contiguous.dtype),
+            list(contiguous.shape),
+            hashlib.sha256(contiguous.tobytes()).hexdigest(),
+        ]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return [
+            "dc",
+            f"{cls.__module__}.{cls.__qualname__}",
+            {
+                field.name: canonicalize(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            },
+        ]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonicalize(item) for item in obj]]
+    if isinstance(obj, dict):
+        try:
+            items = sorted(obj.items())
+        except TypeError as exc:  # unsortable keys
+            raise CacheKeyError(f"cannot canonicalise dict keys of {obj!r}") from exc
+        return ["map", [[canonicalize(k), canonicalize(v)] for k, v in items]]
+    if callable(obj):
+        qualname = getattr(obj, "__qualname__", "")
+        module = getattr(obj, "__module__", "")
+        if not module or not qualname or "<" in qualname:
+            raise CacheKeyError(
+                f"cannot build a stable key for {obj!r}: only named module-level "
+                "functions are canonicalisable"
+            )
+        return ["fn", f"{module}.{qualname}"]
+    raise CacheKeyError(
+        f"cannot build a stable cache key for {type(obj).__name__!r}: {obj!r}"
+    )
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonicalize`'s view of ``obj``."""
+    canonical = canonicalize(obj)
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (computed once per process).
+
+    Cache entries embed this, so *any* edit to the simulator invalidates
+    previous results — the silent-numerics-drift guard the regression
+    suite relies on.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+@dataclass
+class CacheStats:
+    """Observable counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.puts} writes, "
+            f"{self.invalidations} invalidations"
+        )
+
+
+class ResultCache:
+    """Directory-backed pickle cache with stable keys and counters.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live (created on demand).
+    version:
+        Token mixed into every key.  Defaults to :func:`code_version`,
+        so results computed by different code never collide.
+    """
+
+    _SUFFIX = ".pkl"
+
+    def __init__(self, directory: str | os.PathLike, version: str | None = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.version = code_version() if version is None else str(version)
+        self.stats = CacheStats()
+
+    # -- keys -----------------------------------------------------------------
+
+    def key_for(self, **parts: Any) -> str:
+        """Stable key for a task description (keyword parts)."""
+        return stable_hash(
+            {"schema": CACHE_SCHEMA_VERSION, "version": self.version, "parts": parts}
+        )
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.directory / f"{key}{self._SUFFIX}"
+
+    # -- lookup / store -------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Value for ``key``, or the :data:`MISS` sentinel."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic replace)."""
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=self._SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing and storing on a miss."""
+        value = self.get(key)
+        if value is not MISS:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"*{self._SUFFIX}"))
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Drop one entry (``key``) or every entry (``None``).
+
+        Returns the number of entries removed.
+        """
+        if key is not None:
+            paths = [self._path(key)]
+        else:
+            paths = list(self.directory.glob(f"*{self._SUFFIX}"))
+        removed = 0
+        for path in paths:
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        self.stats.invalidations += removed
+        return removed

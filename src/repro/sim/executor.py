@@ -1,0 +1,412 @@
+"""Parallel, cached sweep execution engine.
+
+Every reconstructed mmTag figure is a sweep: BER versus distance,
+goodput versus range, SNR versus angle.  The seed code evaluated each
+point serially and recomputed identical points on every run.  This
+module is the execution layer that fixes both without changing a
+single number:
+
+* :class:`SweepExecutor` evaluates sweep points through a ``serial``
+  or ``process`` (pool) backend.  Each point gets its own
+  :class:`numpy.random.SeedSequence` spawned from the root seed, so the
+  result is **bit-identical across backends, worker counts, and chunk
+  sizes** — the serial loop stays in the tree as the reference
+  implementation, and ``tests/test_sim_executor.py`` enforces the
+  equivalence.
+* A :class:`~repro.sim.cache.ResultCache` (optional) memoises points on
+  disk, keyed by a stable hash of the task + value + seed + code
+  version; cache-hit replay therefore returns the same objects the
+  serial path computes.
+* Progress/timing hooks (:class:`PointRecord`, ``on_progress``) and a
+  :class:`SweepReport` make runs observable — the CLI and CI artifact
+  print :meth:`SweepReport.summary`.
+
+Tasks are small frozen dataclasses so the process backend can pickle
+them and the cache can canonicalise them.  :class:`BerSweepTask` is the
+workhorse (full waveform-chain BER across any ``LinkConfig`` field);
+:class:`FunctionTask` adapts arbitrary ``metric_fn(value)`` callables —
+including every legacy ``sweep_1d`` call site.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from collections.abc import Callable, Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.core.link import LinkConfig
+from repro.sim.cache import MISS, CacheKeyError, ResultCache, canonicalize
+from repro.sim.monte_carlo import BerEstimate, estimate_link_ber
+from repro.sim.sweep import SweepPoint
+
+__all__ = [
+    "SweepTask",
+    "BerSweepTask",
+    "FunctionTask",
+    "PointRecord",
+    "SweepReport",
+    "SweepExecutor",
+    "run_sweep",
+]
+
+
+# -- tasks --------------------------------------------------------------------
+
+
+class SweepTask:
+    """One sweep's work item: ``metric = run(value, seed_sequence)``.
+
+    Subclasses must be picklable (the process backend ships them to
+    workers) and should be frozen dataclasses (the cache canonicalises
+    their fields into the key).
+    """
+
+    def run(self, value: float, seed: np.random.SeedSequence) -> object:
+        """Evaluate the metric at ``value`` with the point's own stream."""
+        raise NotImplementedError
+
+    def cache_parts(self, value: float) -> dict[str, Any] | None:
+        """Key material for caching this point, or ``None`` if uncacheable."""
+        return None
+
+
+@dataclass(frozen=True)
+class BerSweepTask(SweepTask):
+    """Full waveform-chain BER at ``config`` with one field swept.
+
+    ``param`` names any :class:`~repro.core.link.LinkConfig` field
+    (``distance_m`` by default, ``incidence_angle_deg`` for angle
+    coverage, ...); each point replaces that field with the sweep value
+    and runs :func:`~repro.sim.monte_carlo.estimate_link_ber`.
+    """
+
+    config: LinkConfig
+    param: str = "distance_m"
+    target_errors: int = 100
+    max_bits: int = 200_000
+    bits_per_frame: int = 2048
+    chunk_frames: int = 1
+
+    def __post_init__(self) -> None:
+        names = {f.name for f in dataclass_fields(LinkConfig)}
+        if self.param not in names:
+            raise ValueError(
+                f"param {self.param!r} is not a LinkConfig field; "
+                f"choose from {sorted(names)}"
+            )
+
+    def config_for(self, value: float) -> LinkConfig:
+        """The operating point at one sweep value."""
+        return replace(self.config, **{self.param: value})
+
+    def run(self, value: float, seed: np.random.SeedSequence) -> BerEstimate:
+        return estimate_link_ber(
+            self.config_for(value),
+            target_errors=self.target_errors,
+            max_bits=self.max_bits,
+            bits_per_frame=self.bits_per_frame,
+            seed=seed,
+            chunk_frames=self.chunk_frames,
+        )
+
+    def cache_parts(self, value: float) -> dict[str, Any]:
+        return {"task": self, "value": value}
+
+
+@dataclass(frozen=True)
+class FunctionTask(SweepTask):
+    """Adapt a plain ``metric_fn(value)`` callable to the executor.
+
+    The seed sequence is ignored — legacy metric functions carry their
+    own seeding, which keeps every rewired call site producing the
+    same numbers it always did.  Caching is **opt-in**: pass a
+    ``cache_token`` that (together with the function's qualified name)
+    uniquely describes the computation; lambdas and closures stay
+    uncacheable but still run fine on the serial backend.
+    """
+
+    fn: Callable[[float], object]
+    cache_token: str | None = None
+
+    def run(self, value: float, seed: np.random.SeedSequence) -> object:
+        return self.fn(value)
+
+    def cache_parts(self, value: float) -> dict[str, Any] | None:
+        if self.cache_token is None:
+            return None
+        try:
+            fn_ref = canonicalize(self.fn)
+        except CacheKeyError:
+            return None
+        return {"fn": fn_ref, "token": self.cache_token, "value": value}
+
+
+# -- reports ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """Timing/provenance for one evaluated sweep point."""
+
+    index: int
+    value: float
+    seconds: float
+    cached: bool
+
+    def describe(self) -> str:
+        """One-line rendering for progress streams."""
+        source = "cache" if self.cached else "computed"
+        return f"point {self.index}: value={self.value:g} {source} in {self.seconds:.3f} s"
+
+
+@dataclass
+class SweepReport:
+    """Everything one executor run yields."""
+
+    backend: str
+    workers: int
+    points: list[SweepPoint]
+    records: list[PointRecord]
+    elapsed_s: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def metrics(self) -> list[object]:
+        """The metric column, in sweep order."""
+        return [p.metric for p in self.points]
+
+    @property
+    def compute_seconds(self) -> float:
+        """Summed per-point compute time (excludes cache hits)."""
+        return sum(r.seconds for r in self.records if not r.cached)
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary (CLI / CI artifact)."""
+        n = len(self.points)
+        computed = sum(1 for r in self.records if not r.cached)
+        lines = [
+            f"sweep: {n} points via {self.backend} backend "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}) "
+            f"in {self.elapsed_s:.3f} s wall",
+            f"points: {computed} computed ({self.compute_seconds:.3f} s point time), "
+            f"{self.cache_hits} cache hits / {self.cache_misses} misses",
+        ]
+        timed = [r for r in self.records if not r.cached]
+        if timed:
+            slowest = max(timed, key=lambda r: r.seconds)
+            lines.append(
+                f"slowest point: value={slowest.value:g} ({slowest.seconds:.3f} s)"
+            )
+        return "\n".join(lines)
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def _compute_point(
+    task: SweepTask, value: float, seed: np.random.SeedSequence
+) -> tuple[object, float]:
+    """Evaluate one point, returning ``(metric, seconds)``.
+
+    Module-level so the process backend can pickle it.
+    """
+    start = time.perf_counter()
+    metric = task.run(value, seed)
+    return metric, time.perf_counter() - start
+
+
+class SweepExecutor:
+    """Evaluate sweep points serially or on a process pool, with caching.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (reference implementation — evaluates in order,
+        in-process) or ``"process"`` (``ProcessPoolExecutor`` fan-out).
+    max_workers:
+        Pool width for the process backend (default: CPU count).
+    cache:
+        Optional :class:`~repro.sim.cache.ResultCache`; cacheable tasks
+        are looked up before computing and stored after.
+    on_progress:
+        Optional hook fed a :class:`PointRecord` as each point lands.
+        With the process backend records arrive in completion order;
+        the returned report is ordered by sweep index regardless.
+    """
+
+    BACKENDS = ("serial", "process")
+
+    @classmethod
+    def from_env(
+        cls,
+        *,
+        on_progress: Callable[[PointRecord], None] | None = None,
+        environ: dict[str, str] | None = None,
+    ) -> "SweepExecutor":
+        """Build an executor from ``REPRO_SWEEP_*`` environment variables.
+
+        * ``REPRO_SWEEP_BACKEND`` — ``serial`` (default) or ``process``
+        * ``REPRO_SWEEP_WORKERS`` — pool width (default: CPU count)
+        * ``REPRO_SWEEP_CACHE``   — directory for a result cache
+
+        The benchmark suite and CI go through this hook, so
+        ``REPRO_SWEEP_BACKEND=process pytest benchmarks/`` parallelises
+        every rewired experiment without touching its code.
+        """
+        env = os.environ if environ is None else environ
+        backend = env.get("REPRO_SWEEP_BACKEND", "serial")
+        workers_raw = env.get("REPRO_SWEEP_WORKERS", "")
+        max_workers = int(workers_raw) if workers_raw else None
+        cache_dir = env.get("REPRO_SWEEP_CACHE", "")
+        cache = ResultCache(cache_dir) if cache_dir else None
+        return cls(
+            backend, max_workers=max_workers, cache=cache, on_progress=on_progress
+        )
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        *,
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        on_progress: Callable[[PointRecord], None] | None = None,
+    ):
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {self.BACKENDS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.cache = cache
+        self.on_progress = on_progress
+
+    # -- helpers --------------------------------------------------------------
+
+    def _workers_for(self, pending: int) -> int:
+        if self.backend == "serial":
+            return 1
+        width = self.max_workers or os.cpu_count() or 1
+        return max(1, min(width, max(pending, 1)))
+
+    def _emit(self, record: PointRecord) -> None:
+        if self.on_progress is not None:
+            self.on_progress(record)
+
+    # -- the engine -----------------------------------------------------------
+
+    def run(
+        self,
+        values: Iterable[float],
+        task: SweepTask,
+        *,
+        seed: int = 0,
+        on_point: Callable[[SweepPoint], None] | None = None,
+    ) -> SweepReport:
+        """Evaluate ``task`` at every value; return an ordered report.
+
+        Per-point seeding: child ``i`` of ``SeedSequence(seed)`` drives
+        point ``i``.  Children depend only on ``(seed, i)``, so a
+        sweep's prefix is seed-stable — adding points never perturbs
+        earlier ones, and serial/process/cached paths agree bit for
+        bit.
+        """
+        start = time.perf_counter()
+        vals = [float(v) for v in values]
+        n = len(vals)
+        children = np.random.SeedSequence(seed).spawn(n) if n else []
+
+        metrics: list[object] = [None] * n
+        records: list[PointRecord | None] = [None] * n
+        hits = 0
+        misses = 0
+
+        # cache lookup pass
+        keys: list[str | None] = [None] * n
+        pending: list[int] = []
+        for i, value in enumerate(vals):
+            if self.cache is not None:
+                parts = task.cache_parts(value)
+                if parts is not None:
+                    keys[i] = self.cache.key_for(seed=seed, index=i, **parts)
+                    found = self.cache.get(keys[i])
+                    if found is not MISS:
+                        hits += 1
+                        metrics[i] = found
+                        records[i] = PointRecord(
+                            index=i, value=value, seconds=0.0, cached=True
+                        )
+                        self._emit(records[i])
+                        continue
+                    misses += 1
+            pending.append(i)
+
+        # compute pass
+        if self.backend == "serial" or len(pending) <= 1:
+            for i in pending:
+                metric, seconds = _compute_point(task, vals[i], children[i])
+                metrics[i] = metric
+                records[i] = PointRecord(
+                    index=i, value=vals[i], seconds=seconds, cached=False
+                )
+                if keys[i] is not None:
+                    self.cache.put(keys[i], metric)  # type: ignore[union-attr]
+                self._emit(records[i])
+        else:
+            workers = self._workers_for(len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_compute_point, task, vals[i], children[i]): i
+                    for i in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = futures[future]
+                        metric, seconds = future.result()
+                        metrics[i] = metric
+                        records[i] = PointRecord(
+                            index=i, value=vals[i], seconds=seconds, cached=False
+                        )
+                        if keys[i] is not None:
+                            self.cache.put(keys[i], metric)  # type: ignore[union-attr]
+                        self._emit(records[i])
+
+        points = [SweepPoint(value=v, metric=m) for v, m in zip(vals, metrics)]
+        if on_point is not None:
+            for point in points:
+                on_point(point)
+        return SweepReport(
+            backend=self.backend,
+            workers=self._workers_for(len(pending)),
+            points=points,
+            records=[r for r in records if r is not None],
+            elapsed_s=time.perf_counter() - start,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+
+def run_sweep(
+    values: Iterable[float],
+    task: SweepTask,
+    *,
+    backend: str = "serial",
+    seed: int = 0,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+    on_progress: Callable[[PointRecord], None] | None = None,
+) -> SweepReport:
+    """One-call convenience wrapper around :class:`SweepExecutor`."""
+    executor = SweepExecutor(
+        backend, max_workers=max_workers, cache=cache, on_progress=on_progress
+    )
+    return executor.run(values, task, seed=seed)

@@ -10,12 +10,18 @@ Two paths:
   applies calibrated AWGN straight to constellation symbols, for the
   theory-validation waterfalls where the channel is ideal by design.
 
-Both are deterministic given a seed.
+Both are deterministic given a seed.  ``estimate_link_ber`` also
+accepts a :class:`numpy.random.SeedSequence`, which is how the sweep
+executor (:mod:`repro.sim.executor`) hands each sweep point its own
+independent, reproducible stream — and its result is **invariant to
+the chunk size** used for frame batching, the property the
+determinism test suite pins down.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,22 +34,56 @@ __all__ = ["BerEstimate", "estimate_link_ber", "awgn_symbol_ber"]
 
 @dataclass(frozen=True)
 class BerEstimate:
-    """A BER estimate with its statistical weight."""
+    """A BER estimate with its statistical weight.
+
+    ``target_errors`` (when known) records the convergence target the
+    estimator was run with, so :attr:`is_converged` can distinguish an
+    estimate that genuinely accumulated enough errors from one that ran
+    out of bit budget — or tested nothing at all.
+    """
 
     bit_errors: int
     bits_tested: int
     frames: int
     frames_detected: int
+    target_errors: int | None = None
 
     @property
     def ber(self) -> float:
-        """Point estimate (0.0 when nothing was tested)."""
+        """Point estimate (0.0 when nothing was tested).
+
+        A ``0.0`` from ``bits_tested == 0`` carries no statistical
+        weight — check :attr:`is_converged` (or ``bits_tested``) before
+        trusting it.
+        """
         if self.bits_tested == 0:
             return 0.0
         return self.bit_errors / self.bits_tested
 
+    @property
+    def is_converged(self) -> bool:
+        """True when the estimate carries real statistical weight.
+
+        ``False`` when nothing was tested, or when a known
+        ``target_errors`` was not reached (the estimator hit its bit
+        budget first — the point estimate is then only an upper-bound
+        flavoured hint).  Distinguishes "measured zero errors over N
+        bits" from "never simulated anything".
+        """
+        if self.bits_tested == 0:
+            return False
+        if self.target_errors is None:
+            return True
+        return self.bit_errors >= self.target_errors
+
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
-        """Wilson score interval for the BER."""
+        """Wilson score interval for the BER.
+
+        ``z`` is the standard-normal quantile (1.96 for 95%) and must
+        be a positive finite number.
+        """
+        if not math.isfinite(z) or z <= 0.0:
+            raise ValueError(f"z must be a positive finite quantile, got {z}")
         n = self.bits_tested
         if n == 0:
             return (0.0, 1.0)
@@ -61,12 +101,29 @@ def estimate_link_ber(
     target_errors: int = 100,
     max_bits: int = 200_000,
     bits_per_frame: int = 2048,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
+    chunk_frames: int = 1,
+    progress: Callable[[int, int, int], None] | None = None,
 ) -> BerEstimate:
     """Estimate the link BER by simulating frames until convergence.
 
     Stops when ``target_errors`` bit errors have been seen or
     ``max_bits`` bits have been tested, whichever comes first.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed or a :class:`numpy.random.SeedSequence` (the sweep
+        executor spawns one per point for independent streams).
+    chunk_frames:
+        Frames simulated per batch between bookkeeping/progress
+        callbacks.  The stopping rule is checked frame-exactly inside
+        each chunk, so the returned estimate is **byte-identical for
+        every chunk size** — chunking only coarsens the progress
+        granularity and amortises loop overhead.
+    progress:
+        Optional hook called after each chunk with
+        ``(frames, bits, errors)`` accumulated so far.
     """
     if target_errors < 1:
         raise ValueError(f"target_errors must be >= 1, got {target_errors}")
@@ -74,20 +131,31 @@ def estimate_link_ber(
         raise ValueError(
             f"max_bits ({max_bits}) must cover one frame ({bits_per_frame} bits)"
         )
+    if chunk_frames < 1:
+        raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
     rng = np.random.default_rng(seed)
     errors = 0
     bits = 0
     frames = 0
     detected = 0
     while errors < target_errors and bits < max_bits:
-        result = simulate_link(config, num_payload_bits=bits_per_frame, rng=rng)
-        errors += result.bit_errors
-        bits += result.num_payload_bits
-        frames += 1
-        if result.detected:
-            detected += 1
+        for _ in range(chunk_frames):
+            if errors >= target_errors or bits >= max_bits:
+                break
+            result = simulate_link(config, num_payload_bits=bits_per_frame, rng=rng)
+            errors += result.bit_errors
+            bits += result.num_payload_bits
+            frames += 1
+            if result.detected:
+                detected += 1
+        if progress is not None:
+            progress(frames, bits, errors)
     return BerEstimate(
-        bit_errors=errors, bits_tested=bits, frames=frames, frames_detected=detected
+        bit_errors=errors,
+        bits_tested=bits,
+        frames=frames,
+        frames_detected=detected,
+        target_errors=target_errors,
     )
 
 
@@ -95,7 +163,7 @@ def awgn_symbol_ber(
     scheme: ModulationScheme,
     snr_db: float,
     num_bits: int = 100_000,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
 ) -> float:
     """Symbol-level BER of a scheme in pure AWGN at symbol SNR ``snr_db``.
 

@@ -1,0 +1,107 @@
+"""Emit a cache-hit/timing summary of the sweep execution engine.
+
+Runs a small office-link distance sweep twice through
+:class:`repro.sim.executor.SweepExecutor` — a cold pass that fills an
+on-disk :class:`repro.sim.cache.ResultCache`, then a warm pass that
+must replay it hit-for-hit — and writes the timing/caching report to a
+text file.  CI uploads that file as a build artifact, so the engine's
+behaviour (hit rate, per-point time, backend) is observable per-commit
+without digging through logs.
+
+    python tools/executor_summary.py --out executor-summary.txt
+
+Exit code is non-zero if the warm pass fails to replay bit-identically,
+making the summary double as a cheap end-to-end determinism probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+# allow running from a source checkout without installation
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.channel.environment import Environment  # noqa: E402
+from repro.core.link import LinkConfig  # noqa: E402
+from repro.core.tag import TagConfig  # noqa: E402
+from repro.sim.cache import ResultCache, code_version  # noqa: E402
+from repro.sim.executor import BerSweepTask, SweepExecutor  # noqa: E402
+
+_DISTANCES_M = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+_SEED = 0
+
+
+def build_task() -> BerSweepTask:
+    """The probe workload: an 8-point office-link BER sweep."""
+    return BerSweepTask(
+        config=LinkConfig(
+            tag=TagConfig(symbol_rate_hz=10e6, samples_per_symbol=4),
+            environment=Environment.typical_office(),
+        ),
+        param="distance_m",
+        target_errors=40,
+        max_bits=24_000,
+        bits_per_frame=3000,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--out", default="executor-summary.txt",
+                        help="where to write the summary")
+    parser.add_argument("--backend",
+                        default=os.environ.get("REPRO_SWEEP_BACKEND", "serial"),
+                        choices=list(SweepExecutor.BACKENDS))
+    args = parser.parse_args(argv)
+
+    task = build_task()
+    lines = [
+        "sweep execution engine summary",
+        f"code version : {code_version()}",
+        f"backend      : {args.backend}",
+        f"cpu count    : {os.cpu_count()}",
+        f"sweep        : {len(_DISTANCES_M)}-point distance sweep, seed {_SEED}",
+        "",
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-executor-summary-") as cache_dir:
+        cache = ResultCache(cache_dir)
+
+        start = time.perf_counter()
+        cold = SweepExecutor(args.backend, cache=cache).run(
+            _DISTANCES_M, task, seed=_SEED
+        )
+        cold_s = time.perf_counter() - start
+        lines += ["[cold pass]", cold.summary(), ""]
+
+        start = time.perf_counter()
+        warm = SweepExecutor(args.backend, cache=cache).run(
+            _DISTANCES_M, task, seed=_SEED
+        )
+        warm_s = time.perf_counter() - start
+        lines += ["[warm pass]", warm.summary(), "", cache.stats.summary()]
+
+        identical = pickle.dumps(warm.points) == pickle.dumps(cold.points)
+        replayed = warm.cache_hits == len(_DISTANCES_M)
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        lines += [
+            f"warm replay  : {'bit-identical' if identical else 'MISMATCH'}, "
+            f"{warm.cache_hits}/{len(_DISTANCES_M)} hits, {speedup:.0f}x faster",
+        ]
+
+    text = "\n".join(lines) + "\n"
+    Path(args.out).write_text(text)
+    print(text)
+    if not (identical and replayed):
+        print("ERROR: warm pass did not replay bit-identically", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
