@@ -35,10 +35,15 @@ def _experiment():
             target_errors=40,
             max_bits=24_000,
             bits_per_frame=3000,
+            # batched frame-chain kernel: bit-identical to serial, faster
+            link_backend="vectorized",
         )
         report = executor.run(_DISTANCES_M, task, seed=_SEED)
-        # floor for log plotting
-        curves[label] = [max(estimate.ber, 1e-6) for estimate in report.metrics]
+        # (floored point estimate for log plotting, Wilson upper bound)
+        curves[label] = [
+            (max(estimate.ber, 1e-6), estimate.wilson_upper_bound())
+            for estimate in report.metrics
+        ]
     return curves
 
 
@@ -46,17 +51,25 @@ def test_e4_ber_vs_distance(once):
     curves = once(_experiment)
 
     table = ResultTable(
-        "E4: BER vs distance per data rate (QPSK)",
-        ["distance_m"] + list(curves),
+        "E4: BER vs distance per data rate (QPSK; point / Wilson-95% upper)",
+        ["distance_m"] + [f"{label} ({kind})" for label in curves
+                          for kind in ("ber", "ub")],
     )
     for i, distance in enumerate(_DISTANCES_M):
-        table.add_row(distance, *[curves[label][i] for label in curves])
+        row = []
+        for label in curves:
+            ber, upper = curves[label][i]
+            row += [ber, round(upper, 6)]
+        table.add_row(distance, *row)
     print()
     print(table.to_text())
     print()
     print(
         ascii_plot(
-            {label: (_DISTANCES_M, bers) for label, bers in curves.items()},
+            {
+                label: (_DISTANCES_M, [ber for ber, _ in points])
+                for label, points in curves.items()
+            },
             log_y=True,
             title="E4: BER vs distance",
             x_label="distance [m]",
@@ -65,8 +78,11 @@ def test_e4_ber_vs_distance(once):
     )
 
     def range_at(label, threshold=1e-3):
-        bers = curves[label]
-        usable = [d for d, b in zip(_DISTANCES_M, bers) if b <= threshold]
+        # The statistically honest cliff: a point that stopped on the
+        # bit budget (or saw zero errors) reports a flattering raw BER,
+        # so the usable-range decision uses the Wilson upper bound.
+        uppers = [upper for _, upper in curves[label]]
+        usable = [d for d, ub in zip(_DISTANCES_M, uppers) if ub <= threshold]
         return max(usable) if usable else 0.0
 
     r20, r80, r160 = (range_at(label) for label, _ in _RATES)
@@ -74,5 +90,5 @@ def test_e4_ber_vs_distance(once):
     assert r20 >= r80 >= r160
     # the paper's class of operating point: clean at >= 8 m at 20 Mbps
     assert r20 >= 10.0
-    # the fastest rate still works at short range
-    assert curves["160 Mbps"][0] < 1e-3
+    # the fastest rate still works at short range (Wilson upper bound)
+    assert curves["160 Mbps"][0][1] < 1e-3

@@ -8,7 +8,8 @@
 * ``network``     TDMA inventory of an N-tag deployment
 * ``beamsearch``  AP beam-search strategies toward a tag
 * ``schemes``     modulation table with SNR thresholds
-* ``cache``       inspect / invalidate a sweep result cache
+* ``cache``       inspect / invalidate / LRU-prune a sweep result cache
+* ``bench``       hot-path microbenchmarks (reference vs vectorized)
 
 All commands take ``--seed``; identical invocations print identical
 numbers — including ``sweep --backend process``, whose per-point
@@ -33,6 +34,7 @@ from repro.core.network import MmTagNetwork, NetworkTag
 from repro.core.tag import TagConfig
 from repro.sim.cache import ResultCache
 from repro.sim.executor import BerSweepTask, FunctionTask, SweepExecutor
+from repro.sim.monte_carlo import LINK_BER_BACKENDS
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
@@ -83,11 +85,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="frames batched per convergence check (ber metric)")
     sweep.add_argument("--target-errors", type=int, default=30,
                        help="bit errors to accumulate per point (ber metric)")
+    sweep.add_argument(
+        "--link-backend", default="serial", choices=list(LINK_BER_BACKENDS),
+        help="per-point frame chain (vectorized = batched kernel, "
+             "bit-identical to serial; ber metric)",
+    )
 
     cache = sub.add_parser("cache", help="inspect / invalidate a sweep result cache")
     cache.add_argument("--dir", required=True, help="cache directory")
     cache.add_argument("--clear", action="store_true",
                        help="invalidate every entry instead of listing stats")
+    cache.add_argument("--prune", type=int, default=None, metavar="MAX_BYTES",
+                       help="evict least-recently-used entries until the cache "
+                            "fits MAX_BYTES")
+
+    bench = sub.add_parser(
+        "bench", help="hot-path microbenchmarks: reference vs vectorized"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads (CI-sized, noisier ratios)")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the perf-trajectory JSON to PATH")
 
     energy = sub.add_parser("energy", help="node power / energy table")
     energy.add_argument("--symbol-rate", type=float, default=10e6)
@@ -193,6 +211,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_bits=20_000,
             bits_per_frame=2048,
             chunk_frames=args.chunk_frames,
+            link_backend=args.link_backend,
         )
     report = executor.run(distances, task, seed=args.seed)
     table = ResultTable(
@@ -223,13 +242,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.dir)
+    if args.clear and args.prune is not None:
+        print("--clear and --prune are mutually exclusive", file=sys.stderr)
+        return 2
     if args.clear:
         removed = cache.invalidate()
         print(f"invalidated {removed} entries in {cache.directory}")
         return 0
+    if args.prune is not None:
+        if args.prune < 0:
+            print("--prune takes a non-negative byte budget", file=sys.stderr)
+            return 2
+        removed = cache.prune(max_bytes=args.prune)
+        print(
+            f"pruned {removed} entries in {cache.directory} "
+            f"({len(cache)} left, {cache.size_bytes()} bytes)"
+        )
+        return 0
     print(f"cache dir : {cache.directory}")
     print(f"entries   : {len(cache)}")
+    print(f"size      : {cache.size_bytes()} bytes")
     print(f"code ver  : {cache.version[:16]}…")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.profiling import run_hotpath_benchmarks, write_trajectory
+
+    report = run_hotpath_benchmarks(quick=args.quick)
+    table = ResultTable(
+        "hot-path microbenchmarks (reference vs vectorized)",
+        ["kernel", "reference_ms", "vectorized_ms", "speedup"],
+    )
+    for bench in report.benchmarks:
+        table.add_row(
+            bench.name,
+            round(bench.reference_s * 1e3, 3),
+            round(bench.vectorized_s * 1e3, 3),
+            f"{bench.speedup:.1f}x",
+        )
+    print(table.to_text())
+    if args.json is not None:
+        path = write_trajectory(report, args.json)
+        print(f"\nperf trajectory written to {path}")
     return 0
 
 
@@ -366,6 +421,7 @@ _COMMANDS = {
     "link": _cmd_link,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "bench": _cmd_bench,
     "energy": _cmd_energy,
     "network": _cmd_network,
     "beamsearch": _cmd_beamsearch,

@@ -12,10 +12,14 @@ Euclidean metric on LLR-like inputs) Viterbi are provided.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 __all__ = ["ConvolutionalCode", "K7_CODE"]
+
+#: Valid Viterbi backends (``decode_soft``/``decode_hard``).
+VITERBI_BACKENDS = ("vectorized", "reference")
 
 
 def _bit_count(value: int) -> int:
@@ -88,7 +92,9 @@ class ConvolutionalCode:
 
     # -- decoding -----------------------------------------------------------
 
-    def decode_hard(self, coded: np.ndarray) -> np.ndarray:
+    def decode_hard(
+        self, coded: np.ndarray, backend: str = "vectorized"
+    ) -> np.ndarray:
         """Viterbi decode hard bits (0/1); returns the message bits."""
         coded = np.asarray(coded, dtype=np.int8)
         if coded.size % self.rate_inverse:
@@ -97,15 +103,26 @@ class ConvolutionalCode:
             )
         # map to soft antipodal: 0 -> +1, 1 -> -1, then reuse soft path
         soft = 1.0 - 2.0 * coded.astype(np.float64)
-        return self.decode_soft(soft)
+        return self.decode_soft(soft, backend=backend)
 
-    def decode_soft(self, soft: np.ndarray) -> np.ndarray:
+    def decode_soft(
+        self, soft: np.ndarray, backend: str = "vectorized"
+    ) -> np.ndarray:
         """Viterbi decode soft values (+ for bit 0, - for bit 1).
 
         Uses a correlation branch metric (maximised), equivalent to
         minimum squared Euclidean distance for fixed-energy inputs.
         Expects a terminated stream produced by :meth:`encode`; the
         K-1 tail bits are stripped from the result.
+
+        Parameters
+        ----------
+        backend:
+            ``"vectorized"`` (default) updates all ``2^(K-1)`` state
+            metrics per trellis step with array operations;
+            ``"reference"`` is the original nested-loop implementation
+            kept for equivalence testing and benchmarking.  Both return
+            byte-identical decodes (the tie-break rules match exactly).
         """
         soft = np.asarray(soft, dtype=np.float64)
         if soft.size % self.rate_inverse:
@@ -115,7 +132,13 @@ class ConvolutionalCode:
         num_steps = soft.size // self.rate_inverse
         if num_steps <= self.constraint_length - 1:
             raise ValueError("stream shorter than the termination tail")
-        return self._viterbi(soft)
+        if backend == "vectorized":
+            return self._viterbi_vectorized(soft)
+        if backend == "reference":
+            return self._viterbi_reference(soft)
+        raise ValueError(
+            f"unknown Viterbi backend {backend!r}; choose from {VITERBI_BACKENDS}"
+        )
 
     # -- internals ---------------------------------------------------------------
 
@@ -132,7 +155,60 @@ class ConvolutionalCode:
                     table[state, bit, branch] = 1.0 - 2.0 * out_bit
         return table
 
-    def _viterbi(self, soft: np.ndarray) -> np.ndarray:
+    def _viterbi_vectorized(self, soft: np.ndarray) -> np.ndarray:
+        """Array-wide Viterbi: update all state metrics per step at once.
+
+        Exploits the shift-register trellis structure: the input bit of
+        a transition *into* state ``s`` is always ``s & 1``, and the
+        only two predecessors of ``s`` are ``s >> 1`` and
+        ``(s >> 1) + num_states/2``.  Each step is therefore two metric
+        gathers, one comparison and two ``where`` selects — no Python
+        loop over states or bits.
+
+        Byte-identical to :meth:`_viterbi_reference`: branch metrics
+        accumulate products in the same order as ``np.dot`` (sequential
+        over the handful of polynomials), and ties select the lower
+        predecessor exactly as the reference's ascending-state scan
+        with a strict ``>`` update does.
+        """
+        num_steps = soft.size // self.rate_inverse
+        num_states = self.num_states
+        branch_outputs, prev_low, prev_high, state_bits = _viterbi_tables(
+            self.constraint_length, self.polynomials
+        )
+
+        path_metric = np.full(num_states, -np.inf)
+        path_metric[0] = 0.0
+        predecessor = np.empty((num_steps, num_states), dtype=np.int32)
+
+        soft_steps = soft.reshape(num_steps, self.rate_inverse)
+        # Branch metrics for a block of steps at once:
+        # bm[t, s, b] = sum_j soft[t, j] * branch_outputs[s, b, j],
+        # accumulated j-sequentially to match the reference's np.dot.
+        block = max(1, 262_144 // max(1, num_states))
+        for start in range(0, num_steps, block):
+            stop = min(num_steps, start + block)
+            chunk = soft_steps[start:stop]  # (b, r)
+            bm = chunk[:, 0, None, None] * branch_outputs[None, :, :, 0]
+            for j in range(1, self.rate_inverse):
+                bm += chunk[:, j, None, None] * branch_outputs[None, :, :, j]
+            for step in range(start, stop):
+                bmt = bm[step - start]  # (num_states, 2)
+                # gather branch metrics of the two candidate transitions
+                m_low = path_metric[prev_low] + bmt[prev_low, state_bits]
+                m_high = path_metric[prev_high] + bmt[prev_high, state_bits]
+                choose_high = m_high > m_low
+                path_metric = np.where(choose_high, m_high, m_low)
+                predecessor[step] = np.where(choose_high, prev_high, prev_low)
+
+        state = 0  # terminated stream ends in the zero state
+        decoded = np.empty(num_steps, dtype=np.int8)
+        for step in range(num_steps - 1, -1, -1):
+            decoded[step] = state & 1
+            state = int(predecessor[step, state])
+        return decoded[: num_steps - (self.constraint_length - 1)]
+
+    def _viterbi_reference(self, soft: np.ndarray) -> np.ndarray:
         """Forward pass with predecessor bookkeeping, then traceback."""
         num_steps = soft.size // self.rate_inverse
         num_states = self.num_states
@@ -166,6 +242,32 @@ class ConvolutionalCode:
             decoded[step] = input_bit[step, state]
             state = predecessor[step, state]
         return decoded[: num_steps - (self.constraint_length - 1)]
+
+
+@lru_cache(maxsize=64)
+def _viterbi_tables(
+    constraint_length: int, polynomials: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-code trellis tables, computed once and cached.
+
+    Returns ``(branch_outputs, prev_low, prev_high, state_bits)``:
+
+    * ``branch_outputs[s, b, j]`` — antipodal encoder output ``j`` when
+      input bit ``b`` is shifted into state ``s`` (same table the
+      reference builds per call);
+    * ``prev_low[s] = s >> 1`` and ``prev_high[s] = (s >> 1) + S/2`` —
+      the two possible predecessors of next-state ``s``;
+    * ``state_bits[s] = s & 1`` — the input bit every transition into
+      ``s`` carries (the LSB of the new register contents).
+    """
+    code = ConvolutionalCode(constraint_length, tuple(polynomials))
+    branch_outputs = code._branch_table()
+    num_states = code.num_states
+    states = np.arange(num_states)
+    prev_low = states >> 1
+    prev_high = prev_low + num_states // 2
+    state_bits = states & 1
+    return branch_outputs, prev_low, prev_high, state_bits
 
 
 #: The industry-standard K=7 rate-1/2 code (generators 133, 171 octal).

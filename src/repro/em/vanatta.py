@@ -103,6 +103,32 @@ class VanAttaArray:
             return 0.0
         return self.line_phase_errors_rad[pair_index]
 
+    def _per_element_line_phases(self, line_phase_rad: float) -> np.ndarray:
+        """Interconnect phase per *element* (line phase + pair error)."""
+        n = self.num_elements
+        if not self.line_phase_errors_rad:
+            return np.full(n, line_phase_rad)
+        indices = np.arange(n)
+        pair = np.minimum(indices, n - 1 - indices)
+        errors = np.asarray(self.line_phase_errors_rad, dtype=np.float64)
+        return line_phase_rad + errors[pair]
+
+    def _element_sum(self, phases: np.ndarray) -> np.ndarray:
+        """``sum_n exp(1j * phases[n, ...])`` over the element axis.
+
+        Accumulates element-by-element (matching the scalar reference
+        loop's sequential addition) when the element count exceeds
+        numpy's pairwise-summation block, so results are bit-stable
+        regardless of array size.
+        """
+        fields = np.exp(1j * phases)
+        if self.num_elements <= 128:  # numpy reduces short axes sequentially
+            return fields.sum(axis=0)
+        total = np.zeros(phases.shape[1:], dtype=np.complex128)
+        for n in range(self.num_elements):
+            total = total + fields[n]
+        return total
+
     def bistatic_field(
         self,
         theta_in_rad: float,
@@ -121,6 +147,10 @@ class VanAttaArray:
         ``|field|^2`` equals ``(N_elem * G_elem(theta))^2`` for a
         lossless array — the product of receive aperture gain and
         coherent re-radiation gain used in the radar link budget.
+
+        The element loop is broadcast as an ``(elements, angles)`` phase
+        matrix summed over the element axis — one NumPy pass for the
+        whole angle grid.
         """
         theta_out = np.asarray(theta_out_rad, dtype=np.float64)
         k = 2.0 * math.pi / self.wavelength_m
@@ -129,21 +159,37 @@ class VanAttaArray:
         amp_out = self.element.amplitude(theta_out)
         line_amp = self._line_amplitude()
 
-        total = np.zeros(theta_out.shape, dtype=np.complex128)
-        for n in range(self.num_elements):
-            partner = self.partner_index(n)
-            pair = min(n, partner)
-            phase_in = -k * positions[n] * math.sin(theta_in_rad)
-            phase_out = -k * positions[partner] * np.sin(theta_out)
-            phase_line = line_phase_rad + self._pair_phase_error(pair)
-            total = total + np.exp(1j * (phase_in + phase_out + phase_line))
+        lead = (self.num_elements,) + (1,) * theta_out.ndim
+        # element n receives at x_n, re-radiates from its mirror partner
+        phase_in = (-k * positions * math.sin(theta_in_rad)).reshape(lead)
+        phase_out = (-k * positions[::-1]).reshape(lead) * np.sin(theta_out)[None, ...]
+        phase_line = self._per_element_line_phases(line_phase_rad).reshape(lead)
+        total = self._element_sum((phase_in + phase_out) + phase_line)
         return amp_in * amp_out * line_amp * total
 
     def monostatic_field(
-        self, theta_rad: float, line_phase_rad: float = 0.0
-    ) -> complex:
-        """Field reflected straight back toward the source."""
-        return complex(self.bistatic_field(theta_rad, theta_rad, line_phase_rad))
+        self, theta_rad: float | np.ndarray, line_phase_rad: float = 0.0
+    ) -> complex | np.ndarray:
+        """Field reflected straight back toward the source.
+
+        Accepts a scalar angle (returns ``complex``, bit-identical to
+        the original per-element loop) or an angle grid (returns an
+        array, the whole grid evaluated in one broadcast pass).
+        """
+        theta = np.asarray(theta_rad, dtype=np.float64)
+        if theta.ndim == 0:
+            return complex(self.bistatic_field(float(theta), float(theta), line_phase_rad))
+        k = 2.0 * math.pi / self.wavelength_m
+        positions = self.element_positions()
+        amp = self.element.amplitude(theta)
+        line_amp = self._line_amplitude()
+        lead = (self.num_elements,) + (1,) * theta.ndim
+        sin_theta = np.sin(theta)[None, ...]
+        phase_in = (-k * positions).reshape(lead) * sin_theta
+        phase_out = (-k * positions[::-1]).reshape(lead) * sin_theta
+        phase_line = self._per_element_line_phases(line_phase_rad).reshape(lead)
+        total = self._element_sum((phase_in + phase_out) + phase_line)
+        return amp * amp * line_amp * total
 
     def monostatic_gain(self, theta_rad: float) -> float:
         """Round-trip power gain ``G_rx,tag * G_retx,tag`` (linear).
@@ -160,6 +206,21 @@ class VanAttaArray:
             return -math.inf
         return 10.0 * math.log10(gain)
 
+    def monostatic_gain_pattern(self, theta_grid_rad: np.ndarray) -> np.ndarray:
+        """Monostatic gain (linear) across a grid of incidence angles.
+
+        Vectorized kernel: evaluates the whole ``(elements, angles)``
+        phase matrix in one broadcast pass instead of looping one angle
+        (and one element) at a time — the E1/E6 pattern sweeps go from
+        ``O(angles * elements)`` Python iterations to a handful of array
+        ops.  Values agree with per-angle :meth:`monostatic_gain` calls
+        to floating-point round-off (the scalar path remains the
+        bit-exact reference used by the link budget).
+        """
+        grid = np.asarray(theta_grid_rad, dtype=np.float64)
+        field = self.monostatic_field(grid)
+        return np.abs(field) ** 2
+
     def retro_pattern(
         self, theta_grid_rad: np.ndarray
     ) -> np.ndarray:
@@ -167,10 +228,10 @@ class VanAttaArray:
 
         This is the curve experiment E1 plots: for a Van Atta it is flat
         over the element beamwidth, while a conventional (non-retro)
-        array collapses off broadside.
+        array collapses off broadside.  Delegates to the broadcast
+        kernel :meth:`monostatic_gain_pattern`.
         """
-        grid = np.asarray(theta_grid_rad, dtype=np.float64)
-        return np.array([self.monostatic_gain(float(t)) for t in grid])
+        return self.monostatic_gain_pattern(theta_grid_rad)
 
     # -- modulation interface ----------------------------------------------
 

@@ -4,10 +4,13 @@ Everything the benchmarks and examples use to turn the core library
 into the paper's tables and figures — plus the parallel, cached sweep
 execution engine (:mod:`repro.sim.executor` / :mod:`repro.sim.cache`)
 that drives production-scale campaigns without perturbing a single
-number.
+number, the batched frame-chain kernel (:mod:`repro.sim.batch`) that
+makes each point cheap, and the hot-path microbenchmarks
+(:mod:`repro.sim.profiling`) that keep it that way.
 """
 
 from repro.sim.monte_carlo import BerEstimate, estimate_link_ber, awgn_symbol_ber
+from repro.sim.batch import BatchLinkSimulator, simulate_link_batch
 from repro.sim.sweep import sweep_1d, SweepPoint
 from repro.sim.results import ResultTable
 from repro.sim.plotting import ascii_plot, format_db
@@ -26,6 +29,8 @@ __all__ = [
     "BerEstimate",
     "estimate_link_ber",
     "awgn_symbol_ber",
+    "BatchLinkSimulator",
+    "simulate_link_batch",
     "sweep_1d",
     "SweepPoint",
     "ResultTable",

@@ -1,0 +1,714 @@
+"""Batched frame-chain kernel: many bursts through the link in one pass.
+
+:func:`repro.core.link.simulate_link` is the bit-exact reference, but it
+pays Python-interpreter overhead *per frame*: the tag's per-symbol state
+mapping, the bit-loop CRCs, the dict-lookup constellation mapper and a
+dozen small `Signal` allocations.  Under the PR-1 process pool those
+costs dominate every sweep point.
+
+:class:`BatchLinkSimulator` runs ``num_frames`` bursts as 2-D
+``(frames, samples)`` arrays through modulate -> channel -> noise ->
+demod in a handful of NumPy/SciPy passes, while drawing random numbers
+in **exactly the per-frame order of the serial reference** so that the
+results are bit-identical frame by frame.
+
+RNG draw order (per frame ``f``, from the single shared generator)::
+
+    1. payload bits        rng.integers(0, 2, size=num_payload_bits)
+    2. carrier phase       rng.uniform(0, 2*pi)
+    3. phase-noise steps   rng.standard_normal(n_sig + lag)      [if enabled]
+    4. interference        environment.interference_waveform(..., rng)
+    5. AWGN                rng.standard_normal(n) twice (I then Q) [if enabled]
+
+Those draws interleave per frame in the reference, so the batch keeps a
+per-frame Python loop that does *only* the RNG draws (steps 1-5) into
+preallocated matrices; every deterministic stage then runs as one
+broadcast array pass.  Stages that would change summation order if
+batched differently (preamble correlation via ``np.correlate``, the
+lead-in mean, the decode tail) stay per-frame — they are cheap relative
+to the waveform passes.
+
+Fast exact primitives
+---------------------
+``crc_bits_fast`` (byte-table CRC), ``fast_symbol_indices`` /
+``fast_modulate`` (integer-LUT constellation mapping) replace the
+reference's Python loops with integer-exact equivalents; the originals
+in :mod:`repro.core.coding` / :mod:`repro.core.modulation` are kept
+untouched as the reference the equivalence tests (and the hot-path
+benchmarks) compare against.
+
+Configurations the kernel cannot batch exactly (Rician multipath draws
+interleave inside the channel model; blockage windows operate on
+``Signal`` objects) transparently fall back to looping the serial
+reference, so callers never need to special-case.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.channel.mobility import doppler_shift_hz
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.ap import AccessPoint, ReceiverResult
+from repro.core.coding import append_crc32
+from repro.core.framing import HEADER_TOTAL_BITS, PREAMBLE_SYMBOLS, FrameHeader
+from repro.core.link import (
+    _GUARD_SYMBOLS,
+    LinkConfig,
+    LinkResult,
+    _received_amplitude,
+    link_snr_db,
+    simulate_link,
+)
+from repro.core.modulation import BPSK, get_scheme
+from repro.core.tag import Tag, square_subcarrier_wave
+from repro.dsp.filters import design_fir_lowpass
+from repro.dsp.measure import bit_error_rate, evm_rms, measure_snr
+from repro.dsp.signal import Signal
+from repro.dsp.sync import detect_frame_start
+from repro.rf.noise import thermal_noise_power
+
+__all__ = [
+    "BatchLinkSimulator",
+    "simulate_link_batch",
+    "crc_bits_fast",
+    "crc32_tail_bits_fast",
+    "check_crc32_fast",
+    "fast_symbol_indices",
+    "fast_modulate",
+]
+
+_CRC32_POLY = 0x04C11DB7
+_CRC32_WIDTH = 32
+_CRC32_INIT = 0xFFFFFFFF
+
+
+# -- fast exact CRC ----------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _crc_byte_table(polynomial: int, width: int) -> tuple[int, ...]:
+    """256-entry table: CRC register update for one whole input byte."""
+    mask = (1 << width) - 1
+    top = 1 << (width - 1)
+    table = []
+    for byte in range(256):
+        register = (byte << (width - 8)) & mask
+        for _ in range(8):
+            if register & top:
+                register = ((register << 1) & mask) ^ polynomial
+            else:
+                register = (register << 1) & mask
+        table.append(register)
+    return tuple(table)
+
+
+def crc_bits_fast(
+    bits: np.ndarray,
+    polynomial: int = _CRC32_POLY,
+    width: int = _CRC32_WIDTH,
+    init: int = _CRC32_INIT,
+) -> int:
+    """Byte-table CRC over an MSB-first bit array, integer-exact.
+
+    Returns the same register value as the reference bit loop
+    (:func:`repro.core.coding._crc_bits`): whole bytes go through the
+    256-entry table eight bits at a time, the trailing ``size % 8`` bits
+    through the reference recurrence.  CRCs are integer arithmetic, so
+    "equal" here means exactly equal, not within round-off.
+    """
+    bits = np.asarray(bits, dtype=np.int8)
+    table = _crc_byte_table(polynomial, width)
+    mask = (1 << width) - 1
+    shift = width - 8
+    register = init
+    num_bytes = bits.size // 8
+    if num_bytes:
+        data = np.packbits(bits[: num_bytes * 8].astype(np.uint8))
+        for byte in data.tolist():
+            register = ((register << 8) & mask) ^ table[((register >> shift) ^ byte) & 0xFF]
+    for bit in bits[num_bytes * 8 :]:
+        feedback = ((register >> (width - 1)) & 1) ^ int(bit)
+        register = (register << 1) & mask
+        if feedback:
+            register ^= polynomial
+    return register
+
+
+def crc32_tail_bits_fast(bits: np.ndarray) -> np.ndarray:
+    """The 32 CRC bits :func:`repro.core.coding.append_crc32` appends."""
+    value = crc_bits_fast(bits)
+    return ((value >> np.arange(31, -1, -1)) & 1).astype(np.int8)
+
+
+def check_crc32_fast(bits_with_crc: np.ndarray) -> bool:
+    """Exact drop-in for :func:`repro.core.coding.check_crc32`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.int8)
+    if bits_with_crc.size < 32:
+        return False
+    payload, tail = bits_with_crc[:-32], bits_with_crc[-32:]
+    tail_value = 0
+    for bit in tail.tolist():
+        tail_value = (tail_value << 1) | int(bit)
+    return crc_bits_fast(payload) == tail_value
+
+
+# -- fast exact constellation mapping ---------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _modulation_tables(scheme_name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(powers, pattern->index LUT, points)`` for one scheme.
+
+    The reference mapper looks each k-bit group up in a Python dict; the
+    LUT turns that into one integer matmul plus a gather, with identical
+    results (the LUT is *built from* the reference's bit labels).
+    """
+    constellation = get_scheme(scheme_name).constellation
+    k = constellation.bits_per_symbol
+    powers = (1 << np.arange(k - 1, -1, -1)).astype(np.int64)
+    lut = np.empty(constellation.size, dtype=np.int64)
+    patterns = constellation.bit_labels.astype(np.int64) @ powers
+    lut[patterns] = np.arange(constellation.size)
+    return powers, lut, constellation.points
+
+
+def fast_symbol_indices(scheme_name: str, bits: np.ndarray) -> np.ndarray:
+    """Constellation point index per symbol; accepts (..., n) bit arrays.
+
+    Matches :meth:`repro.core.modulation.Constellation.symbol_indices`
+    exactly (integer arithmetic), but broadcasts over leading axes so a
+    whole frame batch maps in one pass.
+    """
+    powers, lut, _ = _modulation_tables(scheme_name)
+    k = powers.size
+    bits = np.asarray(bits)
+    if bits.shape[-1] % k:
+        raise ValueError(
+            f"bit count {bits.shape[-1]} not divisible by {k} bits/symbol"
+        )
+    groups = bits.astype(np.int64).reshape(bits.shape[:-1] + (bits.shape[-1] // k, k))
+    return lut[groups @ powers]
+
+
+def fast_modulate(scheme_name: str, bits: np.ndarray) -> np.ndarray:
+    """Bit array -> constellation symbols, exact and batch-capable.
+
+    Returns the same complex values as
+    :meth:`repro.core.modulation.Constellation.modulate` (both gather
+    from the same ``points`` array).
+    """
+    _, _, points = _modulation_tables(scheme_name)
+    return points[fast_symbol_indices(scheme_name, bits)]
+
+
+# -- the batched link chain ---------------------------------------------------
+
+
+class BatchLinkSimulator:
+    """Precomputed batched frame chain for one :class:`LinkConfig`.
+
+    Build once per operating point (the constructor precomputes the
+    reflection LUT, filters, mixers and budget scalars), then call
+    :meth:`simulate` repeatedly — that is what the vectorized
+    ``estimate_link_ber`` backend does per chunk.
+
+    ``supports_fast_path`` is ``False`` for configurations whose random
+    draws cannot be hoisted out of the waveform math (Rician multipath,
+    blockage windows); :meth:`simulate` then loops the serial reference,
+    which is trivially bit-identical.
+    """
+
+    def __init__(self, config: LinkConfig, num_payload_bits: int = 2048) -> None:
+        if num_payload_bits < 1:
+            raise ValueError(
+                f"num_payload_bits must be >= 1, got {num_payload_bits}"
+            )
+        self.config = config
+        self.num_payload_bits = int(num_payload_bits)
+        self.supports_fast_path = (
+            config.rician_k_db is None and not config.blockage_events
+        )
+        if self.supports_fast_path:
+            self._build()
+
+    # -- precomputation ----------------------------------------------------
+
+    def _build(self) -> None:
+        config = self.config
+        tag_cfg = config.tag
+        ap_cfg = config.ap
+        scheme = tag_cfg.scheme
+        k = scheme.bits_per_symbol
+        sps = tag_cfg.samples_per_symbol
+        fs = tag_cfg.sample_rate_hz
+        theta = config.incidence_angle_rad
+
+        self._scheme_name = scheme.name
+        self._sps = sps
+        self._fs = fs
+        self._pad_bits = (-(self.num_payload_bits + 32)) % k
+        self._padded_bits = self.num_payload_bits + self._pad_bits
+
+        # Reference prefix (preamble + header reflections) straight from
+        # the Tag model: it is payload-independent because the header
+        # only carries the (fixed) padded length.
+        tag = Tag(tag_cfg)
+        frame0 = tag.make_frame(np.zeros(self.num_payload_bits, dtype=np.int8))
+        refl0 = tag.reflection_sequence(frame0, theta)
+        prefix_len = PREAMBLE_SYMBOLS.size + HEADER_TOTAL_BITS
+        self._prefix_len = prefix_len
+        self._prefix_reflections = refl0[:prefix_len]
+
+        # Payload reflection per constellation index, mirroring
+        # Tag.reflection_sequence's per-state arithmetic.
+        switch = tag_cfg.switch
+        array = tag_cfg.array
+        lut = np.empty(scheme.constellation.size, dtype=np.complex128)
+        for i, state in enumerate(scheme.states):
+            if state.is_absorptive:
+                lut[i] = switch.leakage_amplitude() + 0.0j
+            else:
+                gamma = array.reflection_coefficient(theta, state.line_phase_rad)
+                lut[i] = gamma * state.amplitude * switch.through_amplitude()
+        self._payload_lut = lut
+
+        # Build-time self-check: the LUT applied to the zero-payload
+        # frame must reproduce the reference reflection sequence exactly.
+        protected0 = append_crc32(frame0.payload_bits)
+        indices0 = fast_symbol_indices(scheme.name, protected0)
+        if not np.array_equal(lut[indices0], refl0[prefix_len:]):
+            raise AssertionError(
+                "payload reflection LUT diverged from Tag.reflection_sequence"
+            )
+
+        self._n_sym = prefix_len + (self._padded_bits + 32) // k
+        self._n_sig = self._n_sym * sps
+        self._guard = _GUARD_SYMBOLS * sps
+        self._padded_len = self._n_sig + 2 * self._guard
+
+        self._amplitude = _received_amplitude(config)
+        self._snr_analytic_db = link_snr_db(config)
+        self._energy = config.energy_model.report(
+            tag_cfg.modulation, tag_cfg.symbol_rate_hz, tag_cfg.subcarrier_hz
+        )
+
+        # Doppler mixer (deterministic; matches Signal.frequency_shift).
+        self._mixer = None
+        if config.radial_velocity_m_s != 0.0:
+            shift = doppler_shift_hz(-config.radial_velocity_m_s, ap_cfg.carrier_hz)
+            t = np.arange(self._n_sig) / fs
+            self._mixer = np.exp(1j * (2.0 * np.pi * shift * t + 0.0))
+
+        # Residual phase noise (PhaseNoiseModel.residual_after_delay).
+        self._pn_lag = 0
+        self._pn_sqrt_step = 0.0
+        if config.phase_noise is not None:
+            delay = 2.0 * config.distance_m / SPEED_OF_LIGHT
+            self._pn_lag = max(1, int(round(delay * fs)))
+            self._pn_sqrt_step = math.sqrt(config.phase_noise.diffusion_rate() / fs)
+        self._use_phase_noise = config.phase_noise is not None
+
+        # AWGN sigma (add_awgn splits the power evenly between rails).
+        self._noise_sigma = None
+        if config.include_noise:
+            noise_factor = 10.0 ** (ap_cfg.noise_figure_db / 10.0)
+            noise_power = thermal_noise_power(fs) * noise_factor
+            if noise_power > 0.0:
+                self._noise_sigma = math.sqrt(noise_power / 2.0)
+
+        # Subcarrier squares + channel-select FIR (AP side).
+        self._square_tx = None
+        self._square_rx = None
+        self._channel_taps = None
+        if tag_cfg.subcarrier_hz > 0.0:
+            self._square_tx = square_subcarrier_wave(
+                self._n_sig, fs, tag_cfg.subcarrier_hz
+            )
+            self._square_rx = square_subcarrier_wave(
+                self._padded_len, fs, tag_cfg.subcarrier_hz
+            )
+            symbol_rate = fs / sps
+            cutoff = ap_cfg.channel_filter_cutoff_factor * symbol_rate
+            if cutoff < fs / 2.0:
+                self._channel_taps = design_fir_lowpass(
+                    cutoff, fs, num_taps=ap_cfg.channel_filter_taps
+                )
+
+        # RF-switch rise time (single_pole_lowpass coefficients).
+        self._switch_ba = None
+        if switch.bandwidth_hz < fs / 2.0:
+            alpha = 1.0 - np.exp(-2.0 * np.pi * switch.bandwidth_hz / fs)
+            self._switch_ba = (
+                np.array([alpha]),
+                np.array([1.0, alpha - 1.0]),
+            )
+
+        # Clutter-free environments (no reflectors) reduce the
+        # interference waveform to a constant leakage phasor per frame:
+        # ``zeros + leak`` is elementwise identical to filling with the
+        # scalar, so the whole (frames, samples) interference matrix can
+        # be skipped.  The leakage amplitude expression matches
+        # ``Environment.interference_waveform`` literally.
+        self._env_no_reflectors = not config.environment.reflectors
+        self._leak_amp = config.ap.tx_amplitude() * 10.0 ** (
+            -config.environment.tx_rx_isolation_db / 20.0
+        )
+
+        # Receiver front end: DC blocker + integrate-and-dump taps.
+        self._ma_taps = np.full(sps, 1.0 / sps)
+        self._dc_ba = None
+        self._dc_zi_base = None
+        if ap_cfg.use_dc_block:
+            b = np.array([1.0, -1.0])
+            a = np.array([1.0, -ap_cfg.dc_block_pole])
+            self._dc_ba = (b, a)
+            self._dc_zi_base = sp_signal.lfilter_zi(b, a)
+
+    # -- TX kernel ---------------------------------------------------------
+
+    def tx_reflections(self, padded_payload: np.ndarray) -> np.ndarray:
+        """Per-symbol reflection coefficients for a payload batch.
+
+        Input: ``(frames, padded_bits)`` 0/1 payload matrix (already
+        padded to a whole number of symbols).  Output: the
+        ``(frames, symbols)`` complex reflection sequence — byte-table
+        CRC append, LUT constellation mapping, and a gather through the
+        per-state reflection LUT, replacing the reference's
+        ``Tag.make_frame`` + ``Tag.reflection_sequence`` Python loops
+        with identical results.  This is the "frame-chain TX" kernel the
+        hot-path microbenchmarks time against the reference.
+        """
+        n_frames = padded_payload.shape[0]
+        protected = np.empty((n_frames, self._padded_bits + 32), dtype=np.int8)
+        protected[:, : self._padded_bits] = padded_payload
+        for f in range(n_frames):
+            protected[f, self._padded_bits :] = crc32_tail_bits_fast(padded_payload[f])
+
+        indices = fast_symbol_indices(self._scheme_name, protected)
+        reflections = np.empty((n_frames, self._n_sym), dtype=np.complex128)
+        reflections[:, : self._prefix_len] = self._prefix_reflections[None, :]
+        reflections[:, self._prefix_len :] = self._payload_lut[indices]
+        return reflections
+
+    # -- simulation --------------------------------------------------------
+
+    def simulate(
+        self, num_frames: int, rng: np.random.Generator | int | None = None
+    ) -> list[LinkResult]:
+        """Simulate ``num_frames`` bursts; bit-identical to the reference.
+
+        Frame ``f`` of the returned list equals the ``f``-th consecutive
+        ``simulate_link(config, num_payload_bits, rng)`` call on the same
+        generator, field for field.
+        """
+        if num_frames < 1:
+            raise ValueError(f"num_frames must be >= 1, got {num_frames}")
+        rng = np.random.default_rng(rng)
+        if not self.supports_fast_path:
+            return [
+                simulate_link(
+                    self.config, num_payload_bits=self.num_payload_bits, rng=rng
+                )
+                for _ in range(num_frames)
+            ]
+        return self._simulate_fast(num_frames, rng)
+
+    def _simulate_fast(
+        self, num_frames: int, rng: np.random.Generator
+    ) -> list[LinkResult]:
+        config = self.config
+        n_frames = num_frames
+        n_sig = self._n_sig
+        padded_len = self._padded_len
+        fs = self._fs
+
+        # -- RNG pass: per-frame draws in the documented serial order --
+        payload = np.empty((n_frames, self.num_payload_bits), dtype=np.int8)
+        factors = np.empty(n_frames, dtype=np.complex128)
+        steps = (
+            np.empty((n_frames, n_sig + self._pn_lag))
+            if self._use_phase_noise
+            else None
+        )
+        if self._env_no_reflectors:
+            interference = None
+            leak = np.empty(n_frames, dtype=np.complex128)
+        else:
+            interference = np.empty((n_frames, padded_len), dtype=np.complex128)
+            leak = None
+        noise = (
+            np.empty((n_frames, padded_len), dtype=np.complex128)
+            if self._noise_sigma is not None
+            else None
+        )
+        tx_amplitude = config.ap.tx_amplitude()
+        environment = config.environment
+        for f in range(n_frames):
+            payload[f] = rng.integers(0, 2, size=self.num_payload_bits).astype(np.int8)
+            carrier_phase = rng.uniform(0.0, 2.0 * math.pi)
+            factors[f] = self._amplitude * np.exp(1j * carrier_phase)
+            if steps is not None:
+                steps[f] = rng.standard_normal(n_sig + self._pn_lag)
+            if leak is not None:
+                # Clutter-free: the whole interference waveform is one
+                # constant phasor (same draw, same arithmetic as the
+                # Environment model).
+                leak_phase = rng.uniform(0.0, 2.0 * math.pi)
+                leak[f] = self._leak_amp * np.exp(1j * leak_phase)
+            else:
+                interference[f] = environment.interference_waveform(
+                    padded_len, fs, tx_amplitude, rng
+                ).samples
+            if noise is not None:
+                real = rng.standard_normal(padded_len)
+                imag = rng.standard_normal(padded_len)
+                noise[f] = self._noise_sigma * (real + 1j * imag)
+
+        # -- TX: bits -> reflection waveform, one 2-D pass per stage --
+        if self._pad_bits:
+            padded_payload = np.concatenate(
+                [payload, np.zeros((n_frames, self._pad_bits), dtype=np.int8)],
+                axis=1,
+            )
+        else:
+            padded_payload = payload
+        reflections = self.tx_reflections(padded_payload)
+
+        wave = np.repeat(reflections, self._sps, axis=1)
+        if self._square_tx is not None:
+            wave = wave * self._square_tx[None, :]
+        if self._switch_ba is not None:
+            wave = sp_signal.lfilter(self._switch_ba[0], self._switch_ba[1], wave, axis=-1)
+
+        signal = wave * factors[:, None]
+        if self._mixer is not None:
+            signal = signal * self._mixer[None, :]
+        if steps is not None:
+            path = np.cumsum(steps * self._pn_sqrt_step, axis=1)
+            residual = path[:, self._pn_lag :] - path[:, : -self._pn_lag]
+            # Bind the rotation before multiplying: ``signal * np.exp(...)``
+            # would let numpy elide the large same-shape temporary into an
+            # in-place multiply whose SIMD loop rounds the last bit
+            # differently from the reference's out-of-place multiply.
+            rotation = np.exp(1j * residual)
+            signal = signal * rotation
+
+        # Composite assembly, matching ``(signal + interference) + noise``
+        # elementwise.  IEEE addition is commutative, so seeding the
+        # buffer with the interference term and adding the signal window
+        # in place reproduces the reference sums bit for bit while
+        # skipping a zeros pass (and, clutter-free, the whole
+        # interference matrix).
+        if interference is None:
+            composite = np.empty((n_frames, padded_len), dtype=np.complex128)
+            composite[:] = leak[:, None]
+        else:
+            composite = interference  # buffer reuse; not needed again
+        composite[:, self._guard : self._guard + n_sig] += signal
+        if noise is not None:
+            composite += noise
+
+        # -- RX front end: condition / de-hop / matched filter, batched --
+        work = composite
+        if self._dc_ba is not None:
+            b, a = self._dc_ba
+            level = np.mean(work[:, : min(64, padded_len)], axis=1)
+            zi = self._dc_zi_base[None, :] * level[:, None]
+            work, _ = sp_signal.lfilter(b, a, work, axis=-1, zi=zi)
+        if config.ap.adc is not None:
+            work = self._adc_quantize(work)
+        if self._square_rx is not None:
+            work = work * self._square_rx[None, :]
+            if self._channel_taps is not None:
+                filtered_rows = sp_signal.lfilter(
+                    self._channel_taps, [1.0], work, axis=-1
+                )
+                delay = (self._channel_taps.size - 1) // 2
+                if delay:
+                    work = np.concatenate(
+                        [
+                            filtered_rows[:, delay:],
+                            np.zeros((n_frames, delay), dtype=filtered_rows.dtype),
+                        ],
+                        axis=1,
+                    )
+                else:
+                    work = filtered_rows
+        filtered = sp_signal.lfilter(self._ma_taps, [1.0], work, axis=-1)
+
+        # -- per-frame tail: sync, decode, score --
+        sps = self._sps
+        min_symbols = PREAMBLE_SYMBOLS.size + HEADER_TOTAL_BITS
+        results = []
+        for f in range(n_frames):
+            work_row = work[f]
+            start = detect_frame_start(
+                Signal(work_row, fs),
+                PREAMBLE_SYMBOLS,
+                sps,
+                threshold_ratio=config.ap.sync_threshold_ratio,
+            )
+            if start is None:
+                receiver = ReceiverResult(detected=False)
+            else:
+                row = filtered[f]
+                lead_in = work_row[: max(0, start - sps)]
+                if lead_in.size >= 4 * sps:
+                    row = row - complex(np.mean(lead_in))
+                first = start + sps - 1
+                if first >= row.size:
+                    symbols = np.zeros(0, dtype=np.complex128)
+                else:
+                    symbols = row[first::sps]
+                if symbols.size < min_symbols:
+                    receiver = ReceiverResult(detected=False)
+                else:
+                    receiver = self._decode_symbol_stream(symbols, start)
+            results.append(self._score(receiver, padded_payload[f]))
+        return results
+
+    # -- receiver tail (mirrors AccessPoint.decode_symbol_stream) ---------
+
+    def _adc_quantize(self, work: np.ndarray) -> np.ndarray:
+        """Per-row auto-ranged quantization (mirrors ``ADC.auto_ranged``
+        + ``ADC.quantize`` applied frame by frame)."""
+        adc = self.config.ap.adc
+        peak = np.maximum(
+            np.max(np.abs(work.real), axis=1), np.max(np.abs(work.imag), axis=1)
+        )
+        full_scale = np.where(
+            peak == 0.0, adc.full_scale, peak * 10.0 ** (6.0 / 20.0)
+        )[:, None]
+        step = 2.0 * full_scale / (2**adc.bits)
+        max_level = 2 ** (adc.bits - 1) - 1
+
+        def rail(values: np.ndarray) -> np.ndarray:
+            clipped = np.clip(values, -full_scale, full_scale)
+            levels = np.round(clipped / step)
+            levels = np.clip(levels, -(max_level + 1), max_level)
+            return levels * step
+
+        return rail(work.real) + 1j * rail(work.imag)
+
+    def _decode_symbol_stream(
+        self, symbols: np.ndarray, start: int
+    ) -> ReceiverResult:
+        """Mirror of :meth:`AccessPoint.decode_symbol_stream`.
+
+        Byte-identical control flow and arithmetic; the only
+        substitutions are the integer-exact fast CRC check and the
+        LUT-based re-modulation of the hard decisions.
+        """
+        ap_cfg = self.config.ap
+        num_preamble = PREAMBLE_SYMBOLS.size
+        if symbols.size < num_preamble + HEADER_TOTAL_BITS:
+            return ReceiverResult(detected=False)
+
+        gain = AccessPoint.preamble_gain(symbols)
+        if gain == 0:
+            return ReceiverResult(detected=True, start_sample=start)
+
+        equalised = symbols / gain
+
+        header_symbols = equalised[num_preamble : num_preamble + HEADER_TOTAL_BITS]
+        header_bits = BPSK.constellation.demodulate(header_symbols)
+        header = FrameHeader.from_bits(header_bits)
+        if header is None:
+            return ReceiverResult(detected=True, start_sample=start)
+
+        scheme = get_scheme(header.modulation)
+        num_payload_symbols = (
+            header.payload_length_bits + 32
+        ) // scheme.bits_per_symbol
+        payload_start = num_preamble + HEADER_TOTAL_BITS
+        payload_symbols = equalised[
+            payload_start : payload_start + num_payload_symbols
+        ]
+
+        if ap_cfg.equalizer_taps > 0 and payload_symbols.size:
+            from repro.dsp.equalizer import LmsEqualizer
+
+            training_reference = np.concatenate(
+                [
+                    PREAMBLE_SYMBOLS.astype(np.complex128),
+                    BPSK.constellation.modulate(header.to_bits()),
+                ]
+            )
+            equalizer = LmsEqualizer(num_taps=ap_cfg.equalizer_taps)
+            equalizer.train(equalised[:payload_start], training_reference)
+            payload_symbols = equalizer.apply(payload_symbols)
+        if payload_symbols.size < num_payload_symbols:
+            return ReceiverResult(
+                detected=True, header=header, header_ok=True, start_sample=start
+            )
+
+        mean_point = scheme.constellation.mean_point()
+        if abs(mean_point) > 1e-3:
+            offset = np.mean(payload_symbols) - mean_point
+            payload_symbols = payload_symbols - offset
+
+        protected_bits = scheme.constellation.demodulate(payload_symbols)
+        payload_bits = protected_bits[:-32]
+        crc_ok = check_crc32_fast(protected_bits)
+
+        reference_symbols = fast_modulate(scheme.name, protected_bits)
+        snr_est = measure_snr(payload_symbols, reference_symbols)
+        evm = evm_rms(payload_symbols, reference_symbols)
+
+        return ReceiverResult(
+            detected=True,
+            header=header,
+            header_ok=True,
+            payload_bits=payload_bits,
+            payload_crc_ok=crc_ok,
+            start_sample=start,
+            payload_symbols=payload_symbols,
+            snr_estimate_db=snr_est,
+            evm=evm,
+        )
+
+    def _score(
+        self, receiver: ReceiverResult, sent_payload: np.ndarray
+    ) -> LinkResult:
+        """Score one burst exactly like :func:`simulate_link` does."""
+        if (
+            receiver.payload_bits is not None
+            and receiver.payload_bits.size == sent_payload.size
+        ):
+            errors = int(np.count_nonzero(receiver.payload_bits != sent_payload))
+            ber = bit_error_rate(sent_payload, receiver.payload_bits)
+        else:
+            errors = sent_payload.size // 2
+            ber = 0.5
+        return LinkResult(
+            config=self.config,
+            receiver=receiver,
+            num_payload_bits=sent_payload.size,
+            bit_errors=errors,
+            ber=ber,
+            frame_success=receiver.success,
+            snr_analytic_db=self._snr_analytic_db,
+            snr_measured_db=receiver.snr_estimate_db,
+            evm=receiver.evm,
+            energy=self._energy,
+        )
+
+
+def simulate_link_batch(
+    config: LinkConfig,
+    num_frames: int,
+    num_payload_bits: int = 2048,
+    rng: np.random.Generator | int | None = None,
+) -> list[LinkResult]:
+    """Simulate ``num_frames`` bursts through the batched kernel.
+
+    Convenience wrapper around :class:`BatchLinkSimulator` for one-shot
+    use; repeated callers (the vectorized BER estimator) should build
+    the simulator once and call :meth:`BatchLinkSimulator.simulate`.
+    """
+    return BatchLinkSimulator(config, num_payload_bits).simulate(num_frames, rng)

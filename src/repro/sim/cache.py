@@ -216,7 +216,11 @@ class ResultCache:
     # -- lookup / store -------------------------------------------------------
 
     def get(self, key: str) -> Any:
-        """Value for ``key``, or the :data:`MISS` sentinel."""
+        """Value for ``key``, or the :data:`MISS` sentinel.
+
+        A hit refreshes the entry's mtime, so :meth:`prune` evicts in
+        least-recently-*used* (not least-recently-written) order.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as handle:
@@ -224,6 +228,10 @@ class ResultCache:
         except (OSError, pickle.UnpicklingError, EOFError):
             self.stats.misses += 1
             return MISS
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass  # recency tracking is best-effort
         self.stats.hits += 1
         return value
 
@@ -278,5 +286,51 @@ class ResultCache:
                 removed += 1
             except FileNotFoundError:
                 pass
+        self.stats.invalidations += removed
+        return removed
+
+    # -- size management ------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries (bytes)."""
+        total = 0
+        for path in self.directory.glob(f"*{self._SUFFIX}"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # entry vanished mid-scan (concurrent prune/invalidate)
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the cache fits ``max_bytes``.
+
+        Recency is the entry mtime, which :meth:`get` refreshes on every
+        hit — so eviction order is least-recently-*used*, not
+        least-recently-written.  ``max_bytes=0`` empties the cache.
+        Entries that disappear mid-scan (a concurrent pruner or
+        invalidation) are skipped without error.
+
+        Returns the number of entries removed.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        entries = []
+        for path in self.directory.glob(f"*{self._SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in sorted(entries):  # oldest first
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            total -= size
+            removed += 1
         self.stats.invalidations += removed
         return removed

@@ -83,6 +83,11 @@ class BerSweepTask(SweepTask):
     (``distance_m`` by default, ``incidence_angle_deg`` for angle
     coverage, ...); each point replaces that field with the sweep value
     and runs :func:`~repro.sim.monte_carlo.estimate_link_ber`.
+
+    ``link_backend`` selects the frame-chain implementation
+    (``"serial"`` or ``"vectorized"``); estimates are bit-identical
+    either way, so the cache key deliberately ignores it — a cache
+    warmed by one backend is hit by the other.
     """
 
     config: LinkConfig
@@ -91,6 +96,7 @@ class BerSweepTask(SweepTask):
     max_bits: int = 200_000
     bits_per_frame: int = 2048
     chunk_frames: int = 1
+    link_backend: str = "serial"
 
     def __post_init__(self) -> None:
         names = {f.name for f in dataclass_fields(LinkConfig)}
@@ -98,6 +104,13 @@ class BerSweepTask(SweepTask):
             raise ValueError(
                 f"param {self.param!r} is not a LinkConfig field; "
                 f"choose from {sorted(names)}"
+            )
+        from repro.sim.monte_carlo import LINK_BER_BACKENDS
+
+        if self.link_backend not in LINK_BER_BACKENDS:
+            raise ValueError(
+                f"unknown link backend {self.link_backend!r}; "
+                f"choose from {LINK_BER_BACKENDS}"
             )
 
     def config_for(self, value: float) -> LinkConfig:
@@ -112,10 +125,14 @@ class BerSweepTask(SweepTask):
             bits_per_frame=self.bits_per_frame,
             seed=seed,
             chunk_frames=self.chunk_frames,
+            backend=self.link_backend,
         )
 
     def cache_parts(self, value: float) -> dict[str, Any]:
-        return {"task": self, "value": value}
+        # Backends are numerically equivalent, so normalise the key to
+        # the serial reference: warming the cache with either backend
+        # serves hits to both.
+        return {"task": replace(self, link_backend="serial"), "value": value}
 
 
 @dataclass(frozen=True)

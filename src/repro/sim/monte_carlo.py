@@ -31,6 +31,9 @@ from repro.core.modulation import ModulationScheme
 
 __all__ = ["BerEstimate", "estimate_link_ber", "awgn_symbol_ber"]
 
+#: Valid frame-chain backends for :func:`estimate_link_ber`.
+LINK_BER_BACKENDS = ("serial", "vectorized")
+
 
 @dataclass(frozen=True)
 class BerEstimate:
@@ -76,6 +79,17 @@ class BerEstimate:
             return True
         return self.bit_errors >= self.target_errors
 
+    def wilson_upper_bound(self, z: float = 1.96) -> float:
+        """Statistically honest BER for possibly-unconverged estimates.
+
+        The raw :attr:`ber` of an estimate that stopped on the bit
+        budget (or saw zero errors) understates the plausible error
+        rate; the upper edge of the Wilson score interval is the number
+        a range-cliff plot or link-budget margin should use instead.
+        Returns 1.0 when nothing was tested.
+        """
+        return self.confidence_interval(z)[1]
+
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
         """Wilson score interval for the BER.
 
@@ -104,6 +118,7 @@ def estimate_link_ber(
     seed: int | np.random.SeedSequence = 0,
     chunk_frames: int = 1,
     progress: Callable[[int, int, int], None] | None = None,
+    backend: str = "serial",
 ) -> BerEstimate:
     """Estimate the link BER by simulating frames until convergence.
 
@@ -124,6 +139,18 @@ def estimate_link_ber(
     progress:
         Optional hook called after each chunk with
         ``(frames, bits, errors)`` accumulated so far.
+    backend:
+        ``"serial"`` simulates frames one at a time through
+        :func:`repro.core.link.simulate_link`; ``"vectorized"`` runs
+        each chunk through :class:`repro.sim.batch.BatchLinkSimulator`,
+        which draws RNG variates per frame in the documented serial
+        order and therefore returns **bit-identical** estimates for any
+        seed and chunk size (frames simulated past a stop condition
+        consume RNG state that the serial path would never draw, but
+        those frames are discarded before scoring, so the accumulated
+        estimate is unaffected).  Configurations outside the batch fast
+        path (Rician fading, blockage) transparently fall back to
+        per-frame simulation.
     """
     if target_errors < 1:
         raise ValueError(f"target_errors must be >= 1, got {target_errors}")
@@ -133,21 +160,45 @@ def estimate_link_ber(
         )
     if chunk_frames < 1:
         raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
+    if backend not in LINK_BER_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {LINK_BER_BACKENDS}"
+        )
     rng = np.random.default_rng(seed)
+    simulator = None
+    if backend == "vectorized":
+        from repro.sim.batch import BatchLinkSimulator
+
+        simulator = BatchLinkSimulator(config, num_payload_bits=bits_per_frame)
     errors = 0
     bits = 0
     frames = 0
     detected = 0
     while errors < target_errors and bits < max_bits:
-        for _ in range(chunk_frames):
-            if errors >= target_errors or bits >= max_bits:
-                break
-            result = simulate_link(config, num_payload_bits=bits_per_frame, rng=rng)
-            errors += result.bit_errors
-            bits += result.num_payload_bits
-            frames += 1
-            if result.detected:
-                detected += 1
+        if simulator is not None:
+            # One batched pass per chunk; accumulate frame by frame so
+            # the stopping rule stays frame-exact (overshoot frames are
+            # dropped, leaving the estimate chunk-size invariant).
+            for result in simulator.simulate(chunk_frames, rng):
+                if errors >= target_errors or bits >= max_bits:
+                    break
+                errors += result.bit_errors
+                bits += result.num_payload_bits
+                frames += 1
+                if result.detected:
+                    detected += 1
+        else:
+            for _ in range(chunk_frames):
+                if errors >= target_errors or bits >= max_bits:
+                    break
+                result = simulate_link(
+                    config, num_payload_bits=bits_per_frame, rng=rng
+                )
+                errors += result.bit_errors
+                bits += result.num_payload_bits
+                frames += 1
+                if result.detected:
+                    detected += 1
         if progress is not None:
             progress(frames, bits, errors)
     return BerEstimate(

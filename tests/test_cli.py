@@ -129,3 +129,85 @@ class TestExperimentsCommand:
         for exp_id in ("E1", "E8", "E12", "E16"):
             assert exp_id in out
         assert "EXPERIMENTS.md" in out
+
+
+class TestCacheCommand:
+    def test_stats_listing(self, tmp_path, capsys):
+        code = main(["cache", "--dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entries   : 0" in out
+        assert "bytes" in out
+
+    def test_prune_evicts_to_budget(self, tmp_path, capsys):
+        from repro.sim.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "c", version="v")
+        for i in range(3):
+            cache.put(cache.key_for(i=i), list(range(100)))
+        code = main(["cache", "--dir", str(tmp_path / "c"), "--prune", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 3 entries" in out
+        assert len(cache) == 0
+
+    def test_prune_and_clear_conflict(self, tmp_path, capsys):
+        code = main(["cache", "--dir", str(tmp_path / "c"), "--clear", "--prune", "0"])
+        assert code == 2
+
+    def test_prune_negative_rejected(self, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path / "c"), "--prune", "-5"]) == 2
+
+
+class TestSweepLinkBackend:
+    def test_parser_accepts_vectorized(self):
+        args = build_parser().parse_args(
+            ["sweep", "--metric", "ber", "--link-backend", "vectorized"]
+        )
+        assert args.link_backend == "vectorized"
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--link-backend", "gpu"])
+
+    def test_vectorized_ber_sweep_matches_serial(self, capsys):
+        argv = ["sweep", "--metric", "ber", "--start", "2", "--stop", "14",
+                "--points", "3", "--target-errors", "5", "--seed", "0"]
+        def numbers_only(text):
+            # drop the executor's wall-clock summary lines; everything
+            # else (the BER table and plot) must match exactly
+            return [line for line in text.splitlines()
+                    if " s " not in line and "wall" not in line
+                    and "slowest point" not in line]
+
+        assert main(argv + ["--link-backend", "serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--link-backend", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out
+        # identical numbers, not merely similar: the batched kernel is
+        # bit-identical to the serial frame chain
+        assert numbers_only(serial_out) == numbers_only(vectorized_out)
+
+
+class TestBenchCommand:
+    def test_prints_speedup_table(self, tmp_path, capsys, monkeypatch):
+        from repro.sim import profiling
+
+        stub = profiling.BenchReport(
+            benchmarks=(
+                profiling.KernelBench(
+                    name="viterbi_decode", description="stub",
+                    reference_s=1.0, vectorized_s=0.05, repeats=1,
+                ),
+            ),
+            quick=True,
+            generated="2000-01-01T00:00:00Z",
+        )
+        monkeypatch.setattr(profiling, "run_hotpath_benchmarks", lambda quick: stub)
+        out_path = tmp_path / "bench.json"
+        code = main(["bench", "--quick", "--json", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "viterbi_decode" in out
+        assert "20.0x" in out
+        assert out_path.exists()

@@ -1,0 +1,64 @@
+"""Loose speed assertions on the vectorized hot-path kernels.
+
+The point is regression *detection*, not precise benchmarking: if a
+future change quietly reroutes the vectorized Viterbi or the batched
+frame-chain TX kernel back through the Python reference loops, the
+measured speedup collapses from >20x to ~1x and these asserts catch it.
+Thresholds sit far below the typically measured ratios (see
+``BENCH_hotpaths.json``) so scheduler noise cannot flake the suite, and
+the whole module can be skipped on constrained runners via
+``REPRO_SKIP_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.profiling import run_hotpath_benchmarks
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_BENCH") == "1",
+    reason="REPRO_SKIP_BENCH=1: constrained runner, skipping timing asserts",
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_hotpath_benchmarks(quick=True)
+
+
+def test_all_kernels_present(report):
+    names = set(report.by_name())
+    assert {
+        "viterbi_decode",
+        "frame_chain_tx",
+        "link_end_to_end",
+        "vanatta_pattern",
+    } <= names
+
+
+def test_viterbi_vectorized_at_least_5x(report):
+    bench = report.by_name()["viterbi_decode"]
+    # typically >20x; 5x is the acceptance floor
+    assert bench.speedup >= 5.0, f"viterbi speedup collapsed: {bench.speedup:.1f}x"
+
+
+def test_frame_chain_tx_at_least_5x(report):
+    bench = report.by_name()["frame_chain_tx"]
+    # typically >40x; 5x is the acceptance floor
+    assert bench.speedup >= 5.0, f"frame TX speedup collapsed: {bench.speedup:.1f}x"
+
+
+def test_vanatta_broadcast_faster(report):
+    bench = report.by_name()["vanatta_pattern"]
+    # typically >60x; assert well under that
+    assert bench.speedup >= 5.0, f"vanatta speedup collapsed: {bench.speedup:.1f}x"
+
+
+def test_link_end_to_end_not_slower(report):
+    bench = report.by_name()["link_end_to_end"]
+    # Amdahl-bounded by shared bit-exact per-frame stages; just require
+    # the batch never LOSES to the reference.
+    assert bench.speedup >= 1.0, f"batched chain slower: {bench.speedup:.1f}x"

@@ -1,0 +1,296 @@
+"""Equivalence tests for the vectorized hot-path kernels.
+
+Every vectorized kernel in this PR keeps its reference implementation
+alive; these tests pin the contract that vectorization changed *speed
+only*:
+
+* the array-wide Viterbi decodes **byte-identically** to the nested
+  reference loop over randomized polynomials, constraint lengths and
+  message lengths (including metric ties, which hard decisions hit
+  constantly);
+* the byte-table CRC and LUT constellation mappers are integer-exact
+  drop-ins for the bit-loop / dict-lookup references;
+* :func:`simulate_link_batch` reproduces consecutive
+  :func:`simulate_link` calls **bit for bit** (every scalar field and
+  every sample of the decoded symbol arrays) across modulations,
+  subcarrier/doppler/ADC variants and the Rician fallback;
+* the ``backend="vectorized"`` BER estimator returns byte-identical
+  :class:`BerEstimate`\\ s to the serial path for every chunk size;
+* :meth:`ResultCache.prune` evicts strictly least-recently-used.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.coding import append_crc32, check_crc32, crc32
+from repro.core.convolutional import ConvolutionalCode, K7_CODE
+from repro.core.link import LinkConfig, simulate_link
+from repro.core.modulation import available_schemes, get_scheme
+from repro.sim.batch import (
+    BatchLinkSimulator,
+    check_crc32_fast,
+    crc32_tail_bits_fast,
+    crc_bits_fast,
+    fast_modulate,
+    fast_symbol_indices,
+    simulate_link_batch,
+)
+from repro.sim.cache import MISS, ResultCache
+from repro.sim.monte_carlo import estimate_link_ber
+
+
+# -- Viterbi: vectorized == reference ----------------------------------------
+
+
+def _random_code(rng: np.random.Generator) -> ConvolutionalCode:
+    constraint = int(rng.integers(2, 7))
+    num_polys = int(rng.integers(2, 4))
+    limit = 1 << constraint
+    polys = tuple(int(rng.integers(1, limit)) for _ in range(num_polys))
+    return ConvolutionalCode(constraint_length=constraint, polynomials=polys)
+
+
+class TestViterbiBackendEquivalence:
+    def test_randomized_codes_hard_decisions(self, rng):
+        """Byte-identical decodes over random codes, lengths and errors.
+
+        Hard decisions produce integer-valued path metrics, so metric
+        ties are common — this exercises the tie-break rule match."""
+        for _ in range(25):
+            code = _random_code(rng)
+            num_bits = int(rng.integers(1, 80))
+            message = rng.integers(0, 2, size=num_bits).astype(np.int8)
+            coded = code.encode(message)
+            num_flips = int(rng.integers(0, 1 + coded.size // 8))
+            if num_flips:
+                flips = rng.choice(coded.size, size=num_flips, replace=False)
+                coded[flips] ^= 1
+            reference = code.decode_hard(coded, backend="reference")
+            vectorized = code.decode_hard(coded, backend="vectorized")
+            assert np.array_equal(reference, vectorized), (
+                f"K={code.constraint_length} polys={code.polynomials} "
+                f"bits={num_bits} flips={num_flips}"
+            )
+
+    def test_randomized_soft_decisions(self, rng):
+        for _ in range(10):
+            code = _random_code(rng)
+            num_bits = int(rng.integers(1, 60))
+            message = rng.integers(0, 2, size=num_bits).astype(np.int8)
+            soft = 1.0 - 2.0 * code.encode(message).astype(np.float64)
+            soft += 0.8 * rng.standard_normal(soft.size)
+            reference = code.decode_soft(soft, backend="reference")
+            vectorized = code.decode_soft(soft, backend="vectorized")
+            assert np.array_equal(reference, vectorized)
+
+    def test_k7_long_message(self, rng):
+        message = rng.integers(0, 2, size=400).astype(np.int8)
+        coded = K7_CODE.encode(message)
+        coded[::37] ^= 1
+        assert np.array_equal(
+            K7_CODE.decode_hard(coded, backend="reference"),
+            K7_CODE.decode_hard(coded, backend="vectorized"),
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            K7_CODE.decode_hard(np.zeros(40, dtype=np.int8), backend="numba")
+
+
+# -- fast CRC / constellation LUTs: integer-exact ----------------------------
+
+
+class TestFastPrimitives:
+    def test_crc_matches_reference_all_lengths(self, rng):
+        """Byte-table CRC == bit-loop CRC, incl. non-multiple-of-8 tails."""
+        for size in [0, 1, 7, 8, 9, 31, 32, 33, 64, 100, 2048]:
+            bits = rng.integers(0, 2, size=size).astype(np.int8)
+            assert crc_bits_fast(bits) == crc32(bits)
+
+    def test_crc_tail_matches_append_crc32(self, rng):
+        bits = rng.integers(0, 2, size=96).astype(np.int8)
+        assert np.array_equal(crc32_tail_bits_fast(bits), append_crc32(bits)[-32:])
+
+    def test_check_crc_agrees_with_reference(self, rng):
+        bits = rng.integers(0, 2, size=64).astype(np.int8)
+        protected = append_crc32(bits)
+        assert check_crc32_fast(protected) is True
+        assert check_crc32_fast(protected) == check_crc32(protected)
+        corrupted = protected.copy()
+        corrupted[5] ^= 1
+        assert check_crc32_fast(corrupted) is False
+        assert check_crc32_fast(corrupted) == check_crc32(corrupted)
+
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_symbol_mapping_matches_reference(self, name, rng):
+        constellation = get_scheme(name).constellation
+        k = constellation.bits_per_symbol
+        bits = rng.integers(0, 2, size=60 * k).astype(np.int8)
+        assert np.array_equal(
+            fast_symbol_indices(name, bits), constellation.symbol_indices(bits)
+        )
+        assert np.array_equal(fast_modulate(name, bits), constellation.modulate(bits))
+
+    def test_symbol_mapping_broadcasts_over_frames(self, rng):
+        bits = rng.integers(0, 2, size=(3, 40)).astype(np.int8)
+        batched = fast_symbol_indices("QPSK", bits)
+        constellation = get_scheme("QPSK").constellation
+        for f in range(3):
+            assert np.array_equal(batched[f], constellation.symbol_indices(bits[f]))
+
+    def test_symbol_mapping_rejects_ragged_bits(self):
+        with pytest.raises(ValueError, match="divisible"):
+            fast_symbol_indices("QPSK", np.zeros(7, dtype=np.int8))
+
+
+# -- batched frame chain: bit-exact vs simulate_link -------------------------
+
+
+def _batch_configs() -> dict[str, LinkConfig]:
+    base = LinkConfig()
+    return {
+        "default_qpsk": base,
+        "office_13m": LinkConfig(
+            distance_m=13.0, environment=Environment.typical_office()
+        ),
+        "ook": LinkConfig(tag=dataclasses.replace(base.tag, modulation="OOK")),
+        "qam16": LinkConfig(tag=dataclasses.replace(base.tag, modulation="16QAM")),
+        "subcarrier": LinkConfig(tag=dataclasses.replace(base.tag, subcarrier_hz=20e6)),
+        "doppler": LinkConfig(radial_velocity_m_s=2.0),
+        "no_adc": LinkConfig(ap=dataclasses.replace(base.ap, adc=None)),
+        "rician_fallback": LinkConfig(rician_k_db=10.0),
+    }
+
+
+def _assert_links_identical(reference, batched, label: str) -> None:
+    scalar_fields = [
+        "num_payload_bits", "bit_errors", "ber", "frame_success",
+        "snr_analytic_db", "snr_measured_db", "evm",
+    ]
+    for fld in scalar_fields:
+        assert getattr(reference, fld) == getattr(batched, fld), f"{label}: {fld}"
+    ref_rx, got_rx = reference.receiver, batched.receiver
+    for fld in [
+        "detected", "header_ok", "payload_crc_ok", "start_sample",
+        "snr_estimate_db", "evm",
+    ]:
+        assert getattr(ref_rx, fld) == getattr(got_rx, fld), f"{label}: rx.{fld}"
+    assert (ref_rx.payload_bits is None) == (got_rx.payload_bits is None), label
+    if ref_rx.payload_bits is not None:
+        assert np.array_equal(ref_rx.payload_bits, got_rx.payload_bits), label
+    assert (ref_rx.payload_symbols is None) == (got_rx.payload_symbols is None), label
+    if ref_rx.payload_symbols is not None:
+        # bit-exact, not allclose: the kernels reproduce the reference's
+        # floating-point operation order sample for sample
+        assert np.array_equal(
+            np.asarray(ref_rx.payload_symbols), np.asarray(got_rx.payload_symbols)
+        ), label
+
+
+class TestBatchLinkBitExactness:
+    @pytest.mark.parametrize("name", sorted(_batch_configs()))
+    def test_matches_consecutive_simulate_link_calls(self, name):
+        config = _batch_configs()[name]
+        num_frames = 3
+        rng_ref = np.random.default_rng(0)
+        reference = [simulate_link(config, rng=rng_ref) for _ in range(num_frames)]
+        batched = simulate_link_batch(
+            config, num_frames, rng=np.random.default_rng(0)
+        )
+        for f in range(num_frames):
+            _assert_links_identical(reference[f], batched[f], f"{name}[{f}]")
+
+    def test_rician_uses_fallback_path(self):
+        simulator = BatchLinkSimulator(LinkConfig(rician_k_db=10.0))
+        assert simulator.supports_fast_path is False
+
+    def test_fast_path_flag_set_for_default(self):
+        assert BatchLinkSimulator(LinkConfig()).supports_fast_path is True
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="num_payload_bits"):
+            BatchLinkSimulator(LinkConfig(), num_payload_bits=0)
+        with pytest.raises(ValueError, match="num_frames"):
+            simulate_link_batch(LinkConfig(), num_frames=0)
+
+
+class TestEstimatorBackendEquivalence:
+    @pytest.mark.parametrize("chunk_frames", [1, 4, 7])
+    def test_vectorized_backend_byte_identical(self, chunk_frames):
+        config = LinkConfig(
+            distance_m=12.5, environment=Environment.typical_office()
+        )
+        kwargs = dict(
+            target_errors=5,
+            max_bits=8192,
+            bits_per_frame=1024,
+            seed=3,
+            chunk_frames=chunk_frames,
+        )
+        serial = estimate_link_ber(config, backend="serial", **kwargs)
+        vectorized = estimate_link_ber(config, backend="vectorized", **kwargs)
+        assert serial == vectorized
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            estimate_link_ber(LinkConfig(), backend="gpu")
+
+
+# -- ResultCache LRU prune ----------------------------------------------------
+
+
+class TestCachePrune:
+    def _filled_cache(self, tmp_path, count=4):
+        cache = ResultCache(tmp_path / "cache", version="v")
+        keys = []
+        for i in range(count):
+            key = cache.key_for(index=i)
+            cache.put(key, np.zeros(64))
+            keys.append(key)
+            # strictly increasing mtimes regardless of filesystem resolution
+            os.utime(cache._path(key), (1_000_000 + i, 1_000_000 + i))
+        return cache, keys
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        entry_size = cache.size_bytes() // len(keys)
+        removed = cache.prune(max_bytes=2 * entry_size)
+        assert removed == 2
+        assert keys[0] not in cache and keys[1] not in cache
+        assert keys[2] in cache and keys[3] in cache
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        assert cache.get(keys[0]) is not MISS  # touch the oldest entry
+        now = time.time()
+        assert cache._path(keys[0]).stat().st_mtime >= now - 60
+        entry_size = cache.size_bytes() // len(keys)
+        cache.prune(max_bytes=entry_size)
+        assert keys[0] in cache  # survived: most recently used
+        assert keys[1] not in cache
+
+    def test_prune_zero_empties(self, tmp_path):
+        cache, keys = self._filled_cache(tmp_path)
+        assert cache.prune(max_bytes=0) == len(keys)
+        assert len(cache) == 0
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache, _ = self._filled_cache(tmp_path)
+        assert cache.prune(max_bytes=cache.size_bytes()) == 0
+
+    def test_prune_rejects_negative(self, tmp_path):
+        cache, _ = self._filled_cache(tmp_path, count=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.prune(max_bytes=-1)
+
+    def test_prune_counts_as_invalidations(self, tmp_path):
+        cache, _ = self._filled_cache(tmp_path)
+        cache.prune(max_bytes=0)
+        assert cache.stats.invalidations == 4

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Profile the vectorized hot paths and emit the perf-trajectory file.
+
+Runs the reference-vs-vectorized microbenchmarks from
+:mod:`repro.sim.profiling` (Viterbi, frame-chain TX, end-to-end batched
+link, Van Atta pattern), prints the speedup table, and writes
+``BENCH_hotpaths.json`` at the repo root — the perf-trajectory baseline
+CI uploads as an artifact so future performance PRs have numbers to
+compare against.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpaths.py            # full sizes
+    PYTHONPATH=src python tools/profile_hotpaths.py --quick    # CI sizes
+    PYTHONPATH=src python tools/profile_hotpaths.py --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.profiling import run_hotpath_benchmarks, write_trajectory  # noqa: E402
+from repro.sim.results import ResultTable  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workloads (faster, noisier speedup ratios)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_hotpaths.json"),
+        help="trajectory JSON path (default: BENCH_hotpaths.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_hotpath_benchmarks(quick=args.quick)
+    table = ResultTable(
+        "hot-path microbenchmarks" + (" [--quick]" if args.quick else ""),
+        ["kernel", "reference_ms", "vectorized_ms", "speedup"],
+    )
+    for bench in report.benchmarks:
+        table.add_row(
+            bench.name,
+            round(bench.reference_s * 1e3, 3),
+            round(bench.vectorized_s * 1e3, 3),
+            f"{bench.speedup:.1f}x",
+        )
+    print(table.to_text())
+
+    path = write_trajectory(report, args.out)
+    print(f"\nperf trajectory written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
