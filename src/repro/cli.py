@@ -35,6 +35,7 @@ from repro.core.tag import TagConfig
 from repro.sim.cache import ResultCache
 from repro.sim.executor import BerSweepTask, FunctionTask, SweepExecutor
 from repro.sim.monte_carlo import LINK_BER_BACKENDS
+from repro.sim.retry import RetryPolicy
 from repro.sim.plotting import ascii_plot
 from repro.sim.results import ResultTable
 
@@ -90,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point frame chain (vectorized = batched kernel, "
              "bit-identical to serial; ber metric)",
     )
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-point wall-clock budget; a stalled point "
+                            "fails (and retries) instead of hanging the sweep")
+    sweep.add_argument("--max-retries", type=int, default=0,
+                       help="retry budget per failing point (seeded "
+                            "exponential backoff between attempts)")
+    sweep.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="stream completed points to an append-only JSONL "
+                            "checkpoint at PATH")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip points already completed in --checkpoint "
+                            "(bit-exact: resumed == uninterrupted)")
 
     cache = sub.add_parser("cache", help="inspect / invalidate a sweep result cache")
     cache.add_argument("--dir", required=True, help="cache directory")
@@ -98,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--prune", type=int, default=None, metavar="MAX_BYTES",
                        help="evict least-recently-used entries until the cache "
                             "fits MAX_BYTES")
+    cache.add_argument("--verify", action="store_true",
+                       help="integrity-scan every entry (sha256) and "
+                            "quarantine the corrupt ones")
 
     bench = sub.add_parser(
         "bench", help="hot-path microbenchmarks: reference vs vectorized"
@@ -150,6 +166,7 @@ _EXPERIMENT_INDEX = [
     ("E16", "battery-free envelope (extension)", "test_e16_harvesting"),
     ("E17", "AP receive diversity / MRC (extension)", "test_e17_diversity"),
     ("E18", "sweep-engine scaling: pool + cache vs serial", "test_e18_executor_scaling"),
+    ("E19", "fault tolerance: chaos sweep + ARQ under blockage", "test_e19_fault_tolerance"),
 ]
 
 
@@ -195,9 +212,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_dir is not None and args.metric != "ber":
         print("--cache-dir applies to the ber metric only", file=sys.stderr)
         return 2
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be a positive number of seconds", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
     distances = [float(d) for d in np.linspace(args.start, args.stop, args.points)]
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    executor = SweepExecutor(args.backend, max_workers=args.workers, cache=cache)
+    executor = SweepExecutor(
+        args.backend,
+        max_workers=args.workers,
+        cache=cache,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(max_retries=args.max_retries),
+    )
     if args.metric == "snr":
         task = FunctionTask(functools.partial(_sweep_snr_metric, args.modulation))
     else:
@@ -213,38 +245,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             chunk_frames=args.chunk_frames,
             link_backend=args.link_backend,
         )
-    report = executor.run(distances, task, seed=args.seed)
+    report = executor.run(
+        distances, task, seed=args.seed,
+        checkpoint=args.checkpoint, resume=args.resume,
+    )
     table = ResultTable(
         f"{args.metric} vs distance ({args.modulation})",
         ["distance_m", args.metric],
     )
-    values = []
+    plotted_x, plotted_y = [], []
     for point in report.points:
+        if point.metric is None:  # isolated failure (see report.summary())
+            table.add_row(round(point.value, 2), "failed")
+            continue
         value = point.metric.ber if args.metric == "ber" else point.metric
-        values.append(value)
+        plotted_x.append(point.value)
+        plotted_y.append(value)
         table.add_row(round(point.value, 2), value)
     print(table.to_text())
     print()
-    print(
-        ascii_plot(
-            {args.metric: (distances, values)},
-            log_y=(args.metric == "ber"),
-            x_label="distance [m]",
-            y_label=args.metric,
+    if plotted_y:
+        print(
+            ascii_plot(
+                {args.metric: (plotted_x, plotted_y)},
+                log_y=(args.metric == "ber"),
+                x_label="distance [m]",
+                y_label=args.metric,
+            )
         )
-    )
-    print()
+        print()
     print(report.summary())
     if cache is not None:
         print(cache.stats.summary())
-    return 0
+    return 0 if report.failed == 0 else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.dir)
-    if args.clear and args.prune is not None:
-        print("--clear and --prune are mutually exclusive", file=sys.stderr)
+    exclusive = sum(bool(flag) for flag in (args.clear, args.prune is not None, args.verify))
+    if exclusive > 1:
+        print("--clear, --prune and --verify are mutually exclusive", file=sys.stderr)
         return 2
+    if args.verify:
+        report = cache.verify(quarantine=True)
+        print(report.summary())
+        if report.quarantined:
+            print(f"quarantined entries moved to {cache.quarantine_dir}")
+        return 0 if report.corrupt == 0 else 1
     if args.clear:
         removed = cache.invalidate()
         print(f"invalidated {removed} entries in {cache.directory}")

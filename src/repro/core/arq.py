@@ -96,6 +96,14 @@ class StopAndWaitSession:
         self.delivered = 0
         self.abandoned = 0
         self.transmissions = 0
+        self.per_frame_attempts: list[int] = []
+
+    def reset(self) -> None:
+        """Zero every counter (reuse one session across fault levels)."""
+        self.delivered = 0
+        self.abandoned = 0
+        self.transmissions = 0
+        self.per_frame_attempts = []
 
     def send_frames(
         self, num_frames: int, rng: np.random.Generator | int | None = None
@@ -109,14 +117,26 @@ class StopAndWaitSession:
                 self.transmissions += 1
                 if self.frame_oracle(attempt, rng):
                     self.delivered += 1
+                    self.per_frame_attempts.append(attempt + 1)
                     break
             else:
                 self.abandoned += 1
+                self.per_frame_attempts.append(self.max_transmissions)
+
+    @property
+    def offered(self) -> int:
+        """Frames pushed into the session so far."""
+        return self.delivered + self.abandoned
+
+    @property
+    def retransmissions(self) -> int:
+        """Transmissions beyond each frame's first attempt."""
+        return self.transmissions - self.offered
 
     @property
     def delivery_rate(self) -> float:
         """Fraction of offered frames delivered."""
-        offered = self.delivered + self.abandoned
+        offered = self.offered
         return self.delivered / offered if offered else 0.0
 
     @property

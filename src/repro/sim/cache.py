@@ -13,8 +13,13 @@ benchmark run.  :class:`ResultCache` memoises them on disk, keyed by a
 
 Entries are pickled one-file-per-key with atomic renames, so concurrent
 writers (process-pool workers, parallel CI shards) never observe a
-torn entry.  Hit/miss counters make cache behaviour observable, and
-:meth:`ResultCache.invalidate` provides an explicit invalidation API.
+torn entry.  Every entry carries a sha256 of its payload; a bit-flipped
+file fails the check and is served as a miss (counted in
+:attr:`CacheStats.corrupt`, logged) instead of poisoning a sweep, and
+:meth:`ResultCache.verify` scans/quarantines bad entries (CLI:
+``repro cache --verify``).  Hit/miss counters make cache behaviour
+observable, and :meth:`ResultCache.invalidate` provides an explicit
+invalidation API.
 
 The hash is *stable*, not merely deterministic-per-process: floats are
 hashed via ``float.hex()`` (byte-exact, locale-independent), arrays by
@@ -28,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -41,14 +47,21 @@ __all__ = [
     "MISS",
     "CacheKeyError",
     "CacheStats",
+    "CacheVerifyReport",
     "ResultCache",
     "canonicalize",
     "stable_hash",
     "code_version",
 ]
 
+logger = logging.getLogger(__name__)
+
 #: Bump when the on-disk entry layout changes (invalidates everything).
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries carry a ``repro-cache:2`` magic + payload sha256 header.
+CACHE_SCHEMA_VERSION = 2
+
+#: First bytes of every v2 entry file.
+_ENTRY_MAGIC = b"repro-cache:2\n"
 
 #: Sentinel returned by :meth:`ResultCache.get` on a miss, so that
 #: ``None`` is a cacheable value.
@@ -57,6 +70,10 @@ MISS = object()
 
 class CacheKeyError(TypeError):
     """Raised when an object cannot be canonicalised into a stable key."""
+
+
+class _CorruptEntry(ValueError):
+    """Internal: an entry's on-disk bytes failed their integrity check."""
 
 
 def canonicalize(obj: Any) -> Any:
@@ -158,6 +175,8 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     invalidations: int = 0
+    corrupt: int = 0  # integrity-check failures (served as misses)
+    errors: int = 0  # read errors: OSError / unpickle failures
 
     @property
     def lookups(self) -> int:
@@ -173,10 +192,29 @@ class CacheStats:
 
     def summary(self) -> str:
         """One-line human-readable rendering."""
-        return (
+        text = (
             f"cache: {self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.0%} hit rate), {self.puts} writes, "
             f"{self.invalidations} invalidations"
+        )
+        if self.corrupt or self.errors:
+            text += f", {self.corrupt} corrupt, {self.errors} read errors"
+        return text
+
+
+@dataclass(frozen=True)
+class CacheVerifyReport:
+    """Outcome of one :meth:`ResultCache.verify` scan."""
+
+    checked: int
+    corrupt: int
+    quarantined: int
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"verified {self.checked} entries: {self.corrupt} corrupt, "
+            f"{self.quarantined} quarantined"
         )
 
 
@@ -215,18 +253,68 @@ class ResultCache:
 
     # -- lookup / store -------------------------------------------------------
 
+    def _read_payload(self, path: Path) -> bytes:
+        """Raw pickled payload of a v2 entry, after its integrity check.
+
+        Raises :class:`_CorruptEntry` on bad magic / digest mismatch /
+        truncation — anything where the *bytes on disk* are not what
+        :meth:`put` wrote.
+        """
+        blob = path.read_bytes()
+        if not blob.startswith(_ENTRY_MAGIC):
+            raise _CorruptEntry(f"{path.name}: bad or missing entry magic")
+        rest = blob[len(_ENTRY_MAGIC):]
+        newline = rest.find(b"\n")
+        if newline != 64:  # sha256 hex digest is exactly 64 bytes
+            raise _CorruptEntry(f"{path.name}: malformed digest header")
+        digest, payload = rest[:newline], rest[newline + 1:]
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            raise _CorruptEntry(f"{path.name}: payload sha256 mismatch")
+        return payload
+
     def get(self, key: str) -> Any:
         """Value for ``key``, or the :data:`MISS` sentinel.
 
         A hit refreshes the entry's mtime, so :meth:`prune` evicts in
         least-recently-*used* (not least-recently-written) order.
+        Entries failing their sha256 integrity check are served as
+        misses and counted in :attr:`CacheStats.corrupt`; read errors
+        (``OSError`` other than a missing file, unpickle failures) are
+        counted in :attr:`CacheStats.errors` — both with a logged
+        warning, never a silent swallow.
         """
         path = self._path(key)
         try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
+            payload = self._read_payload(path)
+            value = pickle.loads(payload)
+        except FileNotFoundError:
             self.stats.misses += 1
+            return MISS
+        except _CorruptEntry as exc:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            logger.warning(
+                "cache entry failed integrity check, treating as miss: %s", exc
+            )
+            return MISS
+        except OSError as exc:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            logger.warning(
+                "cache read error for %s, treating as miss: %s", path.name, exc
+            )
+            return MISS
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError) as exc:
+            # digest matched but the payload will not unpickle (e.g.
+            # written by incompatible code): an error, not corruption
+            self.stats.errors += 1
+            self.stats.misses += 1
+            logger.warning(
+                "cache entry %s failed to unpickle, treating as miss: %s",
+                path.name,
+                exc,
+            )
             return MISS
         try:
             os.utime(path, None)
@@ -236,14 +324,23 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic replace)."""
+        """Store ``value`` under ``key`` (atomic replace).
+
+        The entry is ``magic + sha256(payload) + payload``, so any
+        later bit-flip is caught by :meth:`get` / :meth:`verify`.
+        """
         path = self._path(key)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=self._SUFFIX
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(_ENTRY_MAGIC)
+                handle.write(digest)
+                handle.write(b"\n")
+                handle.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -267,6 +364,58 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob(f"*{self._SUFFIX}"))
+
+    def entry_path(self, key: str) -> Path | None:
+        """On-disk path of ``key``'s entry, or ``None`` when absent.
+
+        Exposed for the fault-injection harness
+        (:meth:`repro.sim.faults.FaultPlan.corrupt_cache_entries`) and
+        for external integrity tooling.
+        """
+        path = self._path(key)
+        return path if path.exists() else None
+
+    # -- integrity ------------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where :meth:`verify` moves corrupt entries."""
+        return self.directory / "quarantine"
+
+    def verify(self, *, quarantine: bool = True) -> CacheVerifyReport:
+        """Scan every entry's sha256; optionally quarantine the bad ones.
+
+        A corrupt entry (bad magic, digest mismatch, truncation, or an
+        unreadable/unpicklable payload) is moved to
+        :attr:`quarantine_dir` when ``quarantine`` is true — out of the
+        keyspace, but preserved for forensics.  Counted in
+        :attr:`CacheStats.corrupt` either way.
+        """
+        checked = 0
+        corrupt = 0
+        quarantined = 0
+        for path in sorted(self.directory.glob(f"*{self._SUFFIX}")):
+            checked += 1
+            try:
+                payload = self._read_payload(path)
+                pickle.loads(payload)
+            except (_CorruptEntry, OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError) as exc:
+                corrupt += 1
+                self.stats.corrupt += 1
+                logger.warning("cache verify: %s is corrupt (%s)", path.name, exc)
+                if quarantine:
+                    try:
+                        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                        os.replace(path, self.quarantine_dir / path.name)
+                        quarantined += 1
+                    except OSError:
+                        logger.warning(
+                            "cache verify: could not quarantine %s", path.name
+                        )
+        return CacheVerifyReport(
+            checked=checked, corrupt=corrupt, quarantined=quarantined
+        )
 
     # -- invalidation ---------------------------------------------------------
 

@@ -1,0 +1,180 @@
+"""Bounded retries with seeded exponential backoff.
+
+Transient failures — a worker OOM-killed mid-point, a flaky filesystem
+under the result cache, an injected chaos fault — should cost a retry,
+not a campaign.  This module is the *policy* half of the executor's
+fault-tolerance story: how many times to retry, and how long to wait
+between attempts.
+
+Determinism is the design constraint.  Backoff jitter normally uses
+wall-clock entropy; here every delay is drawn from a
+:class:`numpy.random.Generator` derived from ``(seed, index, attempt)``
+via :func:`backoff_rng`, so a re-run of the same sweep (or a chaos test
+in CI) sleeps the exact same schedule.  The *results* of retried points
+are bit-identical to never-failed points by construction — the executor
+re-runs the point with the same child :class:`~numpy.random.SeedSequence`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "RetryPolicy",
+    "RetryExhaustedError",
+    "RetryOutcome",
+    "backoff_rng",
+    "call_with_retry",
+]
+
+#: Domain-separation tag mixed into every backoff seed, so backoff
+#: draws can never collide with the metric's own random stream.
+_BACKOFF_TAG = 0xB0FF
+
+
+def backoff_rng(seed: int, index: int, attempt: int) -> np.random.Generator:
+    """Deterministic generator for one backoff draw.
+
+    Depends only on ``(seed, index, attempt)`` — re-running a sweep
+    replays the identical delay schedule, and no two points (or two
+    attempts of one point) share a stream.
+    """
+    entropy = [_BACKOFF_TAG, abs(int(seed)), abs(int(index)), abs(int(attempt))]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing sweep point is retried.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts after the first (``0`` = fail fast).
+    backoff_base_s:
+        Delay before the first retry, in seconds (must be positive —
+        use a tiny value like ``1e-6`` for "no real sleep" in tests).
+    backoff_factor:
+        Multiplier applied per additional retry (``>= 1``).
+    backoff_max_s:
+        Upper clamp on any single delay.
+    jitter:
+        Fraction of the delay randomised away (``0`` = fully
+        deterministic delay value, ``0.5`` = delay drawn uniformly from
+        ``[0.5 d, d]``).  The draw itself is seeded, so even jittered
+        schedules replay exactly.
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not self.backoff_base_s > 0:
+            raise ValueError(
+                f"backoff_base_s must be > 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_s < 0:
+            raise ValueError(
+                f"backoff_max_s must be >= 0, got {self.backoff_max_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based).
+
+        ``base * factor**attempt`` clamped to ``backoff_max_s``, with a
+        seeded multiplicative jitter drawn from ``rng`` when given.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        delay = min(
+            self.backoff_base_s * self.backoff_factor**attempt, self.backoff_max_s
+        )
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 - self.jitter * float(rng.random())
+        return delay
+
+    def schedule(self, seed: int, index: int) -> list[float]:
+        """The full (deterministic) delay schedule for one point."""
+        return [
+            self.delay_s(attempt, backoff_rng(seed, index, attempt))
+            for attempt in range(self.max_retries)
+        ]
+
+
+class RetryExhaustedError(RuntimeError):
+    """Raised by :func:`call_with_retry` when every attempt failed.
+
+    ``errors`` holds one formatted traceback per failed attempt; the
+    last underlying exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, errors: list[str]):
+        super().__init__(message)
+        self.errors = errors
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """What :func:`call_with_retry` returns on success."""
+
+    value: Any
+    attempts: int  # total attempts made (>= 1)
+    errors: tuple[str, ...]  # tracebacks of the failed attempts
+
+    @property
+    def retried(self) -> int:
+        """How many retries it took (0 = first try succeeded)."""
+        return self.attempts - 1
+
+
+def call_with_retry(
+    fn: Callable[[int], Any],
+    policy: RetryPolicy,
+    *,
+    seed: int = 0,
+    index: int = 0,
+    sleep: Callable[[float], None] = time.sleep,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+) -> RetryOutcome:
+    """Call ``fn(attempt)`` under ``policy``, sleeping seeded backoff.
+
+    ``fn`` receives the 0-based attempt number (fault-injection hooks
+    key off it).  Exceptions in ``retry_on`` are retried up to
+    ``policy.max_retries`` times; anything else — notably
+    ``KeyboardInterrupt`` — propagates immediately.  When the budget is
+    exhausted, :class:`RetryExhaustedError` carries every attempt's
+    traceback.
+    """
+    errors: list[str] = []
+    for attempt in range(policy.max_retries + 1):
+        try:
+            value = fn(attempt)
+        except retry_on as exc:
+            errors.append(traceback.format_exc())
+            if attempt >= policy.max_retries:
+                raise RetryExhaustedError(
+                    f"gave up after {attempt + 1} attempt"
+                    f"{'s' if attempt else ''}: {exc!r}",
+                    errors,
+                ) from exc
+            sleep(policy.delay_s(attempt, backoff_rng(seed, index, attempt)))
+        else:
+            return RetryOutcome(value=value, attempts=attempt + 1, errors=tuple(errors))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -390,3 +390,44 @@ class TestExecutorSurface:
         text = report.summary()
         assert "serial backend" in text
         assert "2 cache hits" in text
+
+
+class TestFaultToleranceKnobs:
+    def test_from_env_parses_fault_tolerance_knobs(self):
+        executor = SweepExecutor.from_env(
+            environ={
+                "REPRO_SWEEP_TIMEOUT": "2.5",
+                "REPRO_SWEEP_MAX_RETRIES": "3",
+                "REPRO_SWEEP_BACKOFF_BASE": "0.01",
+            }
+        )
+        assert executor.timeout_s == 2.5
+        assert executor.retry is not None
+        assert executor.retry.max_retries == 3
+        assert executor.retry.backoff_base_s == 0.01
+
+    def test_from_env_leaves_fault_knobs_off_by_default(self):
+        executor = SweepExecutor.from_env(environ={})
+        assert executor.timeout_s is None
+        # None normalises to the no-retry policy: one try, no backoff
+        assert executor.retry.max_retries == 0
+
+    @pytest.mark.parametrize(
+        "name, value",
+        [
+            ("REPRO_SWEEP_TIMEOUT", "soon"),
+            ("REPRO_SWEEP_TIMEOUT", "-1"),
+            ("REPRO_SWEEP_MAX_RETRIES", "many"),
+            ("REPRO_SWEEP_MAX_RETRIES", "-2"),
+            ("REPRO_SWEEP_BACKOFF_BASE", "fast"),
+            ("REPRO_SWEEP_BACKOFF_BASE", "0"),
+        ],
+    )
+    def test_from_env_rejects_bad_knobs_naming_the_variable(self, name, value):
+        with pytest.raises(ValueError, match=name):
+            SweepExecutor.from_env(environ={name: value})
+
+    @pytest.mark.parametrize("timeout_s", [0.0, -1.0])
+    def test_constructor_rejects_nonpositive_timeout(self, timeout_s):
+        with pytest.raises(ValueError, match="timeout_s"):
+            SweepExecutor("serial", timeout_s=timeout_s)

@@ -1,0 +1,582 @@
+"""Fault tolerance under deterministic chaos.
+
+The contract this file pins: a sweep campaign survives every failure
+mode the :class:`~repro.sim.faults.FaultPlan` harness can inject —
+raised exceptions, stalls that trip the per-point timeout, killed pool
+workers, corrupted cache entries, and a killed driver process — and
+the *numbers never change*: recovered points, resumed points and
+degraded-backend points are all bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.link import LinkConfig
+from repro.core.tag import TagConfig
+from repro.sim.cache import MISS, ResultCache
+from repro.sim.checkpoint import CheckpointError, SweepCheckpoint
+from repro.sim.executor import (
+    BerSweepTask,
+    FunctionTask,
+    PointTimeoutError,
+    SweepExecutor,
+)
+from repro.sim.faults import (
+    BlockageFrameOracle,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    blockage_burst_plan,
+    corrupt_file,
+)
+from repro.sim.retry import RetryPolicy
+
+
+def _noisy_config() -> LinkConfig:
+    return LinkConfig(
+        tag=TagConfig(symbol_rate_hz=10e6, samples_per_symbol=4),
+        environment=Environment.typical_office(),
+    )
+
+
+def _ber_task(**overrides) -> BerSweepTask:
+    kwargs = dict(
+        config=_noisy_config(),
+        param="distance_m",
+        target_errors=8,
+        max_bits=9_000,
+        bits_per_frame=3_000,
+    )
+    kwargs.update(overrides)
+    return BerSweepTask(**kwargs)
+
+
+_VALUES = [2.0, 9.0, 13.0, 17.0]
+
+
+def _square(value: float) -> float:
+    """Module-level so the process backend can pickle it."""
+    return value * value
+
+
+def _fast_retry(max_retries: int = 2) -> RetryPolicy:
+    return RetryPolicy(max_retries=max_retries, backoff_base_s=1e-6, jitter=0.0)
+
+
+# -- the plan itself ----------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", index=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"index": -1},
+            {"attempts": 0},
+            {"delay_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**{"kind": "raise", "index": 0, **kwargs})
+
+
+class TestFaultPlan:
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(20, seed=5, raise_rate=0.3, kill_rate=0.1)
+        b = FaultPlan.random(20, seed=5, raise_rate=0.3, kill_rate=0.1)
+        assert a.specs == b.specs
+        c = FaultPlan.random(20, seed=6, raise_rate=0.3, kill_rate=0.1)
+        assert a.specs != c.specs
+
+    def test_random_plan_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(5, raise_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.random(5, max_faulty_attempts=0)
+
+    def test_fault_fires_only_while_attempts_remain(self):
+        plan = FaultPlan(specs=(FaultSpec("raise", 2, attempts=2),))
+        with pytest.raises(InjectedFault):
+            plan.before_attempt(2, 0)
+        with pytest.raises(InjectedFault):
+            plan.before_attempt(2, 1)
+        plan.before_attempt(2, 2)  # budget spent: no-op
+        plan.before_attempt(1, 0)  # different point: no-op
+
+    def test_kill_is_noop_in_the_owning_process(self):
+        plan = FaultPlan(specs=(FaultSpec("kill", 0),))
+        plan.before_attempt(0, 0)  # would hard-exit a worker; harmless here
+
+    def test_plan_pickles(self):
+        plan = FaultPlan.random(10, seed=3, raise_rate=0.5, corrupt_rate=0.2)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        assert clone.main_pid == plan.main_pid
+
+    def test_corrupt_indices_listed_but_never_fire_in_compute(self):
+        plan = FaultPlan(specs=(FaultSpec("corrupt", 3),))
+        assert plan.corrupt_indices() == [3]
+        plan.before_attempt(3, 0)  # corrupt is a cache-side fault
+
+    def test_empty_plan(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(specs=(FaultSpec("raise", 0),)).is_empty
+
+
+# -- per-point isolation, retries, timeouts (serial) --------------------------
+
+
+class TestErrorIsolation:
+    def test_raising_point_becomes_failed_record(self):
+        plan = FaultPlan(specs=(FaultSpec("raise", 1, attempts=99),))
+        report = SweepExecutor("serial").run(
+            [1.0, 2.0, 3.0], FunctionTask(_square), faults=plan
+        )
+        assert report.metrics == [1.0, None, 9.0]
+        assert report.failed == 1
+        record = report.records[1]
+        assert not record.ok and record.status == "failed"
+        assert "InjectedFault" in record.error
+        assert "FAILED" in record.describe()
+        assert "InjectedFault" in report.failure_summary()
+        assert "1 failed" in report.summary()
+
+    def test_retry_recovers_bit_identical(self):
+        clean = SweepExecutor("serial").run(_VALUES, _ber_task(), seed=3)
+        plan = FaultPlan(specs=(FaultSpec("raise", 2, attempts=2),))
+        chaotic = SweepExecutor("serial", retry=_fast_retry(2)).run(
+            _VALUES, _ber_task(), seed=3, faults=plan
+        )
+        assert chaotic.points == clean.points
+        assert pickle.dumps(chaotic.points) == pickle.dumps(clean.points)
+        assert chaotic.failed == 0
+        assert chaotic.retried == 2
+        assert chaotic.recovered == 1
+        assert chaotic.records[2].attempts == 3
+
+    def test_exhausted_budget_counts_failed_not_recovered(self):
+        plan = FaultPlan(specs=(FaultSpec("raise", 0, attempts=99),))
+        report = SweepExecutor("serial", retry=_fast_retry(2)).run(
+            [5.0], FunctionTask(_square), faults=plan
+        )
+        assert report.failed == 1
+        assert report.retried == 2
+        assert report.recovered == 0
+        assert report.records[0].attempts == 3
+
+    def test_timeout_trips_and_retry_recovers(self):
+        plan = FaultPlan(specs=(FaultSpec("hang", 0, attempts=1, delay_s=30.0),))
+        executor = SweepExecutor(
+            "serial", timeout_s=0.2, retry=_fast_retry(1)
+        )
+        report = executor.run([4.0], FunctionTask(_square), faults=plan)
+        assert report.metrics == [4.0 * 4.0]
+        assert report.retried == 1 and report.recovered == 1
+        assert report.records[0].attempts == 2
+
+    def test_timeout_without_retry_fails_with_timeout_traceback(self):
+        plan = FaultPlan(specs=(FaultSpec("hang", 0, attempts=9, delay_s=30.0),))
+        report = SweepExecutor("serial", timeout_s=0.2).run(
+            [4.0], FunctionTask(_square), faults=plan
+        )
+        assert report.failed == 1
+        assert PointTimeoutError.__name__ in report.records[0].error
+
+    def test_faultless_run_reports_clean_counters(self):
+        report = SweepExecutor("serial").run([1.0, 2.0], FunctionTask(_square))
+        assert report.failed == report.retried == report.recovered == 0
+        assert not report.degraded
+        assert report.failure_summary() == ""
+
+
+# -- the acceptance chaos scenario (process backend) --------------------------
+
+
+class TestChaosAcceptance:
+    """Seeded FaultPlan: exceptions + a worker kill + a timeout, one run."""
+
+    def _chaos_plan(self) -> FaultPlan:
+        return FaultPlan(
+            specs=(
+                FaultSpec("raise", 1, attempts=1),  # transient: 1 retry
+                FaultSpec("raise", 2, attempts=99),  # permanent: exhausts budget
+                FaultSpec("kill", 3, attempts=1),  # worker death -> degrade
+                FaultSpec("hang", 4, attempts=1, delay_s=30.0),  # timeout
+            )
+        )
+
+    def _run(self):
+        executor = SweepExecutor(
+            "process",
+            max_workers=2,
+            timeout_s=1.0,
+            retry=_fast_retry(2),
+        )
+        return executor.run(
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            FunctionTask(_square),
+            seed=0,
+            faults=self._chaos_plan(),
+        )
+
+    def test_sweep_completes_with_exact_counters(self):
+        report = self._run()
+        assert report.metrics == [1.0, 4.0, None, 16.0, 25.0, 36.0]
+        assert report.failed == 1
+        assert report.retried == 4  # 1 (raise) + 2 (exhausted) + 1 (timeout)
+        assert report.recovered == 2  # the transient raise + the timeout
+        assert report.degraded  # the kill broke the pool
+        assert len(report.records) == 6
+        assert [r.index for r in report.records] == [0, 1, 2, 3, 4, 5]
+        assert "degraded to serial" in report.summary()
+
+    def test_chaos_counters_are_reproducible(self):
+        a = self._run()
+        b = self._run()
+        assert (a.failed, a.retried, a.recovered, a.degraded) == (
+            b.failed,
+            b.retried,
+            b.recovered,
+            b.degraded,
+        )
+        assert a.metrics == b.metrics
+
+    def test_recovered_points_match_the_faultless_run(self):
+        clean = SweepExecutor("serial").run(
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0], FunctionTask(_square), seed=0
+        )
+        chaotic = self._run()
+        for i, record in enumerate(chaotic.records):
+            if record.ok:
+                assert chaotic.points[i] == clean.points[i]
+
+
+class TestPoolDegradation:
+    def test_worker_kill_degrades_and_still_answers(self):
+        plan = FaultPlan(specs=(FaultSpec("kill", 0, attempts=1),))
+        clean = SweepExecutor("serial").run(_VALUES, _ber_task(), seed=7)
+        report = SweepExecutor("process", max_workers=2).run(
+            _VALUES, _ber_task(), seed=7, faults=plan
+        )
+        assert report.degraded
+        assert report.failed == 0
+        assert report.points == clean.points
+        assert pickle.dumps(report.points) == pickle.dumps(clean.points)
+
+
+# -- checkpoint / resume ------------------------------------------------------
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical_to_uninterrupted(self, tmp_path):
+        """Kill-then-resume == uninterrupted, byte for byte (acceptance)."""
+        task = _ber_task()
+        uninterrupted = SweepExecutor("serial").run(_VALUES, task, seed=3)
+
+        path = tmp_path / "sweep.jsonl"
+        seen = []
+
+        def killer(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise KeyboardInterrupt  # simulated SIGINT mid-campaign
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepExecutor("serial", on_progress=killer).run(
+                _VALUES, task, seed=3, checkpoint=path
+            )
+        assert len(SweepCheckpoint(path).load()) == 2
+
+        resumed = SweepExecutor("serial").run(
+            _VALUES, task, seed=3, checkpoint=path, resume=True
+        )
+        assert resumed.resumed == 2
+        assert resumed.points == uninterrupted.points
+        assert pickle.dumps(resumed.metrics) == pickle.dumps(
+            uninterrupted.metrics
+        )
+        # and the checkpoint is now complete: a third run computes nothing
+        replay = SweepExecutor("serial").run(
+            _VALUES, task, seed=3, checkpoint=path, resume=True
+        )
+        assert replay.resumed == len(_VALUES)
+        assert pickle.dumps(replay.metrics) == pickle.dumps(
+            uninterrupted.metrics
+        )
+
+    def test_resumed_records_are_flagged(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepExecutor("serial").run(
+            [1.0, 2.0], FunctionTask(_square), checkpoint=path
+        )
+        resumed = SweepExecutor("serial").run(
+            [1.0, 2.0], FunctionTask(_square), checkpoint=path, resume=True
+        )
+        assert all(r.resumed for r in resumed.records)
+        assert "resumed" in resumed.records[0].describe()
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError):
+            SweepExecutor("serial").run(
+                [1.0], FunctionTask(_square), resume=True
+            )
+
+    def test_resume_refuses_a_different_seed(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepExecutor("serial").run(
+            [1.0, 2.0], FunctionTask(_square), seed=3, checkpoint=path
+        )
+        with pytest.raises(CheckpointError):
+            SweepExecutor("serial").run(
+                [1.0, 2.0],
+                FunctionTask(_square),
+                seed=4,
+                checkpoint=path,
+                resume=True,
+            )
+
+    def test_resume_refuses_a_different_task(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepExecutor("serial").run(_VALUES, _ber_task(), seed=3, checkpoint=path)
+        with pytest.raises(CheckpointError):
+            SweepExecutor("serial").run(
+                _VALUES,
+                _ber_task(target_errors=9),
+                seed=3,
+                checkpoint=path,
+                resume=True,
+            )
+
+    def test_failed_points_are_recomputed_on_resume(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        plan = FaultPlan(specs=(FaultSpec("raise", 1, attempts=1),))
+        first = SweepExecutor("serial").run(
+            [1.0, 2.0, 3.0], FunctionTask(_square), faults=plan, checkpoint=path
+        )
+        assert first.failed == 1  # no retries configured: point 1 failed
+        resumed = SweepExecutor("serial").run(
+            [1.0, 2.0, 3.0], FunctionTask(_square), checkpoint=path, resume=True
+        )
+        assert resumed.resumed == 2
+        assert resumed.metrics == [1.0, 4.0, 9.0]  # recomputed cleanly
+        assert resumed.failed == 0
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepExecutor("serial").run(
+            [1.0, 2.0], FunctionTask(_square), seed=0, checkpoint=path
+        )
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "point", "index": 5, "val')  # torn write
+        checkpoint = SweepCheckpoint(path)
+        entries = checkpoint.load()
+        assert sorted(entries) == [0, 1]
+        assert checkpoint.skipped_lines == 1
+
+    def test_corrupt_metric_payload_is_skipped(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepExecutor("serial").run(
+            [1.0, 2.0], FunctionTask(_square), seed=0, checkpoint=path
+        )
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"sha256": "', '"sha256": "00')
+        path.write_text("\n".join(lines) + "\n")
+        checkpoint = SweepCheckpoint(path)
+        entries = checkpoint.load()
+        assert len(entries) == 1
+        assert checkpoint.skipped_lines == 1
+
+    def test_missing_header_is_refused(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text("")
+        with pytest.raises(CheckpointError):
+            SweepCheckpoint(path).load()
+
+    def test_process_backend_checkpoints_too(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        report = SweepExecutor("process", max_workers=2).run(
+            [1.0, 2.0, 3.0], FunctionTask(_square), seed=0, checkpoint=path
+        )
+        entries = SweepCheckpoint(path).load(seed=0)
+        assert sorted(entries) == [0, 1, 2]
+        assert [entries[i].metric for i in range(3)] == report.metrics
+
+
+class TestInterruptSafety:
+    def test_interrupt_leaves_no_partial_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="v")
+        path = tmp_path / "cp.jsonl"
+        task = FunctionTask(_square, cache_token="sq-v1")
+        seen = []
+
+        def killer(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepExecutor("serial", cache=cache, on_progress=killer).run(
+                [1.0, 2.0, 3.0, 4.0], task, seed=0, checkpoint=path
+            )
+        # checkpoint: loadable, exactly the completed prefix
+        assert sorted(SweepCheckpoint(path).load(seed=0)) == [0, 1]
+        # atomicity: no half-written temp files anywhere
+        assert not list((tmp_path / "cache").glob(".tmp-*"))
+        assert not list(tmp_path.glob(".tmp-*"))
+        # cache entries that exist are complete and readable
+        assert cache.verify(quarantine=False).corrupt == 0
+        # and the campaign finishes cleanly from where it stopped
+        resumed = SweepExecutor("serial", cache=cache).run(
+            [1.0, 2.0, 3.0, 4.0], task, seed=0, checkpoint=path, resume=True
+        )
+        assert resumed.metrics == [1.0, 4.0, 9.0, 16.0]
+        assert resumed.resumed == 2
+
+
+# -- cache corruption ---------------------------------------------------------
+
+
+class TestCacheCorruption:
+    def _warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="v")
+        task = FunctionTask(_square, cache_token="sq-v1")
+        executor = SweepExecutor("serial", cache=cache)
+        executor.run(_VALUES[:3], task, seed=0)
+        keys = [
+            cache.key_for(seed=0, index=i, **task.cache_parts(v))
+            for i, v in enumerate(_VALUES[:3])
+        ]
+        return cache, task, keys
+
+    def test_fault_plan_corrupts_chosen_entry(self, tmp_path, caplog):
+        cache, task, keys = self._warm(tmp_path)
+        plan = FaultPlan(specs=(FaultSpec("corrupt", 1),))
+        assert plan.corrupt_cache_entries(cache, keys) == 1
+        with caplog.at_level(logging.WARNING, logger="repro.sim.cache"):
+            warm = SweepExecutor("serial", cache=cache).run(
+                _VALUES[:3], task, seed=0
+            )
+        # corrupted entry is a miss (recomputed), the others hit
+        assert warm.cache_hits == 2 and warm.cache_misses == 1
+        assert warm.metrics == [v * v for v in _VALUES[:3]]
+        assert cache.stats.corrupt == 1
+        assert any("integrity" in r.message for r in caplog.records)
+
+    def test_verify_quarantines_corrupt_entries(self, tmp_path):
+        cache, task, keys = self._warm(tmp_path)
+        corrupt_file(cache.entry_path(keys[0]))
+        report = cache.verify(quarantine=True)
+        assert report.checked == 3
+        assert report.corrupt == 1 and report.quarantined == 1
+        assert len(cache) == 2
+        assert (cache.quarantine_dir / f"{keys[0]}.pkl").exists()
+        assert cache.get(keys[0]) is MISS
+        # a second scan is clean
+        assert cache.verify().corrupt == 0
+
+    def test_unpicklable_payload_counts_as_read_error(self, tmp_path, caplog):
+        import hashlib
+
+        cache = ResultCache(tmp_path / "cache", version="v")
+        key = cache.key_for(probe=1)
+        payload = b"this is not a pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        cache._path(key).write_bytes(
+            b"repro-cache:2\n" + digest + b"\n" + payload
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.sim.cache"):
+            assert cache.get(key) is MISS
+        assert cache.stats.errors == 1
+        assert cache.stats.corrupt == 0
+        assert any("unpickle" in r.message for r in caplog.records)
+
+    def test_truncated_entry_counts_as_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="v")
+        key = cache.key_for(probe=2)
+        cache.put(key, list(range(50)))
+        path = cache.entry_path(key)
+        path.write_bytes(path.read_bytes()[:-7])
+        assert cache.get(key) is MISS
+        assert cache.stats.corrupt == 1
+
+
+# -- channel-level chaos ------------------------------------------------------
+
+
+class TestBlockagePlan:
+    def test_plan_is_seed_deterministic(self):
+        a = blockage_burst_plan(1.0, rate_hz=5.0, seed=3)
+        b = blockage_burst_plan(1.0, rate_hz=5.0, seed=3)
+        assert a == b
+        assert a != blockage_burst_plan(1.0, rate_hz=5.0, seed=4)
+
+    def test_zero_rate_means_no_events(self):
+        assert blockage_burst_plan(1.0, rate_hz=0.0, seed=0) == []
+
+    def test_events_stay_inside_the_horizon(self):
+        events = blockage_burst_plan(0.5, rate_hz=20.0, seed=1)
+        assert events
+        for event in events:
+            assert 0.0 <= event.start_s < event.stop_s <= 0.5
+
+    def test_rate_scales_event_count(self):
+        low = blockage_burst_plan(10.0, rate_hz=1.0, seed=0)
+        high = blockage_burst_plan(10.0, rate_hz=20.0, seed=0)
+        assert len(high) > len(low)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0.0, "rate_hz": 1.0},
+            {"duration_s": 1.0, "rate_hz": -1.0},
+            {"duration_s": 1.0, "rate_hz": 1.0, "mean_duration_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        duration = kwargs.pop("duration_s")
+        with pytest.raises(ValueError):
+            blockage_burst_plan(duration, **kwargs)
+
+
+class TestBlockageFrameOracle:
+    def test_blocked_slots_mostly_fail(self):
+        events = blockage_burst_plan(
+            1.0, rate_hz=0.0, seed=0
+        )  # start clean, add one wall-to-wall blocker
+        from repro.channel.blockage import BlockageEvent
+
+        events = [BlockageEvent(start_s=0.0, stop_s=1.0, attenuation_db=20.0)]
+        oracle = BlockageFrameOracle(
+            events,
+            frame_duration_s=1e-3,
+            clear_success_prob=1.0,
+            blocked_success_prob=0.0,
+        )
+        rng = np.random.default_rng(0)
+        outcomes = [oracle(0, rng) for _ in range(100)]
+        assert not any(outcomes)
+        assert oracle.blocked_transmissions == 100
+
+    def test_clear_slots_mostly_succeed(self):
+        oracle = BlockageFrameOracle(
+            [], frame_duration_s=1e-3, clear_success_prob=1.0
+        )
+        rng = np.random.default_rng(0)
+        assert all(oracle(0, rng) for _ in range(100))
+        assert oracle.blocked_transmissions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockageFrameOracle([], frame_duration_s=0.0)
+        with pytest.raises(ValueError):
+            BlockageFrameOracle([], frame_duration_s=1e-3, clear_success_prob=1.5)

@@ -1,0 +1,142 @@
+"""Seeded-backoff retry policy: determinism, clamping, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+    backoff_rng,
+    call_with_retry,
+)
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": 0.0},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max_s": -1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_rejects_negative_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(-1)
+
+
+class TestBackoffDeterminism:
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_retries=4, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_max_s=100.0, jitter=0.0,
+        )
+        assert [policy.delay_s(a) for a in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_delay_clamps_at_max(self):
+        policy = RetryPolicy(
+            max_retries=8, backoff_base_s=1.0, backoff_factor=10.0,
+            backoff_max_s=5.0, jitter=0.0,
+        )
+        assert policy.delay_s(6) == 5.0
+
+    def test_jittered_schedule_is_seed_deterministic(self):
+        policy = RetryPolicy(max_retries=5, backoff_base_s=0.01, jitter=0.5)
+        a = policy.schedule(seed=7, index=3)
+        b = policy.schedule(seed=7, index=3)
+        assert a == b
+        assert len(a) == 5
+
+    def test_different_point_different_schedule(self):
+        policy = RetryPolicy(max_retries=5, backoff_base_s=0.01, jitter=0.5)
+        assert policy.schedule(seed=7, index=3) != policy.schedule(seed=7, index=4)
+        assert policy.schedule(seed=7, index=3) != policy.schedule(seed=8, index=3)
+
+    def test_jitter_shrinks_but_never_inflates(self):
+        policy = RetryPolicy(max_retries=1, backoff_base_s=1.0, jitter=0.5)
+        delay = policy.delay_s(0, backoff_rng(0, 0, 0))
+        assert 0.5 <= delay <= 1.0
+
+    def test_backoff_rng_is_stable(self):
+        assert (
+            backoff_rng(1, 2, 3).random() == backoff_rng(1, 2, 3).random()
+        )
+        assert backoff_rng(1, 2, 3).random() != backoff_rng(1, 2, 4).random()
+
+
+class TestCallWithRetry:
+    def _policy(self):
+        return RetryPolicy(max_retries=3, backoff_base_s=1e-6, jitter=0.0)
+
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        outcome = call_with_retry(
+            lambda attempt: attempt, self._policy(), sleep=slept.append
+        )
+        assert outcome.value == 0
+        assert outcome.attempts == 1
+        assert outcome.retried == 0
+        assert slept == []
+
+    def test_recovers_after_transient_failures(self):
+        slept = []
+
+        def flaky(attempt: int) -> str:
+            if attempt < 2:
+                raise RuntimeError(f"boom {attempt}")
+            return "ok"
+
+        outcome = call_with_retry(flaky, self._policy(), sleep=slept.append)
+        assert outcome.value == "ok"
+        assert outcome.attempts == 3
+        assert outcome.retried == 2
+        assert len(outcome.errors) == 2
+        assert "boom 0" in outcome.errors[0]
+        assert len(slept) == 2
+
+    def test_exhaustion_raises_with_all_tracebacks(self):
+        def always(attempt: int):
+            raise ValueError(f"dead {attempt}")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            call_with_retry(always, self._policy(), sleep=lambda s: None)
+        assert len(excinfo.value.errors) == 4  # 1 try + 3 retries
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_keyboard_interrupt_is_never_retried(self):
+        calls = []
+
+        def interrupted(attempt: int):
+            calls.append(attempt)
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            call_with_retry(interrupted, self._policy(), sleep=lambda s: None)
+        assert calls == [0]
+
+    def test_sleep_schedule_matches_policy(self):
+        policy = RetryPolicy(
+            max_retries=2, backoff_base_s=0.25, backoff_factor=2.0, jitter=0.0
+        )
+        slept = []
+
+        def flaky(attempt: int) -> int:
+            if attempt < 2:
+                raise RuntimeError("boom")
+            return 1
+
+        call_with_retry(flaky, policy, sleep=slept.append)
+        assert slept == [0.25, 0.5]
