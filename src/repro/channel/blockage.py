@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.dsp.signal import Signal
 
-__all__ = ["BlockageEvent", "apply_blockage"]
+__all__ = ["BlockageEvent", "apply_blockage", "blockage_gain"]
 
 
 @dataclass(frozen=True)
@@ -46,14 +46,29 @@ class BlockageEvent:
         return 10.0 ** (-2.0 * self.attenuation_db / 20.0)
 
 
+def blockage_gain(
+    num_samples: int, sample_rate: float, events: list[BlockageEvent]
+) -> np.ndarray:
+    """Per-sample amplitude gain vector the blockage plan applies.
+
+    Overlapping events multiply (two bodies are worse than one).  The
+    plan is deterministic given ``(num_samples, sample_rate, events)``,
+    which is what lets the vectorized link kernel precompute the vector
+    once and broadcast it over a whole frame batch — the multiply it
+    performs is then elementwise identical to :func:`apply_blockage`.
+    """
+    gain = np.ones(num_samples)
+    t = np.arange(num_samples) / sample_rate
+    for event in events:
+        window = (t >= event.start_s) & (t < event.stop_s)
+        gain[window] *= event.roundtrip_amplitude_factor
+    return gain
+
+
 def apply_blockage(sig: Signal, events: list[BlockageEvent]) -> Signal:
     """Attenuate ``sig`` inside each blockage window.
 
     Overlapping events multiply (two bodies are worse than one).
     """
-    gain = np.ones(sig.num_samples)
-    t = sig.time_vector()
-    for event in events:
-        window = (t >= event.start_s) & (t < event.stop_s)
-        gain[window] *= event.roundtrip_amplitude_factor
+    gain = blockage_gain(sig.num_samples, sig.sample_rate, events)
     return Signal(sig.samples * gain, sig.sample_rate, dict(sig.metadata))

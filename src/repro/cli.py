@@ -19,6 +19,7 @@ seeding is bit-identical to the serial reference path.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -91,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point frame chain (vectorized = batched kernel, "
              "bit-identical to serial; ber metric)",
     )
+    sweep.add_argument(
+        "--schedule", default="uniform", choices=list(SweepExecutor.SCHEDULES),
+        help="frame scheduling (adaptive = converged points drop out and the "
+             "budget drains to the waterfall tail, bit-identical per point; "
+             "ber metric)",
+    )
     sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="per-point wall-clock budget; a stalled point "
                             "fails (and retries) instead of hanging the sweep")
@@ -122,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="smaller workloads (CI-sized, noisier ratios)")
     bench.add_argument("--json", default=None, metavar="PATH",
                        help="also write the perf-trajectory JSON to PATH")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="regression gate: exit 1 if any kernel's speedup "
+                            "falls below 0.6x of its value recorded in the "
+                            "BASELINE trajectory JSON (skipped when "
+                            "REPRO_SKIP_BENCH=1)")
 
     energy = sub.add_parser("energy", help="node power / energy table")
     energy.add_argument("--symbol-rate", type=float, default=10e6)
@@ -212,6 +224,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_dir is not None and args.metric != "ber":
         print("--cache-dir applies to the ber metric only", file=sys.stderr)
         return 2
+    if args.schedule == "adaptive" and args.metric != "ber":
+        print("--schedule adaptive applies to the ber metric only", file=sys.stderr)
+        return 2
     if args.resume and args.checkpoint is None:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
@@ -229,6 +244,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         timeout_s=args.timeout,
         retry=RetryPolicy(max_retries=args.max_retries),
+        schedule=args.schedule,
     )
     if args.metric == "snr":
         task = FunctionTask(functools.partial(_sweep_snr_metric, args.modulation))
@@ -314,8 +330,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.sim.profiling import run_hotpath_benchmarks, write_trajectory
+    from repro.sim.profiling import (
+        REGRESSION_FLOOR,
+        check_regression,
+        run_hotpath_benchmarks,
+        write_trajectory,
+    )
 
+    if args.check is not None and os.environ.get("REPRO_SKIP_BENCH") == "1":
+        print("REPRO_SKIP_BENCH=1: skipping the bench regression gate")
+        return 0
     report = run_hotpath_benchmarks(quick=args.quick)
     table = ResultTable(
         "hot-path microbenchmarks (reference vs vectorized)",
@@ -332,6 +356,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json is not None:
         path = write_trajectory(report, args.json)
         print(f"\nperf trajectory written to {path}")
+    if args.check is not None:
+        failures = check_regression(report, args.check)
+        if failures:
+            print(
+                f"\nbench regression gate FAILED "
+                f"(floor: {REGRESSION_FLOOR:.1f}x of recorded):",
+                file=sys.stderr,
+            )
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"\nbench regression gate passed: every kernel within "
+            f"{REGRESSION_FLOOR:.1f}x of {args.check}"
+        )
     return 0
 
 

@@ -16,17 +16,27 @@ RNG draw order (per frame ``f``, from the single shared generator)::
 
     1. payload bits        rng.integers(0, 2, size=num_payload_bits)
     2. carrier phase       rng.uniform(0, 2*pi)
-    3. phase-noise steps   rng.standard_normal(n_sig + lag)      [if enabled]
-    4. interference        environment.interference_waveform(..., rng)
-    5. AWGN                rng.standard_normal(n) twice (I then Q) [if enabled]
+    3. Rician channel      rng.uniform(delays) then rng.uniform(phases)
+                           via channel.rician_channel          [if enabled]
+    4. phase-noise steps   rng.standard_normal(n_sig + lag)    [if enabled]
+    5. interference        environment.interference_waveform(..., rng)
+    6. AWGN                rng.standard_normal(n) twice (I then Q) [if enabled]
 
 Those draws interleave per frame in the reference, so the batch keeps a
-per-frame Python loop that does *only* the RNG draws (steps 1-5) into
+per-frame Python loop that does *only* the RNG draws (steps 1-6) into
 preallocated matrices; every deterministic stage then runs as one
-broadcast array pass.  Stages that would change summation order if
-batched differently (preamble correlation via ``np.correlate``, the
-lead-in mean, the decode tail) stay per-frame — they are cheap relative
-to the waveform passes.
+broadcast array pass.  The stochastic channel stages batch exactly too:
+Rician fading draws its per-frame path sets in the loop (step 3, the
+very :func:`~repro.channel.multipath.rician_channel` calls the serial
+reference makes) and then applies all frames' channels through the
+grouped-FFT kernel :func:`~repro.channel.multipath.apply_channels_to_rows`
+(row-batched FFTs are bit-identical per row to the serial 1-D
+transforms); blockage windows are a deterministic per-sample gain
+vector (:func:`~repro.channel.blockage.blockage_gain`), precomputed at
+build time and broadcast over the batch.  Stages that would change
+summation order if batched differently (preamble correlation via
+``np.correlate``, the lead-in mean, the decode tail) stay per-frame —
+they are cheap relative to the waveform passes.
 
 Fast exact primitives
 ---------------------
@@ -36,11 +46,6 @@ reference's Python loops with integer-exact equivalents; the originals
 in :mod:`repro.core.coding` / :mod:`repro.core.modulation` are kept
 untouched as the reference the equivalence tests (and the hot-path
 benchmarks) compare against.
-
-Configurations the kernel cannot batch exactly (Rician multipath draws
-interleave inside the channel model; blockage windows operate on
-``Signal`` objects) transparently fall back to looping the serial
-reference, so callers never need to special-case.
 """
 
 from __future__ import annotations
@@ -51,7 +56,9 @@ from functools import lru_cache
 import numpy as np
 from scipy import signal as sp_signal
 
+from repro.channel.blockage import blockage_gain
 from repro.channel.mobility import doppler_shift_hz
+from repro.channel.multipath import apply_channels_to_rows, rician_channel
 from repro.constants import SPEED_OF_LIGHT
 from repro.core.ap import AccessPoint, ReceiverResult
 from repro.core.coding import append_crc32
@@ -62,7 +69,6 @@ from repro.core.link import (
     LinkResult,
     _received_amplitude,
     link_snr_db,
-    simulate_link,
 )
 from repro.core.modulation import BPSK, get_scheme
 from repro.core.tag import Tag, square_subcarrier_wave
@@ -213,14 +219,17 @@ class BatchLinkSimulator:
     """Precomputed batched frame chain for one :class:`LinkConfig`.
 
     Build once per operating point (the constructor precomputes the
-    reflection LUT, filters, mixers and budget scalars), then call
-    :meth:`simulate` repeatedly — that is what the vectorized
-    ``estimate_link_ber`` backend does per chunk.
+    reflection LUT, filters, mixers, blockage gain vector and budget
+    scalars), then call :meth:`simulate` repeatedly — that is what the
+    vectorized ``estimate_link_ber`` backend does per chunk.
 
-    ``supports_fast_path`` is ``False`` for configurations whose random
-    draws cannot be hoisted out of the waveform math (Rician multipath,
-    blockage windows); :meth:`simulate` then loops the serial reference,
-    which is trivially bit-identical.
+    Every :class:`LinkConfig` batches exactly: Rician fading draws its
+    per-frame channels in the documented serial RNG order and applies
+    them through the grouped-FFT row kernel, and blockage windows are a
+    precomputed deterministic gain broadcast.  (Earlier revisions fell
+    back to looping the serial reference for those configurations;
+    that fallback — and the ``supports_fast_path`` flag that gated it —
+    is gone.)
     """
 
     def __init__(self, config: LinkConfig, num_payload_bits: int = 2048) -> None:
@@ -230,11 +239,7 @@ class BatchLinkSimulator:
             )
         self.config = config
         self.num_payload_bits = int(num_payload_bits)
-        self.supports_fast_path = (
-            config.rician_k_db is None and not config.blockage_events
-        )
-        if self.supports_fast_path:
-            self._build()
+        self._build()
 
     # -- precomputation ----------------------------------------------------
 
@@ -297,12 +302,28 @@ class BatchLinkSimulator:
             tag_cfg.modulation, tag_cfg.symbol_rate_hz, tag_cfg.subcarrier_hz
         )
 
+        # Rician fading: the random draws happen per frame in the RNG
+        # loop (matching the serial reference's call into
+        # rician_channel); only the *presence* of the stage is decided
+        # here.
+        self._use_rician = config.rician_k_db is not None
+
         # Doppler mixer (deterministic; matches Signal.frequency_shift).
         self._mixer = None
         if config.radial_velocity_m_s != 0.0:
             shift = doppler_shift_hz(-config.radial_velocity_m_s, ap_cfg.carrier_hz)
             t = np.arange(self._n_sig) / fs
             self._mixer = np.exp(1j * (2.0 * np.pi * shift * t + 0.0))
+
+        # Blockage windows: a deterministic per-sample amplitude gain
+        # over the (pre-guard) burst — the same vector apply_blockage
+        # builds per call in the reference, computed once here and
+        # broadcast over the whole batch.
+        self._blockage_gain = None
+        if config.blockage_events:
+            self._blockage_gain = blockage_gain(
+                self._n_sig, fs, list(config.blockage_events)
+            )
 
         # Residual phase noise (PhaseNoiseModel.residual_after_delay).
         self._pn_lag = 0
@@ -409,13 +430,6 @@ class BatchLinkSimulator:
         if num_frames < 1:
             raise ValueError(f"num_frames must be >= 1, got {num_frames}")
         rng = np.random.default_rng(rng)
-        if not self.supports_fast_path:
-            return [
-                simulate_link(
-                    self.config, num_payload_bits=self.num_payload_bits, rng=rng
-                )
-                for _ in range(num_frames)
-            ]
         return self._simulate_fast(num_frames, rng)
 
     def _simulate_fast(
@@ -448,10 +462,22 @@ class BatchLinkSimulator:
         )
         tx_amplitude = config.ap.tx_amplitude()
         environment = config.environment
+        channels = [] if self._use_rician else None
         for f in range(n_frames):
             payload[f] = rng.integers(0, 2, size=self.num_payload_bits).astype(np.int8)
             carrier_phase = rng.uniform(0.0, 2.0 * math.pi)
             factors[f] = self._amplitude * np.exp(1j * carrier_phase)
+            if channels is not None:
+                # Exactly the draw sequence the serial reference makes:
+                # NLOS delays (uniform) then NLOS phases (uniform).
+                channels.append(
+                    rician_channel(
+                        config.rician_k_db,
+                        config.num_nlos_paths,
+                        config.max_excess_delay_s,
+                        rng,
+                    )
+                )
             if steps is not None:
                 steps[f] = rng.standard_normal(n_sig + self._pn_lag)
             if leak is not None:
@@ -486,8 +512,15 @@ class BatchLinkSimulator:
             wave = sp_signal.lfilter(self._switch_ba[0], self._switch_ba[1], wave, axis=-1)
 
         signal = wave * factors[:, None]
+        if channels is not None:
+            # One (possibly different) sparse channel per frame, applied
+            # through the grouped-FFT kernel — bit-identical per row to
+            # the serial reference's channel.apply.
+            signal = apply_channels_to_rows(signal, fs, channels)
         if self._mixer is not None:
             signal = signal * self._mixer[None, :]
+        if self._blockage_gain is not None:
+            signal = signal * self._blockage_gain[None, :]
         if steps is not None:
             path = np.cumsum(steps * self._pn_sqrt_step, axis=1)
             residual = path[:, self._pn_lag :] - path[:, : -self._pn_lag]

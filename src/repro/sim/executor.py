@@ -80,7 +80,11 @@ from repro.sim.cache import (
     stable_hash,
 )
 from repro.sim.checkpoint import SweepCheckpoint
-from repro.sim.monte_carlo import BerEstimate, estimate_link_ber
+from repro.sim.monte_carlo import (
+    BerEstimate,
+    LinkBerAccumulator,
+    estimate_link_ber,
+)
 from repro.sim.retry import RetryPolicy, backoff_rng
 from repro.sim.sweep import SweepPoint
 
@@ -141,6 +145,11 @@ class BerSweepTask(SweepTask):
     chunk_frames: int = 1
     link_backend: str = "serial"
 
+    #: BER estimates are invariant to backend *and* chunk size (the
+    #: stopping rule is checked frame-exactly inside each chunk), so
+    #: the cache key normalises both knobs — see :meth:`cache_parts`.
+    _CACHE_NORMALISED = {"link_backend": "serial", "chunk_frames": 1}
+
     def __post_init__(self) -> None:
         names = {f.name for f in dataclass_fields(LinkConfig)}
         if self.param not in names:
@@ -171,11 +180,35 @@ class BerSweepTask(SweepTask):
             backend=self.link_backend,
         )
 
+    def make_accumulator(
+        self, value: float, seed: np.random.SeedSequence
+    ) -> "LinkBerAccumulator":
+        """Resumable estimator state for the adaptive scheduler.
+
+        Driving this accumulator chunk by chunk until ``done`` yields
+        exactly the :class:`BerEstimate` that :meth:`run` returns — the
+        accumulator *is* the estimator loop body — which is why
+        adaptive and uniform schedules share cache entries.
+        """
+        return LinkBerAccumulator(
+            self.config_for(value),
+            target_errors=self.target_errors,
+            max_bits=self.max_bits,
+            bits_per_frame=self.bits_per_frame,
+            chunk_frames=self.chunk_frames,
+            backend=self.link_backend,
+            seed=seed,
+        )
+
     def cache_parts(self, value: float) -> dict[str, Any]:
-        # Backends are numerically equivalent, so normalise the key to
-        # the serial reference: warming the cache with either backend
-        # serves hits to both.
-        return {"task": replace(self, link_backend="serial"), "value": value}
+        # Backend and chunk size are numerically irrelevant (estimates
+        # are bit-identical across both), so normalise them out of the
+        # key: a cache warmed by any backend/chunking/schedule serves
+        # hits to every other combination.
+        return {
+            "task": replace(self, **self._CACHE_NORMALISED),
+            "value": value,
+        }
 
 
 @dataclass(frozen=True)
@@ -271,6 +304,8 @@ class SweepReport:
     recovered: int = 0  # points that succeeded after a failure / pool death
     resumed: int = 0  # points restored from a checkpoint
     degraded: bool = False  # process pool died; finished serially
+    schedule: str = "uniform"  # frame scheduling policy used
+    rounds: int = 0  # adaptive chunk rounds (deepest point's chunk count)
 
     @property
     def metrics(self) -> list[object]:
@@ -287,8 +322,39 @@ class SweepReport:
         """Records of the points that ultimately failed, in index order."""
         return [r for r in self.records if not r.ok]
 
+    @property
+    def converged(self) -> int:
+        """Points whose metric reports ``is_converged`` (hit target_errors).
+
+        Only metrics exposing an ``is_converged`` flag (notably
+        :class:`~repro.sim.monte_carlo.BerEstimate`) are counted;
+        scalar metrics contribute to neither convergence counter.
+        """
+        return sum(
+            1
+            for p in self.points
+            if getattr(p.metric, "is_converged", None) is True
+        )
+
+    @property
+    def unconverged(self) -> int:
+        """Points that ran out of bit budget before ``target_errors``."""
+        return sum(
+            1
+            for p in self.points
+            if getattr(p.metric, "is_converged", None) is False
+        )
+
     def failure_summary(self) -> str:
-        """Multi-line summary of every failed point (empty when clean)."""
+        """Summary of every failed *or unconverged* point (empty when clean).
+
+        Failed points exhausted their retry budget; unconverged points
+        completed but hit the bit budget before accumulating
+        ``target_errors`` errors, so their BER carries less statistical
+        weight than the converged neighbours (prefer
+        :meth:`~repro.sim.monte_carlo.BerEstimate.wilson_upper_bound`
+        for those).
+        """
         lines = []
         for record in self.failures:
             reason = (record.error or "").strip().splitlines()
@@ -298,6 +364,15 @@ class SweepReport:
                 f"{record.attempts} attempt"
                 f"{'s' if record.attempts != 1 else ''}: {last}"
             )
+        for index, point in enumerate(self.points):
+            metric = point.metric
+            if getattr(metric, "is_converged", None) is False:
+                target = getattr(metric, "target_errors", None)
+                lines.append(
+                    f"point {index} (value={point.value:g}) unconverged: "
+                    f"{metric.bit_errors}/{target} errors after "
+                    f"{metric.bits_tested} bits (bit budget hit)"
+                )
         return "\n".join(lines)
 
     def summary(self) -> str:
@@ -319,6 +394,18 @@ class SweepReport:
                 f"faults: {self.failed} failed, {self.retried} retries, "
                 f"{self.recovered} recovered, {self.resumed} resumed"
             )
+        conv, unconv = self.converged, self.unconverged
+        if conv or unconv:
+            line = (
+                f"convergence: {conv} point{'s' if conv != 1 else ''} hit "
+                f"target_errors, {unconv} hit the bit budget"
+            )
+            if self.schedule == "adaptive":
+                line += (
+                    f" [adaptive schedule, {self.rounds} "
+                    f"round{'s' if self.rounds != 1 else ''}]"
+                )
+            lines.append(line)
         failure_text = self.failure_summary()
         if failure_text:
             lines.append(failure_text)
@@ -443,9 +530,18 @@ class SweepExecutor:
     retry:
         :class:`~repro.sim.retry.RetryPolicy` for failing attempts
         (default: no retries — fail fast into the point record).
+    schedule:
+        ``"uniform"`` (each point runs start to finish as one work
+        item) or ``"adaptive"`` (points advance in chunk rounds through
+        :func:`repro.sim.scheduler.run_adaptive`; converged points drop
+        out and the freed budget drains to the unconverged tail).  Both
+        schedules produce bit-identical per-point results and share
+        cache entries and checkpoints; adaptive requires a task with
+        ``make_accumulator`` (e.g. :class:`BerSweepTask`).
     """
 
     BACKENDS = ("serial", "process")
+    SCHEDULES = ("uniform", "adaptive")
 
     @classmethod
     def from_env(
@@ -462,6 +558,7 @@ class SweepExecutor:
         * ``REPRO_SWEEP_TIMEOUT``      — per-point timeout, seconds (> 0)
         * ``REPRO_SWEEP_MAX_RETRIES``  — retry budget per point (>= 0)
         * ``REPRO_SWEEP_BACKOFF_BASE`` — first-retry backoff, seconds (> 0)
+        * ``REPRO_SWEEP_SCHEDULE``     — ``uniform`` (default) or ``adaptive``
 
         The benchmark suite and CI go through this hook, so
         ``REPRO_SWEEP_BACKEND=process pytest benchmarks/`` parallelises
@@ -470,6 +567,7 @@ class SweepExecutor:
         """
         env = os.environ if environ is None else environ
         backend = env.get("REPRO_SWEEP_BACKEND", "serial")
+        schedule = env.get("REPRO_SWEEP_SCHEDULE", "uniform")
         workers_raw = env.get("REPRO_SWEEP_WORKERS", "")
         max_workers = _env_int("REPRO_SWEEP_WORKERS", workers_raw)
         cache_dir = env.get("REPRO_SWEEP_CACHE", "")
@@ -512,6 +610,7 @@ class SweepExecutor:
             on_progress=on_progress,
             timeout_s=timeout_s,
             retry=retry,
+            schedule=schedule,
         )
 
     def __init__(
@@ -523,16 +622,22 @@ class SweepExecutor:
         on_progress: Callable[[PointRecord], None] | None = None,
         timeout_s: float | None = None,
         retry: RetryPolicy | None = None,
+        schedule: str = "uniform",
     ):
         if backend not in self.BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {self.BACKENDS}"
+            )
+        if schedule not in self.SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; choose from {self.SCHEDULES}"
             )
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if timeout_s is not None and not timeout_s > 0:
             raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
         self.backend = backend
+        self.schedule = schedule
         self.max_workers = max_workers
         self.cache = cache
         self.on_progress = on_progress
@@ -583,6 +688,12 @@ class SweepExecutor:
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint")
+        if self.schedule == "adaptive" and not hasattr(task, "make_accumulator"):
+            raise ValueError(
+                "schedule='adaptive' needs a task exposing "
+                "make_accumulator(value, seed) (e.g. BerSweepTask); "
+                f"{type(task).__name__} does not — use the uniform schedule"
+            )
         start = time.perf_counter()
         vals = [float(v) for v in values]
         n = len(vals)
@@ -690,6 +801,7 @@ class SweepExecutor:
             self._emit(records[i])
 
         retried = 0
+        rounds = 0
 
         def _run_serially(indices: list[int]) -> None:
             nonlocal retried
@@ -730,7 +842,28 @@ class SweepExecutor:
                         _finish_ok(i, metric, seconds)
                         break
 
-        if self.backend == "serial" or len(pending) <= 1:
+        if self.schedule == "adaptive":
+            from repro.sim.scheduler import run_adaptive
+
+            outcome = run_adaptive(
+                task=task,
+                vals=vals,
+                children=children,
+                pending=pending,
+                states=states,
+                finish_ok=_finish_ok,
+                finish_failed=_finish_failed,
+                backend=self.backend,
+                workers=self._workers_for(len(pending)),
+                timeout_s=self.timeout_s,
+                retry=self.retry,
+                seed=seed,
+                faults=faults,
+            )
+            retried = outcome.retried
+            rounds = outcome.rounds
+            degraded = outcome.degraded
+        elif self.backend == "serial" or len(pending) <= 1:
             _run_serially(pending)
         else:
             workers = self._workers_for(len(pending))
@@ -828,6 +961,8 @@ class SweepExecutor:
             recovered=recovered,
             resumed=resumed_count,
             degraded=degraded,
+            schedule=self.schedule,
+            rounds=rounds,
         )
 
 
@@ -862,6 +997,7 @@ def run_sweep(
     on_progress: Callable[[PointRecord], None] | None = None,
     timeout_s: float | None = None,
     retry: RetryPolicy | None = None,
+    schedule: str = "uniform",
     faults: Any = None,
     checkpoint: SweepCheckpoint | str | os.PathLike | None = None,
     resume: bool = False,
@@ -874,6 +1010,7 @@ def run_sweep(
         on_progress=on_progress,
         timeout_s=timeout_s,
         retry=retry,
+        schedule=schedule,
     )
     return executor.run(
         values, task, seed=seed, faults=faults, checkpoint=checkpoint, resume=resume

@@ -21,6 +21,7 @@ determinism test suite pins down.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -29,10 +30,44 @@ import numpy as np
 from repro.core.link import LinkConfig, simulate_link
 from repro.core.modulation import ModulationScheme
 
-__all__ = ["BerEstimate", "estimate_link_ber", "awgn_symbol_ber"]
+__all__ = [
+    "BerEstimate",
+    "LinkBerAccumulator",
+    "estimate_link_ber",
+    "awgn_symbol_ber",
+]
 
 #: Valid frame-chain backends for :func:`estimate_link_ber`.
 LINK_BER_BACKENDS = ("serial", "vectorized")
+
+#: Process-wide memo of built :class:`~repro.sim.batch.BatchLinkSimulator`
+#: instances, keyed by (config hash, payload bits).  Simulators are
+#: stateless between calls (the caller owns the RNG), so sharing one
+#: across estimator calls and scheduler chunks changes nothing
+#: numerically — it only amortises the build cost, which matters when
+#: the adaptive scheduler advances many points chunk by chunk.
+_SIMULATOR_MEMO: OrderedDict[tuple[str, int], object] = OrderedDict()
+_SIMULATOR_MEMO_MAX = 32
+
+
+def _shared_simulator(config: LinkConfig, bits_per_frame: int):
+    """A (possibly memoised) batch simulator for one operating point."""
+    from repro.sim.batch import BatchLinkSimulator
+    from repro.sim.cache import CacheKeyError, stable_hash
+
+    try:
+        key = (stable_hash(config), int(bits_per_frame))
+    except CacheKeyError:
+        return BatchLinkSimulator(config, num_payload_bits=bits_per_frame)
+    simulator = _SIMULATOR_MEMO.get(key)
+    if simulator is None:
+        simulator = BatchLinkSimulator(config, num_payload_bits=bits_per_frame)
+        _SIMULATOR_MEMO[key] = simulator
+        while len(_SIMULATOR_MEMO) > _SIMULATOR_MEMO_MAX:
+            _SIMULATOR_MEMO.popitem(last=False)
+    else:
+        _SIMULATOR_MEMO.move_to_end(key)
+    return simulator
 
 
 @dataclass(frozen=True)
@@ -110,6 +145,124 @@ class BerEstimate:
         return (max(0.0, centre - half_width), min(1.0, centre + half_width))
 
 
+class LinkBerAccumulator:
+    """Resumable, picklable BER-estimator state: one chunk per step.
+
+    The accumulator owns exactly the loop body of
+    :func:`estimate_link_ber` — same RNG, same per-chunk frame loop,
+    same frame-exact stopping rule — factored out so the adaptive sweep
+    scheduler (:mod:`repro.sim.scheduler`) can interleave chunks of many
+    points while each point's final :class:`BerEstimate` stays
+    **byte-identical** to a standalone ``estimate_link_ber`` call with
+    the same seed, chunking and backend (``estimate_link_ber`` itself
+    is now a thin driver around this class, so the equivalence holds by
+    construction).
+
+    Pickling ships the counters and the generator state (NumPy
+    ``Generator`` pickling is bit-exact) between scheduler rounds and
+    process-pool workers; the heavyweight batch simulator is dropped on
+    pickle and lazily rebuilt (through a process-wide memo) on the
+    other side.
+    """
+
+    def __init__(
+        self,
+        config: LinkConfig,
+        *,
+        target_errors: int = 100,
+        max_bits: int = 200_000,
+        bits_per_frame: int = 2048,
+        chunk_frames: int = 1,
+        backend: str = "serial",
+        seed: int | np.random.SeedSequence = 0,
+    ) -> None:
+        if target_errors < 1:
+            raise ValueError(f"target_errors must be >= 1, got {target_errors}")
+        if max_bits < bits_per_frame:
+            raise ValueError(
+                f"max_bits ({max_bits}) must cover one frame ({bits_per_frame} bits)"
+            )
+        if chunk_frames < 1:
+            raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
+        if backend not in LINK_BER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {LINK_BER_BACKENDS}"
+            )
+        self.config = config
+        self.target_errors = int(target_errors)
+        self.max_bits = int(max_bits)
+        self.bits_per_frame = int(bits_per_frame)
+        self.chunk_frames = int(chunk_frames)
+        self.backend = backend
+        self.errors = 0
+        self.bits = 0
+        self.frames = 0
+        self.detected = 0
+        self._rng = np.random.default_rng(seed)
+        self._simulator = None
+
+    @property
+    def done(self) -> bool:
+        """The estimator's stopping rule (chunk-granular, like the loop)."""
+        return self.errors >= self.target_errors or self.bits >= self.max_bits
+
+    def _ensure_simulator(self):
+        if self._simulator is None:
+            self._simulator = _shared_simulator(self.config, self.bits_per_frame)
+        return self._simulator
+
+    def advance(self) -> "LinkBerAccumulator":
+        """Simulate one chunk (no-op once :attr:`done`); returns ``self``.
+
+        This is byte for byte the chunk body of the estimator loop: the
+        stopping rule is checked frame-exactly inside the chunk, so
+        overshoot frames of a vectorized chunk are dropped and the
+        accumulated state is invariant to when/where chunks run.
+        """
+        if self.done:
+            return self
+        if self.backend == "vectorized":
+            # One batched pass per chunk; accumulate frame by frame so
+            # the stopping rule stays frame-exact (overshoot frames are
+            # dropped, leaving the estimate chunk-size invariant).
+            simulator = self._ensure_simulator()
+            for result in simulator.simulate(self.chunk_frames, self._rng):
+                if self.errors >= self.target_errors or self.bits >= self.max_bits:
+                    break
+                self._absorb(result)
+        else:
+            for _ in range(self.chunk_frames):
+                if self.errors >= self.target_errors or self.bits >= self.max_bits:
+                    break
+                result = simulate_link(
+                    self.config, num_payload_bits=self.bits_per_frame, rng=self._rng
+                )
+                self._absorb(result)
+        return self
+
+    def _absorb(self, result) -> None:
+        self.errors += result.bit_errors
+        self.bits += result.num_payload_bits
+        self.frames += 1
+        if result.detected:
+            self.detected += 1
+
+    def estimate(self) -> BerEstimate:
+        """The estimate accumulated so far."""
+        return BerEstimate(
+            bit_errors=self.errors,
+            bits_tested=self.bits,
+            frames=self.frames,
+            frames_detected=self.detected,
+            target_errors=self.target_errors,
+        )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_simulator"] = None  # rebuilt lazily (memoised) after unpickle
+        return state
+
+
 def estimate_link_ber(
     config: LinkConfig,
     target_errors: int = 100,
@@ -148,66 +301,24 @@ def estimate_link_ber(
         seed and chunk size (frames simulated past a stop condition
         consume RNG state that the serial path would never draw, but
         those frames are discarded before scoring, so the accumulated
-        estimate is unaffected).  Configurations outside the batch fast
-        path (Rician fading, blockage) transparently fall back to
-        per-frame simulation.
+        estimate is unaffected).  Every configuration batches exactly —
+        Rician fading and blockage included; the old serial fallback
+        for those configs is gone.
     """
-    if target_errors < 1:
-        raise ValueError(f"target_errors must be >= 1, got {target_errors}")
-    if max_bits < bits_per_frame:
-        raise ValueError(
-            f"max_bits ({max_bits}) must cover one frame ({bits_per_frame} bits)"
-        )
-    if chunk_frames < 1:
-        raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
-    if backend not in LINK_BER_BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; choose from {LINK_BER_BACKENDS}"
-        )
-    rng = np.random.default_rng(seed)
-    simulator = None
-    if backend == "vectorized":
-        from repro.sim.batch import BatchLinkSimulator
-
-        simulator = BatchLinkSimulator(config, num_payload_bits=bits_per_frame)
-    errors = 0
-    bits = 0
-    frames = 0
-    detected = 0
-    while errors < target_errors and bits < max_bits:
-        if simulator is not None:
-            # One batched pass per chunk; accumulate frame by frame so
-            # the stopping rule stays frame-exact (overshoot frames are
-            # dropped, leaving the estimate chunk-size invariant).
-            for result in simulator.simulate(chunk_frames, rng):
-                if errors >= target_errors or bits >= max_bits:
-                    break
-                errors += result.bit_errors
-                bits += result.num_payload_bits
-                frames += 1
-                if result.detected:
-                    detected += 1
-        else:
-            for _ in range(chunk_frames):
-                if errors >= target_errors or bits >= max_bits:
-                    break
-                result = simulate_link(
-                    config, num_payload_bits=bits_per_frame, rng=rng
-                )
-                errors += result.bit_errors
-                bits += result.num_payload_bits
-                frames += 1
-                if result.detected:
-                    detected += 1
-        if progress is not None:
-            progress(frames, bits, errors)
-    return BerEstimate(
-        bit_errors=errors,
-        bits_tested=bits,
-        frames=frames,
-        frames_detected=detected,
+    accumulator = LinkBerAccumulator(
+        config,
         target_errors=target_errors,
+        max_bits=max_bits,
+        bits_per_frame=bits_per_frame,
+        chunk_frames=chunk_frames,
+        backend=backend,
+        seed=seed,
     )
+    while not accumulator.done:
+        accumulator.advance()
+        if progress is not None:
+            progress(accumulator.frames, accumulator.bits, accumulator.errors)
+    return accumulator.estimate()
 
 
 def awgn_symbol_ber(

@@ -1,0 +1,294 @@
+"""Adaptive, round-based frame scheduling for BER sweeps.
+
+A waterfall sweep is pathologically unbalanced: points near the BER
+cliff hit ``target_errors`` within a frame or two, while the tail of
+the curve needs orders of magnitude more frames to accumulate the same
+statistical weight.  A uniform schedule (every point runs start to
+finish as one opaque work item) therefore leaves most of the budget
+idling behind the slowest points.
+
+:func:`run_adaptive` replaces the opaque item with *chunk rounds*:
+
+* every unconverged point owns a resumable
+  :class:`~repro.sim.monte_carlo.LinkBerAccumulator` (built by its
+  task's ``make_accumulator``);
+* in each round every active point advances by exactly one chunk
+  (``chunk_frames`` frames);
+* points whose accumulator reports :attr:`done
+  <repro.sim.monte_carlo.LinkBerAccumulator.done>` — the estimator's
+  own chunk-granular stopping rule — drop out, and the freed worker
+  slots keep serving the unconverged tail.
+
+**Bit-exactness is the design constraint, not an afterthought.**  The
+accumulator *is* the loop body of ``estimate_link_ber`` — same RNG
+stream, same frame-exact stop check inside each chunk — so interleaving
+chunks of many points changes nothing about any single point: the final
+:class:`~repro.sim.monte_carlo.BerEstimate` is byte-identical to a
+standalone ``estimate_link_ber(...)`` call with the same seed, chunking
+and backend.  That is what lets adaptive runs share
+:class:`~repro.sim.cache.ResultCache` entries and checkpoint lines with
+uniform runs (the executor's cache/checkpoint plumbing is reused
+unchanged via the ``finish_ok``/``finish_failed`` callbacks).
+
+Fault tolerance mirrors the uniform engine at chunk granularity:
+
+* a failing chunk (exception, tripped timeout, injected fault) restores
+  the accumulator to its pre-chunk snapshot and retries under the same
+  :class:`~repro.sim.retry.RetryPolicy`, with the same deterministic
+  backoff jitter keyed by ``(seed, index, attempt)``;
+* the process path ships pickled accumulators to workers (NumPy
+  ``Generator`` state pickles bit-exactly); the parent commits a
+  chunk's result only on success, so a dead worker loses nothing;
+* a dead pool (``BrokenProcessPool``) degrades the remaining rounds to
+  the in-process serial path, continuing from the last committed
+  accumulator states — bit-exact by the same argument.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.retry import RetryPolicy, backoff_rng
+
+__all__ = ["AdaptiveOutcome", "advance_chunk", "run_adaptive"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class AdaptiveOutcome:
+    """What one adaptive scheduling pass did (beyond the point records).
+
+    ``rounds`` is the deepest point's chunk count — how many rounds the
+    unconverged tail kept the scheduler busy.  ``chunks`` is the total
+    number of successful chunk advances across all points (the quantity
+    a uniform schedule cannot shrink).  ``retried``/``degraded`` mirror
+    the uniform engine's counters at chunk granularity.
+    """
+
+    rounds: int = 0
+    chunks: int = 0
+    retried: int = 0
+    degraded: bool = False
+    chunks_per_point: dict[int, int] = field(default_factory=dict)
+
+
+def advance_chunk(
+    accumulator: Any,
+    index: int = 0,
+    attempt: int = 0,
+    timeout_s: float | None = None,
+    faults: Any = None,
+) -> tuple[Any, float]:
+    """Advance one accumulator by one chunk; return ``(accumulator, seconds)``.
+
+    Module-level so the process backend can pickle it.  Exactly like
+    the uniform engine's ``_compute_point``, fault injection
+    (``faults.before_attempt``) and the timeout deadline run *inside*
+    whichever process executes the chunk, so chaos behaves identically
+    across backends and schedules.
+    """
+    from repro.sim.executor import _deadline
+
+    start = time.perf_counter()
+    with _deadline(timeout_s):
+        if faults is not None:
+            faults.before_attempt(index, attempt)
+        accumulator.advance()
+    return accumulator, time.perf_counter() - start
+
+
+def run_adaptive(
+    *,
+    task: Any,
+    vals: list[float],
+    children: list[Any],
+    pending: list[int],
+    states: dict[int, Any],
+    finish_ok: Callable[[int, object, float], None],
+    finish_failed: Callable[[int], None],
+    backend: str,
+    workers: int,
+    timeout_s: float | None,
+    retry: RetryPolicy,
+    seed: int,
+    faults: Any = None,
+) -> AdaptiveOutcome:
+    """Drive every pending point to convergence in chunk rounds.
+
+    The executor hands over its own per-point machinery — spawned seed
+    ``children``, mutable ``states`` (failure counters), and the
+    ``finish_ok``/``finish_failed`` closures that already handle cache
+    puts, checkpoint appends, record construction and progress
+    emission — so cache keys, checkpoints and reports compose with the
+    uniform schedule unchanged.
+
+    ``backend`` is the executor backend (``"serial"`` or
+    ``"process"``): serial advances points round-robin in-process;
+    process keeps one in-flight chunk per active point on the pool and
+    resubmits as chunks land, so freed slots automatically drain to the
+    unconverged tail.
+    """
+    outcome = AdaptiveOutcome()
+    if not pending:
+        return outcome
+
+    accumulators: dict[int, Any] = {}
+    dead: list[int] = []
+    for i in pending:
+        try:
+            accumulators[i] = task.make_accumulator(vals[i], children[i])
+        except Exception as exc:
+            # A point whose accumulator cannot even be built (bad
+            # config) is an ordinary point failure, not a crash.
+            states[i].failures += 1
+            from repro.sim.executor import _format_exception
+
+            states[i].last_error = _format_exception(exc)
+            dead.append(i)
+    for i in dead:
+        finish_failed(i)
+
+    elapsed = {i: 0.0 for i in accumulators}
+    active = [i for i in pending if i in accumulators]
+
+    def _commit(i: int, acc: Any, seconds: float) -> bool:
+        """Record one successful chunk; return True when ``i`` is done."""
+        accumulators[i] = acc
+        elapsed[i] += seconds
+        outcome.chunks += 1
+        outcome.chunks_per_point[i] = outcome.chunks_per_point.get(i, 0) + 1
+        if acc.done:
+            finish_ok(i, acc.estimate(), elapsed[i])
+            return True
+        return False
+
+    def _record_failure(i: int, exc: BaseException) -> bool:
+        """Count one failed chunk attempt; return True when ``i`` is dead."""
+        from repro.sim.executor import _format_exception
+
+        state = states[i]
+        state.failures += 1
+        state.last_error = _format_exception(exc)
+        logger.warning(
+            "point %d (value=%g) chunk attempt %d failed: %r",
+            i,
+            vals[i],
+            state.failures - 1,
+            exc,
+        )
+        if state.failures > retry.max_retries:
+            finish_failed(i)
+            return True
+        outcome.retried += 1
+        return False
+
+    def _run_rounds_serially(indices: list[int]) -> None:
+        active = list(indices)
+        # Snapshot/restore is only needed when a failed chunk will be
+        # retried; without a retry budget a failure kills the point and
+        # its (possibly half-advanced) accumulator is discarded anyway.
+        need_snapshot = retry.max_retries > 0
+        while active:
+            outcome.rounds += 1
+            survivors: list[int] = []
+            for i in active:
+                snapshot = (
+                    pickle.dumps(accumulators[i]) if need_snapshot else None
+                )
+                while True:
+                    attempt = states[i].failures
+                    try:
+                        acc, seconds = advance_chunk(
+                            accumulators[i], i, attempt, timeout_s, faults
+                        )
+                    except Exception as exc:
+                        if snapshot is not None:
+                            # A tripped timeout can abort mid-chunk;
+                            # roll back to the pre-chunk state so the
+                            # retry replays the identical RNG stream.
+                            accumulators[i] = pickle.loads(snapshot)
+                        if _record_failure(i, exc):
+                            break
+                        time.sleep(
+                            retry.delay_s(attempt, backoff_rng(seed, i, attempt))
+                        )
+                    else:
+                        if not _commit(i, acc, seconds):
+                            survivors.append(i)
+                        break
+            active = survivors
+
+    if backend != "process" or len(active) <= 1:
+        _run_rounds_serially(active)
+        return outcome
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_index: dict[Any, int] = {}
+
+            def _submit(i: int) -> Any:
+                future = pool.submit(
+                    advance_chunk,
+                    accumulators[i],
+                    i,
+                    states[i].failures,
+                    timeout_s,
+                    faults,
+                )
+                future_index[future] = i
+                return future
+
+            remaining = {_submit(i) for i in active}
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = future_index.pop(future)
+                    try:
+                        acc, seconds = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        # The parent's accumulator was never touched
+                        # (the worker advanced a pickled copy), so the
+                        # retry resubmits from the committed state —
+                        # the same replay the serial path gets from its
+                        # snapshot.
+                        if _record_failure(i, exc):
+                            continue
+                        attempt = states[i].failures - 1
+                        time.sleep(
+                            retry.delay_s(attempt, backoff_rng(seed, i, attempt))
+                        )
+                        remaining.add(_submit(i))
+                    else:
+                        if not _commit(i, acc, seconds):
+                            remaining.add(_submit(i))
+    except BrokenProcessPool as exc:
+        outcome.degraded = True
+        unfinished = [
+            i
+            for i in active
+            if i in accumulators and not accumulators[i].done
+            and states[i].failures <= retry.max_retries
+        ]
+        logger.warning(
+            "process pool died (%s); finishing %d unconverged point%s "
+            "serially from the last committed chunk states",
+            exc,
+            len(unfinished),
+            "s" if len(unfinished) != 1 else "",
+        )
+        _run_rounds_serially(unfinished)
+
+    if outcome.chunks_per_point:
+        outcome.rounds = max(
+            outcome.rounds, max(outcome.chunks_per_point.values())
+        )
+    return outcome

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.channel.blockage import BlockageEvent
 from repro.channel.environment import Environment
 from repro.core.link import LinkConfig
 from repro.core.modulation import available_schemes, get_scheme
@@ -117,6 +118,59 @@ class TestFrozenFingerprints:
             frames_detected=4,
             target_errors=50,
         ), f"clean-link fingerprint drifted: {estimate}"
+
+    @pytest.mark.parametrize("backend", ["serial", "vectorized"])
+    def test_rician_link_fingerprint(self, backend):
+        """Rician fading at 8 m: pins the per-frame channel-draw RNG order.
+
+        Runs under **both** backends — the vectorized stochastic-channel
+        kernels must reproduce the serial chain bit for bit (there is no
+        serial fallback for fading configs any more).
+        """
+        config = LinkConfig(
+            distance_m=8.0,
+            rician_k_db=6.0,
+            environment=Environment.typical_office(),
+        )
+        estimate = estimate_link_ber(
+            config,
+            target_errors=50,
+            max_bits=24_576,
+            bits_per_frame=2048,
+            seed=0,
+            backend=backend,
+        )
+        assert estimate == BerEstimate(
+            bit_errors=30,
+            bits_tested=24_576,
+            frames=12,
+            frames_detected=12,
+            target_errors=50,
+        ), f"rician fingerprint drifted ({backend}): {estimate}"
+
+    @pytest.mark.parametrize("backend", ["serial", "vectorized"])
+    def test_blockage_link_fingerprint(self, backend):
+        """Blockage window at the 4 m point: pins the gain-vector stage."""
+        config = LinkConfig(
+            distance_m=4.0,
+            environment=Environment.typical_office(),
+            blockage_events=(BlockageEvent(0.2e-4, 0.6e-4, 10.0),),
+        )
+        estimate = estimate_link_ber(
+            config,
+            target_errors=50,
+            max_bits=24_576,
+            bits_per_frame=2048,
+            seed=0,
+            backend=backend,
+        )
+        assert estimate == BerEstimate(
+            bit_errors=1,
+            bits_tested=24_576,
+            frames=12,
+            frames_detected=12,
+            target_errors=50,
+        ), f"blockage fingerprint drifted ({backend}): {estimate}"
 
     def test_awgn_waterfall_point_fingerprint(self):
         measured = awgn_symbol_ber(get_scheme("QPSK"), 8.0, num_bits=20_000, seed=0)

@@ -13,9 +13,15 @@ only*:
 * :func:`simulate_link_batch` reproduces consecutive
   :func:`simulate_link` calls **bit for bit** (every scalar field and
   every sample of the decoded symbol arrays) across modulations,
-  subcarrier/doppler/ADC variants and the Rician fallback;
+  subcarrier/doppler/ADC variants — and, since the stochastic-channel
+  kernels landed, Rician fading and blockage windows too (there is no
+  serial fallback left to hide behind);
+* :meth:`MultipathChannel.apply` (cached tap grid + shared-FFT kernel)
+  and the row-batched :func:`apply_channels_to_rows` reproduce the
+  per-``Signal`` reference implementation sample for sample;
 * the ``backend="vectorized"`` BER estimator returns byte-identical
-  :class:`BerEstimate`\\ s to the serial path for every chunk size;
+  :class:`BerEstimate`\\ s to the serial path for every chunk size,
+  randomized Rician K-factors and blockage plans included;
 * :meth:`ResultCache.prune` evicts strictly least-recently-used.
 """
 
@@ -28,7 +34,15 @@ import time
 import numpy as np
 import pytest
 
+from repro.channel.blockage import BlockageEvent
 from repro.channel.environment import Environment
+from repro.channel.multipath import (
+    MultipathChannel,
+    PathComponent,
+    apply_channels_to_rows,
+    rician_channel,
+)
+from repro.dsp.signal import Signal
 from repro.core.coding import append_crc32, check_crc32, crc32
 from repro.core.convolutional import ConvolutionalCode, K7_CODE
 from repro.core.link import LinkConfig, simulate_link
@@ -165,7 +179,21 @@ def _batch_configs() -> dict[str, LinkConfig]:
         "subcarrier": LinkConfig(tag=dataclasses.replace(base.tag, subcarrier_hz=20e6)),
         "doppler": LinkConfig(radial_velocity_m_s=2.0),
         "no_adc": LinkConfig(ap=dataclasses.replace(base.ap, adc=None)),
-        "rician_fallback": LinkConfig(rician_k_db=10.0),
+        "rician": LinkConfig(rician_k_db=10.0),
+        "rician_far": LinkConfig(
+            distance_m=11.0, rician_k_db=6.0, num_nlos_paths=5
+        ),
+        "blockage": LinkConfig(
+            blockage_events=(
+                BlockageEvent(0.1e-4, 0.5e-4, 18.0),
+                BlockageEvent(0.4e-4, 0.8e-4, 6.0),  # overlapping window
+            )
+        ),
+        "rician_blockage_doppler": LinkConfig(
+            rician_k_db=9.0,
+            radial_velocity_m_s=1.5,
+            blockage_events=(BlockageEvent(0.2e-4, 0.6e-4, 12.0),),
+        ),
     }
 
 
@@ -207,18 +235,140 @@ class TestBatchLinkBitExactness:
         for f in range(num_frames):
             _assert_links_identical(reference[f], batched[f], f"{name}[{f}]")
 
-    def test_rician_uses_fallback_path(self):
+    def test_rician_batches_without_fallback(self):
+        """The old per-frame serial fallback for fading configs is gone."""
         simulator = BatchLinkSimulator(LinkConfig(rician_k_db=10.0))
-        assert simulator.supports_fast_path is False
-
-    def test_fast_path_flag_set_for_default(self):
-        assert BatchLinkSimulator(LinkConfig()).supports_fast_path is True
+        assert not hasattr(simulator, "supports_fast_path")
+        results = simulator.simulate(2, np.random.default_rng(0))
+        assert len(results) == 2
 
     def test_rejects_bad_sizes(self):
         with pytest.raises(ValueError, match="num_payload_bits"):
             BatchLinkSimulator(LinkConfig(), num_payload_bits=0)
         with pytest.raises(ValueError, match="num_frames"):
             simulate_link_batch(LinkConfig(), num_frames=0)
+
+
+# -- stochastic-channel kernels: randomized property tests --------------------
+
+
+def _random_stochastic_config(rng: np.random.Generator) -> LinkConfig:
+    """A random fading/blockage operating point (always at least one of
+    the two stochastic stages enabled — plain configs are covered by
+    ``_batch_configs``)."""
+    use_rician = bool(rng.random() < 0.7)
+    events = []
+    for _ in range(int(rng.integers(0, 3))):
+        start = float(rng.uniform(0.0, 0.8e-4))
+        events.append(
+            BlockageEvent(
+                start_s=start,
+                stop_s=start + float(rng.uniform(0.05e-4, 0.5e-4)),
+                attenuation_db=float(rng.uniform(3.0, 25.0)),
+            )
+        )
+    if not use_rician and not events:
+        use_rician = True
+    kwargs: dict = {}
+    if use_rician:
+        kwargs.update(
+            rician_k_db=float(rng.uniform(-3.0, 15.0)),
+            num_nlos_paths=int(rng.integers(1, 6)),
+            max_excess_delay_s=float(rng.uniform(5e-9, 60e-9)),
+        )
+    return LinkConfig(
+        distance_m=float(rng.uniform(1.0, 14.0)),
+        blockage_events=tuple(events),
+        **kwargs,
+    )
+
+
+class TestMultipathKernelEquivalence:
+    """Cached-tap-grid apply and the rows kernel == per-Signal reference."""
+
+    FS = 80e6
+
+    def test_apply_matches_reference_randomized(self, rng):
+        for _ in range(12):
+            channel = rician_channel(
+                float(rng.uniform(-3.0, 15.0)),
+                int(rng.integers(1, 6)),
+                float(rng.uniform(5e-9, 60e-9)),
+                rng,
+            )
+            samples = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+            sig = Signal(samples, self.FS)
+            fast = channel.apply(sig)
+            ref = channel._apply_reference(sig)
+            assert np.array_equal(fast.samples, ref.samples)
+            assert fast.sample_rate == ref.sample_rate
+
+    def test_integer_sample_delays_take_direct_path(self, rng):
+        """Whole-sample delays skip the FFT operator — still bit-exact."""
+        channel = MultipathChannel(
+            paths=(
+                PathComponent(delay_s=0.0, gain=0.8 + 0.1j),
+                PathComponent(delay_s=2.0 / self.FS, gain=0.3j),
+                PathComponent(delay_s=1.0 / self.FS, gain=-0.2 + 0.0j),
+            )
+        )
+        samples = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        sig = Signal(samples, self.FS)
+        assert np.array_equal(
+            channel.apply(sig).samples, channel._apply_reference(sig).samples
+        )
+
+    def test_rows_kernel_matches_per_row_apply(self, rng):
+        frames = 5
+        rows = (
+            rng.standard_normal((frames, 300))
+            + 1j * rng.standard_normal((frames, 300))
+        )
+        channels = [
+            rician_channel(6.0, int(rng.integers(1, 5)), 30e-9, rng)
+            for _ in range(frames)
+        ]
+        batched = apply_channels_to_rows(rows, self.FS, channels)
+        for f in range(frames):
+            expected = channels[f].apply(Signal(rows[f], self.FS)).samples
+            assert np.array_equal(batched[f], expected), f"frame {f}"
+
+
+class TestStochasticChannelProperties:
+    """Randomized Rician K / blockage plans: batch == serial, bit for bit."""
+
+    def test_batch_matches_serial_randomized_configs(self):
+        rng = np.random.default_rng(2024)
+        for trial in range(6):
+            config = _random_stochastic_config(rng)
+            num_frames = 3
+            rng_ref = np.random.default_rng(trial)
+            reference = [
+                simulate_link(config, rng=rng_ref) for _ in range(num_frames)
+            ]
+            batched = simulate_link_batch(
+                config, num_frames, rng=np.random.default_rng(trial)
+            )
+            for f in range(num_frames):
+                _assert_links_identical(
+                    reference[f], batched[f], f"trial{trial}[{f}]"
+                )
+
+    @pytest.mark.parametrize("chunk_frames", [1, 3, 5])
+    def test_estimator_bit_exact_across_chunk_sizes(self, chunk_frames):
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            config = _random_stochastic_config(rng)
+            kwargs = dict(
+                target_errors=8,
+                max_bits=6144,
+                bits_per_frame=512,
+                seed=11,
+                chunk_frames=chunk_frames,
+            )
+            serial = estimate_link_ber(config, backend="serial", **kwargs)
+            vectorized = estimate_link_ber(config, backend="vectorized", **kwargs)
+            assert serial == vectorized, config
 
 
 class TestEstimatorBackendEquivalence:

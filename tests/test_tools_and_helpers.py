@@ -72,6 +72,99 @@ class TestApiDocGenerator:
         )
 
 
+class TestBenchRegressionGate:
+    """Pure-logic tests for the CI bench-regression gate.
+
+    The gate (``repro bench --check BENCH_hotpaths.json``) compares a
+    fresh quick-mode run against the committed trajectory file and fails
+    when any kernel's speedup collapses below ``REGRESSION_FLOOR`` times
+    its recorded value.  These tests exercise the comparison logic with
+    synthetic reports so no actual benchmarking is involved.
+    """
+
+    @staticmethod
+    def _report(**speedups):
+        from repro.sim.profiling import BenchReport, KernelBench
+
+        return BenchReport(
+            benchmarks=tuple(
+                KernelBench(
+                    name=name,
+                    description=name,
+                    reference_s=1.0,
+                    vectorized_s=1.0 / ratio,
+                    repeats=1,
+                )
+                for name, ratio in speedups.items()
+            ),
+            quick=True,
+            generated="synthetic",
+        )
+
+    def test_passes_when_within_floor(self):
+        from repro.sim.profiling import check_regression
+
+        report = self._report(viterbi_decode=20.0, frame_chain_tx=40.0)
+        baseline = {"viterbi_decode": 22.0, "frame_chain_tx": 45.0}
+        assert check_regression(report, baseline) == []
+
+    def test_fails_when_speedup_collapses(self):
+        from repro.sim.profiling import check_regression
+
+        # 1.1x measured vs 22x recorded: the classic "kernel rerouted
+        # back through the reference loop" signature.
+        report = self._report(viterbi_decode=1.1)
+        failures = check_regression(report, {"viterbi_decode": 22.0})
+        assert len(failures) == 1
+        assert "viterbi_decode" in failures[0]
+
+    def test_boundary_exactly_at_floor_passes(self):
+        from repro.sim.profiling import REGRESSION_FLOOR, check_regression
+
+        report = self._report(viterbi_decode=REGRESSION_FLOOR * 10.0)
+        assert check_regression(report, {"viterbi_decode": 10.0}) == []
+
+    def test_kernel_missing_from_run_is_a_failure(self):
+        from repro.sim.profiling import check_regression
+
+        report = self._report(viterbi_decode=20.0)
+        failures = check_regression(
+            report, {"viterbi_decode": 20.0, "frame_chain_tx": 40.0}
+        )
+        assert len(failures) == 1
+        assert "frame_chain_tx" in failures[0]
+
+    def test_new_kernel_not_in_baseline_is_ignored(self):
+        from repro.sim.profiling import check_regression
+
+        report = self._report(viterbi_decode=20.0, brand_new_kernel=1.0)
+        assert check_regression(report, {"viterbi_decode": 20.0}) == []
+
+    def test_floor_validation(self):
+        from repro.sim.profiling import check_regression
+
+        report = self._report(viterbi_decode=20.0)
+        with pytest.raises(ValueError):
+            check_regression(report, {"viterbi_decode": 20.0}, floor=0.0)
+        with pytest.raises(ValueError):
+            check_regression(report, {"viterbi_decode": 20.0}, floor=1.5)
+
+    def test_load_trajectory_round_trip(self, tmp_path):
+        from repro.sim.profiling import (
+            check_regression,
+            load_trajectory_speedups,
+            write_trajectory,
+        )
+
+        report = self._report(viterbi_decode=21.5, frame_chain_tx=44.0)
+        path = tmp_path / "bench.json"
+        write_trajectory(report, path)
+        speedups = load_trajectory_speedups(path)
+        assert speedups == {"viterbi_decode": 21.5, "frame_chain_tx": 44.0}
+        # a report can be checked against its own trajectory file
+        assert check_regression(report, path) == []
+
+
 class TestReceiverTimingRobustness:
     """Doppler and timing-offset tolerance of the burst receiver."""
 
