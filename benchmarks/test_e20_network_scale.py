@@ -1,0 +1,249 @@
+"""E20 — network scale: MAC goodput/latency/fairness at 10k-tag populations.
+
+Extension experiment on the :mod:`repro.net` discrete-event simulator,
+pushing the MAC layer toward the paper's "heavy traffic" regime that
+the analytic :class:`~repro.core.network.MmTagNetwork` loops cannot
+reach.  Four claims:
+
+* **scale** — adaptive slotted ALOHA pins at the 1/e MAC capacity as
+  the population grows 100x (goodput per slot is population-invariant;
+  latency and fairness pay the price), with every point running as a
+  :class:`~repro.net.task.NetSimTask` under the
+  :class:`~repro.sim.executor.SweepExecutor`;
+* **offered load** — saturated ALOHA throughput traces the textbook
+  ``G e^-G`` curve and peaks at ``G = 1`` within 10 % of ``1/e``
+  (the sanity anchor for the whole MAC abstraction);
+* **inventory** — the Gen2 Q-algorithm (same
+  :class:`~repro.core.inventory.QAlgorithm` controller as the per-tag
+  state machine) reaches full inventory in fewer slots than a
+  fixed-frame ALOHA deployment, because it adapts the frame size to
+  the shrinking backlog;
+* **determinism + speed** — a 10k-tag, 10k-slot run completes in well
+  under 60 s single-core and two same-seed runs are byte-identical
+  (report pickle *and* event-trace digest).
+
+Quick mode (``REPRO_E20_QUICK=1``, CI default) shrinks populations and
+slot budgets; every assertion still holds.  The event trace of the
+determinism run is dumped to ``REPRO_E20_TRACE`` (default
+``e20_event_trace.jsonl``) so CI can upload it when the job fails.
+"""
+
+import math
+import os
+import pickle
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.net import NetSimConfig, NetSimTask, run_netsim
+from repro.sim.executor import SweepExecutor
+from repro.sim.results import ResultTable
+
+_SEED = 20
+_QUICK = os.environ.get("REPRO_E20_QUICK") == "1"
+
+_POPULATIONS = [50, 200, 1000] if _QUICK else [100, 1000, 10_000]
+_SCALE_SLOTS = 1200 if _QUICK else 4000
+_G_VALUES = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+_G_TAGS = 200 if _QUICK else 400
+_G_SLOTS = 1500 if _QUICK else 3000
+_INV_TAGS = 100 if _QUICK else 200
+_BIG_TAGS = 2000 if _QUICK else 10_000
+_BIG_SLOTS = 2000 if _QUICK else 10_000
+_TRACE_PATH = Path(os.environ.get("REPRO_E20_TRACE", "e20_event_trace.jsonl"))
+
+#: Short-range deployment: the per-frame channel success is ~1, so the
+#: offered-load and inventory parts measure the MAC, not the budget.
+_NEAR = dict(min_distance_m=1.5, max_distance_m=2.0)
+
+
+def _scale_sweep():
+    """Goodput/latency/Jain vs population, via NetSimTask + executor."""
+    task = NetSimTask(
+        config=NetSimConfig(
+            num_slots=_SCALE_SLOTS, protocol="aloha", **_NEAR
+        ),
+        param="num_tags",
+    )
+    executor = SweepExecutor("serial")
+    return executor.run([float(n) for n in _POPULATIONS], task, seed=_SEED)
+
+
+def _offered_load_curve():
+    """Saturated-ALOHA throughput vs offered load G (fixed p = G/n)."""
+    rows = []
+    for g in _G_VALUES:
+        config = NetSimConfig(
+            num_tags=_G_TAGS,
+            num_slots=_G_SLOTS,
+            protocol="aloha",
+            transmit_probability=g / _G_TAGS,
+            persistent=True,
+            **_NEAR,
+        )
+        rows.append((g, run_netsim(config, seed=_SEED)))
+    return rows
+
+
+def _inventory_race():
+    """Q-algorithm inventory vs fixed-frame ALOHA, time to full read."""
+    budget = 60 * _INV_TAGS
+    q_config = NetSimConfig(
+        num_tags=_INV_TAGS,
+        num_slots=budget,
+        protocol="inventory",
+        q_initial=8.0,
+        **_NEAR,
+    )
+    fixed_config = NetSimConfig(
+        num_tags=_INV_TAGS,
+        num_slots=budget,
+        protocol="aloha",
+        transmit_probability=1.0 / _INV_TAGS,
+        **_NEAR,
+    )
+    return (
+        run_netsim(q_config, seed=_SEED),
+        run_netsim(fixed_config, seed=_SEED),
+    )
+
+
+def _determinism_and_timing():
+    """Two same-seed 10k-scale runs: timing, byte-identity, trace dump."""
+    rows = []
+    for protocol in ("aloha", "inventory"):
+        config = NetSimConfig(
+            num_tags=_BIG_TAGS, num_slots=_BIG_SLOTS, protocol=protocol
+        )
+        start = time.perf_counter()
+        first = run_netsim(
+            config,
+            seed=_SEED,
+            trace_path=_TRACE_PATH if protocol == "aloha" else None,
+        )
+        elapsed = time.perf_counter() - start
+        second = run_netsim(config, seed=_SEED)
+        rows.append((protocol, elapsed, first, second))
+    return rows
+
+
+def _experiment():
+    return (
+        _scale_sweep(),
+        _offered_load_curve(),
+        _inventory_race(),
+        _determinism_and_timing(),
+    )
+
+
+def test_e20_network_scale(once):
+    scale, load_rows, (q_report, fixed_report), det_rows = once(_experiment)
+
+    # -- A: goodput/latency/fairness vs population -------------------------
+    table = ResultTable(
+        f"E20a: adaptive ALOHA vs population ({_SCALE_SLOTS}-slot budget, "
+        "NetSimTask under SweepExecutor)",
+        ["num_tags", "tags_read", "thr_per_slot", "goodput_kbps",
+         "latency_p95_ms", "jain"],
+    )
+    reads = []
+    for point in scale.points:
+        report = point.metric
+        assert report is not None, f"scale point {point.value} failed"
+        reads.append(report.tags_read)
+        p95 = report.latency_p95_s
+        table.add_row(
+            int(point.value),
+            f"{report.tags_read}/{report.tags_total}",
+            round(report.throughput_per_slot, 4),
+            round(report.goodput_bps / 1e3, 1),
+            round(p95 * 1e3, 3) if math.isfinite(p95) else "-",
+            round(report.jain_fairness, 3),
+        )
+    print()
+    print(table.to_text())
+    assert scale.failed == 0
+    # more tags never means fewer reads in the same budget...
+    assert all(b >= a for a, b in zip(reads, reads[1:])), reads
+    # ...and ALOHA never beats its 1/e capacity (10% MC headroom)
+    for point in scale.points:
+        assert point.metric.throughput_per_slot <= (1 / math.e) * 1.10
+
+    # -- B: the e^-1 offered-load peak -------------------------------------
+    load_table = ResultTable(
+        f"E20b: saturated ALOHA throughput vs offered load "
+        f"({_G_TAGS} tags, {_G_SLOTS} slots, theory = G e^-G)",
+        ["G", "throughput", "theory", "error"],
+    )
+    throughputs = {}
+    for g, report in load_rows:
+        theory = g * math.exp(-g)
+        throughputs[g] = report.throughput_per_slot
+        load_table.add_row(
+            g,
+            round(report.throughput_per_slot, 4),
+            round(theory, 4),
+            round(report.throughput_per_slot - theory, 4),
+        )
+    print()
+    print(load_table.to_text())
+    peak_g = max(throughputs, key=throughputs.get)
+    assert peak_g == 1.0, f"ALOHA throughput must peak at G=1, got {peak_g}"
+    peak = throughputs[1.0]
+    assert abs(peak - 1 / math.e) <= 0.10 / math.e, (
+        f"peak throughput {peak:.4f} not within 10% of 1/e"
+    )
+    for g, thr in throughputs.items():
+        assert abs(thr - g * math.exp(-g)) < 0.06, (g, thr)
+
+    # -- C: Q-algorithm inventory beats fixed-frame ALOHA ------------------
+    inv_table = ResultTable(
+        f"E20c: time to full inventory, {_INV_TAGS} tags "
+        "(Q-algorithm vs fixed-frame ALOHA)",
+        ["protocol", "slots_to_full", "rounds", "reads_lost_to_channel"],
+    )
+    slots_to_full = {}
+    for label, report in (("q-inventory", q_report), ("fixed-aloha", fixed_report)):
+        assert report.tags_read == _INV_TAGS, (
+            f"{label} must finish the inventory, "
+            f"read {report.tags_read}/{_INV_TAGS}"
+        )
+        slots = int(round(report.time_to_full_inventory_s / report.slot_s)) + 1
+        slots_to_full[label] = slots
+        inv_table.add_row(
+            label, slots, report.rounds or "-", report.reads_failed_channel
+        )
+    print()
+    print(inv_table.to_text())
+    assert slots_to_full["q-inventory"] < slots_to_full["fixed-aloha"], (
+        slots_to_full
+    )
+
+    # -- D: 10k-scale timing + byte-identical determinism ------------------
+    det_table = ResultTable(
+        f"E20d: {_BIG_TAGS} tags x {_BIG_SLOTS} slots, single core",
+        ["protocol", "wall_s", "tags_read", "digest_match", "pickle_match"],
+    )
+    for protocol, elapsed, first, second in det_rows:
+        digest_match = first.trace_digest == second.trace_digest
+        pickle_match = pickle.dumps(first) == pickle.dumps(second)
+        det_table.add_row(
+            protocol,
+            round(elapsed, 2),
+            first.tags_read,
+            digest_match,
+            pickle_match,
+        )
+        assert digest_match, f"{protocol}: event histories diverged"
+        assert pickle_match, f"{protocol}: reports diverged"
+        if os.environ.get("REPRO_SKIP_BENCH") != "1":
+            assert elapsed < 60.0, (
+                f"{protocol}: {_BIG_TAGS}x{_BIG_SLOTS} took {elapsed:.1f}s"
+            )
+    print()
+    print(det_table.to_text())
+    assert _TRACE_PATH.exists(), "determinism run must dump its event trace"
+    header = _TRACE_PATH.read_text().splitlines()[0]
+    assert det_rows[0][2].trace_digest in header
+    print(f"\nevent trace artifact: {_TRACE_PATH}")

@@ -5,7 +5,8 @@
 * ``link``        one uplink burst at an operating point
 * ``sweep``       SNR / BER across distances (parallel + cached)
 * ``energy``      node power / energy-per-bit table (+ battery life)
-* ``network``     TDMA inventory of an N-tag deployment
+* ``network``     inventory of an N-tag deployment (TDMA / ALOHA / FDMA)
+* ``netsim``      event-driven network simulation at 10k-100k tag scale
 * ``beamsearch``  AP beam-search strategies toward a tag
 * ``schemes``     modulation table with SNR thresholds
 * ``cache``       inspect / invalidate / LRU-prune a sweep result cache
@@ -33,6 +34,7 @@ from repro.core.link import LinkConfig, link_snr_db, simulate_link
 from repro.core.modulation import available_schemes, get_scheme
 from repro.core.network import MmTagNetwork, NetworkTag
 from repro.core.tag import TagConfig
+from repro.net import PROTOCOLS, NetSimConfig, NetSimTask, run_netsim
 from repro.sim.cache import ResultCache
 from repro.sim.executor import BerSweepTask, FunctionTask, SweepExecutor
 from repro.sim.monte_carlo import LINK_BER_BACKENDS
@@ -142,11 +144,56 @@ def build_parser() -> argparse.ArgumentParser:
     energy.add_argument("--battery-j", type=float, default=2400.0,
                         help="battery energy [J] (CR2032 ~ 2400 J)")
 
-    network = sub.add_parser("network", help="TDMA inventory of N tags")
+    network = sub.add_parser("network", help="inventory of N tags (TDMA/ALOHA/FDMA)")
     network.add_argument("--tags", type=int, default=4)
     network.add_argument("--rounds", type=int, default=50)
     network.add_argument("--max-distance", type=float, default=6.0)
     network.add_argument("--seed", type=int, default=0)
+    network.add_argument(
+        "--protocol", default="tdma", choices=["tdma", "aloha", "fdma"],
+        help="tdma/aloha = the analytic MmTagNetwork protocols; fdma runs "
+             "concurrent groups on the event-driven simulator "
+             "(same engine as `repro netsim`)",
+    )
+
+    netsim = sub.add_parser(
+        "netsim", help="event-driven network simulation (10k-100k tags)"
+    )
+    netsim.add_argument("--tags", type=int, default=1000,
+                        help="initial population at t=0")
+    netsim.add_argument("--slots", type=int, default=2000,
+                        help="MAC slot horizon")
+    netsim.add_argument("--protocol", default="aloha", choices=list(PROTOCOLS))
+    netsim.add_argument("--frame-bits", type=int, default=256)
+    netsim.add_argument("--max-distance", type=float, default=6.0)
+    netsim.add_argument("--transmit-probability", type=float, default=None,
+                        help="fixed ALOHA p (default: adaptive 1/backlog)")
+    netsim.add_argument("--persistent", action="store_true",
+                        help="saturated ALOHA: tags stay in contention "
+                             "after success (offered-load studies)")
+    netsim.add_argument("--arrival-rate", type=float, default=0.0,
+                        help="Poisson tag arrival rate [Hz]")
+    netsim.add_argument("--mean-dwell", type=float, default=None,
+                        help="mean tag dwell time before departure [s]")
+    netsim.add_argument("--blockage-rate", type=float, default=0.0,
+                        help="blockage burst rate [Hz]")
+    netsim.add_argument("--spot-check-every", type=int, default=0,
+                        help="audit the analytic slot model with a real "
+                             "waveform burst every N slots (0 = off)")
+    netsim.add_argument("--seed", type=int, default=0)
+    netsim.add_argument("--trace", default=None, metavar="PATH",
+                        help="dump the event-trace ring (JSONL + digest "
+                             "header) to PATH after the run")
+    netsim.add_argument("--sweep-tags", default=None, metavar="N1,N2,...",
+                        help="sweep population sizes under the sweep "
+                             "executor (cache/retries compose)")
+    netsim.add_argument("--backend", default="serial",
+                        choices=list(SweepExecutor.BACKENDS),
+                        help="sweep backend (with --sweep-tags)")
+    netsim.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (with --sweep-tags)")
+    netsim.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache (with --sweep-tags)")
 
     beam = sub.add_parser("beamsearch", help="AP beam search toward a tag")
     beam.add_argument("--direction", type=float, default=20.0, help="true tag bearing [deg]")
@@ -179,6 +226,7 @@ _EXPERIMENT_INDEX = [
     ("E17", "AP receive diversity / MRC (extension)", "test_e17_diversity"),
     ("E18", "sweep-engine scaling: pool + cache vs serial", "test_e18_executor_scaling"),
     ("E19", "fault tolerance: chaos sweep + ARQ under blockage", "test_e19_fault_tolerance"),
+    ("E20", "network scale: MAC goodput/latency/fairness at 10k tags", "test_e20_network_scale"),
 ]
 
 
@@ -406,10 +454,40 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _netsim_config(args: argparse.Namespace, **overrides: object) -> NetSimConfig:
+    """Build a :class:`NetSimConfig` from CLI args (shared network/netsim)."""
+    params: dict[str, object] = dict(
+        num_tags=args.tags,
+        max_distance_m=args.max_distance,
+        environment=Environment.typical_office(),
+    )
+    params.update(overrides)
+    return NetSimConfig(**params)  # type: ignore[arg-type]
+
+
+def _print_netsim_report(config: NetSimConfig, seed: int,
+                         trace_path: str | None = None) -> int:
+    """Run one event-driven simulation and print its summary (shared)."""
+    report = run_netsim(config, seed=seed, trace_path=trace_path)
+    print(report.summary())
+    if trace_path is not None:
+        print(f"event trace         : {trace_path}")
+    return 0
+
+
 def _cmd_network(args: argparse.Namespace) -> int:
     if args.tags < 1:
         print("need at least one tag", file=sys.stderr)
         return 2
+    if args.protocol == "fdma":
+        # Concurrent groups need the time-aware simulator; share it with
+        # `repro netsim` (one slot serves one group, so `rounds` full
+        # passes over the population take rounds * ceil(tags/8) slots).
+        groups = -(-args.tags // 8)
+        config = _netsim_config(
+            args, protocol="fdma", num_slots=max(1, args.rounds * groups)
+        )
+        return _print_netsim_report(config, args.seed)
     rng = np.random.default_rng(args.seed)
     tags = [
         NetworkTag(
@@ -420,6 +498,24 @@ def _cmd_network(args: argparse.Namespace) -> int:
         for i in range(args.tags)
     ]
     network = MmTagNetwork(tags, environment=Environment.typical_office())
+    if args.protocol == "aloha":
+        num_slots = max(1, args.rounds * args.tags)
+        discovered, slots_used = network.slotted_aloha_discovery(
+            num_slots=num_slots, rng=args.seed
+        )
+        table = ResultTable(
+            f"slotted-ALOHA discovery: {args.tags} tags, "
+            f"{num_slots} slot budget",
+            ["metric", "value"],
+        )
+        table.add_row("discovered", f"{len(discovered)}/{args.tags}")
+        table.add_row("slots used", slots_used)
+        table.add_row(
+            "slots per tag",
+            round(slots_used / max(1, len(discovered)), 2),
+        )
+        print(table.to_text())
+        return 0 if len(discovered) == args.tags else 1
     inventory = network.tdma_inventory(num_rounds=args.rounds, rng=args.seed)
     table = ResultTable(
         f"TDMA inventory: {args.tags} tags x {args.rounds} rounds",
@@ -438,6 +534,69 @@ def _cmd_network(args: argparse.Namespace) -> int:
     print(f"\naggregate goodput: {inventory.aggregate_goodput_bps / 1e6:.2f} Mbps")
     print(f"fairness (Jain):   {inventory.jain_fairness():.3f}")
     return 0
+
+
+def _cmd_netsim(args: argparse.Namespace) -> int:
+    if args.tags < 0 or args.slots < 1:
+        print("need --tags >= 0 and --slots >= 1", file=sys.stderr)
+        return 2
+    try:
+        config = _netsim_config(
+            args,
+            num_slots=args.slots,
+            protocol=args.protocol,
+            frame_bits=args.frame_bits,
+            transmit_probability=args.transmit_probability,
+            persistent=args.persistent,
+            arrival_rate_hz=args.arrival_rate,
+            mean_dwell_s=args.mean_dwell,
+            blockage_rate_hz=args.blockage_rate,
+            spot_check_every=args.spot_check_every,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.sweep_tags is None:
+        return _print_netsim_report(config, args.seed, trace_path=args.trace)
+
+    try:
+        populations = [float(int(v)) for v in args.sweep_tags.split(",") if v]
+    except ValueError:
+        print("--sweep-tags takes comma-separated integers", file=sys.stderr)
+        return 2
+    if not populations:
+        print("--sweep-tags needs at least one population", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    executor = SweepExecutor(args.backend, max_workers=args.workers, cache=cache)
+    sweep = executor.run(
+        populations, NetSimTask(config=config, param="num_tags"), seed=args.seed
+    )
+    table = ResultTable(
+        f"netsim population sweep ({config.protocol})",
+        ["num_tags", "slots_run", "tags_read", "goodput_kbps",
+         "latency_p95_ms", "jain"],
+    )
+    for point in sweep.points:
+        report = point.metric
+        if report is None:
+            table.add_row(int(point.value), "failed", "-", "-", "-", "-")
+            continue
+        p95 = report.latency_p95_s
+        table.add_row(
+            int(point.value),
+            report.slots_run,
+            f"{report.tags_read}/{report.tags_total}",
+            round(report.goodput_bps / 1e3, 1),
+            round(p95 * 1e3, 3) if np.isfinite(p95) else "-",
+            round(report.jain_fairness, 3),
+        )
+    print(table.to_text())
+    print()
+    print(sweep.summary())
+    if cache is not None:
+        print(cache.stats.summary())
+    return 0 if sweep.failed == 0 else 1
 
 
 def _cmd_beamsearch(args: argparse.Namespace) -> int:
@@ -510,6 +669,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "energy": _cmd_energy,
     "network": _cmd_network,
+    "netsim": _cmd_netsim,
     "beamsearch": _cmd_beamsearch,
     "schemes": _cmd_schemes,
     "experiments": _cmd_experiments,

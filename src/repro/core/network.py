@@ -188,12 +188,22 @@ class InventoryResult:
         }
 
     def jain_fairness(self) -> float:
-        """Jain's fairness index over per-tag goodput (1.0 = equal)."""
+        """Jain's fairness index over per-tag goodput (1.0 = equal).
+
+        Edge cases (shared contract with
+        :func:`repro.net.population.jain_fairness`): an **empty**
+        population has no allocation to judge — 0.0; an **all-equal**
+        allocation is perfectly fair — 1.0, *including* the all-zero
+        case (everyone equally starved), which the index's limit
+        supports and which previously returned 0.0.
+        """
         rates = list(self.per_tag_goodput_bps().values())
-        if not rates or all(r == 0 for r in rates):
+        if not rates:
             return 0.0
-        total = sum(rates)
         squares = sum(r * r for r in rates)
+        if squares == 0.0:
+            return 1.0
+        total = sum(rates)
         return total * total / (len(rates) * squares)
 
 
@@ -373,6 +383,13 @@ class MmTagNetwork:
         Returns ``(discovered_ids, slots_used)`` where ``slots_used`` is
         the slot index after which all tags were found (or
         ``num_slots`` if some remain hidden).
+
+        Determinism: per-tag response draws happen in **ascending
+        tag-id order** within each slot.  (They previously iterated a
+        Python ``set``, whose order is an implementation detail of the
+        hash table — same seed, different insertion history, different
+        draws.  The golden-fingerprint regression test pins the
+        sorted-order sequence.)
         """
         if num_slots < 1:
             raise ValueError(f"num_slots must be >= 1, got {num_slots}")
@@ -387,7 +404,7 @@ class MmTagNetwork:
             if not undiscovered:
                 return discovered, slot
             p = transmit_probability or 1.0 / len(undiscovered)
-            responders = [t for t in undiscovered if rng.random() < p]
+            responders = [t for t in sorted(undiscovered) if rng.random() < p]
             if len(responders) == 1:
                 tag_id = responders[0]
                 undiscovered.remove(tag_id)

@@ -1,0 +1,69 @@
+"""Deterministic discrete-event network simulation for the mmTag MAC.
+
+The waveform substrate (:mod:`repro.core`, :mod:`repro.dsp`) answers
+"does one frame survive this link?"; this package answers "what does a
+*population* of 10k-100k tags achieve under a MAC?" — goodput, latency,
+fairness, time-to-full-inventory — while staying anchored to the same
+calibrated link budget (and spot-checking itself against real
+:func:`~repro.core.link.simulate_link` bursts).
+
+Layers, bottom up:
+
+* :mod:`repro.net.engine` — the protocol-agnostic discrete-event core
+  (total event order, per-process RNG streams, digest-bearing trace);
+* :mod:`repro.net.population` — structure-of-arrays per-tag state;
+* :mod:`repro.net.link_model` — vectorised per-slot frame-success
+  probabilities from the link budget;
+* :mod:`repro.net.mac` — the AP MAC modes (slotted ALOHA, Q-algorithm
+  inventory, FDMA groups) plus churn and blockage processes;
+* :mod:`repro.net.sim` — :func:`~repro.net.sim.run_netsim`: config in,
+  byte-reproducible :class:`~repro.net.sim.NetSimReport` out;
+* :mod:`repro.net.task` — the :class:`~repro.net.task.NetSimTask`
+  adapter that runs populations of simulations under
+  :class:`~repro.sim.executor.SweepExecutor`.
+"""
+
+from repro.net.engine import (
+    EventHandle,
+    EventTrace,
+    Process,
+    Simulator,
+    TraceEvent,
+)
+from repro.net.link_model import LinkBudgetModel, SpotCheck
+from repro.net.mac import (
+    BlockageProcess,
+    ChurnProcess,
+    FdmaMac,
+    MacProcess,
+    QInventoryMac,
+    SlottedAlohaMac,
+    SpotCheckProcess,
+)
+from repro.net.population import TagPopulation, jain_fairness
+from repro.net.sim import PROTOCOLS, NetSimConfig, NetSimReport, run_netsim
+from repro.net.task import NetSimTask
+
+__all__ = [
+    "EventHandle",
+    "EventTrace",
+    "Process",
+    "Simulator",
+    "TraceEvent",
+    "LinkBudgetModel",
+    "SpotCheck",
+    "BlockageProcess",
+    "ChurnProcess",
+    "FdmaMac",
+    "MacProcess",
+    "QInventoryMac",
+    "SlottedAlohaMac",
+    "SpotCheckProcess",
+    "TagPopulation",
+    "jain_fairness",
+    "PROTOCOLS",
+    "NetSimConfig",
+    "NetSimReport",
+    "run_netsim",
+    "NetSimTask",
+]

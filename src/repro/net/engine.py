@@ -1,0 +1,345 @@
+"""Deterministic discrete-event simulation engine.
+
+The MAC layer of a 100k-tag backscatter network cannot run at the
+waveform level — a single 10k-slot inventory would need minutes of
+sample-rate simulation per *slot*.  This module provides the substrate
+the :mod:`repro.net` network layer runs on instead: a classic
+discrete-event core with three determinism guarantees that make
+population-scale runs **byte-reproducible**:
+
+* **Total event order.**  The event queue is a binary heap keyed by
+  ``(time, seq)`` where ``seq`` is a global monotonically increasing
+  scheduling counter.  Events at equal timestamps therefore execute in
+  the order they were *scheduled*, which is itself deterministic — no
+  heap-reordering ambiguity, no id()-based tie-breaks.
+* **Per-process RNG streams.**  Every :class:`Process` receives its own
+  :class:`numpy.random.Generator` spawned from the simulator's root
+  :class:`~numpy.random.SeedSequence` in registration order.  A process
+  draws only from its own stream, so the *interleaving* of events
+  cannot perturb any process's draw sequence — adding trace calls or
+  reordering same-time events never changes a number.
+* **Structured event trace.**  Every dispatch (and any explicit
+  :meth:`Simulator.record` call) appends a :class:`TraceEvent` to a
+  bounded ring buffer whose running sha256 digest covers *all* events
+  ever appended — the ring tail is for debugging, the digest is the
+  byte-identity witness that two runs executed the same history.
+
+The engine is protocol-agnostic; see :mod:`repro.net.mac` for the
+AP/tag/churn/blockage processes built on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "TraceEvent",
+    "EventTrace",
+    "EventHandle",
+    "Process",
+    "Simulator",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record: who did what, when.
+
+    ``detail`` is a tuple of ``(key, value)`` pairs (kept as a tuple so
+    the event is hashable and its serialised form has a stable field
+    order without sorting surprises).
+    """
+
+    time_s: float
+    seq: int
+    process: str
+    kind: str
+    detail: tuple[tuple[str, object], ...] = ()
+
+    def to_line(self) -> str:
+        """Canonical single-line JSON rendering (digest + dump format)."""
+        payload: dict[str, object] = {
+            "t": self.time_s,
+            "seq": self.seq,
+            "proc": self.process,
+            "kind": self.kind,
+        }
+        for key, value in self.detail:
+            payload[key] = value
+        return json.dumps(payload, separators=(",", ":"), allow_nan=True)
+
+
+class EventTrace:
+    """Bounded ring buffer of :class:`TraceEvent` with a running digest.
+
+    The ring keeps the most recent ``capacity`` events for debugging
+    (dumpable as JSONL — the CI chaos job uploads it on failure); the
+    sha256 digest is updated with *every* appended event's canonical
+    line, so :meth:`digest` witnesses the complete event history even
+    after old events have been evicted from the ring.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.total = 0
+        self._ring: list[TraceEvent | None] = [None] * capacity
+        self._hash = hashlib.sha256()
+
+    def append(self, event: TraceEvent) -> None:
+        """Record one event (digest always; ring evicts the oldest)."""
+        self._ring[self.total % self.capacity] = event
+        self.total += 1
+        self._hash.update(event.to_line().encode())
+        self._hash.update(b"\n")
+
+    def tail(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        if self.total <= self.capacity:
+            return [e for e in self._ring[: self.total] if e is not None]
+        start = self.total % self.capacity
+        wrapped = self._ring[start:] + self._ring[:start]
+        return [e for e in wrapped if e is not None]
+
+    def digest(self) -> str:
+        """sha256 over every event ever appended (not just the tail)."""
+        return self._hash.hexdigest()
+
+    def to_jsonl(self) -> str:
+        """The ring tail as JSONL, preceded by a summary header line."""
+        header = json.dumps(
+            {
+                "trace": "repro.net",
+                "total_events": self.total,
+                "ring_capacity": self.capacity,
+                "digest_sha256": self.digest(),
+            },
+            separators=(",", ":"),
+        )
+        lines = [header] + [event.to_line() for event in self.tail()]
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: str | Path) -> Path:
+        """Write :meth:`to_jsonl` to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+@dataclass
+class EventHandle:
+    """A scheduled event; ``cancel`` via :meth:`Simulator.cancel`."""
+
+    time_s: float
+    seq: int
+    callback: Callable[[], None] = field(repr=False)
+    process: str = ""
+    cancelled: bool = False
+
+
+class Process:
+    """A named simulation actor with its own deterministic RNG stream.
+
+    Subclasses implement behaviour by scheduling callbacks through
+    :meth:`schedule` and drawing randomness *only* from ``self.rng``.
+    The stream is assigned at registration
+    (:meth:`Simulator.add_process`) by spawning the simulator's root
+    seed sequence, so a process's draws depend only on the root seed
+    and the registration order — never on how events interleave.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("process needs a non-empty name")
+        self.name = name
+        self.sim: Simulator | None = None
+        self.rng: np.random.Generator | None = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, sim: "Simulator", rng: np.random.Generator) -> None:
+        """Attach to a simulator (called by :meth:`Simulator.add_process`)."""
+        self.sim = sim
+        self.rng = rng
+
+    def start(self) -> None:
+        """Hook: schedule the process's first event(s).  Default: none."""
+
+    # -- conveniences ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The simulated clock."""
+        assert self.sim is not None, f"process {self.name!r} is unbound"
+        return self.sim.now
+
+    def schedule(
+        self, delay_s: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``now + delay_s`` under this process."""
+        assert self.sim is not None, f"process {self.name!r} is unbound"
+        return self.sim.schedule(delay_s, callback, process=self.name)
+
+    def trace(self, kind: str, **detail: object) -> None:
+        """Append a structured trace event attributed to this process."""
+        assert self.sim is not None, f"process {self.name!r} is unbound"
+        self.sim.record(self.name, kind, **detail)
+
+
+class Simulator:
+    """Heap-based discrete-event simulator with a deterministic clock.
+
+    Parameters
+    ----------
+    seed:
+        Root entropy — an ``int`` or a :class:`numpy.random.SeedSequence`.
+        Every per-process stream is spawned from it in registration
+        order, so ``Simulator(0)`` is one reproducible universe.
+    trace_capacity:
+        Ring size of the structured event trace.
+
+    Determinism contract
+    --------------------
+    * Events execute in ``(time, seq)`` order; ``seq`` increments per
+      :meth:`schedule` call, so same-time events run in scheduling
+      order.
+    * Process RNG streams are spawned in :meth:`add_process` order.
+      Registering the *same processes in the same order* under the same
+      seed reproduces every draw bit for bit; network-layer code must
+      therefore register all its processes unconditionally (an idle
+      process still consumes its spawn slot).
+    """
+
+    def __init__(
+        self,
+        seed: int | np.random.SeedSequence = 0,
+        trace_capacity: int = 4096,
+    ) -> None:
+        if isinstance(seed, np.random.SeedSequence):
+            self.entropy = seed
+        else:
+            self.entropy = np.random.SeedSequence(int(seed))
+        self.now = 0.0
+        self.events_processed = 0
+        self.trace = EventTrace(trace_capacity)
+        self.processes: dict[str, Process] = {}
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq = 0
+
+    # -- processes ------------------------------------------------------------
+
+    def spawn_stream(self) -> np.random.Generator:
+        """Spawn the next child stream off the root seed sequence.
+
+        Children are handed out in call order (the spawn counter lives
+        on the root ``SeedSequence``), which is what makes registration
+        order part of the determinism contract.
+        """
+        return np.random.default_rng(self.entropy.spawn(1)[0])
+
+    def add_process(self, process: Process) -> Process:
+        """Register ``process``, assigning its RNG stream; returns it."""
+        if process.name in self.processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        process.bind(self, self.spawn_stream())
+        self.processes[process.name] = process
+        return process
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay_s: float,
+        callback: Callable[[], None],
+        process: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``now + delay_s``; returns a handle."""
+        if delay_s < 0:
+            raise ValueError(f"cannot schedule into the past: {delay_s}")
+        return self.schedule_at(self.now + delay_s, callback, process=process)
+
+    def schedule_at(
+        self,
+        time_s: float,
+        callback: Callable[[], None],
+        process: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time_s`` (>= now)."""
+        if time_s < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time_s} < now {self.now}"
+            )
+        handle = EventHandle(
+            time_s=time_s, seq=self._seq, callback=callback, process=process
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, (time_s, handle.seq, handle))
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (lazy: skipped at pop time)."""
+        handle.cancelled = True
+
+    # -- tracing --------------------------------------------------------------
+
+    def record(self, process: str, kind: str, **detail: object) -> None:
+        """Append a structured trace event at the current clock."""
+        self.trace.append(
+            TraceEvent(
+                time_s=self.now,
+                seq=self._seq,
+                process=process,
+                kind=kind,
+                detail=tuple(sorted(detail.items())),
+            )
+        )
+
+    # -- the loop -------------------------------------------------------------
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when drained."""
+        while self._heap:
+            time_s, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time_s
+        return None
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Dispatch events in ``(time, seq)`` order; return the count.
+
+        ``until`` stops *before* dispatching any event strictly later
+        than it (the clock is left at the last dispatched event's time);
+        ``max_events`` bounds this call's dispatch count.  Both
+        ``None`` runs the queue dry.
+        """
+        dispatched = 0
+        while self._heap:
+            if max_events is not None and dispatched >= max_events:
+                break
+            time_s, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and time_s > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time_s
+            handle.callback()
+            dispatched += 1
+            self.events_processed += 1
+        return dispatched

@@ -1,0 +1,213 @@
+"""Per-slot frame-success probabilities anchored to the link budget.
+
+The network simulator abstracts each slot to a Bernoulli frame-success
+draw — the standard MAC-scale abstraction — but the probabilities are
+*not* free parameters: they come from the same calibrated budget the
+waveform layer uses (:func:`repro.core.link.link_snr_db` feeding the
+modulation scheme's theoretical BER), exactly like
+:meth:`repro.core.network.MmTagNetwork.tdma_inventory`.
+
+For 100k-tag populations calling :func:`link_snr_db` per tag would
+dominate the runtime, so :class:`LinkBudgetModel` computes the budget
+once at a 1 m reference and applies the backscatter ``d^-4`` range law
+(40 dB/decade) analytically — and *verifies* that shortcut against the
+exact budget at construction time, falling back to exact per-distance
+evaluation if a future budget change breaks the scaling.  Incidence
+angles are quantised to 0.25° and the Van Atta roundtrip-gain delta is
+cached per bucket.
+
+The ``spot_check`` hook closes the loop back to the waveform substrate:
+it runs :func:`repro.core.link.simulate_link` at a sampled tag's
+operating point so a network run can verify, on real waveforms, that
+the analytic per-slot probabilities it used are honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.core.ap import APConfig
+from repro.core.link import LinkConfig, link_snr_db, simulate_link
+from repro.core.modulation import get_scheme
+from repro.core.tag import Tag, TagConfig
+
+__all__ = ["LinkBudgetModel", "SpotCheck"]
+
+#: Path-loss exponent of a backscatter (two-way) link, in dB/decade.
+_RANGE_LAW_DB_PER_DECADE = 40.0
+
+#: Incidence-angle cache bucket width, degrees.
+_ANGLE_BUCKET_DEG = 0.25
+
+
+@dataclass(frozen=True)
+class SpotCheck:
+    """One waveform-level audit of the analytic per-slot model."""
+
+    slot: int
+    tag_id: int
+    distance_m: float
+    modeled_success_prob: float
+    frame_success: bool
+    measured_ber: float
+
+
+class LinkBudgetModel:
+    """Vectorised frame-success probabilities for a tag population.
+
+    Parameters
+    ----------
+    tag:
+        The tag hardware configuration shared by the population
+        (distance and angle vary per deployed tag).
+    ap / environment:
+        The AP and RF surroundings, as in :class:`LinkConfig`.
+    frame_bits:
+        Payload bits per MAC frame; the success probability is
+        ``(1 - BER)^(frame_bits + 32)`` (32 = CRC), matching
+        ``tdma_inventory``.
+    """
+
+    def __init__(
+        self,
+        tag: TagConfig,
+        ap: APConfig,
+        environment: Environment,
+        frame_bits: int,
+    ) -> None:
+        if frame_bits < 1:
+            raise ValueError(f"frame_bits must be >= 1, got {frame_bits}")
+        self.tag = tag
+        self.ap = ap
+        self.environment = environment
+        self.frame_bits = frame_bits
+        self.scheme = get_scheme(tag.modulation)
+
+        self._ref_config = LinkConfig(
+            distance_m=1.0, tag=tag, ap=ap, environment=environment
+        )
+        self._ref_snr_db = link_snr_db(self._ref_config)
+        # Trust-but-verify the d^-4 shortcut against the exact budget.
+        probe = link_snr_db(replace(self._ref_config, distance_m=3.0))
+        expected = self._ref_snr_db - _RANGE_LAW_DB_PER_DECADE * math.log10(3.0)
+        self._range_law_ok = abs(probe - expected) < 1e-6
+        self._gain_cache: dict[int, float] = {0: 0.0}
+        self._ber_cache: dict[float, float] = {}
+        self._tag_model = Tag(tag)
+        self._gain_ref_db = self._tag_model.ideal_roundtrip_gain_db(0.0)
+
+    # -- analytic path --------------------------------------------------------
+
+    def _angle_gain_delta_db(self, angle_deg: float) -> float:
+        """Roundtrip-gain delta vs boresight, cached per 0.25° bucket."""
+        bucket = int(round(angle_deg / _ANGLE_BUCKET_DEG))
+        cached = self._gain_cache.get(bucket)
+        if cached is None:
+            angle = math.radians(bucket * _ANGLE_BUCKET_DEG)
+            cached = (
+                self._tag_model.ideal_roundtrip_gain_db(angle)
+                - self._gain_ref_db
+            )
+            self._gain_cache[bucket] = cached
+        return cached
+
+    def snr_db(
+        self, distances_m: np.ndarray, angles_deg: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Analytic symbol SNR for each (distance, angle) operating point."""
+        distances_m = np.asarray(distances_m, dtype=np.float64)
+        if self._range_law_ok:
+            snr = self._ref_snr_db - _RANGE_LAW_DB_PER_DECADE * np.log10(
+                distances_m
+            )
+        else:  # pragma: no cover - future-budget fallback, exact but slow
+            snr = np.array(
+                [
+                    link_snr_db(replace(self._ref_config, distance_m=float(d)))
+                    for d in np.atleast_1d(distances_m)
+                ]
+            ).reshape(distances_m.shape)
+        if angles_deg is not None:
+            angles_deg = np.asarray(angles_deg, dtype=np.float64)
+            deltas = np.array(
+                [
+                    self._angle_gain_delta_db(float(a))
+                    for a in np.atleast_1d(angles_deg)
+                ]
+            ).reshape(angles_deg.shape)
+            snr = snr + deltas
+        return snr
+
+    def _ber(self, snr_db: float) -> float:
+        """Scheme BER at one SNR, cached per 0.01 dB."""
+        key = round(snr_db, 2)
+        cached = self._ber_cache.get(key)
+        if cached is None:
+            cached = self.scheme.theoretical_ber(key)
+            self._ber_cache[key] = cached
+        return cached
+
+    def frame_success_probability(
+        self,
+        distances_m: np.ndarray,
+        angles_deg: np.ndarray | None = None,
+        extra_attenuation_db: float = 0.0,
+    ) -> np.ndarray:
+        """Per-tag probability that one whole frame survives the slot.
+
+        ``extra_attenuation_db`` models blockage: a body attenuating the
+        one-way path by A dB costs a backscatter link ``2A`` dB of SNR
+        (the wave crosses the blocker twice).
+        """
+        snr = self.snr_db(distances_m, angles_deg) - 2.0 * extra_attenuation_db
+        flat = np.atleast_1d(snr).ravel()
+        total_bits = self.frame_bits + 32
+        probs = np.array(
+            [(1.0 - self._ber(float(s))) ** total_bits for s in flat]
+        )
+        return probs.reshape(np.shape(snr))
+
+    def slot_duration_s(self) -> float:
+        """Air time of one MAC slot (same overhead model as TDMA)."""
+        symbols = (
+            math.ceil((self.frame_bits + 32) / self.scheme.bits_per_symbol)
+            + 60  # preamble + header overhead
+        )
+        return symbols / self.tag.symbol_rate_hz
+
+    # -- waveform-level audit -------------------------------------------------
+
+    def spot_check(
+        self,
+        slot: int,
+        tag_id: int,
+        distance_m: float,
+        angle_deg: float,
+        rng: np.random.Generator,
+    ) -> SpotCheck:
+        """Run one real waveform burst at a sampled tag's operating point."""
+        config = replace(
+            self._ref_config,
+            distance_m=float(distance_m),
+            incidence_angle_deg=float(angle_deg),
+        )
+        result = simulate_link(
+            config, num_payload_bits=self.frame_bits, rng=rng
+        )
+        modeled = float(
+            self.frame_success_probability(
+                np.array([distance_m]), np.array([angle_deg])
+            )[0]
+        )
+        return SpotCheck(
+            slot=slot,
+            tag_id=tag_id,
+            distance_m=float(distance_m),
+            modeled_success_prob=modeled,
+            frame_success=bool(result.frame_success),
+            measured_ber=float(result.ber),
+        )

@@ -1,0 +1,185 @@
+"""Structure-of-arrays tag population for 100k-scale MAC simulation.
+
+One Python object per tag would put ~100k dict lookups in every slot;
+:class:`TagPopulation` instead keeps the per-tag state in parallel
+numpy arrays (amortised-doubling growth) so the MAC processes operate
+on whole populations with vectorised draws.  Tag ids are assigned
+sequentially at arrival, so array order == id order == arrival order —
+the deterministic iteration order every protocol draws in.
+
+The population records everything the report needs: per-tag delivered
+bits (goodput + Jain fairness), arrival/read/departure timestamps
+(latency + time-to-full-inventory), and the link-budget success
+probabilities computed once at arrival by
+:class:`~repro.net.link_model.LinkBudgetModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TagPopulation", "jain_fairness"]
+
+
+def jain_fairness(values: np.ndarray | list[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Edge cases (shared contract with
+    :meth:`repro.core.network.InventoryResult.jain_fairness`): an empty
+    population has no allocation to judge — **0.0**; an all-equal
+    allocation (including all-zero: everyone equally starved) is
+    perfectly fair — **1.0**.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    squares = float(np.dot(arr, arr))
+    if squares == 0.0:
+        return 1.0
+    total = float(arr.sum())
+    return total * total / (arr.size * squares)
+
+
+class TagPopulation:
+    """Parallel per-tag state arrays with amortised growth."""
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self) -> None:
+        cap = self._INITIAL_CAPACITY
+        self._n = 0
+        self.distance_m = np.empty(cap, dtype=np.float64)
+        self.angle_deg = np.empty(cap, dtype=np.float64)
+        self.clear_success_p = np.empty(cap, dtype=np.float64)
+        self.blocked_success_p = np.empty(cap, dtype=np.float64)
+        self.active = np.zeros(cap, dtype=bool)
+        self.read = np.zeros(cap, dtype=bool)
+        self.arrival_s = np.empty(cap, dtype=np.float64)
+        self.departure_s = np.full(cap, np.nan, dtype=np.float64)
+        self.read_s = np.full(cap, np.nan, dtype=np.float64)
+        self.delivered_bits = np.zeros(cap, dtype=np.int64)
+        self.frames_delivered = np.zeros(cap, dtype=np.int64)
+        self.arrivals = 0
+        self.departures = 0
+
+    def __len__(self) -> int:
+        """Total tags ever deployed (active + departed)."""
+        return self._n
+
+    # -- growth ---------------------------------------------------------------
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self.distance_m.size
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        for name in (
+            "distance_m",
+            "angle_deg",
+            "clear_success_p",
+            "blocked_success_p",
+            "active",
+            "read",
+            "arrival_s",
+            "departure_s",
+            "read_s",
+            "delivered_bits",
+            "frames_delivered",
+        ):
+            old = getattr(self, name)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[: old.size] = old
+            if old.dtype == bool:
+                grown[old.size :] = False
+            elif name in ("departure_s", "read_s"):
+                grown[old.size :] = np.nan
+            elif old.dtype == np.int64:
+                grown[old.size :] = 0
+            setattr(self, name, grown)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def add(
+        self,
+        distances_m: np.ndarray,
+        angles_deg: np.ndarray,
+        clear_success_p: np.ndarray,
+        blocked_success_p: np.ndarray,
+        time_s: float,
+    ) -> np.ndarray:
+        """Deploy a batch of tags; returns their (sequential) ids."""
+        distances_m = np.atleast_1d(np.asarray(distances_m, dtype=np.float64))
+        n = distances_m.size
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        ids = np.arange(self._n, self._n + n, dtype=np.int64)
+        self._ensure_capacity(self._n + n)
+        sl = slice(self._n, self._n + n)
+        self.distance_m[sl] = distances_m
+        self.angle_deg[sl] = np.atleast_1d(angles_deg)
+        self.clear_success_p[sl] = np.atleast_1d(clear_success_p)
+        self.blocked_success_p[sl] = np.atleast_1d(blocked_success_p)
+        self.active[sl] = True
+        self.read[sl] = False
+        self.arrival_s[sl] = time_s
+        self._n += n
+        self.arrivals += n
+        return ids
+
+    def depart(self, tag_id: int, time_s: float) -> bool:
+        """Remove one tag from the air; False if it already left."""
+        if not self.active[tag_id]:
+            return False
+        self.active[tag_id] = False
+        self.departure_s[tag_id] = time_s
+        self.departures += 1
+        return True
+
+    # -- views (id order == array order == arrival order) ---------------------
+
+    def active_ids(self) -> np.ndarray:
+        """Ids of tags currently on the air, ascending."""
+        return np.flatnonzero(self.active[: self._n])
+
+    def active_unread_ids(self) -> np.ndarray:
+        """Active tags not yet read/discovered, ascending id order."""
+        live = self.active[: self._n] & ~self.read[: self._n]
+        return np.flatnonzero(live)
+
+    def success_p(self, ids: np.ndarray, blocked: bool) -> np.ndarray:
+        """Per-slot frame-success probability for ``ids``."""
+        src = self.blocked_success_p if blocked else self.clear_success_p
+        return src[ids]
+
+    # -- outcomes -------------------------------------------------------------
+
+    def record_read(self, tag_id: int, bits: int, time_s: float) -> None:
+        """A frame from ``tag_id`` was delivered this slot."""
+        self.delivered_bits[tag_id] += bits
+        self.frames_delivered[tag_id] += 1
+        if not self.read[tag_id]:
+            self.read[tag_id] = True
+            self.read_s[tag_id] = time_s
+
+    def record_reads(self, ids: np.ndarray, bits: int, time_s: float) -> None:
+        """Vectorised :meth:`record_read` for concurrent (FDMA) slots."""
+        if ids.size == 0:
+            return
+        self.delivered_bits[ids] += bits
+        self.frames_delivered[ids] += 1
+        fresh = ids[~self.read[ids]]
+        self.read[fresh] = True
+        self.read_s[fresh] = time_s
+
+    # -- metrics --------------------------------------------------------------
+
+    def latencies_s(self) -> np.ndarray:
+        """Arrival-to-first-read latency of every read tag."""
+        read = self.read[: self._n]
+        return self.read_s[: self._n][read] - self.arrival_s[: self._n][read]
+
+    def fairness(self) -> float:
+        """Jain fairness over delivered bits of every tag ever deployed."""
+        return jain_fairness(self.delivered_bits[: self._n])

@@ -1,0 +1,404 @@
+"""One-call network simulation: config in, deterministic report out.
+
+:func:`run_netsim` assembles the full process stack — churn, blockage,
+one of the three MAC modes, waveform spot-checks — on a
+:class:`~repro.net.engine.Simulator` and runs it to the slot horizon.
+The assembly order is part of the determinism contract: all four
+processes are registered **unconditionally** in a fixed order
+(churn, blockage, mac, spotcheck), so every process's RNG stream
+depends only on the root seed — toggling churn or blockage on/off
+never shifts another process's draws.
+
+The :class:`NetSimReport` is a frozen, picklable value object; two runs
+with the same :class:`NetSimConfig` and seed produce byte-identical
+pickles *and* byte-identical event-trace digests, which is what the
+determinism suite (and the ``SweepExecutor`` cache) asserts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.core.ap import APConfig
+from repro.core.tag import TagConfig
+from repro.net.engine import Simulator
+from repro.net.link_model import LinkBudgetModel, SpotCheck
+from repro.net.mac import (
+    BlockageProcess,
+    ChurnProcess,
+    FdmaMac,
+    MacProcess,
+    QInventoryMac,
+    SlottedAlohaMac,
+    SpotCheckProcess,
+)
+from repro.net.population import TagPopulation
+
+__all__ = ["PROTOCOLS", "NetSimConfig", "NetSimReport", "run_netsim"]
+
+#: MAC modes :func:`run_netsim` knows how to assemble.
+PROTOCOLS = ("aloha", "inventory", "fdma")
+
+
+@dataclass(frozen=True)
+class NetSimConfig:
+    """Everything one network-scale run depends on (seed excepted)."""
+
+    num_tags: int = 100
+    """Initial cohort deployed at ``t = 0``."""
+    num_slots: int = 1000
+    """Slot horizon: the MAC clocks at most this many slots."""
+    protocol: str = "aloha"
+    """One of :data:`PROTOCOLS`."""
+    frame_bits: int = 256
+    """Payload bits per MAC frame (CRC adds 32)."""
+
+    tag: TagConfig = field(default_factory=TagConfig)
+    ap: APConfig = field(default_factory=APConfig)
+    environment: Environment = field(default_factory=Environment.anechoic)
+
+    min_distance_m: float = 1.5
+    max_distance_m: float = 6.0
+    angle_spread_deg: float = 0.0
+
+    # -- ALOHA knobs ----------------------------------------------------------
+    transmit_probability: float | None = None
+    """Fixed per-slot transmit probability; ``None`` = adaptive 1/backlog."""
+    persistent: bool = False
+    """Saturated ALOHA: every tag always contends (offered-load studies)."""
+
+    # -- inventory / FDMA knobs ----------------------------------------------
+    q_initial: float = 4.0
+    fdma_group_size: int = 8
+
+    # -- churn ---------------------------------------------------------------
+    arrival_rate_hz: float = 0.0
+    mean_dwell_s: float | None = None
+
+    # -- blockage ------------------------------------------------------------
+    blockage_rate_hz: float = 0.0
+    blockage_mean_s: float = 0.05
+    blockage_attenuation_db: float = 20.0
+
+    # -- instrumentation ------------------------------------------------------
+    spot_check_every: int = 0
+    """Waveform-level audit cadence in slots; 0 disables spot checks."""
+    trace_capacity: int = 4096
+    stop_when_drained: bool = True
+    """Stop clocking slots once no unread tag remains (discovery runs)."""
+
+    def __post_init__(self) -> None:
+        if self.num_tags < 0:
+            raise ValueError(f"num_tags must be >= 0, got {self.num_tags}")
+        if self.num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.frame_bits < 1:
+            raise ValueError(f"frame_bits must be >= 1, got {self.frame_bits}")
+        if not 0 < self.min_distance_m <= self.max_distance_m:
+            raise ValueError(
+                "need 0 < min_distance_m <= max_distance_m, got "
+                f"{self.min_distance_m} / {self.max_distance_m}"
+            )
+        if self.angle_spread_deg < 0:
+            raise ValueError(
+                f"angle_spread_deg must be >= 0, got {self.angle_spread_deg}"
+            )
+        if self.transmit_probability is not None and not (
+            0.0 < self.transmit_probability <= 1.0
+        ):
+            raise ValueError(
+                "transmit_probability must be in (0, 1], got "
+                f"{self.transmit_probability}"
+            )
+        if self.fdma_group_size < 1:
+            raise ValueError(
+                f"fdma_group_size must be >= 1, got {self.fdma_group_size}"
+            )
+        if self.arrival_rate_hz < 0:
+            raise ValueError(
+                f"arrival_rate_hz must be >= 0, got {self.arrival_rate_hz}"
+            )
+        if self.mean_dwell_s is not None and self.mean_dwell_s <= 0:
+            raise ValueError(
+                f"mean_dwell_s must be > 0, got {self.mean_dwell_s}"
+            )
+        if self.blockage_rate_hz < 0:
+            raise ValueError(
+                f"blockage_rate_hz must be >= 0, got {self.blockage_rate_hz}"
+            )
+        if self.spot_check_every < 0:
+            raise ValueError(
+                f"spot_check_every must be >= 0, got {self.spot_check_every}"
+            )
+
+    @classmethod
+    def field_names(cls) -> frozenset[str]:
+        """Names sweepable by :class:`~repro.net.task.NetSimTask`."""
+        return frozenset(f.name for f in dataclass_fields(cls))
+
+
+@dataclass(frozen=True)
+class NetSimReport:
+    """The complete, picklable outcome of one :func:`run_netsim`."""
+
+    config: NetSimConfig
+    seed_key: tuple[int, ...]
+    protocol: str
+
+    # -- air time -------------------------------------------------------------
+    slot_s: float
+    slots_run: int
+    duration_s: float
+
+    # -- slot outcomes --------------------------------------------------------
+    slots_idle: int
+    slots_single: int
+    slots_collision: int
+    blocked_slots: int
+    reads_failed_channel: int
+    frames_delivered: int
+    offered_load_mean: float
+
+    # -- population -----------------------------------------------------------
+    tags_total: int
+    tags_read: int
+    arrivals: int
+    departures: int
+
+    # -- headline metrics -----------------------------------------------------
+    delivered_bits: int
+    goodput_bps: float
+    throughput_per_slot: float
+    """Successful (SINGLE outcome) slots per clocked slot — the
+    quantity whose saturated-ALOHA peak is ``1/e`` at ``G = 1``."""
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    time_to_full_inventory_s: float
+    """When the last tag of the initial cohort was first read (NaN if
+    the cohort was never fully read within the horizon)."""
+    jain_fairness: float
+
+    # -- inventory-only -------------------------------------------------------
+    rounds: int
+    q_final: float
+
+    # -- audits ---------------------------------------------------------------
+    spot_checks: tuple[SpotCheck, ...]
+    trace_digest: str
+    trace_events: int
+    events_processed: int
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest (CLI output)."""
+        lines = [
+            f"protocol            : {self.protocol}",
+            f"tags (initial/total): {self.config.num_tags}/{self.tags_total}",
+            f"slots run           : {self.slots_run} of "
+            f"{self.config.num_slots} ({self.slot_s * 1e6:.1f} us each)",
+            f"air time            : {self.duration_s * 1e3:.2f} ms",
+            f"slot outcomes       : {self.slots_idle} idle / "
+            f"{self.slots_single} single / {self.slots_collision} collision",
+            f"blocked slots       : {self.blocked_slots}",
+            f"frames delivered    : {self.frames_delivered} "
+            f"({self.reads_failed_channel} lost to channel)",
+            f"tags read           : {self.tags_read}/{self.tags_total}",
+            f"goodput             : {self.goodput_bps / 1e3:.1f} kbit/s",
+            f"throughput/slot     : {self.throughput_per_slot:.4f}",
+            f"latency mean/p95    : {self.latency_mean_s * 1e3:.2f} / "
+            f"{self.latency_p95_s * 1e3:.2f} ms",
+            f"full inventory at   : {self.time_to_full_inventory_s * 1e3:.2f} ms"
+            if math.isfinite(self.time_to_full_inventory_s)
+            else "full inventory at   : not reached",
+            f"Jain fairness       : {self.jain_fairness:.4f}",
+        ]
+        if self.protocol == "inventory":
+            lines.append(
+                f"Q rounds / final Q  : {self.rounds} / {self.q_final:.2f}"
+            )
+        if self.spot_checks:
+            agree = sum(
+                1
+                for c in self.spot_checks
+                if c.frame_success == (c.modeled_success_prob >= 0.5)
+            )
+            lines.append(
+                f"spot checks         : {len(self.spot_checks)} "
+                f"({agree} matching the analytic model's majority call)"
+            )
+        lines.append(f"trace digest        : {self.trace_digest[:16]}...")
+        return "\n".join(lines)
+
+
+def _build_mac(
+    config: NetSimConfig,
+    population: TagPopulation,
+    blockage: BlockageProcess,
+    slot_s: float,
+) -> MacProcess:
+    common = dict(
+        num_slots=config.num_slots,
+        slot_s=slot_s,
+        frame_bits=config.frame_bits,
+    )
+    if config.protocol == "aloha":
+        return SlottedAlohaMac(
+            population,
+            blockage,
+            transmit_probability=config.transmit_probability,
+            persistent=config.persistent,
+            stop_when_drained=config.stop_when_drained,
+            **common,
+        )
+    if config.protocol == "inventory":
+        return QInventoryMac(
+            population,
+            blockage,
+            q_initial=config.q_initial,
+            stop_when_drained=config.stop_when_drained,
+            **common,
+        )
+    return FdmaMac(
+        population,
+        blockage,
+        group_size=config.fdma_group_size,
+        **common,
+    )
+
+
+def run_netsim(
+    config: NetSimConfig,
+    seed: int | np.random.SeedSequence = 0,
+    trace_path: str | Path | None = None,
+) -> NetSimReport:
+    """Run one network-scale simulation; deterministic in (config, seed).
+
+    ``trace_path``, when given, dumps the event-trace ring (JSONL with
+    a digest header) after the run — the artifact CI uploads when a
+    determinism check fails.
+    """
+    sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
+    link_model = LinkBudgetModel(
+        config.tag, config.ap, config.environment, config.frame_bits
+    )
+    slot_s = link_model.slot_duration_s()
+    horizon_s = config.num_slots * slot_s
+    population = TagPopulation()
+
+    # Registration order IS the determinism contract — never reorder,
+    # never register conditionally.
+    churn = sim.add_process(
+        ChurnProcess(
+            population,
+            link_model,
+            arrival_rate_hz=config.arrival_rate_hz,
+            mean_dwell_s=config.mean_dwell_s,
+            min_distance_m=config.min_distance_m,
+            max_distance_m=config.max_distance_m,
+            angle_spread_deg=config.angle_spread_deg,
+            blockage_attenuation_db=config.blockage_attenuation_db,
+            horizon_s=horizon_s,
+        )
+    )
+    blockage = sim.add_process(
+        BlockageProcess(
+            rate_hz=config.blockage_rate_hz,
+            mean_duration_s=config.blockage_mean_s,
+            attenuation_db=config.blockage_attenuation_db,
+            slot_s=slot_s,
+            horizon_s=horizon_s,
+        )
+    )
+    mac = sim.add_process(_build_mac(config, population, blockage, slot_s))
+    spot = sim.add_process(
+        SpotCheckProcess(
+            population,
+            link_model,
+            every=config.spot_check_every,
+            num_slots=config.num_slots,
+            slot_s=slot_s,
+        )
+    )
+
+    churn.deploy(config.num_tags)
+    for process in (churn, blockage, mac, spot):
+        process.start()
+    sim.run(until=horizon_s)
+
+    # -- metrics ----------------------------------------------------------
+    assert isinstance(churn, ChurnProcess)
+    assert isinstance(mac, MacProcess)
+    assert isinstance(spot, SpotCheckProcess)
+    n = len(population)
+    slots_run = mac.slots_run
+    duration_s = slots_run * slot_s
+    delivered_bits = int(population.delivered_bits[:n].sum())
+    latencies = population.latencies_s()
+    if latencies.size:
+        latency_mean = float(latencies.mean())
+        latency_p50 = float(np.percentile(latencies, 50))
+        latency_p95 = float(np.percentile(latencies, 95))
+    else:
+        latency_mean = latency_p50 = latency_p95 = float("nan")
+    cohort = slice(0, config.num_tags)
+    cohort_read = population.read[cohort]
+    if config.num_tags > 0 and bool(cohort_read.all()):
+        full_inventory_s = float(population.read_s[cohort].max())
+    else:
+        full_inventory_s = float("nan")
+    if isinstance(mac, QInventoryMac):
+        rounds = mac.rounds
+        q_final = float(mac.controller.q_float)
+    else:
+        rounds = 0
+        q_final = float("nan")
+
+    report = NetSimReport(
+        config=config,
+        seed_key=tuple(int(w) for w in sim.entropy.generate_state(4)),
+        protocol=config.protocol,
+        slot_s=slot_s,
+        slots_run=slots_run,
+        duration_s=duration_s,
+        slots_idle=mac.slots_idle,
+        slots_single=mac.slots_single,
+        slots_collision=mac.slots_collision,
+        blocked_slots=mac.blocked_slots,
+        reads_failed_channel=mac.reads_failed_channel,
+        frames_delivered=mac.frames_delivered,
+        offered_load_mean=(
+            mac.offered_sum / slots_run if slots_run else float("nan")
+        ),
+        tags_total=n,
+        tags_read=int(population.read[:n].sum()),
+        arrivals=population.arrivals,
+        departures=population.departures,
+        delivered_bits=delivered_bits,
+        goodput_bps=(delivered_bits / duration_s if duration_s else 0.0),
+        throughput_per_slot=(
+            mac.slots_single / slots_run if slots_run else 0.0
+        ),
+        latency_mean_s=latency_mean,
+        latency_p50_s=latency_p50,
+        latency_p95_s=latency_p95,
+        time_to_full_inventory_s=full_inventory_s,
+        jain_fairness=population.fairness(),
+        rounds=rounds,
+        q_final=q_final,
+        spot_checks=tuple(spot.checks),
+        trace_digest=sim.trace.digest(),
+        trace_events=sim.trace.total,
+        events_processed=sim.events_processed,
+    )
+    if trace_path is not None:
+        sim.trace.dump(trace_path)
+    return report

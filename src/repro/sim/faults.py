@@ -249,7 +249,7 @@ def blockage_burst_plan(
     rate_hz: float,
     mean_duration_s: float = 0.05,
     attenuation_db: float = 20.0,
-    seed: int | np.random.SeedSequence = 0,
+    seed: int | np.random.SeedSequence | np.random.Generator = 0,
 ) -> list[BlockageEvent]:
     """Seeded Poisson bursts of blockage over ``[0, duration_s)``.
 
@@ -257,7 +257,10 @@ def blockage_burst_plan(
     with mean ``mean_duration_s``; every burst attenuates the one-way
     link by ``attenuation_db`` (mmWave bodies: 15-30 dB).  The same
     seed always yields the same windows, so a goodput-vs-fault-rate
-    curve is reproducible point for point.
+    curve is reproducible point for point.  A ``Generator`` may be
+    passed instead of a seed to draw from an existing stream (the
+    event-engine processes own per-process streams; see
+    :class:`repro.net.mac.BlockageProcess`).
     """
     if duration_s <= 0:
         raise ValueError(f"duration_s must be > 0, got {duration_s}")
@@ -265,9 +268,12 @@ def blockage_burst_plan(
         raise ValueError(f"rate_hz must be >= 0, got {rate_hz}")
     if mean_duration_s <= 0:
         raise ValueError(f"mean_duration_s must be > 0, got {mean_duration_s}")
-    if not isinstance(seed, np.random.SeedSequence):
-        seed = np.random.SeedSequence(abs(int(seed)))
-    rng = np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        rng = seed
+    else:
+        if not isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(abs(int(seed)))
+        rng = np.random.default_rng(seed)
     events: list[BlockageEvent] = []
     if rate_hz == 0.0:
         return events

@@ -91,6 +91,97 @@ class TestNetworkCommand:
     def test_zero_tags_exit_two(self, capsys):
         assert main(["network", "--tags", "0"]) == 2
 
+    def test_protocol_default_is_tdma(self):
+        args = build_parser().parse_args(["network"])
+        assert args.protocol == "tdma"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["network", "--protocol", "csma"])
+
+    def test_aloha_discovery_table(self, capsys):
+        code = main([
+            "network", "--protocol", "aloha", "--tags", "4",
+            "--rounds", "30", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0  # tiny population with a fat budget: all found
+        assert "slotted-ALOHA discovery" in out
+        assert "4/4" in out
+
+    def test_fdma_routes_to_event_sim(self, capsys):
+        code = main([
+            "network", "--protocol", "fdma", "--tags", "6",
+            "--rounds", "5", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protocol            : fdma" in out
+        assert "tags read" in out
+
+
+class TestNetsimCommand:
+    def test_single_run_summary(self, capsys):
+        code = main([
+            "netsim", "--tags", "30", "--slots", "200", "--seed", "4",
+            "--max-distance", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protocol            : aloha" in out
+        assert "slot outcomes" in out
+        assert "Jain fairness" in out
+
+    def test_inventory_protocol_reports_q(self, capsys):
+        code = main([
+            "netsim", "--tags", "30", "--slots", "400",
+            "--protocol", "inventory", "--seed", "4", "--max-distance", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Q rounds / final Q" in out
+
+    def test_trace_dump(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = main([
+            "netsim", "--tags", "10", "--slots", "50", "--seed", "1",
+            "--trace", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert path.exists()
+        assert "event trace" in out
+
+    def test_sweep_tags_prints_table(self, capsys):
+        code = main([
+            "netsim", "--slots", "150", "--seed", "3", "--max-distance", "3",
+            "--sweep-tags", "10,25",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "netsim population sweep" in out
+        assert "num_tags" in out
+        assert "2 computed" in out or "2 points" in out or "jain" in out
+
+    def test_sweep_tags_bad_list_exit_two(self, capsys):
+        assert main(["netsim", "--sweep-tags", "10,abc"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_negative_tags_exit_two(self, capsys):
+        assert main(["netsim", "--tags", "-1"]) == 2
+
+    def test_bad_config_exit_two(self, capsys):
+        # validation errors surface as exit 2, not a traceback
+        assert main(["netsim", "--transmit-probability", "1.5"]) == 2
+        assert "transmit" in capsys.readouterr().err
+
+    def test_same_seed_same_output(self, capsys):
+        argv = ["netsim", "--tags", "20", "--slots", "150", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
 
 class TestBeamsearchCommand:
     def test_both_strategies_reported(self, capsys):

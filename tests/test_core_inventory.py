@@ -67,6 +67,42 @@ class TestQAlgorithm:
         with pytest.raises(ValueError):
             QAlgorithm(step=0.0)
 
+    def test_stays_pinned_at_min_q_under_idle_flood(self):
+        # Once clamped, further idles must not push q_float below min_q
+        # (a naive unclamped subtraction would drift negative and make
+        # a later collision appear to "lose" its increment).
+        controller = QAlgorithm(q_float=0.2, step=0.35)
+        for _ in range(50):
+            controller.update(SlotOutcome.IDLE)
+        assert controller.q_float == 0.0
+        assert controller.q == 0
+        controller.update(SlotOutcome.COLLISION)
+        assert controller.q_float == pytest.approx(0.35)
+
+    def test_stays_pinned_at_max_q_under_collision_flood(self):
+        controller = QAlgorithm(q_float=14.9, step=0.35)
+        for _ in range(50):
+            controller.update(SlotOutcome.COLLISION)
+        assert controller.q_float == 15.0
+        assert controller.q == 15
+        controller.update(SlotOutcome.IDLE)
+        assert controller.q_float == pytest.approx(14.65)
+
+    def test_rejects_initial_q_outside_bounds(self):
+        with pytest.raises(ValueError, match="outside"):
+            QAlgorithm(q_float=-0.5)
+        with pytest.raises(ValueError, match="outside"):
+            QAlgorithm(q_float=15.5)
+
+    def test_custom_bounds_respected(self):
+        controller = QAlgorithm(q_float=3.0, step=1.0, min_q=2, max_q=4)
+        controller.update(SlotOutcome.IDLE)
+        controller.update(SlotOutcome.IDLE)
+        assert controller.q_float == 2.0
+        for _ in range(5):
+            controller.update(SlotOutcome.COLLISION)
+        assert controller.q_float == 4.0
+
 
 class TestInventorySession:
     def test_rejects_empty_population(self):
@@ -78,8 +114,32 @@ class TestInventorySession:
             InventorySession([1, 1])
 
     def test_rejects_bad_read_probability(self):
-        with pytest.raises(ValueError):
-            InventorySession([1], read_success_probability=0.0)
+        # p = 0 would make the session unfinishable: rejected up front,
+        # as is anything outside (0, 1].
+        for bad in (0.0, -0.1, 1.0001):
+            with pytest.raises(ValueError, match="probability"):
+                InventorySession([1], read_success_probability=bad)
+
+    def test_perfect_channel_never_loses_a_read(self):
+        # p = 1.0 is the upper extreme: every SINGLE slot must convert,
+        # so reads_failed_channel stays exactly zero.
+        session = InventorySession(list(range(50)), read_success_probability=1.0)
+        stats = session.run_until_complete(rng=11)
+        assert session.unread_count() == 0
+        assert stats.reads_failed_channel == 0
+        assert stats.slots_single == 50
+
+    def test_zero_tag_session_is_rejected_not_hung(self):
+        # The "zero-tag inventory" case belongs to the caller (the
+        # network sim handles it by not starting a session); here it is
+        # a contract violation, reported immediately.
+        with pytest.raises(ValueError, match="empty"):
+            InventorySession([])
+
+    def test_empty_stats_efficiency_is_zero(self):
+        # A session that never ran a slot divides 0/0: defined as 0.0.
+        session = InventorySession([1])
+        assert session.stats.efficiency == 0.0
 
     def test_reads_every_tag_eventually(self):
         session = InventorySession(list(range(40)))

@@ -201,6 +201,49 @@ class TestAlohaDiscovery:
         discovered, _ = net.slotted_aloha_discovery(50, rng=0, transmit_probability=1.0)
         assert discovered == set()
 
+    def test_golden_fingerprint(self):
+        """Pin the exact draw order: tags respond in ascending-id order.
+
+        Discovery used to iterate a Python ``set`` while drawing RNG,
+        leaving the per-slot draw order to hash-table internals.  The
+        fix iterates ``sorted(undiscovered)``; this golden value is the
+        witness — if the draw order ever drifts (set iteration, dict
+        ordering, a refactor reordering the loop), this fails before
+        any downstream experiment silently shifts.
+        """
+        import hashlib
+        import json
+
+        net = _make_network(6, sps=8)
+        discovered, slots = net.slotted_aloha_discovery(120, rng=12)
+        payload = json.dumps(
+            {"discovered": sorted(discovered), "slots": slots},
+            separators=(",", ":"),
+        )
+        fingerprint = hashlib.sha256(payload.encode()).hexdigest()
+        assert fingerprint == (
+            "de159ca5836257a5cd4a20c834cba15c"
+            "47e21fc0e8e32944873200d7ed9e51f7"
+        ), payload
+
+    def test_draw_order_independent_of_id_insertion_history(self):
+        """Same tag-id set, different construction order: same outcome."""
+        def build(order):
+            tags = [
+                NetworkTag(
+                    config=TagConfig(
+                        tag_id=i, symbol_rate_hz=2e6, samples_per_symbol=8
+                    ),
+                    distance_m=2.0 + i,
+                )
+                for i in order
+            ]
+            return MmTagNetwork(tags, environment=Environment.anechoic())
+
+        forward = build(range(5)).slotted_aloha_discovery(80, rng=5)
+        shuffled = build([3, 0, 4, 1, 2]).slotted_aloha_discovery(80, rng=5)
+        assert forward == shuffled
+
 
 class TestDiagnostics:
     def test_per_tag_snr_ordering(self):
@@ -233,5 +276,31 @@ class TestInventoryResult:
     def test_jain_bounds(self):
         unfair = InventoryResult(10, 0.1, {1: 1000, 2: 0}, {1: 1000, 2: 1000})
         assert 0.5 <= unfair.jain_fairness() <= 0.500001
-        empty = InventoryResult(10, 0.1, {1: 0}, {1: 0})
+
+    def test_jain_all_zero_rates_is_perfectly_fair(self):
+        # All-equal allocations score 1.0 — including all-zero, where
+        # everyone is equally starved (this used to return 0.0).
+        starved = InventoryResult(10, 0.1, {1: 0, 2: 0}, {1: 0, 2: 0})
+        assert starved.jain_fairness() == 1.0
+
+    def test_jain_empty_population_is_zero(self):
+        # No tags → no allocation to judge: defined as 0.0.
+        empty = InventoryResult(10, 0.1, {}, {})
         assert empty.jain_fairness() == 0.0
+
+    def test_jain_contract_matches_net_population(self):
+        """The two Jain implementations share one edge-case contract."""
+        from repro.net.population import jain_fairness as net_jain
+
+        cases = [
+            {},  # empty -> 0.0
+            {1: 0, 2: 0, 3: 0},  # all-zero -> 1.0
+            {1: 700, 2: 700},  # all-equal -> 1.0
+            {1: 1000, 2: 0, 3: 0, 4: 0},  # one hog -> 1/n
+        ]
+        for delivered in cases:
+            result = InventoryResult(10, 0.1, delivered, dict(delivered))
+            rates = list(result.per_tag_goodput_bps().values())
+            assert result.jain_fairness() == pytest.approx(
+                net_jain(rates)
+            ), delivered

@@ -1,0 +1,208 @@
+"""Determinism and semantics of the discrete-event engine.
+
+The engine's contract (see :mod:`repro.net.engine`) is what every
+network-layer guarantee rests on: total ``(time, seq)`` event order,
+registration-order RNG streams, and a digest-bearing trace that
+witnesses the full event history byte for byte.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.net.engine import EventTrace, Process, Simulator, TraceEvent
+
+
+class _Recorder(Process):
+    """Test process that logs callback labels into a shared list."""
+
+    def __init__(self, name, log):
+        super().__init__(name)
+        self.log = log
+
+    def mark(self, label):
+        self.log.append(label)
+
+
+class TestEventOrder:
+    def test_time_order(self):
+        sim = Simulator(0)
+        log = []
+        sim.schedule(3.0, lambda: log.append("late"))
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(2.0, lambda: log.append("middle"))
+        assert sim.run() == 3
+        assert log == ["early", "middle", "late"]
+        assert sim.now == 3.0
+
+    def test_equal_time_ties_break_by_scheduling_order(self):
+        sim = Simulator(0)
+        log = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda lab=label: log.append(lab))
+        sim.run()
+        assert log == list("abcde")
+
+    def test_nested_scheduling_keeps_total_order(self):
+        sim = Simulator(0)
+        log = []
+
+        def first():
+            log.append("first")
+            # same-time event scheduled *during* dispatch runs after
+            # already-queued same-time events
+            sim.schedule(0.0, lambda: log.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second", "nested"]
+
+    def test_cancel_skips_event(self):
+        sim = Simulator(0)
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("cancelled"))
+        sim.schedule(2.0, lambda: log.append("kept"))
+        sim.cancel(handle)
+        assert sim.run() == 1
+        assert log == ["kept"]
+
+    def test_until_is_inclusive_boundary(self):
+        sim = Simulator(0)
+        log = []
+        sim.schedule(1.0, lambda: log.append(1.0))
+        sim.schedule(2.0, lambda: log.append(2.0))
+        sim.schedule(2.5, lambda: log.append(2.5))
+        sim.run(until=2.0)
+        assert log == [1.0, 2.0]
+        assert sim.peek_time() == 2.5
+        sim.run()
+        assert log == [1.0, 2.0, 2.5]
+
+    def test_max_events_bounds_dispatch(self):
+        sim = Simulator(0)
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), lambda i=i: log.append(i))
+        assert sim.run(max_events=2) == 2
+        assert log == [0, 1]
+
+    def test_rejects_scheduling_into_the_past(self):
+        sim = Simulator(0)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(-0.5, lambda: None)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestRngStreams:
+    def test_streams_assigned_in_registration_order(self):
+        def draws(seed):
+            sim = Simulator(seed)
+            a = sim.add_process(Process("a"))
+            b = sim.add_process(Process("b"))
+            return a.rng.random(4), b.rng.random(4)
+
+        a1, b1 = draws(7)
+        a2, b2 = draws(7)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+        # distinct processes get distinct streams
+        assert not np.array_equal(a1, b1)
+
+    def test_interleaving_does_not_perturb_streams(self):
+        """A process's draws depend only on seed + registration slot."""
+        sim1 = Simulator(3)
+        p1 = sim1.add_process(Process("p"))
+        _q1 = sim1.add_process(Process("q"))
+        ref = p1.rng.random(8)
+
+        sim2 = Simulator(3)
+        p2 = sim2.add_process(Process("p"))
+        q2 = sim2.add_process(Process("q"))
+        q2.rng.random(100)  # q drawing heavily must not move p's stream
+        np.testing.assert_array_equal(p2.rng.random(8), ref)
+
+    def test_duplicate_process_name_rejected(self):
+        sim = Simulator(0)
+        sim.add_process(Process("p"))
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.add_process(Process("p"))
+
+    def test_seed_sequence_accepted(self):
+        root = np.random.SeedSequence(42)
+        sim = Simulator(root)
+        p = sim.add_process(Process("p"))
+        ref = np.random.default_rng(
+            np.random.SeedSequence(42).spawn(1)[0]
+        ).random(4)
+        np.testing.assert_array_equal(p.rng.random(4), ref)
+
+
+class TestTrace:
+    def test_digest_covers_evicted_events(self):
+        small = EventTrace(capacity=2)
+        big = EventTrace(capacity=100)
+        for i in range(10):
+            event = TraceEvent(time_s=float(i), seq=i, process="p", kind="k")
+            small.append(event)
+            big.append(event)
+        assert small.digest() == big.digest()
+        assert len(small.tail()) == 2
+        assert len(big.tail()) == 10
+        assert small.total == big.total == 10
+
+    def test_digest_sensitive_to_every_field(self):
+        base = TraceEvent(time_s=1.0, seq=0, process="p", kind="k")
+        variants = [
+            TraceEvent(time_s=2.0, seq=0, process="p", kind="k"),
+            TraceEvent(time_s=1.0, seq=1, process="p", kind="k"),
+            TraceEvent(time_s=1.0, seq=0, process="q", kind="k"),
+            TraceEvent(time_s=1.0, seq=0, process="p", kind="x"),
+            TraceEvent(
+                time_s=1.0, seq=0, process="p", kind="k", detail=(("n", 1),)
+            ),
+        ]
+        def digest_of(event):
+            trace = EventTrace()
+            trace.append(event)
+            return trace.digest()
+
+        digests = {digest_of(e) for e in [base] + variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_jsonl_dump_roundtrips(self, tmp_path):
+        sim = Simulator(0)
+        p = sim.add_process(Process("p"))
+        sim.schedule(0.5, lambda: p.trace("tick", n=1))
+        sim.run()
+        path = sim.trace.dump(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["digest_sha256"] == sim.trace.digest()
+        assert header["total_events"] == sim.trace.total
+        body = [json.loads(line) for line in lines[1:]]
+        assert any(e["kind"] == "tick" and e["n"] == 1 for e in body)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventTrace(capacity=0)
+
+    def test_identical_runs_identical_digests(self):
+        def run():
+            sim = Simulator(11)
+            p = sim.add_process(Process("p"))
+
+            def tick(i=0):
+                p.trace("tick", i=i, draw=float(p.rng.random()))
+                if i < 20:
+                    p.schedule(0.1, lambda: tick(i + 1))
+
+            p.schedule(0.0, tick)
+            sim.run()
+            return sim.trace.digest()
+
+        assert run() == run()
