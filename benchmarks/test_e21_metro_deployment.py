@@ -1,0 +1,266 @@
+"""E21 — metro scale: multi-AP city blocks with roaming, handoff, relaying.
+
+Extension experiment on :func:`repro.net.deployment.run_multi_ap`,
+taking the discrete-event MAC from one AP (E20) to a city-block grid
+of APs with overlapping coverage, cross-AP interference, tag mobility
+and tag-to-tag relaying.  Four claims:
+
+* **scale** — a 3x3-AP block inventories populations up to 100k tags
+  (quick mode: 25k) with every point running as a
+  :class:`~repro.net.task.MultiAPTask` under the
+  :class:`~repro.sim.executor.SweepExecutor`; across a 10x+ population
+  growth the block stays pinned at its MAC capacity (reads per slot
+  budget are population-invariant to within 10 %, and per-AP-activation
+  throughput never beats ALOHA's ``1/e``);
+* **relaying** — in a sparse deployment (40 m pitch, cell radius
+  ~13 m) multi-hop tag-to-tag relaying reads strictly more tags than
+  the same run with relaying off, and extends the maximum read range
+  beyond both the relay-off maximum and the nominal cell edge.  The
+  cell edge is a soft BER threshold, so the claims are relative —
+  a lucky far tag can be read directly over thousands of slots;
+* **handoff** — for a fully mobile population deployed as a hotspot
+  around AP 0, margin-hysteresis handoff spreads load across the grid:
+  Jain fairness over per-AP reads improves versus handoff-off, handoff
+  latency (trigger to commit) sits at ``handoff_delay_slots`` slots
+  plus queueing, and the peak Doppler matches pedestrian speeds;
+* **determinism + speed** — a 100k-tag, 9-AP, full-feature run
+  (quick: 20k tags) completes in well under 60 s single-core and two
+  same-seed runs are byte-identical (report pickle *and* event-trace
+  digest).
+
+Quick mode (``REPRO_E21_QUICK=1``, CI default) shrinks populations and
+slot budgets; every assertion still holds.  The event trace of the
+determinism run is dumped to ``REPRO_E21_TRACE`` (default
+``e21_event_trace.jsonl``) so CI can upload it when the job fails.
+"""
+
+import math
+import os
+import pickle
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.net import MultiAPConfig, MultiAPTask, run_multi_ap
+from repro.sim.executor import SweepExecutor
+from repro.sim.results import ResultTable
+
+_SEED = 21
+_QUICK = os.environ.get("REPRO_E21_QUICK") == "1"
+
+_POPULATIONS = [2_000, 10_000, 25_000] if _QUICK else [10_000, 50_000, 100_000]
+_SCALE_SLOTS = 1500 if _QUICK else 3000
+_RELAY_TAGS = 200 if _QUICK else 400
+_RELAY_SLOTS = 2500 if _QUICK else 4000
+_MOBILE_TAGS = 300 if _QUICK else 600
+_MOBILE_SLOTS = 1500 if _QUICK else 3000
+_BIG_TAGS = 20_000 if _QUICK else 100_000
+_BIG_SLOTS = 2000 if _QUICK else 3000
+_TRACE_PATH = Path(os.environ.get("REPRO_E21_TRACE", "e21_event_trace.jsonl"))
+
+#: Dense city block: 9 APs, overlapping cells, static population.
+_BLOCK = dict(grid_rows=3, grid_cols=3, ap_spacing_m=8.0)
+
+#: Sparse block: cells far apart so inter-cell gaps exist and relaying
+#: has dead zones to rescue (cell radius ~13 m versus 40 m pitch).
+_SPARSE = dict(
+    grid_rows=3,
+    grid_cols=3,
+    ap_spacing_m=40.0,
+    relay_range_m=6.0,
+    relay_max_hops=4,
+)
+
+#: Roaming crowd: everyone mobile, deployed as a hotspot around AP 0,
+#: saturated traffic so per-AP reads measure load balance.  time_warp
+#: compresses minutes of walking into a few thousand MAC slots.
+_ROAM = dict(
+    grid_rows=3,
+    grid_cols=3,
+    ap_spacing_m=10.0,
+    epoch_slots=50,
+    mobile_fraction=1.0,
+    hotspot_fraction=1.0,
+    time_warp=2000.0,
+    persistent=True,
+    relay_enabled=False,
+)
+
+
+def _scale_sweep():
+    """Reads/goodput/load-balance vs population, MultiAPTask + executor."""
+    task = MultiAPTask(
+        config=MultiAPConfig(num_slots=_SCALE_SLOTS, **_BLOCK),
+        param="num_tags",
+    )
+    executor = SweepExecutor("serial")
+    return executor.run([float(n) for n in _POPULATIONS], task, seed=_SEED)
+
+
+def _relay_ablation():
+    """Same sparse deployment with relaying on vs off."""
+    base = MultiAPConfig(
+        num_tags=_RELAY_TAGS, num_slots=_RELAY_SLOTS, **_SPARSE
+    )
+    on = run_multi_ap(replace(base, relay_enabled=True), seed=3)
+    off = run_multi_ap(replace(base, relay_enabled=False), seed=3)
+    return on, off
+
+
+def _handoff_ablation():
+    """Roaming hotspot crowd with handoff on vs off."""
+    base = MultiAPConfig(
+        num_tags=_MOBILE_TAGS, num_slots=_MOBILE_SLOTS, **_ROAM
+    )
+    on = run_multi_ap(replace(base, handoff_enabled=True), seed=5)
+    off = run_multi_ap(replace(base, handoff_enabled=False), seed=5)
+    return on, off
+
+
+def _determinism_and_timing():
+    """Two same-seed metro runs: timing, byte-identity, trace dump."""
+    config = MultiAPConfig(
+        num_tags=_BIG_TAGS,
+        num_slots=_BIG_SLOTS,
+        mobile_fraction=0.02,
+        epoch_slots=200,
+        time_warp=500.0,
+        **_BLOCK,
+    )
+    start = time.perf_counter()
+    first = run_multi_ap(config, seed=_SEED, trace_path=_TRACE_PATH)
+    elapsed = time.perf_counter() - start
+    second = run_multi_ap(config, seed=_SEED)
+    return elapsed, first, second
+
+
+def _experiment():
+    return (
+        _scale_sweep(),
+        _relay_ablation(),
+        _handoff_ablation(),
+        _determinism_and_timing(),
+    )
+
+
+def test_e21_metro_deployment(once):
+    scale, (relay_on, relay_off), (ho_on, ho_off), det = once(_experiment)
+
+    # -- A: population scale on a 9-AP block -------------------------------
+    table = ResultTable(
+        f"E21a: 3x3-AP block vs population ({_SCALE_SLOTS}-slot budget, "
+        "MultiAPTask under SweepExecutor)",
+        ["num_tags", "tags_read", "goodput_kbps", "jain_ap_load",
+         "noise_rise_db"],
+    )
+    reads = []
+    for point in scale.points:
+        report = point.metric
+        assert report is not None, f"scale point {point.value} failed"
+        assert report.n_aps == 9
+        reads.append(report.tags_read)
+        table.add_row(
+            int(point.value),
+            f"{report.tags_read}/{report.tags_total}",
+            round(report.goodput_bps / 1e3, 1),
+            round(report.ap_load_jain, 3),
+            round(report.noise_rise_max_db, 2),
+        )
+    print()
+    print(table.to_text())
+    assert scale.failed == 0
+    # saturated block: reads are capacity-pinned, population-invariant
+    assert min(reads) > 0.9 * max(reads), reads
+    assert reads[-1] < _POPULATIONS[-1]  # genuinely saturated, not done
+    # spatial reuse means the grid still respects per-AP MAC capacity
+    for point in scale.points:
+        per_slot = point.metric.frames_delivered / point.metric.ap_slots
+        assert per_slot <= (1 / math.e) * 1.10
+
+    # -- B: relaying rescues the inter-cell dead zones ----------------------
+    relay_table = ResultTable(
+        f"E21b: sparse block ({_SPARSE['ap_spacing_m']:.0f} m pitch, cell "
+        f"radius {relay_on.cell_radius_m:.1f} m), relay on vs off",
+        ["relay", "tags_read", "relayed", "coverage", "max_range_m",
+         "unreachable"],
+    )
+    for label, report in (("on", relay_on), ("off", relay_off)):
+        relay_table.add_row(
+            label,
+            f"{report.tags_read}/{report.tags_total}",
+            report.tags_read_relayed,
+            round(report.coverage_direct + report.coverage_relay, 3),
+            round(report.max_read_range_m, 2),
+            report.unreachable,
+        )
+    print()
+    print(relay_table.to_text())
+    assert relay_on.tags_read > relay_off.tags_read
+    assert relay_on.tags_read_relayed > 0
+    assert relay_off.tags_read_relayed == 0
+    assert relay_on.coverage_relay > 0.0
+    # relative range claims: the cell edge is a soft BER threshold
+    assert relay_on.max_read_range_m > relay_off.max_read_range_m
+    assert relay_on.max_read_range_m > relay_on.cell_radius_m
+
+    # -- C: handoff balances a roaming hotspot ------------------------------
+    ho_table = ResultTable(
+        f"E21c: roaming hotspot crowd ({_MOBILE_TAGS} tags, all mobile), "
+        "handoff on vs off",
+        ["handoff", "jain_ap_load", "handoffs", "lat_mean_us", "lat_p95_us",
+         "max_doppler_hz"],
+    )
+    for label, report in (("on", ho_on), ("off", ho_off)):
+        mean = report.handoff_latency_mean_s
+        p95 = report.handoff_latency_p95_s
+        ho_table.add_row(
+            label,
+            round(report.ap_load_jain, 3),
+            report.handoffs,
+            round(mean * 1e6, 1) if math.isfinite(mean) else "-",
+            round(p95 * 1e6, 1) if math.isfinite(p95) else "-",
+            round(report.max_doppler_hz, 1),
+        )
+        print(f"\nper-AP reads (handoff {label}): {report.per_ap_reads}")
+    print()
+    print(ho_table.to_text())
+    assert ho_on.ap_load_jain > ho_off.ap_load_jain, (
+        ho_on.ap_load_jain, ho_off.ap_load_jain
+    )
+    assert ho_on.handoffs > 0 and ho_off.handoffs == 0
+    assert math.isfinite(ho_on.handoff_latency_p95_s)
+    assert (
+        0.0
+        <= ho_on.handoff_latency_p50_s
+        <= ho_on.handoff_latency_p95_s
+    )
+    # trigger-to-commit latency can never undercut the signalling delay
+    assert ho_on.handoff_latency_p50_s >= (
+        ho_on.config.handoff_delay_slots * ho_on.slot_s
+    )
+    # pedestrian Doppler at 24 GHz: 2v/lambda < ~242 Hz for v <= 1.5 m/s
+    assert 0.0 < ho_on.max_doppler_hz < 300.0
+
+    # -- D: metro-scale timing + byte-identical determinism ----------------
+    elapsed, first, second = det
+    digest_match = first.trace_digest == second.trace_digest
+    pickle_match = pickle.dumps(first) == pickle.dumps(second)
+    det_table = ResultTable(
+        f"E21d: {_BIG_TAGS} tags x 9 APs x {_BIG_SLOTS} slots, single core",
+        ["wall_s", "tags_read", "digest_match", "pickle_match"],
+    )
+    det_table.add_row(
+        round(elapsed, 2), first.tags_read, digest_match, pickle_match
+    )
+    print()
+    print(det_table.to_text())
+    assert digest_match, "metro event histories diverged"
+    assert pickle_match, "metro reports diverged"
+    if os.environ.get("REPRO_SKIP_BENCH") != "1":
+        assert elapsed < 60.0, (
+            f"{_BIG_TAGS} tags x {_BIG_SLOTS} slots took {elapsed:.1f}s"
+        )
+    assert _TRACE_PATH.exists(), "determinism run must dump its event trace"
+    header = _TRACE_PATH.read_text().splitlines()[0]
+    assert first.trace_digest in header
+    print(f"\nevent trace artifact: {_TRACE_PATH}")

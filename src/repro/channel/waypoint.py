@@ -74,8 +74,16 @@ class RandomWaypointModel:
         duration_s: float,
         sample_interval_s: float,
         rng: np.random.Generator | int | None = None,
+        start_xy: tuple[float, float] | None = None,
     ) -> list[TracePoint]:
-        """Sample a trajectory every ``sample_interval_s`` seconds."""
+        """Sample a trajectory every ``sample_interval_s`` seconds.
+
+        ``start_xy`` pins the walk's starting position (clamped into the
+        walkable area) instead of drawing it — the multi-AP deployment
+        uses this to move a tag from where it was deployed.  When given,
+        the two uniform draws for the random start are skipped; the rest
+        of the draw order is unchanged.
+        """
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
         if sample_interval_s <= 0:
@@ -83,7 +91,13 @@ class RandomWaypointModel:
                 f"sample interval must be positive, got {sample_interval_s}"
             )
         rng = np.random.default_rng(rng)
-        position = self._random_point(rng)
+        if start_xy is None:
+            position = self._random_point(rng)
+        else:
+            position = (
+                min(max(float(start_xy[0]), self.x_min), self.x_max),
+                min(max(float(start_xy[1]), self.y_min), self.y_max),
+            )
         target = self._random_point(rng)
         speed = float(rng.uniform(self.speed_min_m_s, self.speed_max_m_s))
         pause_left = 0.0

@@ -7,6 +7,8 @@
 * ``energy``      node power / energy-per-bit table (+ battery life)
 * ``network``     inventory of an N-tag deployment (TDMA / ALOHA / FDMA)
 * ``netsim``      event-driven network simulation at 10k-100k tag scale
+                  (``--grid RxC`` switches to a multi-AP metro deployment
+                  with roaming, handoff and tag-to-tag relaying)
 * ``beamsearch``  AP beam-search strategies toward a tag
 * ``schemes``     modulation table with SNR thresholds
 * ``cache``       inspect / invalidate / LRU-prune a sweep result cache
@@ -34,7 +36,15 @@ from repro.core.link import LinkConfig, link_snr_db, simulate_link
 from repro.core.modulation import available_schemes, get_scheme
 from repro.core.network import MmTagNetwork, NetworkTag
 from repro.core.tag import TagConfig
-from repro.net import PROTOCOLS, NetSimConfig, NetSimTask, run_netsim
+from repro.net import (
+    PROTOCOLS,
+    MultiAPConfig,
+    MultiAPTask,
+    NetSimConfig,
+    NetSimTask,
+    run_multi_ap,
+    run_netsim,
+)
 from repro.sim.cache import ResultCache
 from repro.sim.executor import BerSweepTask, FunctionTask, SweepExecutor
 from repro.sim.monte_carlo import LINK_BER_BACKENDS
@@ -184,6 +194,38 @@ def build_parser() -> argparse.ArgumentParser:
     netsim.add_argument("--trace", default=None, metavar="PATH",
                         help="dump the event-trace ring (JSONL + digest "
                              "header) to PATH after the run")
+    metro = netsim.add_argument_group(
+        "multi-AP metro deployment (activated by --grid)"
+    )
+    metro.add_argument("--grid", default=None, metavar="RxC",
+                       help="AP grid, e.g. 3x3: run a metro-scale multi-AP "
+                            "deployment instead of a single AP")
+    metro.add_argument("--ap-spacing", type=float, default=8.0,
+                       help="centre-to-centre AP pitch [m]")
+    metro.add_argument("--reuse", type=int, default=3,
+                       help="spatial reuse factor (1 = every AP polls "
+                            "every slot)")
+    metro.add_argument("--hotspot-fraction", type=float, default=0.0,
+                       help="fraction of tags clustered around AP 0")
+    metro.add_argument("--mobile-fraction", type=float, default=0.0,
+                       help="fraction of tags on random-waypoint walks")
+    metro.add_argument("--time-warp", type=float, default=1.0,
+                       help="pedestrian seconds per MAC second")
+    metro.add_argument("--epoch-slots", type=int, default=100,
+                       help="slots between position/association/relay "
+                            "updates")
+    metro.add_argument("--no-handoff", action="store_true",
+                       help="pin tags to their initial AP")
+    metro.add_argument("--hysteresis", type=float, default=3.0,
+                       help="handoff margin hysteresis [dB]")
+    metro.add_argument("--handoff-delay", type=int, default=8,
+                       help="trigger-to-commit signalling delay [slots]")
+    metro.add_argument("--no-relay", action="store_true",
+                       help="disable tag-to-tag relaying")
+    metro.add_argument("--relay-range", type=float, default=3.0,
+                       help="maximum tag-to-tag hop distance [m]")
+    metro.add_argument("--relay-hops", type=int, default=3,
+                       help="maximum relay hop count")
     netsim.add_argument("--sweep-tags", default=None, metavar="N1,N2,...",
                         help="sweep population sizes under the sweep "
                              "executor (cache/retries compose)")
@@ -227,6 +269,7 @@ _EXPERIMENT_INDEX = [
     ("E18", "sweep-engine scaling: pool + cache vs serial", "test_e18_executor_scaling"),
     ("E19", "fault tolerance: chaos sweep + ARQ under blockage", "test_e19_fault_tolerance"),
     ("E20", "network scale: MAC goodput/latency/fairness at 10k tags", "test_e20_network_scale"),
+    ("E21", "metro scale: multi-AP roaming, handoff, relaying", "test_e21_metro_deployment"),
 ]
 
 
@@ -536,10 +579,102 @@ def _cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metro_config(args: argparse.Namespace) -> MultiAPConfig:
+    """Build a :class:`MultiAPConfig` from ``netsim --grid`` args."""
+    try:
+        rows, cols = (int(part) for part in args.grid.lower().split("x"))
+    except ValueError:
+        raise ValueError(
+            f"--grid takes RxC (e.g. 3x3), got {args.grid!r}"
+        ) from None
+    return MultiAPConfig(
+        grid_rows=rows,
+        grid_cols=cols,
+        ap_spacing_m=args.ap_spacing,
+        spatial_reuse_factor=args.reuse,
+        num_tags=args.tags,
+        num_slots=args.slots,
+        frame_bits=args.frame_bits,
+        environment=Environment.typical_office(),
+        hotspot_fraction=args.hotspot_fraction,
+        mobile_fraction=args.mobile_fraction,
+        time_warp=args.time_warp,
+        epoch_slots=args.epoch_slots,
+        handoff_enabled=not args.no_handoff,
+        handoff_hysteresis_db=args.hysteresis,
+        handoff_delay_slots=args.handoff_delay,
+        relay_enabled=not args.no_relay,
+        relay_range_m=args.relay_range,
+        relay_max_hops=args.relay_hops,
+        persistent=args.persistent,
+        blockage_rate_hz=args.blockage_rate,
+    )
+
+
+def _parse_sweep_tags(raw: str) -> list[float]:
+    return [float(int(v)) for v in raw.split(",") if v]
+
+
+def _cmd_netsim_metro(args: argparse.Namespace) -> int:
+    """The multi-AP branch of ``repro netsim`` (--grid given)."""
+    try:
+        config = _metro_config(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.sweep_tags is None:
+        report = run_multi_ap(config, seed=args.seed, trace_path=args.trace)
+        print(report.summary())
+        if args.trace is not None:
+            print(f"event trace         : {args.trace}")
+        return 0
+
+    try:
+        populations = _parse_sweep_tags(args.sweep_tags)
+    except ValueError:
+        print("--sweep-tags takes comma-separated integers", file=sys.stderr)
+        return 2
+    if not populations:
+        print("--sweep-tags needs at least one population", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    executor = SweepExecutor(args.backend, max_workers=args.workers, cache=cache)
+    sweep = executor.run(
+        populations, MultiAPTask(config=config, param="num_tags"), seed=args.seed
+    )
+    table = ResultTable(
+        f"metro population sweep ({config.grid_rows}x{config.grid_cols} APs, "
+        f"{config.ap_spacing_m:g} m pitch)",
+        ["num_tags", "tags_read", "relayed", "goodput_kbps", "jain_ap_load",
+         "handoffs"],
+    )
+    for point in sweep.points:
+        report = point.metric
+        if report is None:
+            table.add_row(int(point.value), "failed", "-", "-", "-", "-")
+            continue
+        table.add_row(
+            int(point.value),
+            f"{report.tags_read}/{report.tags_total}",
+            report.tags_read_relayed,
+            round(report.goodput_bps / 1e3, 1),
+            round(report.ap_load_jain, 3),
+            report.handoffs,
+        )
+    print(table.to_text())
+    print()
+    print(sweep.summary())
+    if cache is not None:
+        print(cache.stats.summary())
+    return 0 if sweep.failed == 0 else 1
+
+
 def _cmd_netsim(args: argparse.Namespace) -> int:
     if args.tags < 0 or args.slots < 1:
         print("need --tags >= 0 and --slots >= 1", file=sys.stderr)
         return 2
+    if args.grid is not None:
+        return _cmd_netsim_metro(args)
     try:
         config = _netsim_config(
             args,
@@ -560,7 +695,7 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
         return _print_netsim_report(config, args.seed, trace_path=args.trace)
 
     try:
-        populations = [float(int(v)) for v in args.sweep_tags.split(",") if v]
+        populations = _parse_sweep_tags(args.sweep_tags)
     except ValueError:
         print("--sweep-tags takes comma-separated integers", file=sys.stderr)
         return 2

@@ -18,11 +18,22 @@ Layers, bottom up:
   inventory, FDMA groups) plus churn and blockage processes;
 * :mod:`repro.net.sim` — :func:`~repro.net.sim.run_netsim`: config in,
   byte-reproducible :class:`~repro.net.sim.NetSimReport` out;
-* :mod:`repro.net.task` — the :class:`~repro.net.task.NetSimTask`
-  adapter that runs populations of simulations under
-  :class:`~repro.sim.executor.SweepExecutor`.
+* :mod:`repro.net.deployment` — metro-scale multi-AP grids with
+  roaming, hysteresis handoff and tag-to-tag relaying
+  (:func:`~repro.net.deployment.run_multi_ap`);
+* :mod:`repro.net.task` — the :class:`~repro.net.task.NetSimTask` /
+  :class:`~repro.net.task.MultiAPTask` adapters that run populations
+  of simulations under :class:`~repro.sim.executor.SweepExecutor`.
 """
 
+from repro.net.deployment import (
+    MULTI_AP_REPORT_SCHEMA,
+    Deployment,
+    MetroTagPopulation,
+    MultiAPConfig,
+    MultiAPReport,
+    run_multi_ap,
+)
 from repro.net.engine import (
     EventHandle,
     EventTrace,
@@ -41,10 +52,22 @@ from repro.net.mac import (
     SpotCheckProcess,
 )
 from repro.net.population import TagPopulation, jain_fairness
-from repro.net.sim import PROTOCOLS, NetSimConfig, NetSimReport, run_netsim
-from repro.net.task import NetSimTask
+from repro.net.sim import (
+    NETSIM_REPORT_SCHEMA,
+    PROTOCOLS,
+    NetSimConfig,
+    NetSimReport,
+    run_netsim,
+)
+from repro.net.task import MultiAPTask, NetSimTask
 
 __all__ = [
+    "MULTI_AP_REPORT_SCHEMA",
+    "Deployment",
+    "MetroTagPopulation",
+    "MultiAPConfig",
+    "MultiAPReport",
+    "run_multi_ap",
     "EventHandle",
     "EventTrace",
     "Process",
@@ -61,9 +84,11 @@ __all__ = [
     "SpotCheckProcess",
     "TagPopulation",
     "jain_fairness",
+    "NETSIM_REPORT_SCHEMA",
     "PROTOCOLS",
     "NetSimConfig",
     "NetSimReport",
     "run_netsim",
+    "MultiAPTask",
     "NetSimTask",
 ]

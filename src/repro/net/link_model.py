@@ -151,6 +151,26 @@ class LinkBudgetModel:
             self._ber_cache[key] = cached
         return cached
 
+    def frame_success_from_snr_db(self, snr_db: np.ndarray) -> np.ndarray:
+        """Frame-success probability directly from (effective) symbol SNR.
+
+        Public entry point for layers that adjust the SNR themselves
+        before the BER conversion — the multi-AP deployment folds the
+        cross-AP interference noise rise into an effective SINR and
+        converts it here, reusing the same cached BER curve the
+        single-AP path uses.
+        """
+        flat = np.atleast_1d(np.asarray(snr_db, dtype=np.float64)).ravel()
+        total_bits = self.frame_bits + 32
+        # BERs are cached per 0.01 dB; evaluating per *unique* bucket
+        # keeps million-tag populations at array speed.
+        keys = np.round(flat, 2)
+        unique, inverse = np.unique(keys, return_inverse=True)
+        unique_p = np.array(
+            [(1.0 - self._ber(float(k))) ** total_bits for k in unique]
+        )
+        return unique_p[inverse].reshape(np.shape(snr_db))
+
     def frame_success_probability(
         self,
         distances_m: np.ndarray,
@@ -164,12 +184,18 @@ class LinkBudgetModel:
         (the wave crosses the blocker twice).
         """
         snr = self.snr_db(distances_m, angles_deg) - 2.0 * extra_attenuation_db
-        flat = np.atleast_1d(snr).ravel()
-        total_bits = self.frame_bits + 32
-        probs = np.array(
-            [(1.0 - self._ber(float(s))) ** total_bits for s in flat]
+        return self.frame_success_from_snr_db(snr)
+
+    def range_for_snr_db(self, snr_db: float) -> float:
+        """Boresight distance at which the budget delivers ``snr_db``.
+
+        Inverts the d^-4 range law around the 1 m reference budget; the
+        deployment layer uses it to place the nominal cell edge (the
+        distance where SNR crosses the scheme's BER threshold).
+        """
+        return 10.0 ** (
+            (self._ref_snr_db - snr_db) / _RANGE_LAW_DB_PER_DECADE
         )
-        return probs.reshape(np.shape(snr))
 
     def slot_duration_s(self) -> float:
         """Air time of one MAC slot (same overhead model as TDMA)."""

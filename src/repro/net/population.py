@@ -41,24 +41,36 @@ def jain_fairness(values: np.ndarray | list[float]) -> float:
 
 
 class TagPopulation:
-    """Parallel per-tag state arrays with amortised growth."""
+    """Parallel per-tag state arrays with amortised growth.
+
+    Subclasses (e.g. the metro-scale population in
+    :mod:`repro.net.deployment`) extend :attr:`_ARRAYS` with their own
+    ``(name, dtype, fill)`` triples and allocate them in ``__init__``;
+    :meth:`_ensure_capacity` grows every registered array uniformly.
+    """
 
     _INITIAL_CAPACITY = 1024
+
+    #: (attribute, dtype, fill-value-for-grown-tail) of every per-tag array.
+    _ARRAYS: tuple[tuple[str, object, object], ...] = (
+        ("distance_m", np.float64, 0.0),
+        ("angle_deg", np.float64, 0.0),
+        ("clear_success_p", np.float64, 0.0),
+        ("blocked_success_p", np.float64, 0.0),
+        ("active", bool, False),
+        ("read", bool, False),
+        ("arrival_s", np.float64, 0.0),
+        ("departure_s", np.float64, np.nan),
+        ("read_s", np.float64, np.nan),
+        ("delivered_bits", np.int64, 0),
+        ("frames_delivered", np.int64, 0),
+    )
 
     def __init__(self) -> None:
         cap = self._INITIAL_CAPACITY
         self._n = 0
-        self.distance_m = np.empty(cap, dtype=np.float64)
-        self.angle_deg = np.empty(cap, dtype=np.float64)
-        self.clear_success_p = np.empty(cap, dtype=np.float64)
-        self.blocked_success_p = np.empty(cap, dtype=np.float64)
-        self.active = np.zeros(cap, dtype=bool)
-        self.read = np.zeros(cap, dtype=bool)
-        self.arrival_s = np.empty(cap, dtype=np.float64)
-        self.departure_s = np.full(cap, np.nan, dtype=np.float64)
-        self.read_s = np.full(cap, np.nan, dtype=np.float64)
-        self.delivered_bits = np.zeros(cap, dtype=np.int64)
-        self.frames_delivered = np.zeros(cap, dtype=np.int64)
+        for name, dtype, fill in self._ARRAYS:
+            setattr(self, name, np.full(cap, fill, dtype=dtype))
         self.arrivals = 0
         self.departures = 0
 
@@ -75,28 +87,11 @@ class TagPopulation:
         new_cap = cap
         while new_cap < needed:
             new_cap *= 2
-        for name in (
-            "distance_m",
-            "angle_deg",
-            "clear_success_p",
-            "blocked_success_p",
-            "active",
-            "read",
-            "arrival_s",
-            "departure_s",
-            "read_s",
-            "delivered_bits",
-            "frames_delivered",
-        ):
+        for name, dtype, fill in self._ARRAYS:
             old = getattr(self, name)
-            grown = np.empty(new_cap, dtype=old.dtype)
+            grown = np.empty(new_cap, dtype=dtype)
             grown[: old.size] = old
-            if old.dtype == bool:
-                grown[old.size :] = False
-            elif name in ("departure_s", "read_s"):
-                grown[old.size :] = np.nan
-            elif old.dtype == np.int64:
-                grown[old.size :] = 0
+            grown[old.size :] = fill
             setattr(self, name, grown)
 
     # -- lifecycle ------------------------------------------------------------

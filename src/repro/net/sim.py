@@ -39,10 +39,24 @@ from repro.net.mac import (
 )
 from repro.net.population import TagPopulation
 
-__all__ = ["PROTOCOLS", "NetSimConfig", "NetSimReport", "run_netsim"]
+__all__ = [
+    "NETSIM_REPORT_SCHEMA",
+    "PROTOCOLS",
+    "NetSimConfig",
+    "NetSimReport",
+    "run_netsim",
+]
 
 #: MAC modes :func:`run_netsim` knows how to assemble.
 PROTOCOLS = ("aloha", "inventory", "fdma")
+
+#: Schema version stamped into every :class:`NetSimReport`.  Reports
+#: round-trip as pickles through the sweep cache and checkpoint JSONL;
+#: bump this whenever the report's fields change meaning so stale
+#: artifacts fail loudly at load time (see
+#: :meth:`repro.net.task.NetSimTask.validate_metric`) instead of
+#: silently unpickling into a different shape.
+NETSIM_REPORT_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -197,6 +211,11 @@ class NetSimReport:
     trace_digest: str
     trace_events: int
     events_processed: int
+
+    # -- provenance -----------------------------------------------------------
+    schema_version: int = NETSIM_REPORT_SCHEMA
+    """Report-layout version; checked when reports are re-loaded from
+    sweep caches or checkpoints (:data:`NETSIM_REPORT_SCHEMA`)."""
 
     def summary(self) -> str:
         """Human-readable multi-line digest (CLI output)."""

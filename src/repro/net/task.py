@@ -23,10 +23,21 @@ from typing import Any
 
 import numpy as np
 
-from repro.net.sim import NetSimConfig, NetSimReport, run_netsim
+from repro.net.deployment import (
+    MULTI_AP_REPORT_SCHEMA,
+    MultiAPConfig,
+    MultiAPReport,
+    run_multi_ap,
+)
+from repro.net.sim import (
+    NETSIM_REPORT_SCHEMA,
+    NetSimConfig,
+    NetSimReport,
+    run_netsim,
+)
 from repro.sim.executor import SweepTask
 
-__all__ = ["NetSimTask"]
+__all__ = ["NetSimTask", "MultiAPTask"]
 
 #: Config fields that must stay integers when swept (sweep values
 #: arrive as floats from grid helpers / CLI ranges).
@@ -40,6 +51,34 @@ _INT_FIELDS = frozenset(
         "trace_capacity",
     }
 )
+
+#: Integer-typed :class:`~repro.net.deployment.MultiAPConfig` fields.
+_MULTI_AP_INT_FIELDS = frozenset(
+    {
+        "grid_rows",
+        "grid_cols",
+        "num_tags",
+        "num_slots",
+        "frame_bits",
+        "epoch_slots",
+        "handoff_delay_slots",
+        "relay_max_hops",
+        "spatial_reuse_factor",
+        "trace_capacity",
+    }
+)
+
+
+def _check_schema(metric: object, expected: int, kind: str) -> None:
+    """Fail loudly when a cached/checkpointed report predates the
+    current schema (or is not a report at all)."""
+    found = getattr(metric, "schema_version", None)
+    if found != expected:
+        raise ValueError(
+            f"stale {kind} loaded from cache/checkpoint: schema_version "
+            f"{found!r} != expected {expected}; delete the artifact and "
+            "recompute"
+        )
 
 
 @dataclass(frozen=True)
@@ -77,3 +116,47 @@ class NetSimTask(SweepTask):
         # The report is fully determined by (config-with-param, seed);
         # the executor mixes the seed into the key itself.
         return {"task": self, "value": value}
+
+    def validate_metric(self, metric: object) -> None:
+        _check_schema(metric, NETSIM_REPORT_SCHEMA, "NetSimReport")
+
+
+@dataclass(frozen=True)
+class MultiAPTask(SweepTask):
+    """Metro-scale multi-AP simulation with one config field swept.
+
+    The multi-AP twin of :class:`NetSimTask`: ``param`` names any
+    :class:`~repro.net.deployment.MultiAPConfig` field (``num_tags`` by
+    default; ``ap_spacing_m``, ``mobile_fraction``,
+    ``handoff_hysteresis_db``, ... all work), integer fields are cast
+    from float sweep values, and the cache key covers the full config.
+    Like ``NetSimTask`` it rejects the adaptive scheduler — a
+    discrete-event run is not a resumable estimator.
+    """
+
+    config: MultiAPConfig
+    param: str = "num_tags"
+
+    def __post_init__(self) -> None:
+        names = MultiAPConfig.field_names()
+        if self.param not in names:
+            raise ValueError(
+                f"param {self.param!r} is not a MultiAPConfig field; "
+                f"choose from {sorted(names)}"
+            )
+
+    def config_for(self, value: float) -> MultiAPConfig:
+        """The operating point at one sweep value."""
+        cast: object = (
+            int(value) if self.param in _MULTI_AP_INT_FIELDS else value
+        )
+        return replace(self.config, **{self.param: cast})
+
+    def run(self, value: float, seed: np.random.SeedSequence) -> MultiAPReport:
+        return run_multi_ap(self.config_for(value), seed=seed)
+
+    def cache_parts(self, value: float) -> dict[str, Any]:
+        return {"task": self, "value": value}
+
+    def validate_metric(self, metric: object) -> None:
+        _check_schema(metric, MULTI_AP_REPORT_SCHEMA, "MultiAPReport")

@@ -121,6 +121,17 @@ class SweepTask:
         """Key material for caching this point, or ``None`` if uncacheable."""
         return None
 
+    def validate_metric(self, metric: object) -> None:
+        """Sanity-check a metric re-loaded from a cache or checkpoint.
+
+        Called on every checkpoint-restored and cache-hit metric before
+        it enters the report.  The default accepts anything; tasks
+        whose metrics carry a schema version (e.g.
+        :class:`repro.net.task.NetSimTask`) override this to raise on
+        mismatch, so stale artifacts fail loudly at load time instead
+        of silently mispickling into the current shape.
+        """
+
 
 @dataclass(frozen=True)
 class BerSweepTask(SweepTask):
@@ -717,6 +728,7 @@ class SweepExecutor:
                 for i, entry in entries.items():
                     if i >= n or entry.value != vals[i]:
                         continue  # stale line from a different shape
+                    task.validate_metric(entry.metric)
                     metrics[i] = entry.metric
                     records[i] = PointRecord(
                         index=i,
@@ -755,6 +767,7 @@ class SweepExecutor:
                     keys[i] = self.cache.key_for(seed=seed, index=i, **parts)
                     found = self.cache.get(keys[i])
                     if found is not MISS:
+                        task.validate_metric(found)
                         hits += 1
                         metrics[i] = found
                         records[i] = PointRecord(

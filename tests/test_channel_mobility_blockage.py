@@ -52,6 +52,60 @@ class TestLinearMotion:
         assert motion.doppler_hz(DEFAULT_CARRIER_HZ) < 0
 
 
+class TestDopplerAtClosestApproach:
+    """A tag walking a straight line past the AP (impact parameter b):
+    Doppler is positive while closing, crosses zero exactly at closest
+    approach, and goes negative while receding — the signature the
+    deployment's mobility instrumentation relies on."""
+
+    def _flyby_velocity(self, t, speed=1.0, b=2.0):
+        # distance d(t) = hypot(speed * t, b); closest approach at t = 0
+        import math
+
+        return speed * speed * t / math.hypot(speed * t, b)
+
+    def test_sign_flips_exactly_at_closest_approach(self):
+        before = self._flyby_velocity(-3.0)  # closing: d shrinking
+        at = self._flyby_velocity(0.0)
+        after = self._flyby_velocity(3.0)  # receding: d growing
+        assert before < 0 < after
+        assert at == 0.0
+        # positive radial velocity = receding = negative Doppler
+        assert doppler_shift_hz(-before) > 0
+        assert doppler_shift_hz(-at) == 0.0
+        assert doppler_shift_hz(-after) < 0
+
+    def test_magnitude_dips_to_zero_at_the_pass(self):
+        times = np.linspace(-4.0, 4.0, 41)
+        shifts = [
+            abs(doppler_shift_hz(-self._flyby_velocity(float(t))))
+            for t in times
+        ]
+        assert int(np.argmin(shifts)) == 20  # the t = 0 sample
+        assert shifts[0] > shifts[10] > shifts[20]
+
+    def test_waypoint_trace_doppler_flips_across_a_pass(self):
+        """Same physics through the trace API: a manual straight-line
+        trace past the origin shows the backward-difference radial
+        velocity changing sign across closest approach."""
+        from repro.channel.waypoint import RandomWaypointModel, TracePoint
+
+        model = RandomWaypointModel()
+        trace = [
+            TracePoint(time_s=float(k), x_m=2.0, y_m=float(k - 4))
+            for k in range(9)
+        ]
+        v_before = model.radial_velocity_at(trace, 2)  # y: -2 -> -1
+        v_after = model.radial_velocity_at(trace, 7)  # y: 2 -> 3
+        assert v_before < 0 < v_after
+        assert doppler_shift_hz(-v_before) > 0 > doppler_shift_hz(-v_after)
+        # the two samples straddling the pass are symmetric: equal
+        # magnitude, opposite sign
+        v_in = model.radial_velocity_at(trace, 4)  # y: -1 -> 0
+        v_out = model.radial_velocity_at(trace, 5)  # y: 0 -> 1
+        assert v_in == pytest.approx(-v_out)
+
+
 class TestBlockageEvent:
     def test_rejects_reversed_window(self):
         with pytest.raises(ValueError):

@@ -95,6 +95,114 @@ class TestRadialVelocity:
             model.radial_velocity_at(trace, 99)
 
 
+class TestPinnedStart:
+    def test_start_xy_is_respected(self):
+        model = RandomWaypointModel()
+        trace = model.generate_trace(5.0, 0.5, rng=10, start_xy=(2.5, 1.0))
+        assert trace[0].x_m == 2.5
+        assert trace[0].y_m == 1.0
+
+    def test_start_xy_outside_area_is_clamped(self):
+        model = RandomWaypointModel(x_min=1.0, x_max=5.0, y_min=-2.0, y_max=2.0)
+        trace = model.generate_trace(5.0, 0.5, rng=11, start_xy=(99.0, -99.0))
+        assert trace[0].x_m == 5.0
+        assert trace[0].y_m == -2.0
+
+    def test_pinned_start_is_deterministic(self):
+        model = RandomWaypointModel()
+        a = model.generate_trace(5.0, 0.5, rng=12, start_xy=(3.0, 0.0))
+        b = model.generate_trace(5.0, 0.5, rng=12, start_xy=(3.0, 0.0))
+        assert a == b
+
+    def test_pinned_start_skips_exactly_the_start_draws(self):
+        """With start_xy the two random-start uniforms are skipped and
+        the rest of the draw order is unchanged: hand the model an rng
+        already advanced past those two draws plus the position they
+        would have produced, and the pinned walk reproduces the free
+        walk exactly."""
+        model = RandomWaypointModel(pause_max_s=0.0)
+        free = model.generate_trace(40.0, 0.5, rng=13)
+        rng = np.random.default_rng(13)
+        start = (
+            float(rng.uniform(model.x_min, model.x_max)),
+            float(rng.uniform(model.y_min, model.y_max)),
+        )
+        assert start == (free[0].x_m, free[0].y_m)  # those were the start draws
+        pinned = model.generate_trace(40.0, 0.5, rng=rng, start_xy=start)
+        assert pinned == free
+        # and a fresh-seed pinned walk spends its first two draws on the
+        # first waypoint instead: it must pass near that predicted point
+        rng2 = np.random.default_rng(13)
+        waypoint = (
+            float(rng2.uniform(model.x_min, model.x_max)),
+            float(rng2.uniform(model.y_min, model.y_max)),
+        )
+        walk = model.generate_trace(40.0, 0.5, rng=13, start_xy=(4.0, 0.0))
+        closest = min(
+            math.hypot(p.x_m - waypoint[0], p.y_m - waypoint[1]) for p in walk
+        )
+        assert closest < 1.5 * 0.5 + 1e-6  # within one sample step
+
+
+class TestZeroVelocity:
+    def test_static_trace_has_zero_radial_velocity(self):
+        model = RandomWaypointModel()
+        trace = [
+            TracePoint(time_s=float(k) * 0.5, x_m=3.0, y_m=1.0)
+            for k in range(8)
+        ]
+        for index in range(len(trace)):
+            assert model.radial_velocity_at(trace, index) == 0.0
+
+    def test_single_point_trace_is_zero(self):
+        model = RandomWaypointModel()
+        assert model.radial_velocity_at(
+            [TracePoint(time_s=0.0, x_m=2.0, y_m=0.0)], 0
+        ) == 0.0
+
+    def test_coincident_timestamps_are_zero_not_inf(self):
+        model = RandomWaypointModel()
+        trace = [
+            TracePoint(time_s=1.0, x_m=2.0, y_m=0.0),
+            TracePoint(time_s=1.0, x_m=3.0, y_m=0.0),
+        ]
+        assert model.radial_velocity_at(trace, 1) == 0.0
+
+
+class TestCellBoundaryCrossing:
+    def test_exact_boundary_tie_breaks_to_lowest_ap_id(self):
+        """A trajectory sample landing exactly on the perpendicular
+        bisector between two APs sees equal SINR; association must pick
+        the lower AP id deterministically (np.argmax first-occurrence),
+        never an arbitrary float-noise winner."""
+        from repro.net import Deployment, MultiAPConfig
+
+        d = Deployment(
+            MultiAPConfig(grid_rows=1, grid_cols=2, ap_spacing_m=8.0)
+        )
+        # APs at x = 4 and x = 12: the boundary is x = 8, any y
+        boundary_x = 8.0
+        for y in (1.0, 4.0, 7.5):
+            snr = d.snr_matrix(np.array([boundary_x]), np.array([y]))[0]
+            assert snr[0] == snr[1]
+            assert int(np.argmax(snr)) == 0
+
+    def test_crossing_trajectory_flips_the_winner_once(self):
+        from repro.net import Deployment, MultiAPConfig
+
+        d = Deployment(
+            MultiAPConfig(grid_rows=1, grid_cols=2, ap_spacing_m=8.0)
+        )
+        xs = np.linspace(5.0, 11.0, 25)  # walk through the boundary
+        winners = [
+            int(np.argmax(d.snr_matrix(np.array([x]), np.array([4.0]))[0]))
+            for x in xs
+        ]
+        assert winners[0] == 0 and winners[-1] == 1
+        flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+        assert flips == 1
+
+
 class TestLinkIntegration:
     def test_trace_drives_link_epochs(self):
         """A mobility trace plugs straight into LinkConfig epochs."""

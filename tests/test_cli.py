@@ -183,6 +183,69 @@ class TestNetsimCommand:
         assert first == capsys.readouterr().out
 
 
+class TestNetsimMetroCommand:
+    def test_grid_run_prints_deployment_summary(self, capsys):
+        code = main([
+            "netsim", "--grid", "2x2", "--tags", "40", "--slots", "200",
+            "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deployment          : 2x2 APs" in out
+        assert "per-AP reads" in out
+        assert "AP load Jain" in out
+
+    def test_mobile_run_reports_handoffs(self, capsys):
+        code = main([
+            "netsim", "--grid", "1x2", "--tags", "30", "--slots", "300",
+            "--mobile-fraction", "1.0", "--time-warp", "2000",
+            "--epoch-slots", "50", "--persistent", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "handoffs" in out
+        assert "max Doppler" in out
+
+    def test_trace_dump(self, tmp_path, capsys):
+        path = tmp_path / "metro.jsonl"
+        code = main([
+            "netsim", "--grid", "2x2", "--tags", "10", "--slots", "50",
+            "--seed", "1", "--trace", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert path.exists()
+        assert "event trace" in out
+
+    def test_metro_sweep_prints_table(self, capsys):
+        code = main([
+            "netsim", "--grid", "2x2", "--slots", "150", "--seed", "3",
+            "--sweep-tags", "10,25",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metro population sweep" in out
+        assert "jain_ap_load" in out
+
+    def test_bad_grid_exit_two(self, capsys):
+        assert main(["netsim", "--grid", "bogus"]) == 2
+        assert "RxC" in capsys.readouterr().err
+
+    def test_same_seed_same_output(self, capsys):
+        argv = [
+            "netsim", "--grid", "3x3", "--tags", "50", "--slots", "200",
+            "--mobile-fraction", "0.5", "--seed", "9",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_e21_listed_in_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "E21" in capsys.readouterr().out
+
+
 class TestBeamsearchCommand:
     def test_both_strategies_reported(self, capsys):
         code = main(["beamsearch", "--direction", "15", "--seed", "3"])
