@@ -194,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     netsim.add_argument("--trace", default=None, metavar="PATH",
                         help="dump the event-trace ring (JSONL + digest "
                              "header) to PATH after the run")
+    netsim.add_argument("--trace-capacity", type=int, default=4096,
+                        help="event-trace ring size (the digest always "
+                             "covers every event; the ring bounds the "
+                             "dumped tail, so million-tag traces don't "
+                             "blow RAM)")
     metro = netsim.add_argument_group(
         "multi-AP metro deployment (activated by --grid)"
     )
@@ -226,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maximum tag-to-tag hop distance [m]")
     metro.add_argument("--relay-hops", type=int, default=3,
                        help="maximum relay hop count")
+    metro.add_argument("--shards", type=int, default=0,
+                       help="run the metro MAC sharded over N worker "
+                            "processes (byte-identical to serial; "
+                            "0/1 = serial engine)")
     netsim.add_argument("--sweep-tags", default=None, metavar="N1,N2,...",
                         help="sweep population sizes under the sweep "
                              "executor (cache/retries compose)")
@@ -270,6 +279,7 @@ _EXPERIMENT_INDEX = [
     ("E19", "fault tolerance: chaos sweep + ARQ under blockage", "test_e19_fault_tolerance"),
     ("E20", "network scale: MAC goodput/latency/fairness at 10k tags", "test_e20_network_scale"),
     ("E21", "metro scale: multi-AP roaming, handoff, relaying", "test_e21_metro_deployment"),
+    ("E22", "sharded engine: million-tag runs, byte-identical", "test_e22_shard_scaling"),
 ]
 
 
@@ -608,6 +618,7 @@ def _metro_config(args: argparse.Namespace) -> MultiAPConfig:
         relay_max_hops=args.relay_hops,
         persistent=args.persistent,
         blockage_rate_hz=args.blockage_rate,
+        trace_capacity=args.trace_capacity,
     )
 
 
@@ -622,8 +633,24 @@ def _cmd_netsim_metro(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if args.shards < 0:
+        print("--shards must be >= 0", file=sys.stderr)
+        return 2
     if args.sweep_tags is None:
-        report = run_multi_ap(config, seed=args.seed, trace_path=args.trace)
+        if args.shards >= 2:
+            from repro.net.shard import run_multi_ap_sharded
+
+            executor = SweepExecutor("process", max_workers=args.workers)
+            report = run_multi_ap_sharded(
+                config,
+                seed=args.seed,
+                shards=args.shards,
+                trace_path=args.trace,
+                executor=executor,
+            )
+            print(f"engine              : sharded x{args.shards}")
+        else:
+            report = run_multi_ap(config, seed=args.seed, trace_path=args.trace)
         print(report.summary())
         if args.trace is not None:
             print(f"event trace         : {args.trace}")
@@ -640,7 +667,9 @@ def _cmd_netsim_metro(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     executor = SweepExecutor(args.backend, max_workers=args.workers, cache=cache)
     sweep = executor.run(
-        populations, MultiAPTask(config=config, param="num_tags"), seed=args.seed
+        populations,
+        MultiAPTask(config=config, param="num_tags", shards=args.shards),
+        seed=args.seed,
     )
     table = ResultTable(
         f"metro population sweep ({config.grid_rows}x{config.grid_cols} APs, "
@@ -675,6 +704,9 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
         return 2
     if args.grid is not None:
         return _cmd_netsim_metro(args)
+    if args.shards:
+        print("--shards needs a metro deployment (--grid)", file=sys.stderr)
+        return 2
     try:
         config = _netsim_config(
             args,
@@ -687,6 +719,7 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
             mean_dwell_s=args.mean_dwell,
             blockage_rate_hz=args.blockage_rate,
             spot_check_every=args.spot_check_every,
+            trace_capacity=args.trace_capacity,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)

@@ -21,9 +21,13 @@ two contracts intact:
   relay routes.
 * **Registration-order RNG streams**: all five processes register
   unconditionally in a fixed order (mobility, association, relay,
-  blockage, mac).  Association and relay never draw — handoff and
-  routing are pure functions of geometry — so toggling them cannot
-  shift any stream by construction.
+  blockage, mac), and the MAC then receives one *per-AP* stream per
+  grid cell, spawned immediately after registration in ascending AP-id
+  order.  Association and relay never draw — handoff and routing are
+  pure functions of geometry — so toggling them cannot shift any
+  stream by construction, and because each AP draws only from its own
+  stream, a sharded run (:mod:`repro.net.shard`) that executes APs on
+  different workers reproduces the serial draw sequence exactly.
 
 Physics, by layer:
 
@@ -81,6 +85,10 @@ __all__ = [
     "MetroTagPopulation",
     "MultiAPReport",
     "run_multi_ap",
+    "draw_deployment",
+    "draw_mobility_traces",
+    "compute_relay_routes",
+    "effective_link_state",
 ]
 
 #: Schema version stamped into every :class:`MultiAPReport`; see
@@ -236,6 +244,10 @@ class MultiAPConfig:
             raise ValueError(
                 f"blockage_rate_hz must be >= 0, got {self.blockage_rate_hz}"
             )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
 
     @classmethod
     def field_names(cls) -> frozenset[str]:
@@ -368,6 +380,165 @@ class Deployment:
         return rise
 
 
+# -- shared epoch-cadence kernels ---------------------------------------------
+#
+# The serial processes below and the sharded coordinator in
+# :mod:`repro.net.shard` must make *identical* draws and decisions, so
+# the deployment draw sequence and the draw-free route/link
+# computations live here as module-level functions both engines call.
+
+
+def draw_deployment(
+    config: MultiAPConfig,
+    deployment: Deployment,
+    rng: np.random.Generator,
+    count: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw tag positions + mobility mask in the documented order.
+
+    Draw order (part of the determinism contract): hotspot normals
+    (x then y), uniform positions (x then y), then the mobile mask.
+    Returns ``(xs, ys, mobile)``.
+    """
+    width, height = deployment.area_m
+    n_hot = int(round(config.hotspot_fraction * count))
+    xs = np.empty(count)
+    ys = np.empty(count)
+    if n_hot:
+        centre = deployment.ap_xy[0]
+        xs[:n_hot] = centre[0] + rng.normal(
+            0.0, config.hotspot_sigma_m, size=n_hot
+        )
+        ys[:n_hot] = centre[1] + rng.normal(
+            0.0, config.hotspot_sigma_m, size=n_hot
+        )
+    if count - n_hot:
+        xs[n_hot:] = rng.uniform(0.25, width - 0.25, size=count - n_hot)
+        ys[n_hot:] = rng.uniform(0.25, height - 0.25, size=count - n_hot)
+    np.clip(xs, 0.25, width - 0.25, out=xs)
+    np.clip(ys, 0.25, height - 0.25, out=ys)
+    mobile = rng.random(count) < config.mobile_fraction
+    return xs, ys, mobile
+
+
+def draw_mobility_traces(
+    config: MultiAPConfig,
+    deployment: Deployment,
+    rng: np.random.Generator,
+    start_x: np.ndarray,
+    start_y: np.ndarray,
+    *,
+    n_epochs: int,
+    epoch_dt_s: float,
+) -> np.ndarray:
+    """Pre-generate waypoint traces, one per mobile tag in id order.
+
+    Returns a ``(n_mobile, n_epochs + 1, 2)`` position array sampled at
+    the (time-warped) epoch cadence.  Same stream, same order as the
+    deployment draws — :func:`draw_deployment` first, then this.
+    """
+    width, height = deployment.area_m
+    model = RandomWaypointModel(
+        x_min=0.25,
+        x_max=width - 0.25,
+        y_min=0.25,
+        y_max=height - 0.25,
+        speed_min_m_s=config.speed_min_m_s,
+        speed_max_m_s=config.speed_max_m_s,
+        pause_max_s=config.pause_max_s,
+    )
+    interval = epoch_dt_s * config.time_warp
+    duration = n_epochs * interval
+    traces = np.empty((start_x.size, n_epochs + 1, 2))
+    for k in range(start_x.size):
+        trace = model.generate_trace(
+            duration,
+            interval,
+            rng=rng,
+            start_xy=(float(start_x[k]), float(start_y[k])),
+        )
+        for s in range(n_epochs + 1):
+            traces[k, s, 0] = trace[s].x_m
+            traces[k, s, 1] = trace[s].y_m
+    return traces
+
+
+def compute_relay_routes(
+    xy: np.ndarray,
+    covered: np.ndarray,
+    *,
+    relay_enabled: bool,
+    relay_range_m: float,
+    relay_max_hops: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Breadth-first tag-to-tag attach; returns ``(hops, gateway)``.
+
+    Draw-free and fully deterministic: out-of-coverage tags attach to
+    the nearest already-reached tag within ``relay_range_m``, hop level
+    by hop level, everything in ascending-id order.  ``hops`` is 0 for
+    direct coverage, -1 for unreachable; ``gateway`` is the covered tag
+    whose AP link a relayed tag rides (itself when direct).
+    """
+    n = covered.size
+    idx = np.arange(n)
+    hops = np.full(n, -1, dtype=np.int64)
+    gateway = np.full(n, -1, dtype=np.int64)
+    hops[covered] = 0
+    gateway[covered] = idx[covered]
+    if relay_enabled and covered.any():
+        reached = np.sort(idx[covered])
+        pending = idx[~covered]
+        for _hop in range(relay_max_hops):
+            if pending.size == 0 or reached.size == 0:
+                break
+            tree = cKDTree(xy[reached])
+            dist, nearest = tree.query(xy[pending], k=1)
+            attach = dist <= relay_range_m
+            if not attach.any():
+                break
+            newly = pending[attach]
+            parents = reached[nearest[attach]]
+            gateway[newly] = gateway[parents]
+            hops[newly] = hops[parents] + 1
+            reached = np.sort(np.concatenate((reached, newly)))
+            pending = pending[~attach]
+    return hops, gateway
+
+
+def effective_link_state(
+    link_model: LinkBudgetModel,
+    snr_serving: np.ndarray,
+    serving: np.ndarray,
+    hops: np.ndarray,
+    gateway: np.ndarray,
+    *,
+    relay_hop_success: float,
+    blockage_attenuation_db: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-tag effective success probabilities and MAC cell.
+
+    A relayed tag's frames ride through its gateway: its MAC cell is
+    the gateway's serving AP and its frame-success probability is the
+    gateway's direct probability decayed ``relay_hop_success`` per hop.
+    Returns ``(eff_clear, eff_blocked, mac_ap)``.
+    """
+    direct_clear = link_model.frame_success_from_snr_db(snr_serving)
+    direct_blocked = link_model.frame_success_from_snr_db(
+        snr_serving - 2.0 * blockage_attenuation_db
+    )
+    eff_clear = direct_clear.copy()
+    eff_blocked = direct_blocked.copy()
+    mac_ap = serving.copy()
+    relayed = hops > 0
+    if relayed.any():
+        gw = gateway[relayed]
+        decay = relay_hop_success ** hops[relayed]
+        eff_clear[relayed] = direct_clear[gw] * decay
+        eff_blocked[relayed] = direct_blocked[gw] * decay
+        mac_ap[relayed] = serving[gw]
+    return eff_clear, eff_blocked, mac_ap
+
+
 class MetroTagPopulation(TagPopulation):
     """Tag population with position, serving-cell and relay state."""
 
@@ -458,54 +629,21 @@ class MobilityProcess(Process):
             return np.empty(0, dtype=np.int64)
         assert self.rng is not None
         config = self.deployment.config
-        width, height = self.deployment.area_m
-        n_hot = int(round(config.hotspot_fraction * count))
-        xs = np.empty(count)
-        ys = np.empty(count)
-        if n_hot:
-            centre = self.deployment.ap_xy[0]
-            xs[:n_hot] = centre[0] + self.rng.normal(
-                0.0, config.hotspot_sigma_m, size=n_hot
-            )
-            ys[:n_hot] = centre[1] + self.rng.normal(
-                0.0, config.hotspot_sigma_m, size=n_hot
-            )
-        if count - n_hot:
-            xs[n_hot:] = self.rng.uniform(0.25, width - 0.25, size=count - n_hot)
-            ys[n_hot:] = self.rng.uniform(
-                0.25, height - 0.25, size=count - n_hot
-            )
-        np.clip(xs, 0.25, width - 0.25, out=xs)
-        np.clip(ys, 0.25, height - 0.25, out=ys)
-        mobile = self.rng.random(count) < config.mobile_fraction
+        xs, ys, mobile = draw_deployment(
+            config, self.deployment, self.rng, count
+        )
         ids = self.population.add_at(xs, ys, mobile, self.now if self.sim else 0.0)
         self._mobile_ids = ids[mobile]
         if self._mobile_ids.size:
-            model = RandomWaypointModel(
-                x_min=0.25,
-                x_max=width - 0.25,
-                y_min=0.25,
-                y_max=height - 0.25,
-                speed_min_m_s=config.speed_min_m_s,
-                speed_max_m_s=config.speed_max_m_s,
-                pause_max_s=config.pause_max_s,
+            self._traces = draw_mobility_traces(
+                config,
+                self.deployment,
+                self.rng,
+                xs[mobile],
+                ys[mobile],
+                n_epochs=self.n_epochs,
+                epoch_dt_s=self.epoch_dt_s,
             )
-            interval = self.epoch_dt_s * config.time_warp
-            duration = self.n_epochs * interval
-            start_x = xs[mobile]
-            start_y = ys[mobile]
-            traces = np.empty((self._mobile_ids.size, self.n_epochs + 1, 2))
-            for k in range(self._mobile_ids.size):
-                trace = model.generate_trace(
-                    duration,
-                    interval,
-                    rng=self.rng,
-                    start_xy=(float(start_x[k]), float(start_y[k])),
-                )
-                for s in range(self.n_epochs + 1):
-                    traces[k, s, 0] = trace[s].x_m
-                    traces[k, s, 1] = trace[s].y_m
-            self._traces = traces
         self.trace("deploy", count=int(count), mobile=int(self._mobile_ids.size))
         return ids
 
@@ -726,45 +864,23 @@ class RelayProcess(Process):
         snr_serving = snr[idx, serving]
         covered = snr_serving >= self.deployment.coverage_snr_db
 
-        hops = np.full(n, -1, dtype=np.int64)
-        gateway = np.full(n, -1, dtype=np.int64)
-        hops[covered] = 0
-        gateway[covered] = idx[covered]
-        if config.relay_enabled and covered.any():
-            xy = np.column_stack((pop.x_m[:n], pop.y_m[:n]))
-            reached = np.sort(idx[covered])
-            pending = idx[~covered]
-            for _hop in range(config.relay_max_hops):
-                if pending.size == 0 or reached.size == 0:
-                    break
-                tree = cKDTree(xy[reached])
-                dist, nearest = tree.query(xy[pending], k=1)
-                attach = dist <= config.relay_range_m
-                if not attach.any():
-                    break
-                newly = pending[attach]
-                parents = reached[nearest[attach]]
-                gateway[newly] = gateway[parents]
-                hops[newly] = hops[parents] + 1
-                reached = np.sort(np.concatenate((reached, newly)))
-                pending = pending[~attach]
-
-        model = self.deployment.link_model
-        atten = config.blockage_attenuation_db
-        direct_clear = model.frame_success_from_snr_db(snr_serving)
-        direct_blocked = model.frame_success_from_snr_db(
-            snr_serving - 2.0 * atten
+        hops, gateway = compute_relay_routes(
+            np.column_stack((pop.x_m[:n], pop.y_m[:n])),
+            covered,
+            relay_enabled=config.relay_enabled,
+            relay_range_m=config.relay_range_m,
+            relay_max_hops=config.relay_max_hops,
         )
-        eff_clear = direct_clear.copy()
-        eff_blocked = direct_blocked.copy()
-        mac_ap = serving.copy()
+        eff_clear, eff_blocked, mac_ap = effective_link_state(
+            self.deployment.link_model,
+            snr_serving,
+            serving,
+            hops,
+            gateway,
+            relay_hop_success=config.relay_hop_success,
+            blockage_attenuation_db=config.blockage_attenuation_db,
+        )
         relayed = hops > 0
-        if relayed.any():
-            gw = gateway[relayed]
-            decay = config.relay_hop_success ** hops[relayed]
-            eff_clear[relayed] = direct_clear[gw] * decay
-            eff_blocked[relayed] = direct_blocked[gw] * decay
-            mac_ap[relayed] = serving[gw]
         pop.relay_hops[:n] = hops
         pop.relay_gateway[:n] = gateway
         pop.eff_clear_p[:n] = eff_clear
@@ -801,6 +917,13 @@ class MultiApAlohaMac(MacProcess):
     version (a counter, so nothing compares floating-point event times)
     and filtered per slot, so the per-slot cost scales with the
     backlog, not the population.
+
+    Every AP draws from its **own** RNG stream (``ap_rngs``, assigned
+    by :func:`_build_metro` in ascending AP-id order right after
+    process registration).  Per-AP streams make the draw sequence of
+    one cell independent of every other cell's backlog, which is what
+    lets :mod:`repro.net.shard` run disjoint AP sets on different
+    worker processes and still reproduce the serial run bit for bit.
     """
 
     def __init__(
@@ -827,6 +950,7 @@ class MultiApAlohaMac(MacProcess):
         self.deployment = deployment
         self.shared = shared
         self.persistent = persistent
+        self.ap_rngs: list[np.random.Generator] | None = None
         self.ap_slots = 0
         self.per_ap_reads = np.zeros(deployment.n_aps, dtype=np.int64)
         self.reads_relayed = 0
@@ -854,7 +978,7 @@ class MultiApAlohaMac(MacProcess):
         ]
 
     def on_slot(self, slot: int, blocked: bool) -> None:
-        assert self.rng is not None
+        assert self.ap_rngs is not None, "per-AP streams not assigned"
         if self._lists_version != self.shared.version:
             self._rebuild_lists()
             self._lists_version = self.shared.version
@@ -872,9 +996,10 @@ class MultiApAlohaMac(MacProcess):
             if ids.size == 0:
                 self.slots_idle += 1
                 continue
+            rng = self.ap_rngs[ap]
             p = 1.0 / ids.size
             self.offered_sum += 1.0
-            responders = ids[self.rng.random(ids.size) < p]
+            responders = ids[rng.random(ids.size) < p]
             if responders.size == 0:
                 self._count(SlotOutcome.IDLE)
                 continue
@@ -883,7 +1008,7 @@ class MultiApAlohaMac(MacProcess):
                 continue
             self._count(SlotOutcome.SINGLE)
             tag_id = int(responders[0])
-            if self.rng.random() < self._success_p(tag_id, blocked):
+            if rng.random() < self._success_p(tag_id, blocked):
                 self._record(tag_id, ap, slot)
             else:
                 self.reads_failed_channel += 1
@@ -1025,24 +1150,44 @@ class MultiAPReport:
         return "\n".join(lines)
 
 
-def run_multi_ap(
-    config: MultiAPConfig,
-    seed: int | np.random.SeedSequence = 0,
-    trace_path: str | Path | None = None,
-) -> MultiAPReport:
-    """Run one metro-scale simulation; deterministic in (config, seed).
+@dataclass
+class _MetroParts:
+    """Everything :func:`_build_metro` wires up for one metro run."""
 
-    ``trace_path``, when given, dumps the event-trace ring (JSONL with
-    a digest header) after the run — the artifact CI uploads when a
-    determinism check fails.
+    deployment: Deployment
+    population: MetroTagPopulation
+    shared: _EpochShared
+    mobility: MobilityProcess
+    assoc: AssociationProcess
+    relay: RelayProcess
+    blockage: BlockageProcess
+    mac: MultiApAlohaMac
+    horizon_s: float
+
+
+def _build_metro(
+    sim: Simulator,
+    config: MultiAPConfig,
+    *,
+    mac_cls: type[MultiApAlohaMac] = MultiApAlohaMac,
+    assoc_cls: type[AssociationProcess] = AssociationProcess,
+) -> _MetroParts:
+    """Register the metro process stack on ``sim`` (nothing runs yet).
+
+    Shared between the serial reference (:func:`run_multi_ap`) and the
+    sharded planner/replay engines (:mod:`repro.net.shard`), so all
+    three consume the root seed sequence identically: five process
+    streams in registration order, then one stream per AP in ascending
+    AP-id order for the MAC.  ``mac_cls`` / ``assoc_cls`` let the
+    sharded engines substitute recording/replaying subclasses without
+    perturbing that contract.
     """
-    sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
     deployment = Deployment(config)
     slot_s = deployment.slot_s
     horizon_s = config.num_slots * slot_s
     epoch_dt_s = config.epoch_slots * slot_s
     n_epochs = -(-config.num_slots // config.epoch_slots)  # ceil
-    population = MetroTagPopulation()
+    population = MetroTagPopulation(expected_tags=config.num_tags)
     shared = _EpochShared()
 
     # Registration order IS the determinism contract — never reorder,
@@ -1053,7 +1198,7 @@ def run_multi_ap(
         )
     )
     assoc = sim.add_process(
-        AssociationProcess(
+        assoc_cls(
             population,
             deployment,
             shared,
@@ -1080,7 +1225,7 @@ def run_multi_ap(
         )
     )
     mac = sim.add_process(
-        MultiApAlohaMac(
+        mac_cls(
             population,
             blockage,
             deployment,
@@ -1091,16 +1236,44 @@ def run_multi_ap(
             stop_when_drained=config.stop_when_drained,
         )
     )
-
-    mobility.deploy(config.num_tags)
-    for process in (mobility, assoc, relay, blockage, mac):
-        process.start()
-    sim.run(until=horizon_s)
-
     assert isinstance(mobility, MobilityProcess)
     assert isinstance(assoc, AssociationProcess)
     assert isinstance(relay, RelayProcess)
     assert isinstance(mac, MultiApAlohaMac)
+    mac.ap_rngs = [sim.spawn_stream() for _ in range(deployment.n_aps)]
+    return _MetroParts(
+        deployment=deployment,
+        population=population,
+        shared=shared,
+        mobility=mobility,
+        assoc=assoc,
+        relay=relay,
+        blockage=blockage,
+        mac=mac,
+        horizon_s=horizon_s,
+    )
+
+
+def _run_metro(sim: Simulator, parts: _MetroParts) -> None:
+    """Deploy, start every process, and run the event loop dry."""
+    parts.mobility.deploy(parts.deployment.config.num_tags)
+    for process in (
+        parts.mobility, parts.assoc, parts.relay, parts.blockage, parts.mac
+    ):
+        process.start()
+    sim.run(until=parts.horizon_s)
+
+
+def _finalize_metro(sim: Simulator, parts: _MetroParts) -> MultiAPReport:
+    """Assemble the report from a completed metro run."""
+    config = parts.deployment.config
+    deployment = parts.deployment
+    population = parts.population
+    mobility = parts.mobility
+    assoc = parts.assoc
+    relay = parts.relay
+    mac = parts.mac
+    slot_s = deployment.slot_s
     n = len(population)
     slots_run = mac.slots_run
     duration_s = slots_run * slot_s
@@ -1162,6 +1335,26 @@ def run_multi_ap(
         trace_events=sim.trace.total,
         events_processed=sim.events_processed,
     )
+    return report
+
+
+def run_multi_ap(
+    config: MultiAPConfig,
+    seed: int | np.random.SeedSequence = 0,
+    trace_path: str | Path | None = None,
+) -> MultiAPReport:
+    """Run one metro-scale simulation; deterministic in (config, seed).
+
+    ``trace_path``, when given, dumps the event-trace ring (JSONL with
+    a digest header) after the run — the artifact CI uploads when a
+    determinism check fails.  :func:`repro.net.shard.run_multi_ap_sharded`
+    produces a byte-identical report and trace digest by running the
+    same process stack sharded across worker processes.
+    """
+    sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
+    parts = _build_metro(sim, config)
+    _run_metro(sim, parts)
+    report = _finalize_metro(sim, parts)
     if trace_path is not None:
         sim.trace.dump(trace_path)
     return report

@@ -113,8 +113,14 @@ class EventTrace:
         """sha256 over every event ever appended (not just the tail)."""
         return self._hash.hexdigest()
 
-    def to_jsonl(self) -> str:
-        """The ring tail as JSONL, preceded by a summary header line."""
+    def iter_jsonl(self):
+        """Yield the summary header line, then each retained event line.
+
+        Every yielded string ends in a newline, so the stream can be
+        written straight to a file handle without materialising the
+        whole tail in memory — at million-tag scale a large ring would
+        otherwise double its footprint inside :meth:`to_jsonl`.
+        """
         header = json.dumps(
             {
                 "trace": "repro.net",
@@ -124,14 +130,20 @@ class EventTrace:
             },
             separators=(",", ":"),
         )
-        lines = [header] + [event.to_line() for event in self.tail()]
-        return "\n".join(lines) + "\n"
+        yield header + "\n"
+        for event in self.tail():
+            yield event.to_line() + "\n"
+
+    def to_jsonl(self) -> str:
+        """The ring tail as JSONL, preceded by a summary header line."""
+        return "".join(self.iter_jsonl())
 
     def dump(self, path: str | Path) -> Path:
-        """Write :meth:`to_jsonl` to ``path`` (parents created)."""
+        """Stream :meth:`iter_jsonl` to ``path`` (parents created)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
+        with path.open("w", encoding="utf-8") as handle:
+            handle.writelines(self.iter_jsonl())
         return path
 
 
@@ -246,11 +258,21 @@ class Simulator:
         """
         return np.random.default_rng(self.entropy.spawn(1)[0])
 
-    def add_process(self, process: Process) -> Process:
-        """Register ``process``, assigning its RNG stream; returns it."""
+    def add_process(
+        self, process: Process, rng: np.random.Generator | None = None
+    ) -> Process:
+        """Register ``process``, assigning its RNG stream; returns it.
+
+        By default the stream is spawned from the root seed sequence in
+        registration order.  Pass ``rng`` to bring an externally-owned
+        generator instead — the sharded metro coordinator hands each
+        shard worker mid-run per-AP generator states, and binding them
+        directly keeps the worker's registration from consuming a spawn
+        slot (which would tie the draw sequence to the shard layout).
+        """
         if process.name in self.processes:
             raise ValueError(f"duplicate process name {process.name!r}")
-        process.bind(self, self.spawn_stream())
+        process.bind(self, rng if rng is not None else self.spawn_stream())
         self.processes[process.name] = process
         return process
 

@@ -66,8 +66,20 @@ class TagPopulation:
         ("frames_delivered", np.int64, 0),
     )
 
-    def __init__(self) -> None:
+    def __init__(self, expected_tags: int = 0) -> None:
+        """``expected_tags`` sizes the initial allocation up front.
+
+        At million-tag scale the amortised-doubling growth path would
+        otherwise copy every registered SoA array ~10 times during
+        warm-up churn; a capacity hint makes deployment a single
+        allocation.  The hint is a floor, not a cap — growth past it
+        still doubles as usual.
+        """
+        if expected_tags < 0:
+            raise ValueError(f"expected_tags must be >= 0, got {expected_tags}")
         cap = self._INITIAL_CAPACITY
+        while cap < expected_tags:
+            cap *= 2
         self._n = 0
         for name, dtype, fill in self._ARRAYS:
             setattr(self, name, np.full(cap, fill, dtype=dtype))

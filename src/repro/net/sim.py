@@ -153,6 +153,10 @@ class NetSimConfig:
             raise ValueError(
                 f"spot_check_every must be >= 0, got {self.spot_check_every}"
             )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
 
     @classmethod
     def field_names(cls) -> frozenset[str]:
@@ -311,7 +315,7 @@ def run_netsim(
     )
     slot_s = link_model.slot_duration_s()
     horizon_s = config.num_slots * slot_s
-    population = TagPopulation()
+    population = TagPopulation(expected_tags=config.num_tags)
 
     # Registration order IS the determinism contract — never reorder,
     # never register conditionally.

@@ -132,6 +132,19 @@ class SweepTask:
         of silently mispickling into the current shape.
         """
 
+    def narrow(self, value: float) -> "SweepTask":
+        """The slice of this task one point actually needs.
+
+        The process backend pickles the task once *per submitted
+        point*; a task carrying per-point payloads (the sharded metro
+        coordinator ships each shard's contender arrays and RNG
+        states) can override this to return a copy holding only
+        ``value``'s slice, so workers never deserialise the other
+        shards' data.  Must not change ``run(value, seed)``'s result.
+        The default returns ``self`` unchanged.
+        """
+        return self
+
 
 @dataclass(frozen=True)
 class BerSweepTask(SweepTask):
@@ -887,7 +900,7 @@ class SweepExecutor:
                     def _submit(i: int) -> Any:
                         future = pool.submit(
                             _compute_point,
-                            task,
+                            task.narrow(vals[i]),
                             vals[i],
                             children[i],
                             i,
@@ -945,6 +958,9 @@ class SweepExecutor:
                     "s" if len(unfinished) != 1 else "",
                 )
                 _run_serially(unfinished)
+
+        if checkpoint is not None:
+            checkpoint.sync()  # flush any batched (fsync_every > 1) appends
 
         failed = sum(1 for r in records if r is not None and not r.ok)
         # recovered counts attempt-level failures that healed — a

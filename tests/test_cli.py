@@ -175,6 +175,10 @@ class TestNetsimCommand:
         assert main(["netsim", "--transmit-probability", "1.5"]) == 2
         assert "transmit" in capsys.readouterr().err
 
+    def test_bad_trace_capacity_exit_two(self, capsys):
+        assert main(["netsim", "--trace-capacity", "0"]) == 2
+        assert "trace_capacity" in capsys.readouterr().err
+
     def test_same_seed_same_output(self, capsys):
         argv = ["netsim", "--tags", "20", "--slots", "150", "--seed", "9"]
         assert main(argv) == 0
@@ -230,6 +234,10 @@ class TestNetsimMetroCommand:
     def test_bad_grid_exit_two(self, capsys):
         assert main(["netsim", "--grid", "bogus"]) == 2
         assert "RxC" in capsys.readouterr().err
+
+    def test_bad_trace_capacity_exit_two(self, capsys):
+        assert main(["netsim", "--grid", "2x2", "--trace-capacity", "0"]) == 2
+        assert "trace_capacity" in capsys.readouterr().err
 
     def test_same_seed_same_output(self, capsys):
         argv = [

@@ -91,6 +91,32 @@ class TestTagPopulation:
         pop.record_read(1, 8, 4.0)
         np.testing.assert_allclose(pop.latencies_s(), [3.0])
 
+    def test_expected_tags_preallocates_in_one_shot(self):
+        pop = TagPopulation(expected_tags=5000)
+        assert pop.distance_m.size >= 5000  # no doubling during deploy
+        self._deploy(pop, 5000)
+        assert len(pop) == 5000
+
+    def test_expected_tags_is_a_floor_not_a_cap(self):
+        pop = TagPopulation(expected_tags=8)
+        self._deploy(pop, 500)  # growth past the hint still doubles
+        assert pop.active_ids().size == 500
+
+    def test_expected_tags_does_not_change_behaviour(self):
+        hinted, unhinted = TagPopulation(expected_tags=64), TagPopulation()
+        self._deploy(hinted, 50)
+        self._deploy(unhinted, 50)
+        hinted.record_read(9, 32, 1.5)
+        unhinted.record_read(9, 32, 1.5)
+        np.testing.assert_array_equal(
+            hinted.active_ids(), unhinted.active_ids()
+        )
+        np.testing.assert_allclose(hinted.latencies_s(), unhinted.latencies_s())
+
+    def test_rejects_negative_expected_tags(self):
+        with pytest.raises(ValueError, match="expected_tags"):
+            TagPopulation(expected_tags=-1)
+
 
 class TestLinkBudgetModel:
     def _model(self, frame_bits=256):

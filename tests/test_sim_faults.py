@@ -412,6 +412,73 @@ class TestCheckpointResume:
         assert [entries[i].metric for i in range(3)] == report.metrics
 
 
+class TestBatchedFsync:
+    """``fsync_every=N`` batches the *sync*, never the write: every
+    line still lands via write+flush, so resume and torn-tail behaviour
+    are unchanged — only the durability-against-power-loss window
+    widens to N-1 records."""
+
+    def test_rejects_nonpositive_fsync_every(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync_every"):
+            SweepCheckpoint(tmp_path / "cp.jsonl", fsync_every=0)
+
+    def test_batched_checkpoint_resumes_bit_identically(self, tmp_path):
+        task = _ber_task()
+        uninterrupted = SweepExecutor("serial").run(_VALUES, task, seed=3)
+
+        checkpoint = SweepCheckpoint(tmp_path / "cp.jsonl", fsync_every=16)
+        seen = []
+
+        def killer(record):
+            seen.append(record)
+            if len(seen) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepExecutor("serial", on_progress=killer).run(
+                _VALUES, task, seed=3, checkpoint=checkpoint
+            )
+        # both records survive despite no fsync having fired yet
+        assert len(SweepCheckpoint(checkpoint.path).load(seed=3)) == 2
+
+        resumed = SweepExecutor("serial").run(
+            _VALUES,
+            task,
+            seed=3,
+            checkpoint=SweepCheckpoint(checkpoint.path, fsync_every=16),
+            resume=True,
+        )
+        assert resumed.resumed == 2
+        assert pickle.dumps(resumed.metrics) == pickle.dumps(
+            uninterrupted.metrics
+        )
+
+    def test_torn_tail_stays_one_line_with_batching(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "cp.jsonl", fsync_every=8)
+        SweepExecutor("serial").run(
+            [1.0, 2.0, 3.0], FunctionTask(_square), seed=0, checkpoint=checkpoint
+        )
+        with checkpoint.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "point", "ind')  # torn write
+        loader = SweepCheckpoint(checkpoint.path)
+        assert sorted(loader.load(seed=0)) == [0, 1, 2]
+        assert loader.skipped_lines == 1
+
+    def test_completed_run_is_synced(self, tmp_path):
+        # the executor flushes the batch when the campaign completes,
+        # so a finished checkpoint owes the disk nothing
+        checkpoint = SweepCheckpoint(tmp_path / "cp.jsonl", fsync_every=64)
+        SweepExecutor("serial").run(
+            [1.0, 2.0, 3.0], FunctionTask(_square), seed=0, checkpoint=checkpoint
+        )
+        assert checkpoint._appends_since_sync == 0
+
+    def test_sync_is_safe_with_nothing_pending(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "absent.jsonl", fsync_every=4)
+        checkpoint.sync()  # no file, no batched appends: a no-op
+        assert not checkpoint.exists()
+
+
 class TestInterruptSafety:
     def test_interrupt_leaves_no_partial_files(self, tmp_path):
         cache = ResultCache(tmp_path / "cache", version="v")
