@@ -9,6 +9,9 @@
 * ``netsim``      event-driven network simulation at 10k-100k tag scale
                   (``--grid RxC`` switches to a multi-AP metro deployment
                   with roaming, handoff and tag-to-tag relaying)
+* ``serve``       long-running AP daemon: replay a trace dump or run an
+                  embedded live producer through the bounded ingest
+                  pipeline (backpressure, shedding, health endpoint)
 * ``beamsearch``  AP beam-search strategies toward a tag
 * ``schemes``     modulation table with SNR thresholds
 * ``cache``       inspect / invalidate / LRU-prune a sweep result cache
@@ -17,11 +20,16 @@
 All commands take ``--seed``; identical invocations print identical
 numbers — including ``sweep --backend process``, whose per-point
 seeding is bit-identical to the serial reference path.
+
+``--log-level`` (or the ``REPRO_LOG_LEVEL`` environment variable)
+turns on structured logging from every ``repro.*`` module — retries,
+pool degradation, daemon shutdown all narrate themselves at WARNING.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from collections.abc import Sequence
@@ -68,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="mmTag reproduction: mmWave backscatter simulation toolkit",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=os.environ.get("REPRO_LOG_LEVEL"),
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="enable structured logging at this level (default: the "
+             "REPRO_LOG_LEVEL environment variable, else off)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -246,6 +261,62 @@ def build_parser() -> argparse.ArgumentParser:
     netsim.add_argument("--cache-dir", default=None,
                         help="on-disk result cache (with --sweep-tags)")
 
+    serve = sub.add_parser(
+        "serve", help="long-running AP daemon (trace replay or live netsim)"
+    )
+    feed = serve.add_mutually_exclusive_group(required=True)
+    feed.add_argument("--trace", default=None, metavar="PATH",
+                      help="replay a netsim event-trace dump on virtual "
+                           "time (deterministic: same trace + config => "
+                           "byte-identical final state)")
+    feed.add_argument("--live", action="store_true",
+                      help="generate reads from an embedded netsim "
+                           "producer, paced on the wall clock")
+    serve.add_argument("--rate", type=float, default=10_000.0,
+                       help="consumer service rate [events/s]; 0 = "
+                            "infinitely fast")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="bounded ingest queue capacity")
+    serve.add_argument("--policy", default="shed-oldest",
+                       choices=["block", "shed-oldest", "shed-newest"],
+                       help="what happens when an arrival finds the queue "
+                            "full")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="stop after this many stream seconds (replay) "
+                            "/ wall seconds (live); default: run until "
+                            "the trace ends (replay) or forever (live)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve /healthz /readyz /metrics on this port "
+                            "(0 = ephemeral; default: no ops endpoint)")
+    serve.add_argument("--status-interval", type=float, default=5.0,
+                       help="seconds between status lines")
+    serve.add_argument("--offered-rate", type=float, default=2_000.0,
+                       help="live-mode offered load [events/s]")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="per-source token-bucket admission rate "
+                            "[events/s]; 0 disables")
+    serve.add_argument("--max-tags", type=int, default=100_000,
+                       help="live-inventory retention bound (LRU evicts "
+                            "beyond it)")
+    serve.add_argument("--ttl", type=float, default=None,
+                       help="evict tags idle longer than this many stream "
+                            "seconds")
+    serve.add_argument("--dedup-window", type=int, default=4096,
+                       help="per-source (source, seq) dedup window; 0 "
+                            "disables")
+    serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write the final inventory state (atomic, "
+                            "sha256-verified) to PATH on shutdown")
+    serve.add_argument("--dead-letter", default=None, metavar="PATH",
+                       help="quarantine malformed events to a JSONL log "
+                            "at PATH")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="live-producer seed")
+    serve.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="inject a seeded StreamFaultPlan (floods, "
+                            "stalls, slow consumer, malformed/duplicate "
+                            "events); requires --duration")
+
     beam = sub.add_parser("beamsearch", help="AP beam search toward a tag")
     beam.add_argument("--direction", type=float, default=20.0, help="true tag bearing [deg]")
     beam.add_argument("--snr", type=float, default=25.0, help="aligned SNR [dB]")
@@ -280,6 +351,7 @@ _EXPERIMENT_INDEX = [
     ("E20", "network scale: MAC goodput/latency/fairness at 10k tags", "test_e20_network_scale"),
     ("E21", "metro scale: multi-AP roaming, handoff, relaying", "test_e21_metro_deployment"),
     ("E22", "sharded engine: million-tag runs, byte-identical", "test_e22_shard_scaling"),
+    ("E23", "live AP service: overload shedding + bounded memory", "test_e23_live_service"),
 ]
 
 
@@ -767,6 +839,64 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
     return 0 if sweep.failed == 0 else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.engine import TraceReadError
+    from repro.serve import ServeConfig, run_service
+    from repro.sim.faults import StreamFaultPlan
+
+    if args.chaos is not None and args.duration is None:
+        print("--chaos requires --duration (the fault-plan horizon)",
+              file=sys.stderr)
+        return 2
+    try:
+        config = ServeConfig(
+            trace_path=args.trace,
+            live=args.live,
+            queue_depth=args.queue_depth,
+            policy=args.policy,
+            service_rate_hz=args.rate,
+            rate_limit_hz=args.rate_limit,
+            dedup_window=args.dedup_window,
+            max_tags=args.max_tags,
+            ttl_s=args.ttl,
+            offered_rate_hz=args.offered_rate,
+            seed=args.seed,
+            duration_s=args.duration,
+            port=args.port,
+            status_interval_s=args.status_interval,
+            checkpoint_path=args.checkpoint,
+            dead_letter_path=args.dead_letter,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.chaos is not None:
+        fault_plan = StreamFaultPlan.random(
+            horizon_s=args.duration,
+            seed=args.chaos,
+            floods=2,
+            flood_events=max(64, 4 * args.queue_depth),
+            stalls=1,
+            stall_s=min(0.5, args.duration / 10),
+            slow_windows=1,
+            slow_factor=4.0,
+            slow_s=min(0.5, args.duration / 10),
+            malformed_rate=0.01,
+            duplicate_rate=0.02,
+            reorder_rate=0.01,
+        )
+        print(f"chaos: StreamFaultPlan seed={args.chaos} "
+              f"({len(fault_plan.specs)} faults)")
+    try:
+        report = run_service(config, fault_plan=fault_plan, out=print)
+    except TraceReadError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
 def _cmd_beamsearch(args: argparse.Namespace) -> int:
     from repro.em.antenna import patch_element
     from repro.em.array import UniformLinearArray
@@ -838,6 +968,7 @@ _COMMANDS = {
     "energy": _cmd_energy,
     "network": _cmd_network,
     "netsim": _cmd_netsim,
+    "serve": _cmd_serve,
     "beamsearch": _cmd_beamsearch,
     "schemes": _cmd_schemes,
     "experiments": _cmd_experiments,
@@ -848,6 +979,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        level = getattr(logging, str(args.log_level).upper(), None)
+        if not isinstance(level, int):
+            print(f"unknown log level {args.log_level!r}", file=sys.stderr)
+            return 2
+        logging.basicConfig(
+            level=level,
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        )
     return _COMMANDS[args.command](args)
 
 

@@ -43,6 +43,9 @@ from repro.net.engine import (
     Process,
     Simulator,
     TraceEvent,
+    TraceHeader,
+    TraceReadError,
+    TraceReader,
 )
 from repro.net.link_model import LinkBudgetModel, SpotCheck
 from repro.net.mac import (
@@ -79,6 +82,9 @@ __all__ = [
     "Process",
     "Simulator",
     "TraceEvent",
+    "TraceHeader",
+    "TraceReadError",
+    "TraceReader",
     "LinkBudgetModel",
     "SpotCheck",
     "BlockageProcess",

@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,7 +45,14 @@ __all__ = [
     "EventHandle",
     "Process",
     "Simulator",
+    "TraceHeader",
+    "TraceReadError",
+    "TraceReader",
 ]
+
+#: Core payload keys of a dumped event line; everything else (except
+#: the integrity field ``sha256``) is ``detail``.
+_CORE_KEYS = ("t", "seq", "proc", "kind")
 
 
 @dataclass(frozen=True)
@@ -63,8 +70,8 @@ class TraceEvent:
     kind: str
     detail: tuple[tuple[str, object], ...] = ()
 
-    def to_line(self) -> str:
-        """Canonical single-line JSON rendering (digest + dump format)."""
+    def payload(self) -> dict[str, object]:
+        """The canonical payload dict (insertion order is the format)."""
         payload: dict[str, object] = {
             "t": self.time_s,
             "seq": self.seq,
@@ -73,7 +80,51 @@ class TraceEvent:
         }
         for key, value in self.detail:
             payload[key] = value
+        return payload
+
+    def to_line(self) -> str:
+        """Canonical single-line JSON rendering (digest + dump format)."""
+        return json.dumps(self.payload(), separators=(",", ":"), allow_nan=True)
+
+    def to_dump_line(self) -> str:
+        """:meth:`to_line` plus a per-line ``sha256`` integrity field.
+
+        The hash covers the canonical line (the digest input), so a
+        reader can verify each dumped record independently — the same
+        per-line contract :class:`~repro.sim.checkpoint.SweepCheckpoint`
+        gives sweep points.  The running trace digest is computed over
+        :meth:`to_line` and is therefore unaffected.
+        """
+        line = self.to_line()
+        digest = hashlib.sha256(line.encode()).hexdigest()
+        payload = self.payload()
+        payload["sha256"] = digest
         return json.dumps(payload, separators=(",", ":"), allow_nan=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "TraceEvent":
+        """Rebuild an event from a parsed dump line's payload dict.
+
+        ``payload`` must carry the core keys in any order; every other
+        key (in its JSON order, which preserves the dumped order) is
+        ``detail``.  The integrity field ``sha256`` must already be
+        stripped by the caller (:class:`TraceReader` does).
+        """
+        try:
+            time_s = float(payload["t"])  # type: ignore[arg-type]
+            seq = int(payload["seq"])  # type: ignore[arg-type]
+            process = str(payload["proc"])
+            kind = str(payload["kind"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceReadError(f"event payload missing core field: {exc}")
+        detail = tuple(
+            (key, value)
+            for key, value in payload.items()
+            if key not in _CORE_KEYS
+        )
+        return cls(
+            time_s=time_s, seq=seq, process=process, kind=kind, detail=detail
+        )
 
 
 class EventTrace:
@@ -93,6 +144,13 @@ class EventTrace:
         self.total = 0
         self._ring: list[TraceEvent | None] = [None] * capacity
         self._hash = hashlib.sha256()
+        #: Optional live tap: called with every appended event *after*
+        #: the digest update.  The live AP service
+        #: (:mod:`repro.serve.daemon`) uses this to stream reads out of
+        #: an embedded simulator without waiting for a dump; the sink
+        #: never participates in the digest, so tapping a run cannot
+        #: change its byte identity.
+        self.sink: Callable[[TraceEvent], None] | None = None
 
     def append(self, event: TraceEvent) -> None:
         """Record one event (digest always; ring evicts the oldest)."""
@@ -100,6 +158,8 @@ class EventTrace:
         self.total += 1
         self._hash.update(event.to_line().encode())
         self._hash.update(b"\n")
+        if self.sink is not None:
+            self.sink(event)
 
     def tail(self) -> list[TraceEvent]:
         """The retained events, oldest first."""
@@ -119,7 +179,10 @@ class EventTrace:
         Every yielded string ends in a newline, so the stream can be
         written straight to a file handle without materialising the
         whole tail in memory — at million-tag scale a large ring would
-        otherwise double its footprint inside :meth:`to_jsonl`.
+        otherwise double its footprint inside :meth:`to_jsonl`.  Event
+        lines carry a per-line ``sha256`` over their canonical (digest
+        input) rendering, so :class:`TraceReader` can verify each record
+        independently when streaming the dump back in.
         """
         header = json.dumps(
             {
@@ -132,7 +195,7 @@ class EventTrace:
         )
         yield header + "\n"
         for event in self.tail():
-            yield event.to_line() + "\n"
+            yield event.to_dump_line() + "\n"
 
     def to_jsonl(self) -> str:
         """The ring tail as JSONL, preceded by a summary header line."""
@@ -145,6 +208,115 @@ class EventTrace:
         with path.open("w", encoding="utf-8") as handle:
             handle.writelines(self.iter_jsonl())
         return path
+
+
+class TraceReadError(RuntimeError):
+    """A trace dump cannot be read (missing file / unusable header)."""
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The summary header line of a dumped event trace."""
+
+    total_events: int
+    ring_capacity: int
+    digest_sha256: str
+
+
+class TraceReader:
+    """Stream a dumped event trace back in, line by line.
+
+    :meth:`EventTrace.dump` streams a trace *out* without materialising
+    it; this is the missing inbound half — the live AP service replays
+    multi-GB traces through it without ever holding more than one line
+    in memory.  Mirrors :class:`~repro.sim.checkpoint.SweepCheckpoint`'s
+    durability contract on the read side:
+
+    * every event line's embedded ``sha256`` is verified against the
+      canonical re-rendering of its payload (a flipped byte anywhere in
+      the record fails the check);
+    * torn or corrupt lines — a crash mid-``dump``, a truncated copy —
+      are skipped, counted in :attr:`skipped_lines`, and optionally
+      handed to ``on_bad_line`` (the serve daemon dead-letters them)
+      instead of aborting the stream;
+    * legacy dumps whose event lines predate the per-line hash are
+      still readable (counted in :attr:`unverified_lines`).
+
+    Iterate the reader to get :class:`TraceEvent` objects; the header
+    is parsed on first use and exposed as :attr:`header`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        on_bad_line: Callable[[int, str, str], None] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.on_bad_line = on_bad_line
+        self.header: TraceHeader | None = None
+        self.events_read = 0
+        self.skipped_lines = 0
+        self.unverified_lines = 0
+
+    def _bad(self, line_no: int, raw: str, reason: str) -> None:
+        self.skipped_lines += 1
+        if self.on_bad_line is not None:
+            self.on_bad_line(line_no, raw, reason)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        if not self.path.exists():
+            raise TraceReadError(f"no trace dump at {self.path}")
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_no, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    if line_no == 1:
+                        raise TraceReadError(
+                            f"trace {self.path}: unparseable header line"
+                        )
+                    self._bad(line_no, line, "unparseable (torn write?)")
+                    continue
+                if not isinstance(payload, dict):
+                    self._bad(line_no, line, "not a JSON object")
+                    continue
+                if line_no == 1:
+                    if payload.get("trace") != "repro.net":
+                        raise TraceReadError(
+                            f"trace {self.path}: not a repro.net trace dump"
+                        )
+                    self.header = TraceHeader(
+                        total_events=int(payload.get("total_events", 0)),
+                        ring_capacity=int(payload.get("ring_capacity", 0)),
+                        digest_sha256=str(payload.get("digest_sha256", "")),
+                    )
+                    continue
+                recorded = payload.pop("sha256", None)
+                if recorded is None:
+                    self.unverified_lines += 1
+                else:
+                    canonical = json.dumps(
+                        payload, separators=(",", ":"), allow_nan=True
+                    )
+                    if (
+                        hashlib.sha256(canonical.encode()).hexdigest()
+                        != recorded
+                    ):
+                        self._bad(line_no, line, "sha256 mismatch")
+                        continue
+                try:
+                    event = TraceEvent.from_payload(payload)
+                except TraceReadError as exc:
+                    self._bad(line_no, line, str(exc))
+                    continue
+                self.events_read += 1
+                yield event
+        if self.header is None:
+            raise TraceReadError(f"trace {self.path} has no header line")
 
 
 @dataclass

@@ -93,7 +93,7 @@ class TagPopulation:
     # -- growth ---------------------------------------------------------------
 
     def _ensure_capacity(self, needed: int) -> None:
-        cap = self.distance_m.size
+        cap = getattr(self, self._ARRAYS[0][0]).size
         if needed <= cap:
             return
         new_cap = cap

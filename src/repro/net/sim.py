@@ -302,14 +302,19 @@ def run_netsim(
     config: NetSimConfig,
     seed: int | np.random.SeedSequence = 0,
     trace_path: str | Path | None = None,
+    trace_sink=None,
 ) -> NetSimReport:
     """Run one network-scale simulation; deterministic in (config, seed).
 
     ``trace_path``, when given, dumps the event-trace ring (JSONL with
     a digest header) after the run — the artifact CI uploads when a
-    determinism check fails.
+    determinism check fails.  ``trace_sink``, when given, receives every
+    :class:`~repro.net.engine.TraceEvent` as it is appended (the live AP
+    service's embedded-producer tap); the sink never participates in the
+    trace digest.
     """
     sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
+    sim.trace.sink = trace_sink
     link_model = LinkBudgetModel(
         config.tag, config.ap, config.environment, config.frame_bits
     )

@@ -1,0 +1,56 @@
+"""The live AP service: streaming ingestion over the batch simulators.
+
+``repro.serve`` turns the discrete-event network simulator into a
+long-running daemon: a bounded, backpressure-aware ingest pipeline
+(:mod:`~repro.serve.queue`), bounded-memory live tag state
+(:mod:`~repro.serve.inventory`), operational metrics and health
+endpoints (:mod:`~repro.serve.metrics`, :mod:`~repro.serve.health`),
+and the asyncio daemon shell itself (:mod:`~repro.serve.daemon`).
+
+Replay mode is deterministic end to end: the same trace dump, config,
+and seed produce a byte-identical final inventory state and identical
+deterministic counters — the serving-layer extension of the repo's
+simulation byte-identity contract.
+"""
+
+from repro.serve.daemon import (
+    APDaemon,
+    IngestPipeline,
+    LiveNetsimSource,
+    ServeConfig,
+    ServeReport,
+    TraceReplaySource,
+    run_service,
+)
+from repro.serve.events import (
+    DeadLetterLog,
+    MalformedEvent,
+    ReadEvent,
+    read_event_from_trace,
+)
+from repro.serve.health import OpsServer
+from repro.serve.inventory import SERVE_STATE_SCHEMA, LiveInventory
+from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.serve.queue import POLICIES, BoundedIngestQueue, TokenBucket
+
+__all__ = [
+    "APDaemon",
+    "BoundedIngestQueue",
+    "DeadLetterLog",
+    "IngestPipeline",
+    "LatencyHistogram",
+    "LiveInventory",
+    "LiveNetsimSource",
+    "MalformedEvent",
+    "OpsServer",
+    "POLICIES",
+    "ReadEvent",
+    "SERVE_STATE_SCHEMA",
+    "ServeConfig",
+    "ServeReport",
+    "ServiceMetrics",
+    "TokenBucket",
+    "TraceReplaySource",
+    "read_event_from_trace",
+    "run_service",
+]

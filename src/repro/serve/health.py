@@ -1,0 +1,122 @@
+"""Liveness / readiness / metrics endpoint for the AP daemon.
+
+A deliberately tiny HTTP/1.1 responder on ``asyncio.start_server`` —
+no web framework enters the dependency tree for three GET routes:
+
+* ``/healthz``  — **liveness**: 200 while the daemon's event loop is
+  serving; the process answering at all is most of the signal.
+* ``/readyz``   — **readiness**: 200 only while the daemon accepts new
+  load (``running``); 503 while starting or draining, so a fronting
+  balancer stops routing to an AP that is shutting down.
+* ``/metrics``  — the full JSON snapshot from
+  :class:`~repro.serve.metrics.ServiceMetrics` (counters, rates,
+  latency percentiles, inventory stats).
+
+The server binds ``port=0`` to an ephemeral port by default; the bound
+port is exposed as :attr:`OpsServer.port` (tests and the CLI status
+output read it back).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import Callable
+
+__all__ = ["OpsServer"]
+
+
+class OpsServer:
+    """Minimal asyncio HTTP responder for the three ops routes.
+
+    ``snapshot`` supplies the metrics body; ``state`` supplies the
+    daemon state string (``starting`` / ``running`` / ``draining`` /
+    ``stopped``) that drives readiness.
+    """
+
+    def __init__(
+        self,
+        *,
+        snapshot: Callable[[], dict[str, object]],
+        state: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {port}")
+        self.snapshot = snapshot
+        self.state = state
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ------------------------------------------------------
+
+    @staticmethod
+    def _response(
+        status: int, body: str, content_type: str = "application/json"
+    ) -> bytes:
+        reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+        payload = body.encode()
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Error')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        return head.encode() + payload
+
+    def _route(self, path: str) -> bytes:
+        state = self.state()
+        if path == "/healthz":
+            return self._response(200, json.dumps({"alive": True,
+                                                   "state": state}))
+        if path == "/readyz":
+            ready = state == "running"
+            return self._response(
+                200 if ready else 503,
+                json.dumps({"ready": ready, "state": state}),
+            )
+        if path == "/metrics":
+            return self._response(200, json.dumps(self.snapshot()))
+        return self._response(404, json.dumps({"error": f"no route {path}"}))
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain headers so well-behaved clients see a clean close.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            writer.write(self._route(path))
+            await writer.drain()
+            self.requests_served += 1
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client reset
+                pass

@@ -1,0 +1,326 @@
+"""Bounded-memory live per-tag state for the AP daemon.
+
+:class:`LiveInventory` is the online counterpart of the batch
+simulators' :class:`~repro.net.population.TagPopulation`: the same
+structure-of-arrays layout (it subclasses the population to reuse the
+registered-array growth machinery), but keyed by *external* tag id with
+row recycling, because a long-running daemon sees unbounded churn —
+tags it will never hear from again must not pin rows forever.
+
+Memory stays O(active tags) through two eviction tiers with a single
+deterministic order, ``(last_seen_s, tag_id)`` ascending:
+
+* **LRU** — at ``max_tags`` tracked tags, observing a *new* tag evicts
+  the least-recently-seen one first (ties break to the smaller tag id);
+* **TTL** — :meth:`expire` evicts every tag idle longer than ``ttl_s``.
+
+Both tiers share one lazy min-heap: each observation pushes a
+``(last_seen, tag_id)`` stamp, and eviction pops entries until one
+matches the tag's *current* stamp — stale stamps (the tag was seen
+again later) are discarded on the way.  Eviction order is therefore a
+pure function of the event stream, which is what makes the daemon's
+final state pickle byte-reproducible.
+
+Per-tag state beyond the read counters: serving AP (with a handoff
+count incremented on every AP change), and an EWMA of the
+instantaneous read rate — the online analogue of the batch reports'
+latency statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.population import TagPopulation
+
+__all__ = ["SERVE_STATE_SCHEMA", "LiveInventory"]
+
+#: Schema stamped into every saved inventory state; bump when the
+#: per-tag tuple layout changes so stale checkpoints fail loudly.
+SERVE_STATE_SCHEMA = 1
+
+
+class LiveInventory(TagPopulation):
+    """SoA live-tag table with LRU/TTL eviction and canonical state.
+
+    Use :meth:`observe` (not the batch population's ``add``): rows are
+    recycled through a free list, so row order is an implementation
+    detail — the canonical state (:meth:`state_dict`) is always sorted
+    by external tag id.
+    """
+
+    _ARRAYS: tuple[tuple[str, object, object], ...] = (
+        ("tag_key", np.int64, -1),
+        ("row_active", bool, False),
+        ("first_seen_s", np.float64, 0.0),
+        ("last_seen_s", np.float64, 0.0),
+        ("last_slot", np.int64, -1),
+        ("serving_ap", np.int32, -1),
+        ("handoff_count", np.int64, 0),
+        ("reads", np.int64, 0),
+        ("bits_total", np.int64, 0),
+        ("ewma_rate_hz", np.float64, 0.0),
+    )
+
+    def __init__(
+        self,
+        *,
+        max_tags: int = 100_000,
+        ttl_s: float | None = None,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if max_tags < 1:
+            raise ValueError(f"max_tags must be >= 1, got {max_tags}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        super().__init__(expected_tags=max_tags)
+        self.max_tags = int(max_tags)
+        self.ttl_s = ttl_s
+        self.ewma_alpha = float(ewma_alpha)
+        self._row_of: dict[int, int] = {}
+        self._free_rows: list[int] = []
+        # Lazy eviction heap of (last_seen_s, tag_id) stamps.
+        self._lru_heap: list[tuple[float, int]] = []
+        self.evicted_lru = 0
+        self.evicted_ttl = 0
+        self.tracked_watermark = 0
+        self.total_reads = 0
+        self.total_handoffs = 0
+
+    # -- sizing ----------------------------------------------------------------
+
+    @property
+    def tracked(self) -> int:
+        """Tags currently held in memory."""
+        return len(self._row_of)
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict_row(self, row: int, *, reason: str) -> None:
+        tag_id = int(self.tag_key[row])
+        self.row_active[row] = False
+        self.tag_key[row] = -1
+        del self._row_of[tag_id]
+        heapq.heappush(self._free_rows, row)
+        if reason == "lru":
+            self.evicted_lru += 1
+        else:
+            self.evicted_ttl += 1
+
+    def _pop_stalest(self) -> int | None:
+        """Row of the (deterministically) stalest tracked tag, or None."""
+        while self._lru_heap:
+            last_seen, tag_id = self._lru_heap[0]
+            row = self._row_of.get(tag_id)
+            if row is None or self.last_seen_s[row] != last_seen:
+                heapq.heappop(self._lru_heap)  # stale stamp
+                continue
+            return row
+        return None
+
+    def expire(self, now_s: float) -> int:
+        """Evict every tag idle for more than ``ttl_s``; returns count.
+
+        No-op when TTL retention is disabled.  Eviction order is
+        ``(last_seen_s, tag_id)`` ascending — the heap order.
+        """
+        if self.ttl_s is None:
+            return 0
+        horizon = now_s - self.ttl_s
+        evicted = 0
+        while True:
+            row = self._pop_stalest()
+            if row is None or self.last_seen_s[row] > horizon:
+                break
+            heapq.heappop(self._lru_heap)
+            self._evict_row(row, reason="ttl")
+            evicted += 1
+        return evicted
+
+    # -- observation -----------------------------------------------------------
+
+    def observe(
+        self,
+        tag_id: int,
+        ap_id: int,
+        time_s: float,
+        *,
+        bits: int = 0,
+        slot: int = -1,
+    ) -> bool:
+        """Fold one read into the live state; True if the tag is new.
+
+        A new tag beyond ``max_tags`` evicts the stalest tracked tag
+        first (LRU tier), so memory never exceeds the retention bound.
+        """
+        tag_id = int(tag_id)
+        row = self._row_of.get(tag_id)
+        new_tag = row is None
+        if new_tag:
+            if len(self._row_of) >= self.max_tags:
+                stale_row = self._pop_stalest()
+                assert stale_row is not None  # max_tags >= 1 and full
+                heapq.heappop(self._lru_heap)
+                self._evict_row(stale_row, reason="lru")
+            if self._free_rows:
+                row = heapq.heappop(self._free_rows)
+            else:
+                row = self._n
+                self._ensure_capacity(self._n + 1)
+                self._n += 1
+            self._row_of[tag_id] = row
+            self.tag_key[row] = tag_id
+            self.row_active[row] = True
+            self.first_seen_s[row] = time_s
+            self.last_seen_s[row] = time_s
+            self.last_slot[row] = slot
+            self.serving_ap[row] = ap_id
+            self.handoff_count[row] = 0
+            self.reads[row] = 1
+            self.bits_total[row] = bits
+            self.ewma_rate_hz[row] = 0.0
+            self.arrivals += 1
+            if len(self._row_of) > self.tracked_watermark:
+                self.tracked_watermark = len(self._row_of)
+        else:
+            assert row is not None
+            dt = time_s - float(self.last_seen_s[row])
+            if dt > 0.0:
+                inst = 1.0 / dt
+                self.ewma_rate_hz[row] = (
+                    self.ewma_alpha * inst
+                    + (1.0 - self.ewma_alpha) * float(self.ewma_rate_hz[row])
+                )
+            if int(self.serving_ap[row]) != int(ap_id):
+                self.handoff_count[row] += 1
+                self.total_handoffs += 1
+                self.serving_ap[row] = ap_id
+            self.last_seen_s[row] = max(
+                float(self.last_seen_s[row]), time_s
+            )
+            self.last_slot[row] = slot
+            self.reads[row] += 1
+            self.bits_total[row] += bits
+        self.total_reads += 1
+        heapq.heappush(
+            self._lru_heap, (float(self.last_seen_s[row]), tag_id)
+        )
+        return new_tag
+
+    def record(self, tag_id: int) -> dict[str, object] | None:
+        """The live state of one tag as plain types (None if untracked)."""
+        row = self._row_of.get(int(tag_id))
+        if row is None:
+            return None
+        return {
+            "tag_id": int(self.tag_key[row]),
+            "first_seen_s": float(self.first_seen_s[row]),
+            "last_seen_s": float(self.last_seen_s[row]),
+            "last_slot": int(self.last_slot[row]),
+            "serving_ap": int(self.serving_ap[row]),
+            "handoff_count": int(self.handoff_count[row]),
+            "reads": int(self.reads[row]),
+            "bits_total": int(self.bits_total[row]),
+            "ewma_rate_hz": float(self.ewma_rate_hz[row]),
+        }
+
+    # -- canonical state -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Canonical, row-order-independent state (sorted by tag id)."""
+        tags = tuple(
+            tuple(self.record(tag_id).values())  # type: ignore[union-attr]
+            for tag_id in sorted(self._row_of)
+        )
+        return {
+            "schema": SERVE_STATE_SCHEMA,
+            "max_tags": self.max_tags,
+            "ttl_s": self.ttl_s,
+            "ewma_alpha": self.ewma_alpha,
+            "tracked": self.tracked,
+            "tracked_watermark": self.tracked_watermark,
+            "evicted_lru": self.evicted_lru,
+            "evicted_ttl": self.evicted_ttl,
+            "total_reads": self.total_reads,
+            "total_handoffs": self.total_handoffs,
+            "tags": tags,
+        }
+
+    def state_pickle(self) -> bytes:
+        """Byte-canonical pickle of :meth:`state_dict`.
+
+        Two runs that saw the same effective event stream produce the
+        same bytes — the daemon's determinism witness.
+        """
+        return pickle.dumps(
+            self.state_dict(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    def state_sha256(self) -> str:
+        """sha256 of :meth:`state_pickle` (cheap identity comparison)."""
+        return hashlib.sha256(self.state_pickle()).hexdigest()
+
+    def stats(self) -> dict[str, object]:
+        """Small summary dict for metrics snapshots / status lines."""
+        return {
+            "tracked": self.tracked,
+            "tracked_watermark": self.tracked_watermark,
+            "max_tags": self.max_tags,
+            "evicted_lru": self.evicted_lru,
+            "evicted_ttl": self.evicted_ttl,
+            "total_reads": self.total_reads,
+            "total_handoffs": self.total_handoffs,
+        }
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def save_checkpoint(self, path: str | Path) -> Path:
+        """Atomically persist the canonical state (tmp + rename + fsync).
+
+        The wrapper embeds a sha256 of the state payload, so a later
+        :meth:`load_checkpoint` can prove integrity; the rename makes
+        an interrupt leave either the previous checkpoint or the new
+        one — never a torn file.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        state = self.state_pickle()
+        wrapper = pickle.dumps(
+            {
+                "schema": SERVE_STATE_SCHEMA,
+                "sha256": hashlib.sha256(state).hexdigest(),
+                "state": state,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(wrapper)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+        return path
+
+    @staticmethod
+    def load_checkpoint(path: str | Path) -> dict[str, object]:
+        """Load + verify a saved state; raises on corruption/schema skew."""
+        wrapper = pickle.loads(Path(path).read_bytes())
+        if wrapper.get("schema") != SERVE_STATE_SCHEMA:
+            raise ValueError(
+                f"inventory checkpoint schema {wrapper.get('schema')!r} != "
+                f"{SERVE_STATE_SCHEMA}"
+            )
+        state = wrapper["state"]
+        if hashlib.sha256(state).hexdigest() != wrapper["sha256"]:
+            raise ValueError(
+                "inventory checkpoint failed its integrity check"
+            )
+        return pickle.loads(state)

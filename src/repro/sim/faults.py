@@ -24,6 +24,7 @@ compute-layer story.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -40,6 +41,8 @@ __all__ = [
     "corrupt_file",
     "blockage_burst_plan",
     "BlockageFrameOracle",
+    "StreamFaultSpec",
+    "StreamFaultPlan",
 ]
 
 #: Fault kinds a :class:`FaultSpec` can carry.
@@ -238,6 +241,282 @@ def corrupt_file(path: str | os.PathLike, offset: int | None = None) -> bool:
     blob[at] ^= 0xFF
     path.write_bytes(bytes(blob))
     return True
+
+
+# -- stream-level chaos -------------------------------------------------------
+
+#: Fault kinds a :class:`StreamFaultSpec` can carry.
+STREAM_FAULT_KINDS = (
+    "flood",
+    "stall",
+    "slow",
+    "malformed",
+    "duplicate",
+    "reorder",
+)
+
+
+@dataclass(frozen=True)
+class StreamFaultSpec:
+    """One planned streaming fault.
+
+    ``kind``:
+
+    * ``"flood"`` — inject ``events`` synthetic burst events starting
+      at ``at_s``, spaced ``1 / rate_hz`` apart (``rate_hz=0`` lands
+      them all at ``at_s``): the offered-load spike that must turn
+      into bounded queue depth + counted sheds, never a crash;
+    * ``"stall"`` — the source goes silent for ``duration_s`` at
+      ``at_s``: every later arrival is delayed by that much;
+    * ``"slow"`` — the consumer's service time is multiplied by
+      ``factor`` over ``[at_s, at_s + duration_s)``;
+    * ``"malformed"`` / ``"duplicate"`` / ``"reorder"`` — within the
+      window, each passing event is independently corrupted /
+      re-emitted / swapped with its successor with ``probability``
+      (drawn by a seeded per-ordinal hash, so the same plan mangles
+      the same events no matter how the stream is consumed).
+    """
+
+    kind: str
+    at_s: float
+    duration_s: float = 0.0
+    events: int = 0
+    rate_hz: float = 0.0
+    factor: float = 1.0
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STREAM_FAULT_KINDS:
+            raise ValueError(
+                f"unknown stream fault kind {self.kind!r}; "
+                f"choose from {STREAM_FAULT_KINDS}"
+            )
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {self.duration_s}")
+        if self.events < 0:
+            raise ValueError(f"events must be >= 0, got {self.events}")
+        if self.rate_hz < 0:
+            raise ValueError(f"rate_hz must be >= 0, got {self.rate_hz}")
+        if self.factor <= 0:
+            raise ValueError(f"factor must be > 0, got {self.factor}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def window_contains(self, t: float) -> bool:
+        """Whether ``t`` falls inside this spec's active window."""
+        return self.at_s <= t < self.at_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class StreamFaultPlan:
+    """A seeded, frozen set of streaming faults for the AP daemon.
+
+    The compute-layer :class:`FaultPlan` poisons sweep *points*; this
+    plan poisons an *event stream* — floods, source stalls, a slowed
+    consumer, malformed/duplicate/out-of-order records — so the serve
+    pipeline's every degradation path is walked deterministically.
+    Per-event decisions hash ``(seed, kind, ordinal)``, so a plan is a
+    pure function of the stream content, independent of timing or
+    chunking on the consuming side.
+    """
+
+    specs: tuple[StreamFaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        horizon_s: float,
+        seed: int | np.random.SeedSequence = 0,
+        floods: int = 0,
+        flood_events: int = 256,
+        flood_rate_hz: float = 0.0,
+        stalls: int = 0,
+        stall_s: float = 0.5,
+        slow_windows: int = 0,
+        slow_factor: float = 4.0,
+        slow_s: float = 0.5,
+        malformed_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+    ) -> "StreamFaultPlan":
+        """Seeded random plan over ``[0, horizon_s)``.
+
+        Window starts are uniform draws; the rate-style faults get one
+        whole-horizon window each when their rate is positive.
+        Identical arguments always yield the identical plan.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be > 0, got {horizon_s}")
+        if not isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(abs(int(seed)))
+        seed_int = int(seed.generate_state(1)[0])
+        rng = np.random.default_rng(seed)
+        specs: list[StreamFaultSpec] = []
+        for _ in range(floods):
+            specs.append(
+                StreamFaultSpec(
+                    kind="flood",
+                    at_s=float(rng.uniform(0, horizon_s)),
+                    events=flood_events,
+                    rate_hz=flood_rate_hz,
+                )
+            )
+        for _ in range(stalls):
+            specs.append(
+                StreamFaultSpec(
+                    kind="stall",
+                    at_s=float(rng.uniform(0, horizon_s)),
+                    duration_s=stall_s,
+                )
+            )
+        for _ in range(slow_windows):
+            specs.append(
+                StreamFaultSpec(
+                    kind="slow",
+                    at_s=float(rng.uniform(0, horizon_s)),
+                    duration_s=slow_s,
+                    factor=slow_factor,
+                )
+            )
+        for kind, rate in (
+            ("malformed", malformed_rate),
+            ("duplicate", duplicate_rate),
+            ("reorder", reorder_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate must be in [0, 1], got {rate}")
+            if rate > 0.0:
+                specs.append(
+                    StreamFaultSpec(
+                        kind=kind,
+                        at_s=0.0,
+                        duration_s=horizon_s,
+                        probability=rate,
+                    )
+                )
+        return cls(specs=tuple(sorted(specs, key=lambda s: (s.at_s, s.kind))),
+                   seed=seed_int)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing."""
+        return not self.specs
+
+    def _of_kind(self, kind: str) -> list[StreamFaultSpec]:
+        return [spec for spec in self.specs if spec.kind == kind]
+
+    def service_factor(self, t: float) -> float:
+        """Consumer service-time multiplier at stream time ``t``.
+
+        Overlapping slow-consumer windows compound multiplicatively.
+        """
+        factor = 1.0
+        for spec in self._of_kind("slow"):
+            if spec.window_contains(t):
+                factor *= spec.factor
+        return factor
+
+    def _event_hit(self, kind: str, ordinal: int, probability: float) -> bool:
+        """Seeded per-ordinal Bernoulli, stable across consumers."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{ordinal}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0**64
+        return draw < probability
+
+    # -- stream transformation -------------------------------------------------
+
+    def transform(self, stream, *, flood_factory=None, malform=None):
+        """Apply the plan to a stream of ``(arrival_s, item)`` pairs.
+
+        ``flood_factory(burst_index, time_s)`` builds the synthetic
+        flood items (the serve daemon passes a ``ReadEvent`` factory);
+        ``malform(item, reason)`` wraps a corrupted item (the daemon
+        wraps into its dead-letterable ``MalformedEvent``).  Faults
+        whose hooks are missing are skipped, keeping the plan usable on
+        bare streams in tests.
+
+        Yields ``(arrival_s, item)`` pairs with stalls shifting later
+        arrivals, floods spliced in at their window starts, duplicates
+        re-emitted, reordered pairs swapped (each keeping its own
+        timestamp — the consumer sees time run backwards), and
+        malformed items wrapped.
+        """
+        stalls = sorted(self._of_kind("stall"), key=lambda s: s.at_s)
+        floods = sorted(self._of_kind("flood"), key=lambda s: s.at_s)
+        malformed = self._of_kind("malformed")
+        duplicates = self._of_kind("duplicate")
+        reorders = self._of_kind("reorder")
+        shift = 0.0
+        stall_i = 0
+        flood_i = 0
+        flood_count = 0
+        ordinal = 0
+        held: tuple[float, object] | None = None
+
+        def emit_floods_until(t: float):
+            nonlocal flood_i, flood_count
+            while flood_i < len(floods) and floods[flood_i].at_s <= t:
+                spec = floods[flood_i]
+                if flood_factory is not None:
+                    step = 1.0 / spec.rate_hz if spec.rate_hz else 0.0
+                    for k in range(spec.events):
+                        at = spec.at_s + k * step
+                        yield at, flood_factory(flood_count, at)
+                        flood_count += 1
+                flood_i += 1
+
+        for arrival_s, item in stream:
+            while (
+                stall_i < len(stalls) and stalls[stall_i].at_s <= arrival_s
+            ):
+                shift += stalls[stall_i].duration_s
+                stall_i += 1
+            arrival = arrival_s + shift
+            yield from emit_floods_until(arrival)
+            out_item = item
+            for spec in malformed:
+                if spec.window_contains(arrival) and self._event_hit(
+                    "malformed", ordinal, spec.probability
+                ):
+                    if malform is not None:
+                        out_item = malform(item, "chaos: injected corruption")
+                    break
+            pair = (arrival, out_item)
+            if held is not None:
+                # Emit the newer event first, then the held (earlier)
+                # one: the consumer observes an out-of-order timestamp.
+                yield pair
+                yield held
+                held = None
+            else:
+                swap = any(
+                    spec.window_contains(arrival)
+                    and self._event_hit("reorder", ordinal, spec.probability)
+                    for spec in reorders
+                )
+                if swap:
+                    held = pair
+                else:
+                    yield pair
+            for spec in duplicates:
+                if spec.window_contains(arrival) and self._event_hit(
+                    "duplicate", ordinal, spec.probability
+                ):
+                    yield (arrival, item)
+                    break
+            ordinal += 1
+        if held is not None:
+            yield held
+        yield from emit_floods_until(float("inf"))
 
 
 # -- channel-level chaos ------------------------------------------------------

@@ -17,6 +17,7 @@ re-runs the point with the same child :class:`~numpy.random.SeedSequence`.
 
 from __future__ import annotations
 
+import logging
 import time
 import traceback
 from dataclasses import dataclass
@@ -24,6 +25,8 @@ from collections.abc import Callable
 from typing import Any
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "RetryPolicy",
@@ -169,12 +172,21 @@ def call_with_retry(
         except retry_on as exc:
             errors.append(traceback.format_exc())
             if attempt >= policy.max_retries:
+                logger.warning(
+                    "point %d: giving up after %d attempt(s): %r",
+                    index, attempt + 1, exc,
+                )
                 raise RetryExhaustedError(
                     f"gave up after {attempt + 1} attempt"
                     f"{'s' if attempt else ''}: {exc!r}",
                     errors,
                 ) from exc
-            sleep(policy.delay_s(attempt, backoff_rng(seed, index, attempt)))
+            delay = policy.delay_s(attempt, backoff_rng(seed, index, attempt))
+            logger.warning(
+                "point %d: attempt %d failed (%r); retrying in %.3fs",
+                index, attempt + 1, exc, delay,
+            )
+            sleep(delay)
         else:
             return RetryOutcome(value=value, attempts=attempt + 1, errors=tuple(errors))
     raise AssertionError("unreachable")  # pragma: no cover

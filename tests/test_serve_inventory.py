@@ -1,0 +1,177 @@
+"""Bounded-memory live inventory: LRU/TTL eviction and canonical state.
+
+The retention contract: ``tracked`` never exceeds ``max_tags``,
+eviction order is deterministic (``(last_seen_s, tag_id)`` ascending),
+and the canonical state pickle is a pure function of the observation
+stream — the witness the daemon's byte-identical replay reduces to.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.serve.inventory import SERVE_STATE_SCHEMA, LiveInventory
+
+
+class TestObserve:
+    def test_new_and_repeat_reads(self):
+        inv = LiveInventory(max_tags=10)
+        assert inv.observe(7, 0, 1.0, bits=64) is True
+        assert inv.observe(7, 0, 2.0, bits=64) is False
+        record = inv.record(7)
+        assert record is not None
+        assert record["reads"] == 2
+        assert record["bits_total"] == 128
+        assert record["first_seen_s"] == 1.0
+        assert record["last_seen_s"] == 2.0
+
+    def test_handoff_counted_on_ap_change(self):
+        inv = LiveInventory(max_tags=10)
+        inv.observe(1, 0, 1.0)
+        inv.observe(1, 2, 2.0)
+        inv.observe(1, 2, 3.0)
+        inv.observe(1, 0, 4.0)
+        record = inv.record(1)
+        assert record["serving_ap"] == 0
+        assert record["handoff_count"] == 2
+        assert inv.total_handoffs == 2
+
+    def test_ewma_rate_converges(self):
+        inv = LiveInventory(max_tags=4, ewma_alpha=0.5)
+        for i in range(50):
+            inv.observe(1, 0, float(i))  # 1 read per second
+        assert inv.record(1)["ewma_rate_hz"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_untracked_record_is_none(self):
+        inv = LiveInventory(max_tags=4)
+        assert inv.record(99) is None
+
+
+class TestLruEviction:
+    def test_tracked_never_exceeds_cap(self):
+        inv = LiveInventory(max_tags=16)
+        for i in range(200):
+            inv.observe(i, 0, float(i))
+            assert inv.tracked <= 16
+        assert inv.evicted_lru == 184
+        assert inv.tracked_watermark == 16
+
+    def test_evicts_least_recently_seen(self):
+        inv = LiveInventory(max_tags=3)
+        inv.observe(1, 0, 1.0)
+        inv.observe(2, 0, 2.0)
+        inv.observe(3, 0, 3.0)
+        inv.observe(1, 0, 4.0)  # refresh tag 1: tag 2 is now stalest
+        inv.observe(9, 0, 5.0)
+        assert inv.record(2) is None
+        assert inv.record(1) is not None
+
+    def test_tie_breaks_to_smaller_tag_id(self):
+        inv = LiveInventory(max_tags=2)
+        inv.observe(5, 0, 1.0)
+        inv.observe(3, 0, 1.0)  # same timestamp: 3 < 5 evicts first
+        inv.observe(8, 0, 2.0)
+        assert inv.record(3) is None
+        assert inv.record(5) is not None
+
+    def test_rows_recycled(self):
+        inv = LiveInventory(max_tags=4)
+        for i in range(100):
+            inv.observe(i, 0, float(i))
+        # 100 tags through a 4-row cap: the SoA backing stays small.
+        assert len(inv) <= 8
+
+
+class TestTtlEviction:
+    def test_idle_tags_expire(self):
+        inv = LiveInventory(max_tags=100, ttl_s=5.0)
+        inv.observe(1, 0, 0.0)
+        inv.observe(2, 0, 3.0)
+        evicted = inv.expire(6.0)
+        assert evicted == 1
+        assert inv.record(1) is None
+        assert inv.record(2) is not None
+        assert inv.evicted_ttl == 1
+
+    def test_no_ttl_means_no_expiry(self):
+        inv = LiveInventory(max_tags=100)
+        inv.observe(1, 0, 0.0)
+        assert inv.expire(1e9) == 0
+
+    def test_refresh_defeats_expiry(self):
+        inv = LiveInventory(max_tags=100, ttl_s=5.0)
+        inv.observe(1, 0, 0.0)
+        inv.observe(1, 0, 4.0)
+        assert inv.expire(6.0) == 0
+        assert inv.record(1) is not None
+
+
+class TestDeterminism:
+    @staticmethod
+    def _stream(inv: LiveInventory) -> None:
+        for i in range(500):
+            inv.observe(i % 37, i % 3, i * 0.01, bits=64, slot=i)
+            if i % 100 == 99:
+                inv.expire(i * 0.01)
+
+    def test_state_pickle_byte_identical(self):
+        a = LiveInventory(max_tags=20, ttl_s=1.0)
+        b = LiveInventory(max_tags=20, ttl_s=1.0)
+        self._stream(a)
+        self._stream(b)
+        assert a.state_pickle() == b.state_pickle()
+        assert a.state_sha256() == b.state_sha256()
+
+    def test_state_sorted_by_tag_id(self):
+        inv = LiveInventory(max_tags=50)
+        for tag in (9, 2, 30, 1):
+            inv.observe(tag, 0, 1.0)
+        tags = [row[0] for row in inv.state_dict()["tags"]]
+        assert tags == sorted(tags)
+
+
+class TestCheckpoint:
+    def test_save_load_roundtrip(self, tmp_path):
+        inv = LiveInventory(max_tags=8, ttl_s=2.0)
+        for i in range(30):
+            inv.observe(i, i % 2, float(i))
+        path = inv.save_checkpoint(tmp_path / "inv.ckpt")
+        state = LiveInventory.load_checkpoint(path)
+        assert state == inv.state_dict()
+        assert state["schema"] == SERVE_STATE_SCHEMA
+
+    def test_corruption_detected(self, tmp_path):
+        inv = LiveInventory(max_tags=8)
+        inv.observe(1, 0, 1.0)
+        path = inv.save_checkpoint(tmp_path / "inv.ckpt")
+        wrapper = pickle.loads(path.read_bytes())
+        wrapper["state"] = wrapper["state"][:-4] + b"\x00\x00\x00\x00"
+        path.write_bytes(pickle.dumps(wrapper))
+        with pytest.raises(ValueError, match="integrity"):
+            LiveInventory.load_checkpoint(path)
+
+    def test_schema_skew_detected(self, tmp_path):
+        inv = LiveInventory(max_tags=8)
+        path = inv.save_checkpoint(tmp_path / "inv.ckpt")
+        wrapper = pickle.loads(path.read_bytes())
+        wrapper["schema"] = 999
+        path.write_bytes(pickle.dumps(wrapper))
+        with pytest.raises(ValueError, match="schema"):
+            LiveInventory.load_checkpoint(path)
+
+    def test_no_tmp_file_left(self, tmp_path):
+        inv = LiveInventory(max_tags=8)
+        inv.save_checkpoint(tmp_path / "inv.ckpt")
+        assert [p.name for p in tmp_path.iterdir()] == ["inv.ckpt"]
+
+
+class TestValidation:
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            LiveInventory(max_tags=0)
+        with pytest.raises(ValueError):
+            LiveInventory(max_tags=1, ttl_s=0.0)
+        with pytest.raises(ValueError):
+            LiveInventory(max_tags=1, ewma_alpha=0.0)

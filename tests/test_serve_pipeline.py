@@ -1,0 +1,253 @@
+"""The ingest pipeline's parts: queue, bucket, histogram, quarantine.
+
+Everything in :mod:`repro.serve` below the daemon is synchronous and
+clock-injected; these tests drive each part on explicit virtual time
+and pin the backpressure semantics the E23 benchmark relies on: a full
+queue sheds (or blocks) *by policy*, every shed is counted, the queue
+never exceeds its depth, and the whole contraption is a pure function
+of the event stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.events import DeadLetterLog, MalformedEvent, ReadEvent
+from repro.serve.metrics import LatencyHistogram, ServiceMetrics
+from repro.serve.queue import BoundedIngestQueue, TokenBucket
+
+
+def _event(seq: int, *, tag: int = 1, source: str = "s") -> ReadEvent:
+    return ReadEvent(
+        time_s=0.0, tag_id=tag, ap_id=0, bits=64, source=source, seq=seq
+    )
+
+
+class TestTokenBucket:
+    def test_zero_rate_always_admits(self):
+        bucket = TokenBucket(0.0)
+        assert all(bucket.take(0.0) for _ in range(1000))
+
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(10.0, burst=2.0)
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)  # burst spent
+        assert bucket.take(0.1)      # one token refilled
+        assert not bucket.take(0.1)
+
+    def test_refill_clamps_at_burst(self):
+        bucket = TokenBucket(100.0, burst=4.0)
+        for _ in range(4):
+            assert bucket.take(0.0)
+        admitted = sum(bucket.take(1000.0) for _ in range(10))
+        assert admitted == 4
+
+    def test_backwards_clock_does_not_refill(self):
+        bucket = TokenBucket(10.0, burst=1.0)
+        assert bucket.take(5.0)
+        assert not bucket.take(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0.5)
+
+
+class TestLatencyHistogram:
+    def test_percentile_is_conservative_upper_bound(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.observe(0.010)
+        p99 = hist.percentile(99)
+        assert p99 >= 0.010
+        assert p99 <= 0.020  # next geometric bound above 10 ms
+
+    def test_deterministic_buckets(self):
+        h1, h2 = LatencyHistogram(), LatencyHistogram()
+        samples = [1e-6 * (i + 1) ** 3 for i in range(200)]
+        for s in samples:
+            h1.observe(s)
+        for s in samples:
+            h2.observe(s)
+        assert h1.bucket_counts() == h2.bucket_counts()
+
+    def test_overflow_reports_max(self):
+        hist = LatencyHistogram()
+        hist.observe(1e9)
+        assert hist.percentile(99) == 1e9
+
+    def test_empty_and_mean(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) == 0.0
+        assert hist.mean_s == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean_s == pytest.approx(3.0)
+
+    def test_negative_clamps(self):
+        hist = LatencyHistogram()
+        hist.observe(-1.0)
+        assert hist.max_s == 0.0
+        assert hist.total == 1
+
+
+class TestBoundedQueueShedding:
+    def _queue(self, policy: str, depth: int = 4, rate: float = 10.0):
+        applied: list[tuple[int, float]] = []
+        metrics = ServiceMetrics()
+        queue = BoundedIngestQueue(
+            depth=depth,
+            policy=policy,
+            service_rate_hz=rate,
+            apply=lambda ev, t: applied.append((ev.seq, t)),
+            metrics=metrics,
+            service_factor=None,
+        )
+        return queue, metrics, applied
+
+    def test_shed_newest_drops_arrival(self):
+        queue, metrics, applied = self._queue("shed-newest")
+        # Service time 0.1 s; pile 5 arrivals onto one instant.
+        for seq in range(5):
+            queue.offer(_event(seq), 0.0)
+        assert len(queue) == 4
+        assert metrics.shed_newest == 1
+        queue.drain_all()
+        assert [seq for seq, _ in applied] == [0, 1, 2, 3]
+
+    def test_shed_oldest_drops_head(self):
+        queue, metrics, applied = self._queue("shed-oldest")
+        for seq in range(5):
+            queue.offer(_event(seq), 0.0)
+        assert len(queue) == 4
+        assert metrics.shed_oldest == 1
+        queue.drain_all()
+        assert [seq for seq, _ in applied] == [1, 2, 3, 4]
+
+    def test_block_stalls_and_loses_nothing(self):
+        queue, metrics, applied = self._queue("block")
+        last_effective = 0.0
+        for seq in range(6):
+            accepted, last_effective = queue.offer(_event(seq), 0.0)
+            assert accepted
+        assert metrics.blocked == 2
+        assert metrics.blocked_wait_s > 0.0
+        assert last_effective > 0.0  # backpressure surfaced to the caller
+        queue.drain_all()
+        assert [seq for seq, _ in applied] == [0, 1, 2, 3, 4, 5]
+        assert metrics.shed_oldest == metrics.shed_newest == 0
+
+    def test_depth_never_exceeded(self):
+        for policy in ("block", "shed-oldest", "shed-newest"):
+            queue, metrics, _ = self._queue(policy, depth=3)
+            for seq in range(50):
+                queue.offer(_event(seq), seq * 1e-4)
+                assert len(queue) <= 3
+            assert metrics.queue_high_watermark <= 3
+
+    def test_latency_is_queue_delay(self):
+        queue, metrics, _ = self._queue("block", depth=8, rate=10.0)
+        for seq in range(4):
+            queue.offer(_event(seq), 0.0)
+        queue.drain_all()
+        # 4 back-to-back services at 0.1 s: completions 0.1 .. 0.4.
+        assert metrics.latency.total == 4
+        assert metrics.latency.max_s == pytest.approx(0.4)
+
+    def test_infinite_service_rate(self):
+        queue, metrics, applied = self._queue("shed-oldest", rate=0.0)
+        for seq in range(10):
+            queue.offer(_event(seq), seq * 0.01)
+        assert len(queue) <= 1
+        queue.drain_all()
+        assert len(applied) == 10
+        assert metrics.shed_oldest == 0
+
+    def test_slow_consumer_factor_dilates_service(self):
+        metrics = ServiceMetrics()
+        queue = BoundedIngestQueue(
+            depth=64, policy="block", service_rate_hz=10.0,
+            apply=lambda ev, t: None, metrics=metrics,
+            service_factor=lambda t: 4.0,
+        )
+        queue.offer(_event(0), 0.0)
+        queue.drain_all()
+        assert metrics.latency.max_s == pytest.approx(0.4)
+
+    def test_validation(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(ValueError):
+            BoundedIngestQueue(depth=0, policy="block", service_rate_hz=1.0,
+                               apply=lambda e, t: None, metrics=metrics)
+        with pytest.raises(ValueError):
+            BoundedIngestQueue(depth=1, policy="bogus", service_rate_hz=1.0,
+                               apply=lambda e, t: None, metrics=metrics)
+
+    def test_deterministic_across_runs(self):
+        def run():
+            queue, metrics, applied = self._queue("shed-oldest", depth=5,
+                                                  rate=100.0)
+            for seq in range(200):
+                queue.offer(_event(seq), seq * 0.003)
+            queue.drain_all()
+            return applied, json.dumps(metrics.deterministic_counters())
+
+        assert run() == run()
+
+
+class TestDeadLetterLog:
+    def test_lines_complete_and_verifiable(self, tmp_path):
+        log = DeadLetterLog(tmp_path / "dlq.jsonl")
+        log.append(1.0, MalformedEvent(raw="{broken", reason="parse",
+                                       source="trace"))
+        log.append(2.0, MalformedEvent(raw="x" * 1000, reason="huge",
+                                       source="chaos"))
+        records = log.load()
+        assert len(records) == 2
+        assert log.lines_written == 2
+        assert records[0]["reason"] == "parse"
+        assert len(records[1]["raw"]) == 512  # truncated, hash over full
+        for line in (tmp_path / "dlq.jsonl").read_text().splitlines():
+            json.loads(line)  # every line is complete JSON
+
+    def test_counter_only_mode(self):
+        log = DeadLetterLog(None)
+        log.append(0.0, MalformedEvent(raw="junk", reason="r"))
+        assert log.lines_written == 1
+        assert log.load() == []
+
+    def test_truncates_previous_run(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        path.write_text('{"stale": true}\n')
+        log = DeadLetterLog(path)
+        assert log.load() == []
+
+
+class TestMetricsViews:
+    def test_deterministic_counters_exclude_wall_clock(self):
+        metrics = ServiceMetrics()
+        counters = metrics.deterministic_counters()
+        assert "uptime_s" not in counters
+        assert not any("per_s" in key for key in counters)
+
+    def test_snapshot_contains_counters_and_rates(self):
+        metrics = ServiceMetrics()
+        metrics.events_in = 10
+        metrics.count_read(2)
+        metrics.count_read(0)
+        snap = metrics.snapshot(queue_depth=3, clock_s=1.5)
+        assert snap["queue_depth"] == 3
+        assert snap["counters"]["events_in"] == 10
+        assert snap["counters"]["per_ap_reads"] == {"0": 1, "2": 1}
+        assert "events_in_per_s" in snap
+
+    def test_status_line_shape(self):
+        metrics = ServiceMetrics()
+        line = metrics.status_line(queue_depth=1, queue_cap=8, tracked=5,
+                                   clock_s=2.0)
+        assert line.startswith("[serve +2.0s]")
+        assert "q=1/8" in line

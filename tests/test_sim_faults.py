@@ -32,6 +32,8 @@ from repro.sim.faults import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    StreamFaultPlan,
+    StreamFaultSpec,
     blockage_burst_plan,
     corrupt_file,
 )
@@ -647,3 +649,121 @@ class TestBlockageFrameOracle:
             BlockageFrameOracle([], frame_duration_s=0.0)
         with pytest.raises(ValueError):
             BlockageFrameOracle([], frame_duration_s=1e-3, clear_success_prob=1.5)
+
+
+class TestStreamFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            StreamFaultSpec(kind="meteor", at_s=0.0)
+        with pytest.raises(ValueError, match="at_s"):
+            StreamFaultSpec(kind="flood", at_s=-1.0)
+        with pytest.raises(ValueError, match="probability"):
+            StreamFaultSpec(kind="malformed", at_s=0.0, probability=1.5)
+        with pytest.raises(ValueError, match="factor"):
+            StreamFaultSpec(kind="slow", at_s=0.0, factor=0.0)
+
+    def test_window_contains(self):
+        spec = StreamFaultSpec(kind="slow", at_s=1.0, duration_s=2.0)
+        assert not spec.window_contains(0.5)
+        assert spec.window_contains(1.0)
+        assert spec.window_contains(2.9)
+        assert not spec.window_contains(3.0)
+
+
+class TestStreamFaultPlan:
+    def _stream(self, n=40):
+        return [(0.1 * i, f"ev{i}") for i in range(n)]
+
+    def test_random_plan_is_seed_deterministic(self):
+        kwargs = dict(horizon_s=10.0, floods=2, stalls=1, slow_windows=1,
+                      malformed_rate=0.1, duplicate_rate=0.1)
+        assert (StreamFaultPlan.random(seed=5, **kwargs)
+                == StreamFaultPlan.random(seed=5, **kwargs))
+        assert (StreamFaultPlan.random(seed=5, **kwargs)
+                != StreamFaultPlan.random(seed=6, **kwargs))
+
+    def test_transform_is_deterministic(self):
+        plan = StreamFaultPlan.random(
+            horizon_s=4.0, seed=3, floods=1, flood_events=5, stalls=1,
+            malformed_rate=0.2, duplicate_rate=0.2, reorder_rate=0.2,
+        )
+        run = lambda: list(plan.transform(
+            iter(self._stream()),
+            flood_factory=lambda k, t: f"flood{k}",
+            malform=lambda item, why: ("bad", item),
+        ))
+        assert run() == run()
+
+    def test_stall_shifts_later_arrivals(self):
+        plan = StreamFaultPlan(
+            specs=(StreamFaultSpec(kind="stall", at_s=1.0, duration_s=0.5),),
+        )
+        out = list(plan.transform(iter(self._stream(30))))
+        times = dict(zip((item for _, item in out),
+                         (t for t, _ in out)))
+        assert times["ev5"] == pytest.approx(0.5)   # before the stall
+        assert times["ev20"] == pytest.approx(2.5)  # 2.0 + 0.5 shift
+
+    def test_flood_injects_burst(self):
+        plan = StreamFaultPlan(
+            specs=(StreamFaultSpec(kind="flood", at_s=0.55, events=4,
+                                   rate_hz=100.0),),
+        )
+        out = list(plan.transform(iter(self._stream(20)),
+                                  flood_factory=lambda k, t: f"flood{k}"))
+        floods = [(t, item) for t, item in out
+                  if isinstance(item, str) and item.startswith("flood")]
+        assert [item for _, item in floods] == [
+            "flood0", "flood1", "flood2", "flood3"
+        ]
+        assert floods[0][0] == pytest.approx(0.55)
+        assert floods[-1][0] == pytest.approx(0.58)
+
+    def test_flood_without_factory_is_skipped(self):
+        plan = StreamFaultPlan(
+            specs=(StreamFaultSpec(kind="flood", at_s=0.5, events=4),),
+        )
+        out = list(plan.transform(iter(self._stream(10))))
+        assert len(out) == 10
+
+    def test_slow_windows_compound(self):
+        plan = StreamFaultPlan(
+            specs=(
+                StreamFaultSpec(kind="slow", at_s=0.0, duration_s=2.0,
+                                factor=3.0),
+                StreamFaultSpec(kind="slow", at_s=1.0, duration_s=2.0,
+                                factor=2.0),
+            ),
+        )
+        assert plan.service_factor(0.5) == pytest.approx(3.0)
+        assert plan.service_factor(1.5) == pytest.approx(6.0)
+        assert plan.service_factor(2.5) == pytest.approx(2.0)
+        assert plan.service_factor(5.0) == pytest.approx(1.0)
+
+    def test_reorder_emits_backwards_timestamps(self):
+        plan = StreamFaultPlan(
+            specs=(StreamFaultSpec(kind="reorder", at_s=0.0,
+                                   duration_s=100.0, probability=0.5),),
+            seed=1,
+        )
+        out = list(plan.transform(iter(self._stream(60))))
+        times = [t for t, _ in out]
+        assert any(b < a for a, b in zip(times, times[1:]))
+        assert sorted(item for _, item in out) == sorted(
+            item for _, item in self._stream(60)
+        )
+
+    def test_duplicates_reemit_same_item(self):
+        plan = StreamFaultPlan(
+            specs=(StreamFaultSpec(kind="duplicate", at_s=0.0,
+                                   duration_s=100.0, probability=0.5),),
+            seed=1,
+        )
+        out = [item for _, item in plan.transform(iter(self._stream(60)))]
+        assert len(out) > 60
+        assert len(set(out)) == 60
+
+    def test_empty_plan_is_identity(self):
+        plan = StreamFaultPlan()
+        assert plan.is_empty
+        assert list(plan.transform(iter(self._stream()))) == self._stream()
