@@ -136,6 +136,12 @@ class ServeConfig:
             raise ValueError(
                 f"rate_limit_hz must be >= 0, got {self.rate_limit_hz}"
             )
+        if self.rate_limit_burst < 1:
+            # TokenBucket enforces this too, but buckets are created
+            # lazily per source — fail at startup, not mid-stream.
+            raise ValueError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
+            )
         if self.dedup_window < 0:
             raise ValueError(
                 f"dedup_window must be >= 0, got {self.dedup_window}"
@@ -239,6 +245,10 @@ class IngestPipeline:
             ),
         )
         self.clock_s = 0.0
+        # Latest raw source timestamp, kept apart from clock_s: block
+        # backpressure advances clock_s past arrivals that are still in
+        # source order, and those must not count as reordered.
+        self.source_clock_s = 0.0
         self._buckets: dict[str, TokenBucket] = {}
         self._dedup: dict[str, tuple[set[int], deque[int]]] = {}
         self._since_expire = 0
@@ -285,10 +295,15 @@ class IngestPipeline:
     def ingest(self, item: ReadEvent | MalformedEvent,
                arrival_s: float) -> bool:
         """Fold one stream item in at ``arrival_s``; True = accepted."""
-        if arrival_s < self.clock_s:
-            # Time ran backwards (reordered stream / chaos): clamp to
-            # the pipeline clock so queue arithmetic stays monotonic.
+        if arrival_s < self.source_clock_s:
+            # Source timestamp ran backwards (reordered stream / chaos).
             self.metrics.reordered += 1
+        else:
+            self.source_clock_s = arrival_s
+        if arrival_s < self.clock_s:
+            # Behind the pipeline clock — genuinely reordered (counted
+            # above) or merely behind a block-policy stall: either way
+            # clamp so queue arithmetic stays monotonic.
             arrival_s = self.clock_s
         else:
             self.clock_s = arrival_s

@@ -112,7 +112,13 @@ class OpsServer:
             writer.write(self._route(path))
             await writer.drain()
             self.requests_served += 1
-        except (asyncio.TimeoutError, ConnectionError):
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            ValueError,  # readline: line longer than the stream limit
+        ):
             pass
         finally:
             writer.close()

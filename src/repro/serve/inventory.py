@@ -17,9 +17,14 @@ deterministic order, ``(last_seen_s, tag_id)`` ascending:
 Both tiers share one lazy min-heap: each observation pushes a
 ``(last_seen, tag_id)`` stamp, and eviction pops entries until one
 matches the tag's *current* stamp — stale stamps (the tag was seen
-again later) are discarded on the way.  Eviction order is therefore a
-pure function of the event stream, which is what makes the daemon's
-final state pickle byte-reproducible.
+again later) are discarded on the way.  Because repeat reads push
+stamps faster than the eviction paths pop them, :meth:`observe`
+compacts the heap (rebuilds it from the current stamps) whenever it
+grows past a small multiple of the tracked-tag count, so the heap —
+like the rows — stays O(active tags) even when no eviction ever
+runs.  Eviction order is therefore a pure function of the event
+stream, which is what makes the daemon's final state pickle
+byte-reproducible.
 
 Per-tag state beyond the read counters: serving AP (with a handoff
 count incremented on every AP change), and an EWMA of the
@@ -114,6 +119,24 @@ class LiveInventory(TagPopulation):
             self.evicted_lru += 1
         else:
             self.evicted_ttl += 1
+
+    def _compact_heap(self) -> None:
+        """Rebuild the heap from live stamps, discarding stale ones.
+
+        Without this, a steady stream of repeat reads (no evictions)
+        grows the heap by one stale stamp per read forever.  Rebuilding
+        once the heap exceeds ``2 * tracked + 16`` keeps the cost
+        amortized O(1) per observation and the heap O(active tags).
+        The rebuild is deterministic: ``_row_of`` iterates in insertion
+        order (a pure function of the event stream) and every stamp in
+        the rebuilt heap is current, so ``_pop_stalest`` still yields
+        the exact ``(last_seen_s, tag_id)``-ascending eviction order.
+        """
+        self._lru_heap = [
+            (float(self.last_seen_s[row]), tag_id)
+            for tag_id, row in self._row_of.items()
+        ]
+        heapq.heapify(self._lru_heap)
 
     def _pop_stalest(self) -> int | None:
         """Row of the (deterministically) stalest tracked tag, or None."""
@@ -213,6 +236,8 @@ class LiveInventory(TagPopulation):
         heapq.heappush(
             self._lru_heap, (float(self.last_seen_s[row]), tag_id)
         )
+        if len(self._lru_heap) > 2 * len(self._row_of) + 16:
+            self._compact_heap()
         return new_tag
 
     def record(self, tag_id: int) -> dict[str, object] | None:
@@ -307,6 +332,13 @@ class LiveInventory(TagPopulation):
             handle.flush()
             os.fsync(handle.fileno())
         tmp.replace(path)
+        # fsync the directory too: the rename itself must survive a
+        # power loss, not just the bytes it points at.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
         return path
 
     @staticmethod

@@ -70,6 +70,12 @@ class TestServeConfigValidation:
         with pytest.raises(ValueError, match="port"):
             ServeConfig(live=True, port=70000)
 
+    def test_fractional_rate_limit_burst_rejected(self):
+        # Buckets are built lazily per source; a bad burst must fail
+        # at config time, not on the first event from a source.
+        with pytest.raises(ValueError, match="rate_limit_burst"):
+            ServeConfig(live=True, rate_limit_burst=0.5)
+
 
 class TestDeterministicReplay:
     def test_byte_identical_state_and_counters(self, trace_path):
@@ -198,6 +204,19 @@ class TestPipelineSemantics:
         pipeline.ingest(self._read(2, 1.0), 1.0)
         assert pipeline.metrics.reordered == 1
         assert pipeline.clock_s >= 5.0
+
+    def test_block_stall_not_counted_as_reordered(self):
+        # Block backpressure advances the pipeline clock past in-order
+        # arrivals; those are clamped but are NOT reordered events.
+        pipeline = IngestPipeline(self._config(
+            queue_depth=1, service_rate_hz=10.0, policy="block",
+        ))
+        for seq in range(5):
+            pipeline.ingest(
+                self._read(seq, seq * 1e-3, tag=seq), seq * 1e-3
+            )
+        assert pipeline.metrics.blocked > 0
+        assert pipeline.metrics.reordered == 0
 
     def test_malformed_goes_to_dead_letter_not_queue(self):
         pipeline = IngestPipeline(self._config())
@@ -331,3 +350,49 @@ class TestOpsEndpoint:
         assert "counters" in results["metrics"][1]
         assert results["missing"][0] == 404
         assert results["readyz_draining"][0] == 503
+
+    def test_oversized_request_dropped_quietly(self):
+        # A request line beyond the 64 KiB stream limit makes
+        # readline raise ValueError; the handler must swallow it (no
+        # unhandled task exception) and keep serving new connections.
+        import gc
+
+        from repro.serve.health import OpsServer
+
+        async def scenario():
+            unhandled: list[dict] = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda _loop, ctx: unhandled.append(ctx)
+            )
+            server = OpsServer(
+                snapshot=lambda: {}, state=lambda: "running"
+            )
+            port = await server.start()
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(b"GET /" + b"x" * 200_000 + b" HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            dropped = await reader.read()
+            writer.close()
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            alive = await reader.read()
+            writer.close()
+
+            await server.stop()
+            # Surface any never-retrieved task exception now.
+            await asyncio.sleep(0.05)
+            gc.collect()
+            await asyncio.sleep(0)
+            return unhandled, dropped, alive
+
+        unhandled, dropped, alive = asyncio.run(scenario())
+        assert unhandled == []
+        assert dropped == b""  # connection closed without a response
+        assert alive.startswith(b"HTTP/1.1 200")

@@ -84,6 +84,28 @@ class TestLruEviction:
         assert len(inv) <= 8
 
 
+class TestHeapBound:
+    def test_repeat_reads_keep_heap_bounded(self):
+        # No TTL, working set below the cap: no eviction path ever
+        # runs, so only compaction keeps the lazy heap O(active tags).
+        inv = LiveInventory(max_tags=1000)
+        for i in range(20_000):
+            inv.observe(i % 100, 0, i * 1e-3)
+        assert inv.tracked == 100
+        assert len(inv._lru_heap) <= 2 * inv.tracked + 16
+
+    def test_eviction_order_survives_compaction(self):
+        inv = LiveInventory(max_tags=3)
+        # Enough repeat reads to trigger many compactions.
+        for i in range(2_000):
+            inv.observe(i % 3 + 1, 0, float(i))
+        # Last seen: tag 3 @ 1997, tag 1 @ 1998, tag 2 @ 1999.
+        inv.observe(9, 0, 3000.0)
+        assert inv.record(3) is None  # stalest evicted
+        assert inv.record(1) is not None
+        assert inv.record(2) is not None
+
+
 class TestTtlEviction:
     def test_idle_tags_expire(self):
         inv = LiveInventory(max_tags=100, ttl_s=5.0)
