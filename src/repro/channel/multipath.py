@@ -18,9 +18,14 @@ equivalence tests and the hot-path benchmarks), but
 * caches the frequency grid ``-2j*pi*fftfreq(n, 1/fs)`` per
   ``(length, sample_rate)`` instead of rebuilding it per path per call,
 * shares the forward FFT between paths with the same whole-sample
-  delay (identical input -> bit-identical spectrum), and
+  delay (identical input -> bit-identical spectrum),
 * accumulates into one preallocated buffer instead of allocating a new
-  ``Signal`` per path.
+  ``Signal`` per path, and
+* plans the input-independent half of the delay operator (whole/frac
+  decomposition plus the ``exp`` phase ramps — the dominant per-apply
+  cost for sparse channels) once per signal shape, cached on the
+  instance, so per-frame applies of a static channel only pay the
+  signal-dependent FFTs.
 
 :func:`apply_channels_to_rows` is the batched variant the vectorized
 link kernel uses: one (possibly different) channel per row of a
@@ -98,6 +103,77 @@ def _decompose_delay(delay_s: float, sample_rate: float) -> tuple[int, float]:
     return whole, frac
 
 
+def _delay_plan(
+    n: int,
+    sample_rate: float,
+    delays: np.ndarray,
+    gains: np.ndarray,
+) -> tuple[tuple[str, int, np.ndarray | None, complex], ...]:
+    """Precompute the delay-operator plan for one (length, path set).
+
+    Every input-independent piece of the FFT delay operator — the
+    whole/fractional decomposition and, crucially, the ``exp`` phase
+    ramp (the dominant per-apply cost for sparse channels) — is hoisted
+    here so repeated applies of the same channel at the same signal
+    shape pay for it exactly once.  The ramp is the same two-operand
+    product/``exp`` sequence the unhoisted code performed, so executing
+    a cached plan is bit-identical to rebuilding it per call.
+
+    Ops are ``("fft", whole, ramp, gain)``, ``("zero", 0, None, gain)``
+    (zero whole-sample delay) or ``("shift", whole, None, gain)``;
+    paths whose delayed copy falls entirely past the capture window are
+    dropped, exactly as the reference truncation discards them.
+    """
+    plan: list[tuple[str, int, np.ndarray | None, complex]] = []
+    for delay_s, gain in zip(delays.tolist(), gains.tolist()):
+        whole, frac = _decompose_delay(delay_s, sample_rate)
+        if frac > _FRAC_EPS:
+            m = n + whole
+            ramp = np.exp(_phase_base(m, sample_rate) * (frac / sample_rate))
+            ramp.setflags(write=False)
+            plan.append(("fft", whole, ramp, gain))
+        elif whole == 0:
+            plan.append(("zero", 0, None, gain))
+        elif whole < n:
+            plan.append(("shift", whole, None, gain))
+        # whole >= n: the delayed copy falls entirely past the capture
+        # window the reference truncates away — contributes nothing.
+    return tuple(plan)
+
+
+def _apply_plan(
+    samples: np.ndarray,
+    plan: tuple[tuple[str, int, np.ndarray | None, complex], ...],
+) -> np.ndarray:
+    """Execute a precomputed delay plan on one 1-D sample array.
+
+    The signal-dependent work only: one forward FFT per distinct whole
+    delay (identical input -> bit-identical spectrum, shared between
+    paths), one inverse FFT per fractional path, and accumulation in
+    path order into a zeros-seeded buffer (elementwise identical to the
+    chained ``Signal.__add__``; ``0.0 + x`` only rewrites ``-0.0`` to
+    ``+0.0``, which the reference chain does too).
+    """
+    n = samples.size
+    out = np.zeros(n, dtype=np.complex128)
+    spectra: dict[int, np.ndarray] = {}
+    for kind, whole, ramp, gain in plan:
+        if kind == "fft":
+            spec = spectra.get(whole)
+            if spec is None:
+                padded = np.concatenate(
+                    [np.zeros(whole, dtype=np.complex128), samples]
+                )
+                spec = np.fft.fft(padded)
+                spectra[whole] = spec
+            out += np.fft.ifft(spec * ramp)[:n] * gain
+        elif kind == "zero":
+            out += samples * gain
+        else:
+            out[whole:] += samples[: n - whole] * gain
+    return out
+
+
 def _apply_paths_single(
     samples: np.ndarray,
     sample_rate: float,
@@ -107,37 +183,12 @@ def _apply_paths_single(
     """Apply a sparse path set to one 1-D sample array, bit-exactly.
 
     Equivalent to the reference chain ``sum_p delay(d_p).scale(g_p)``
-    truncated to the input length: the FFT delay operator runs on the
-    same zero-prefixed input, the phase ramp is the same elementwise
-    product, and the accumulation happens in path order into a
-    zeros-seeded buffer (elementwise identical to the chained
-    ``Signal.__add__``; ``0.0 + x`` only rewrites ``-0.0`` to ``+0.0``,
-    which the reference chain does too).
+    truncated to the input length; thin plan-then-execute wrapper kept
+    for callers without a channel instance to cache the plan on.
     """
-    n = samples.size
-    out = np.zeros(n, dtype=np.complex128)
-    spectra: dict[int, np.ndarray] = {}
-    for delay_s, gain in zip(delays.tolist(), gains.tolist()):
-        whole, frac = _decompose_delay(delay_s, sample_rate)
-        if frac > _FRAC_EPS:
-            m = n + whole
-            spec = spectra.get(whole)
-            if spec is None:
-                padded = np.concatenate(
-                    [np.zeros(whole, dtype=np.complex128), samples]
-                )
-                spec = np.fft.fft(padded)
-                spectra[whole] = spec
-            ramp = np.exp(_phase_base(m, sample_rate) * (frac / sample_rate))
-            shifted = np.fft.ifft(spec * ramp)
-            out += shifted[:n] * gain
-        elif whole == 0:
-            out += samples * gain
-        elif whole < n:
-            out[whole:] += samples[: n - whole] * gain
-        # whole >= n: the delayed copy falls entirely past the capture
-        # window the reference truncates away — contributes nothing.
-    return out
+    return _apply_plan(
+        samples, _delay_plan(samples.size, sample_rate, delays, gains)
+    )
 
 
 def apply_channels_to_rows(
@@ -200,7 +251,14 @@ def apply_channels_to_rows(
         spectra = np.fft.fft(padded, axis=-1)
         base = _phase_base(m, sample_rate)
         fracs = np.array([frac for _, frac in pairs], dtype=np.float64)
-        ramps = np.exp(base[None, :] * (fracs / sample_rate)[:, None])
+        # Ramp rows depend only on frac, so build one per *unique* frac
+        # and gather — bit-identical rows, and when many rows share one
+        # channel (a static-multipath batch) the exp runs once, not
+        # once per frame.
+        unique_fracs, inv = np.unique(fracs, return_inverse=True)
+        ramps = np.exp(base[None, :] * (unique_fracs / sample_rate)[:, None])[
+            inv
+        ]
         gathered = spectra[[position[f] for f, _ in pairs]]
         shifted_by_whole[whole] = np.fft.ifft(gathered * ramps, axis=-1)
 
@@ -250,6 +308,12 @@ class MultipathChannel:
             "_gains",
             np.array([p.gain for p in self.paths], dtype=np.complex128),
         )
+        # Delay-operator plans keyed by (num_samples, sample_rate):
+        # repeated applies at the same signal shape (one per frame in a
+        # fading sweep) reuse the exp phase ramps instead of rebuilding
+        # them per call.  Bounded: a channel is applied at one or two
+        # shapes in practice, so spilling past the cap just resets it.
+        object.__setattr__(self, "_plan_cache", {})
 
     @classmethod
     def line_of_sight(cls, gain: complex = 1.0 + 0.0j) -> "MultipathChannel":
@@ -261,15 +325,26 @@ class MultipathChannel:
 
         Bit-identical to :meth:`_apply_reference` (the original
         per-``Signal`` implementation), via the cached tap grid and the
-        shared-FFT accumulation kernel.  The output keeps the input
-        length so frame timing downstream is unaffected; energy in the
-        trailing delay spread of the last symbols is clipped, as a real
-        capture window does.
+        shared-FFT accumulation kernel.  The input-independent half of
+        the delay operator (whole/frac decomposition and the exp phase
+        ramps) is planned once per signal shape and cached on the
+        instance, so per-frame applies of a static channel only pay the
+        FFTs.  The output keeps the input length so frame timing
+        downstream is unaffected; energy in the trailing delay spread
+        of the last symbols is clipped, as a real capture window does.
         """
-        out = _apply_paths_single(
-            sig.samples, sig.sample_rate, self._delays, self._gains
+        key = (sig.num_samples, sig.sample_rate)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            if len(self._plan_cache) >= 8:
+                self._plan_cache.clear()
+            plan = _delay_plan(
+                sig.num_samples, sig.sample_rate, self._delays, self._gains
+            )
+            self._plan_cache[key] = plan
+        return Signal(
+            _apply_plan(sig.samples, plan), sig.sample_rate, dict(sig.metadata)
         )
-        return Signal(out, sig.sample_rate, dict(sig.metadata))
 
     def _apply_reference(self, sig: Signal) -> Signal:
         """Original implementation: per-path ``Signal`` ops.

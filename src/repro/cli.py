@@ -116,8 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bit errors to accumulate per point (ber metric)")
     sweep.add_argument(
         "--link-backend", default="serial", choices=list(LINK_BER_BACKENDS),
-        help="per-point frame chain (vectorized = batched kernel, "
-             "bit-identical to serial; ber metric)",
+        help="per-point frame chain (vectorized/fused = batched/whole-budget "
+             "kernels, bit-identical to serial; fast = compiled statistical "
+             "tier, own cache keyspace; ber metric)",
     )
     sweep.add_argument(
         "--schedule", default="uniform", choices=list(SweepExecutor.SCHEDULES),
@@ -161,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "falls below 0.6x of its value recorded in the "
                             "BASELINE trajectory JSON (skipped when "
                             "REPRO_SKIP_BENCH=1)")
+    bench.add_argument("--compare", nargs=2, default=None,
+                       metavar=("OLD.json", "NEW.json"),
+                       help="print per-kernel speedup deltas between two "
+                            "trajectory JSONs and exit (no benchmarks run)")
 
     energy = sub.add_parser("energy", help="node power / energy table")
     energy.add_argument("--symbol-rate", type=float, default=10e6)
@@ -506,10 +511,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.profiling import (
         REGRESSION_FLOOR,
         check_regression,
+        compare_trajectories,
         run_hotpath_benchmarks,
         write_trajectory,
     )
 
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        table = ResultTable(
+            f"speedup deltas: {old_path} -> {new_path}",
+            ["kernel", "old", "new", "delta"],
+        )
+        for row in compare_trajectories(old_path, new_path):
+            table.add_row(*row)
+        print(table.to_text())
+        return 0
     if args.check is not None and os.environ.get("REPRO_SKIP_BENCH") == "1":
         print("REPRO_SKIP_BENCH=1: skipping the bench regression gate")
         return 0

@@ -19,7 +19,13 @@ import numpy as np
 __all__ = ["ConvolutionalCode", "K7_CODE"]
 
 #: Valid Viterbi backends (``decode_soft``/``decode_hard``).
-VITERBI_BACKENDS = ("vectorized", "reference")
+#: ``"fast"`` runs the forward ACS pass through the numba kernel in
+#: :mod:`repro.sim.jit` when numba is importable; without numba it
+#: falls back (with a logged notice) to ``"vectorized"``.  All three
+#: backends return byte-identical decodes: the compiled kernel uses no
+#: fastmath, accumulates branch metrics in the reference order and
+#: resolves ties to the lower predecessor.
+VITERBI_BACKENDS = ("vectorized", "reference", "fast")
 
 
 def _bit_count(value: int) -> int:
@@ -121,7 +127,10 @@ class ConvolutionalCode:
             ``"vectorized"`` (default) updates all ``2^(K-1)`` state
             metrics per trellis step with array operations;
             ``"reference"`` is the original nested-loop implementation
-            kept for equivalence testing and benchmarking.  Both return
+            kept for equivalence testing and benchmarking; ``"fast"``
+            runs the forward pass through the compiled ACS kernel when
+            numba is available and falls back to ``"vectorized"``
+            (logged, not silent) when it is not.  All backends return
             byte-identical decodes (the tie-break rules match exactly).
         """
         soft = np.asarray(soft, dtype=np.float64)
@@ -136,6 +145,8 @@ class ConvolutionalCode:
             return self._viterbi_vectorized(soft)
         if backend == "reference":
             return self._viterbi_reference(soft)
+        if backend == "fast":
+            return self._viterbi_fast(soft)
         raise ValueError(
             f"unknown Viterbi backend {backend!r}; choose from {VITERBI_BACKENDS}"
         )
@@ -201,6 +212,38 @@ class ConvolutionalCode:
                 path_metric = np.where(choose_high, m_high, m_low)
                 predecessor[step] = np.where(choose_high, prev_high, prev_low)
 
+        state = 0  # terminated stream ends in the zero state
+        decoded = np.empty(num_steps, dtype=np.int8)
+        for step in range(num_steps - 1, -1, -1):
+            decoded[step] = state & 1
+            state = int(predecessor[step, state])
+        return decoded[: num_steps - (self.constraint_length - 1)]
+
+    def _viterbi_fast(self, soft: np.ndarray) -> np.ndarray:
+        """Compiled forward ACS pass (numba), vectorized fallback.
+
+        Byte-identical to :meth:`_viterbi_vectorized`: the kernel uses
+        no fastmath, accumulates the branch metric j-sequentially and
+        breaks metric ties toward the lower predecessor (strict ``>``
+        favours high), which is the same rule the array version's
+        ``m_high > m_low`` select implements.
+        """
+        from repro.sim import jit
+
+        if not jit.HAVE_NUMBA:
+            jit.notify_fallback("Viterbi ACS forward pass")
+            return self._viterbi_vectorized(soft)
+        num_steps = soft.size // self.rate_inverse
+        branch_outputs, prev_low, prev_high, state_bits = _viterbi_tables(
+            self.constraint_length, self.polynomials
+        )
+        predecessor = jit.viterbi_forward_jit(
+            np.ascontiguousarray(soft.reshape(num_steps, self.rate_inverse)),
+            branch_outputs,
+            prev_low,
+            prev_high,
+            state_bits,
+        )
         state = 0  # terminated stream ends in the zero state
         decoded = np.empty(num_steps, dtype=np.int8)
         for step in range(num_steps - 1, -1, -1):

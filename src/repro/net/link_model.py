@@ -70,6 +70,22 @@ class LinkBudgetModel:
         Payload bits per MAC frame; the success probability is
         ``(1 - BER)^(frame_bits + 32)`` (32 = CRC), matching
         ``tdma_inventory``.
+    ber_source:
+        ``"theory"`` (default) converts SNR to BER through the
+        scheme's closed form, exactly as before.  ``"montecarlo"``
+        fills each 0.01 dB BER-cache bucket by running
+        :func:`~repro.sim.monte_carlo.estimate_link_ber` at the
+        boresight distance that realises the bucket's SNR — anchoring
+        the MAC abstraction to the full waveform chain instead of the
+        closed form.  Buckets are seeded deterministically from
+        ``(mc_seed, bucket)`` so repeated runs (and process-pool
+        workers) fill identical caches.
+    link_backend:
+        Backend for the Monte-Carlo fill; defaults to the ``"fast"``
+        statistical tier, which is what makes per-bucket waveform
+        fills affordable at network scale.
+    mc_target_errors / mc_max_bits:
+        Per-bucket stopping rule for the Monte-Carlo fill.
     """
 
     def __init__(
@@ -78,13 +94,28 @@ class LinkBudgetModel:
         ap: APConfig,
         environment: Environment,
         frame_bits: int,
+        ber_source: str = "theory",
+        link_backend: str = "fast",
+        mc_target_errors: int = 50,
+        mc_max_bits: int = 100_000,
+        mc_seed: int = 0x5EED,
     ) -> None:
         if frame_bits < 1:
             raise ValueError(f"frame_bits must be >= 1, got {frame_bits}")
+        if ber_source not in ("theory", "montecarlo"):
+            raise ValueError(
+                f"unknown ber_source {ber_source!r}; "
+                "choose 'theory' or 'montecarlo'"
+            )
         self.tag = tag
         self.ap = ap
         self.environment = environment
         self.frame_bits = frame_bits
+        self.ber_source = ber_source
+        self.link_backend = link_backend
+        self.mc_target_errors = mc_target_errors
+        self.mc_max_bits = mc_max_bits
+        self.mc_seed = mc_seed
         self.scheme = get_scheme(tag.modulation)
 
         self._ref_config = LinkConfig(
@@ -143,13 +174,53 @@ class LinkBudgetModel:
         return snr
 
     def _ber(self, snr_db: float) -> float:
-        """Scheme BER at one SNR, cached per 0.01 dB."""
+        """Scheme BER at one SNR, cached per 0.01 dB bucket.
+
+        The bucket value comes from the closed form or, with
+        ``ber_source="montecarlo"``, from a waveform-chain estimate at
+        the distance that realises the bucket's SNR.
+        """
         key = round(snr_db, 2)
         cached = self._ber_cache.get(key)
         if cached is None:
-            cached = self.scheme.theoretical_ber(key)
+            if self.ber_source == "montecarlo":
+                cached = self._montecarlo_ber(key)
+            else:
+                cached = self.scheme.theoretical_ber(key)
             self._ber_cache[key] = cached
         return cached
+
+    def _montecarlo_ber(self, snr_key: float) -> float:
+        """Fill one BER-cache bucket from the waveform chain.
+
+        Inverts the range law to the boresight distance whose budget
+        delivers ``snr_key`` (SNR is the sufficient statistic the
+        analytic path reduces every operating point to, so evaluating
+        at boresight keeps the two sources consistent) and runs the
+        configured Monte-Carlo backend there with a per-bucket
+        deterministic seed.  Falls back to the closed form when the
+        budget yields no testable bits (e.g. a bucket so deep the
+        estimator detects nothing).
+        """
+        from repro.sim.monte_carlo import estimate_link_ber
+
+        config = replace(
+            self._ref_config, distance_m=float(self.range_for_snr_db(snr_key))
+        )
+        seed = np.random.SeedSequence(
+            (self.mc_seed, int(round(snr_key * 100)) & 0xFFFFFFFF)
+        )
+        estimate = estimate_link_ber(
+            config,
+            target_errors=self.mc_target_errors,
+            max_bits=self.mc_max_bits,
+            bits_per_frame=self.frame_bits,
+            seed=seed,
+            backend=self.link_backend,
+        )
+        if estimate.bits_tested == 0:  # pragma: no cover - degenerate budget
+            return self.scheme.theoretical_ber(snr_key)
+        return float(estimate.ber)
 
     def frame_success_from_snr_db(self, snr_db: np.ndarray) -> np.ndarray:
         """Frame-success probability directly from (effective) symbol SNR.

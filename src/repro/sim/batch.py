@@ -51,6 +51,7 @@ benchmarks) compare against.
 from __future__ import annotations
 
 import math
+import zlib
 from functools import lru_cache
 
 import numpy as np
@@ -149,6 +150,46 @@ def crc32_tail_bits_fast(bits: np.ndarray) -> np.ndarray:
     """The 32 CRC bits :func:`repro.core.coding.append_crc32` appends."""
     value = crc_bits_fast(bits)
     return ((value >> np.arange(31, -1, -1)) & 1).astype(np.int8)
+
+
+# -- zlib-backed CRC32 (integer-exact; whole-byte inputs only) ---------------
+#
+# The frame CRC uses the standard CRC-32 polynomial with an all-ones
+# init and *no* final complement / reflection.  zlib's crc32 computes
+# the reflected variant with a final complement, so bit-reversing each
+# input byte, complementing the result and bit-reversing the 32-bit
+# register maps one onto the other exactly — CRCs are integer
+# arithmetic, so the match is verified once per process against
+# ``crc_bits_fast`` and the C path is only used when it holds.
+
+_REV8 = np.array(
+    [int(f"{i:08b}"[::-1], 2) for i in range(256)], dtype=np.uint8
+)
+
+_ZLIB_CRC_MATCHES: bool | None = None
+
+
+def _crc32_zlib_value(bits: np.ndarray) -> int:
+    """CRC register over a whole-byte MSB-first bit array, via zlib."""
+    data = np.packbits(np.asarray(bits, dtype=np.uint8))
+    crc = (~zlib.crc32(_REV8[data].tobytes())) & 0xFFFFFFFF
+    return int(f"{crc:032b}"[::-1], 2)
+
+
+def _zlib_crc_usable() -> bool:
+    """One-time self-check of the zlib mapping against the reference."""
+    global _ZLIB_CRC_MATCHES
+    if _ZLIB_CRC_MATCHES is None:
+        probe_rng = np.random.default_rng(0xC5C32)
+        probes = [
+            np.zeros(64, dtype=np.int8),
+            np.ones(64, dtype=np.int8),
+            probe_rng.integers(0, 2, size=2048).astype(np.int8),
+        ]
+        _ZLIB_CRC_MATCHES = all(
+            _crc32_zlib_value(p) == crc_bits_fast(p) for p in probes
+        )
+    return _ZLIB_CRC_MATCHES
 
 
 def check_crc32_fast(bits_with_crc: np.ndarray) -> bool:
@@ -380,6 +421,13 @@ class BatchLinkSimulator:
             -config.environment.tx_rx_isolation_db / 20.0
         )
 
+        # Frame-sync template, hoisted out of the per-frame loop: the
+        # zero-order-hold expansion + unit-energy normalisation are the
+        # exact ops ``correlate_preamble`` performs per call, so the
+        # cached array is bit-identical to the one the reference builds.
+        template = np.repeat(PREAMBLE_SYMBOLS.astype(np.complex128), sps)
+        self._sync_template = template / np.linalg.norm(template)
+
         # Receiver front end: DC blocker + integrate-and-dump taps.
         self._ma_taps = np.full(sps, 1.0 / sps)
         self._dc_ba = None
@@ -407,8 +455,23 @@ class BatchLinkSimulator:
         n_frames = padded_payload.shape[0]
         protected = np.empty((n_frames, self._padded_bits + 32), dtype=np.int8)
         protected[:, : self._padded_bits] = padded_payload
-        for f in range(n_frames):
-            protected[f, self._padded_bits :] = crc32_tail_bits_fast(padded_payload[f])
+        if self._padded_bits % 8 == 0 and _zlib_crc_usable():
+            # Whole-byte payloads go through zlib's C CRC32 (mapped onto
+            # the frame polynomial's register convention — integer-exact,
+            # self-checked once per process).
+            values = np.fromiter(
+                (_crc32_zlib_value(padded_payload[f]) for f in range(n_frames)),
+                dtype=np.uint32,
+                count=n_frames,
+            )
+            protected[:, self._padded_bits :] = (
+                (values[:, None] >> np.arange(31, -1, -1, dtype=np.uint32)) & 1
+            ).astype(np.int8)
+        else:
+            for f in range(n_frames):
+                protected[f, self._padded_bits :] = crc32_tail_bits_fast(
+                    padded_payload[f]
+                )
 
         indices = fast_symbol_indices(self._scheme_name, protected)
         reflections = np.empty((n_frames, self._n_sym), dtype=np.complex128)
@@ -432,9 +495,14 @@ class BatchLinkSimulator:
         rng = np.random.default_rng(rng)
         return self._simulate_fast(num_frames, rng)
 
-    def _simulate_fast(
+    def _front_end(
         self, num_frames: int, rng: np.random.Generator
-    ) -> list[LinkResult]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared batched waveform front end: RNG pass through matched
+        filter.  Returns ``(padded_payload, work, filtered)`` — the
+        conditioned receive matrix and its integrate-and-dump output —
+        bit-identical per frame to the serial reference chain.
+        """
         config = self.config
         n_frames = num_frames
         n_sig = self._n_sig
@@ -573,12 +641,20 @@ class BatchLinkSimulator:
                 else:
                     work = filtered_rows
         filtered = sp_signal.lfilter(self._ma_taps, [1.0], work, axis=-1)
+        return padded_payload, work, filtered
+
+    def _simulate_fast(
+        self, num_frames: int, rng: np.random.Generator
+    ) -> list[LinkResult]:
+        config = self.config
+        fs = self._fs
+        padded_payload, work, filtered = self._front_end(num_frames, rng)
 
         # -- per-frame tail: sync, decode, score --
         sps = self._sps
         min_symbols = PREAMBLE_SYMBOLS.size + HEADER_TOTAL_BITS
         results = []
-        for f in range(n_frames):
+        for f in range(num_frames):
             work_row = work[f]
             start = detect_frame_start(
                 Signal(work_row, fs),
@@ -604,6 +680,193 @@ class BatchLinkSimulator:
                     receiver = self._decode_symbol_stream(symbols, start)
             results.append(self._score(receiver, padded_payload[f]))
         return results
+
+    # -- fused whole-budget point program ---------------------------------
+
+    def _detect_starts(self, work: np.ndarray) -> np.ndarray:
+        """Batched frame-start detection over a conditioned matrix.
+
+        Row ``f`` of the result is the start sample
+        :func:`~repro.dsp.sync.detect_frame_start` returns for that row
+        (``-1`` encodes ``None``).  The per-row ``np.correlate`` stays
+        1-D (its summation order is part of the bit-exact contract),
+        but the magnitude, argmax and median CFAR statistics run as one
+        batched pass each — elementwise/per-row identical to the serial
+        calls.
+        """
+        template = self._sync_template
+        n_frames, padded_len = work.shape
+        lags = padded_len - template.size + 1
+        starts = np.full(n_frames, -1, dtype=np.int64)
+        if lags <= 0:
+            return starts
+        corr = np.empty((n_frames, lags), dtype=np.complex128)
+        for f in range(n_frames):
+            corr[f] = np.correlate(work[f], template, mode="valid")
+        mag = np.abs(corr)
+        peaks = np.argmax(mag, axis=1)
+        floors = np.median(mag, axis=1)
+        peak_vals = mag[np.arange(n_frames), peaks]
+        positive_floor = floors > 0.0
+        hit = np.empty(n_frames, dtype=bool)
+        hit[~positive_floor] = peak_vals[~positive_floor] > 0.0
+        idx = np.nonzero(positive_floor)[0]
+        # same scalar division + comparison as the reference, elementwise
+        hit[idx] = (peak_vals[idx] / floors[idx]) >= self._threshold_ratio()
+        starts[hit] = peaks[hit]
+        return starts
+
+    def _threshold_ratio(self) -> float:
+        return self.config.ap.sync_threshold_ratio
+
+    def _frame_errors(
+        self, symbols: np.ndarray, start: int, sent_payload: np.ndarray
+    ) -> tuple[int, bool]:
+        """Scores-only mirror of the decode tail: ``(bit_errors, detected)``.
+
+        Follows :meth:`_decode_symbol_stream` + :meth:`_score` branch
+        for branch but skips everything the BER accumulator never reads
+        (SNR/EVM measurement, CRC verdict, hard-decision re-modulation)
+        — :meth:`LinkBerAccumulator._absorb` consumes only the error
+        count, the payload size and the detected flag, so the skipped
+        stages cannot change the estimate.
+        """
+        miss = int(sent_payload.size // 2)
+        num_preamble = PREAMBLE_SYMBOLS.size
+        if symbols.size < num_preamble + HEADER_TOTAL_BITS:
+            return miss, False
+
+        gain = AccessPoint.preamble_gain(symbols)
+        if gain == 0:
+            return miss, True
+        equalised = symbols / gain
+
+        header_symbols = equalised[num_preamble : num_preamble + HEADER_TOTAL_BITS]
+        header_bits = BPSK.constellation.demodulate(header_symbols)
+        header = FrameHeader.from_bits(header_bits)
+        if header is None:
+            return miss, True
+
+        scheme = get_scheme(header.modulation)
+        num_payload_symbols = (
+            header.payload_length_bits + 32
+        ) // scheme.bits_per_symbol
+        payload_start = num_preamble + HEADER_TOTAL_BITS
+        payload_symbols = equalised[
+            payload_start : payload_start + num_payload_symbols
+        ]
+        if payload_symbols.size < num_payload_symbols:
+            return miss, True
+
+        mean_point = scheme.constellation.mean_point()
+        if abs(mean_point) > 1e-3:
+            offset = np.mean(payload_symbols) - mean_point
+            payload_symbols = payload_symbols - offset
+
+        protected_bits = scheme.constellation.demodulate(payload_symbols)
+        payload_bits = protected_bits[:-32]
+        if payload_bits.size != sent_payload.size:
+            return miss, True
+        return int(np.count_nonzero(payload_bits != sent_payload)), True
+
+    def _score_frames(
+        self, num_frames: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One fused pass: per-frame ``(bit_errors, detected)`` arrays.
+
+        Frame ``f`` carries exactly the ``(result.bit_errors,
+        result.detected)`` pair :meth:`simulate` would report for the
+        same generator — the front end, sync and decode arithmetic are
+        shared — without materialising per-frame ``LinkResult`` objects
+        or the receiver measurements the accumulator ignores.
+        """
+        padded_payload, work, filtered = self._front_end(num_frames, rng)
+        starts = self._detect_starts(work)
+        sps = self._sps
+        min_symbols = PREAMBLE_SYMBOLS.size + HEADER_TOTAL_BITS
+        errors = np.empty(num_frames, dtype=np.int64)
+        detected = np.zeros(num_frames, dtype=bool)
+        miss = self._padded_bits // 2
+        use_equalizer = self.config.ap.equalizer_taps > 0
+        for f in range(num_frames):
+            start = int(starts[f])
+            if start < 0:
+                errors[f] = miss
+                continue
+            work_row = work[f]
+            row = filtered[f]
+            lead_in = work_row[: max(0, start - sps)]
+            if lead_in.size >= 4 * sps:
+                row = row - complex(np.mean(lead_in))
+            first = start + sps - 1
+            if first >= row.size:
+                symbols = np.zeros(0, dtype=np.complex128)
+            else:
+                symbols = row[first::sps]
+            if symbols.size < min_symbols:
+                errors[f] = miss
+                continue
+            if use_equalizer:
+                # LMS state makes a scores-only shortcut fragile; take
+                # the full receiver mirror for these (rare) configs.
+                receiver = self._decode_symbol_stream(symbols, start)
+                result = self._score(receiver, padded_payload[f])
+                errors[f] = result.bit_errors
+                detected[f] = result.detected
+            else:
+                errors[f], detected[f] = self._frame_errors(
+                    symbols, start, padded_payload[f]
+                )
+        return errors, detected
+
+    def simulate_point(
+        self,
+        rng: np.random.Generator,
+        *,
+        errors_needed: int,
+        max_frames: int,
+        start_block: int = 16,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run a whole sweep-point budget as fused blocks, early-exiting
+        on the exact frame where ``errors_needed`` is reached.
+
+        Returns per-frame ``(bit_errors, detected)`` arrays truncated at
+        the stopping frame: frame ``f`` equals the ``f``-th serial
+        ``simulate_link`` call on the same generator, and the truncation
+        reproduces the estimator's frame-exact stopping rule (simulate
+        while ``errors < errors_needed`` and frames remain).  Blocks
+        grow geometrically so a point that converges in a handful of
+        frames never pays for the full budget; frames simulated past
+        the stop inside the final block consume generator state the
+        serial loop would never draw, but they are discarded before
+        scoring — the same overshoot semantics the chunked vectorized
+        backend has always had.
+        """
+        if max_frames < 1:
+            raise ValueError(f"max_frames must be >= 1, got {max_frames}")
+        if errors_needed < 1:
+            raise ValueError(f"errors_needed must be >= 1, got {errors_needed}")
+        errors_parts: list[np.ndarray] = []
+        detected_parts: list[np.ndarray] = []
+        total = 0
+        remaining = max_frames
+        block = min(start_block, remaining)
+        while remaining > 0:
+            block = min(block, remaining)
+            errors, detected = self._score_frames(block, rng)
+            cumulative = np.cumsum(errors)
+            hits = np.nonzero(cumulative + total >= errors_needed)[0]
+            if hits.size:
+                stop = int(hits[0]) + 1
+                errors_parts.append(errors[:stop])
+                detected_parts.append(detected[:stop])
+                break
+            total += int(cumulative[-1])
+            errors_parts.append(errors)
+            detected_parts.append(detected)
+            remaining -= block
+            block *= 2
+        return np.concatenate(errors_parts), np.concatenate(detected_parts)
 
     # -- receiver tail (mirrors AccessPoint.decode_symbol_stream) ---------
 

@@ -155,10 +155,13 @@ class BerSweepTask(SweepTask):
     coverage, ...); each point replaces that field with the sweep value
     and runs :func:`~repro.sim.monte_carlo.estimate_link_ber`.
 
-    ``link_backend`` selects the frame-chain implementation
-    (``"serial"`` or ``"vectorized"``); estimates are bit-identical
-    either way, so the cache key deliberately ignores it — a cache
-    warmed by one backend is hit by the other.
+    ``link_backend`` selects the frame-chain implementation.  The
+    bit-exact tiers (``"serial"``, ``"vectorized"``, ``"fused"``)
+    return identical estimates, so the cache key deliberately ignores
+    the choice among them — a cache warmed by one is hit by the others.
+    The statistical ``"fast"`` tier is *not* bit-identical and keeps
+    its own cache keyspace: fast results never serve hits to the exact
+    tiers or vice versa.
     """
 
     config: LinkConfig
@@ -169,9 +172,11 @@ class BerSweepTask(SweepTask):
     chunk_frames: int = 1
     link_backend: str = "serial"
 
-    #: BER estimates are invariant to backend *and* chunk size (the
-    #: stopping rule is checked frame-exactly inside each chunk), so
-    #: the cache key normalises both knobs — see :meth:`cache_parts`.
+    #: BER estimates are invariant to the bit-exact backend *and* chunk
+    #: size (the stopping rule is checked frame-exactly inside each
+    #: chunk), so the cache key normalises both knobs — see
+    #: :meth:`cache_parts`.  The statistical ``"fast"`` backend is
+    #: excluded from this normalisation.
     _CACHE_NORMALISED = {"link_backend": "serial", "chunk_frames": 1}
 
     def __post_init__(self) -> None:
@@ -225,12 +230,18 @@ class BerSweepTask(SweepTask):
         )
 
     def cache_parts(self, value: float) -> dict[str, Any]:
-        # Backend and chunk size are numerically irrelevant (estimates
-        # are bit-identical across both), so normalise them out of the
-        # key: a cache warmed by any backend/chunking/schedule serves
-        # hits to every other combination.
+        # Within the bit-exact tiers, backend and chunk size are
+        # numerically irrelevant (estimates are bit-identical across
+        # both), so normalise them out of the key: a cache warmed by
+        # any exact backend/chunking/schedule serves hits to every
+        # other exact combination.  The statistical "fast" tier keeps
+        # its backend name in the key so its results never masquerade
+        # as (or are shadowed by) bit-exact ones.
+        normalised = dict(self._CACHE_NORMALISED)
+        if self.link_backend == "fast":
+            normalised["link_backend"] = "fast"
         return {
-            "task": replace(self, **self._CACHE_NORMALISED),
+            "task": replace(self, **normalised),
             "value": value,
         }
 

@@ -1,0 +1,293 @@
+"""Optional numba compilation layer for the fast statistical tier.
+
+The fast tier (:mod:`repro.sim.fastlink`, the ``"fast"`` Viterbi
+backend) runs its inner loops through ``@njit`` kernels when numba is
+importable and through pure-numpy fallbacks when it is not.  The
+contract is:
+
+* **Never silent.**  When numba is absent, the first use of each
+  kernel logs a warning through :func:`notify_fallback` — the results
+  belong to the same statistical tier either way, only the compiled
+  speedup is lost.
+* **No new dependency.**  numba is never required; the fallbacks are
+  plain numpy and are what CI's numba-free leg exercises.
+* **Tier discipline.**  Kernels here serve the *statistical* tier
+  (fastmath, reassociated reductions) — except the Viterbi forward
+  pass, which uses no fastmath and accumulates branch metrics in the
+  reference order, so the ``"fast"`` Viterbi backend stays
+  byte-identical to ``"vectorized"`` (and its fallback *is*
+  ``"vectorized"``).
+
+The :func:`numba_status` string ("absent" or the version) is recorded
+in the hot-path benchmark environment block so perf trajectories across
+machines stay interpretable.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_VERSION",
+    "numba_status",
+    "notify_fallback",
+    "viterbi_forward_jit",
+    "rician_gains",
+    "nearest_symbol_indices",
+    "soft_demod_llrs",
+]
+
+try:  # pragma: no cover - exercised on the CI numba leg
+    import numba as _numba
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+    NUMBA_VERSION: str | None = str(_numba.__version__)
+except ImportError:
+    _numba = None
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+
+    def _njit(*args, **kwargs):  # type: ignore[misc]
+        """No-numba stand-in: return the function unchanged."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+def numba_status() -> str:
+    """``"absent"`` or the numba version string — for bench metadata."""
+    return NUMBA_VERSION if HAVE_NUMBA else "absent"
+
+
+_FALLBACKS_NOTIFIED: set[str] = set()
+
+
+def notify_fallback(feature: str) -> None:
+    """Log (once per feature per process) that a compiled kernel is
+    running on its pure-numpy fallback.
+
+    Called by every dispatcher below on the no-numba path so the
+    degradation is visible in logs rather than silent, per the fast
+    tier's documented contract.
+    """
+    if HAVE_NUMBA or feature in _FALLBACKS_NOTIFIED:
+        return
+    _FALLBACKS_NOTIFIED.add(feature)
+    logger.warning(
+        "numba is not installed: %s is using the pure-numpy fallback "
+        "(same statistical tier, compiled speedup unavailable)",
+        feature,
+    )
+
+
+# -- Viterbi add-compare-select forward pass ---------------------------------
+#
+# No fastmath here: branch metrics accumulate j-sequentially and ties
+# resolve to the lower predecessor (strict ``>`` favours high), exactly
+# like ConvolutionalCode._viterbi_vectorized, so the compiled forward
+# pass is byte-identical to the vectorized one.
+
+
+@_njit(cache=True)
+def viterbi_forward_jit(soft_steps, branch_outputs, prev_low, prev_high, state_bits):
+    """Forward ACS pass: returns the ``(steps, states)`` predecessor map.
+
+    Only called when numba is present (the fallback for the ``"fast"``
+    Viterbi backend is the vectorized implementation itself, which this
+    kernel matches byte for byte); without numba this plain-Python
+    nested loop would be far slower than the vectorized path.
+    """
+    num_steps, rate = soft_steps.shape
+    num_states = prev_low.shape[0]
+    path = np.full(num_states, -np.inf)
+    path[0] = 0.0
+    scratch = np.empty(num_states)
+    predecessor = np.empty((num_steps, num_states), dtype=np.int32)
+    for step in range(num_steps):
+        for state in range(num_states):
+            low = prev_low[state]
+            high = prev_high[state]
+            bit = state_bits[state]
+            bm_low = 0.0
+            bm_high = 0.0
+            for j in range(rate):
+                bm_low += soft_steps[step, j] * branch_outputs[low, bit, j]
+                bm_high += soft_steps[step, j] * branch_outputs[high, bit, j]
+            m_low = path[low] + bm_low
+            m_high = path[high] + bm_high
+            if m_high > m_low:
+                scratch[state] = m_high
+                predecessor[step, state] = high
+            else:
+                scratch[state] = m_low
+                predecessor[step, state] = low
+        for state in range(num_states):
+            path[state] = scratch[state]
+    return predecessor
+
+
+# -- Rician tap synthesis ----------------------------------------------------
+
+
+@_njit(cache=True, fastmath=True)
+def _rician_gains_kernel(delays, phases, inv_tau, nlos_total):
+    n_frames, n_paths = delays.shape
+    gains = np.empty((n_frames, n_paths), dtype=np.complex128)
+    for f in range(n_frames):
+        total = 0.0
+        for p in range(n_paths):
+            total += np.exp(-delays[f, p] * inv_tau)
+        for p in range(n_paths):
+            weight = np.exp(-delays[f, p] * inv_tau) / total * nlos_total
+            gains[f, p] = np.sqrt(weight) * (
+                np.cos(phases[f, p]) + 1j * np.sin(phases[f, p])
+            )
+    return gains
+
+
+def _rician_gains_numpy(delays, phases, inv_tau, nlos_total):
+    weights = np.exp(-delays * inv_tau)
+    weights = weights / weights.sum(axis=1, keepdims=True) * nlos_total
+    return np.sqrt(weights) * np.exp(1j * phases)
+
+
+def rician_gains(
+    delays: np.ndarray, phases: np.ndarray, tau: float, nlos_total: float
+) -> np.ndarray:
+    """NLOS tap gains for a whole frame batch.
+
+    ``delays``/``phases`` are ``(frames, paths)``; the exponential
+    delay-power profile with scale ``tau`` is normalised per frame so
+    the NLOS taps carry ``nlos_total`` power — the same arithmetic as
+    :func:`repro.channel.multipath.rician_channel`, batched.
+    """
+    inv_tau = 1.0 / tau
+    if HAVE_NUMBA:
+        return _rician_gains_kernel(delays, phases, inv_tau, nlos_total)
+    notify_fallback("Rician tap synthesis")
+    return _rician_gains_numpy(delays, phases, inv_tau, nlos_total)
+
+
+# -- hard-decision demodulation ---------------------------------------------
+
+
+@_njit(cache=True, fastmath=True)
+def _nearest_indices_kernel(symbols, points):
+    n = symbols.shape[0]
+    size = points.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        best = 0
+        diff = symbols[i] - points[0]
+        best_dist = diff.real * diff.real + diff.imag * diff.imag
+        for s in range(1, size):
+            diff = symbols[i] - points[s]
+            dist = diff.real * diff.real + diff.imag * diff.imag
+            if dist < best_dist:
+                best_dist = dist
+                best = s
+        out[i] = best
+    return out
+
+
+def _nearest_indices_numpy(symbols, points):
+    out = np.empty(symbols.shape[0], dtype=np.int64)
+    # Chunked so the (chunk, size) distance matrix stays cache-sized.
+    chunk = max(1, (1 << 20) // max(1, points.size))
+    for start in range(0, symbols.shape[0], chunk):
+        block = symbols[start : start + chunk]
+        diff = block[:, None] - points[None, :]
+        out[start : start + chunk] = np.argmin(
+            diff.real * diff.real + diff.imag * diff.imag, axis=1
+        )
+    return out
+
+
+def nearest_symbol_indices(symbols: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Nearest-constellation-point index per symbol (flat arrays).
+
+    Minimum squared Euclidean distance with first-wins ties — the same
+    decision rule as :meth:`Constellation.demodulate` (which uses
+    ``argmin`` over ``np.abs``; squaring preserves the ordering).
+    """
+    symbols = np.ascontiguousarray(symbols)
+    points = np.ascontiguousarray(points)
+    if HAVE_NUMBA:
+        return _nearest_indices_kernel(symbols, points)
+    notify_fallback("hard-decision demodulation")
+    return _nearest_indices_numpy(symbols, points)
+
+
+# -- soft demodulation (max-log-MAP) ----------------------------------------
+
+
+@_njit(cache=True, fastmath=True)
+def _soft_demod_kernel(symbols, points, bit_labels, noise_variance):
+    n = symbols.shape[0]
+    size = points.shape[0]
+    k = bit_labels.shape[1]
+    llrs = np.empty(n * k, dtype=np.float64)
+    dists = np.empty(size, dtype=np.float64)
+    for i in range(n):
+        for s in range(size):
+            diff = symbols[i] - points[s]
+            dists[s] = diff.real * diff.real + diff.imag * diff.imag
+        for b in range(k):
+            d_zero = np.inf
+            d_one = np.inf
+            for s in range(size):
+                if bit_labels[s, b] == 0:
+                    if dists[s] < d_zero:
+                        d_zero = dists[s]
+                else:
+                    if dists[s] < d_one:
+                        d_one = dists[s]
+            llrs[i * k + b] = (d_one - d_zero) / noise_variance
+    return llrs
+
+
+def _soft_demod_numpy(symbols, points, bit_labels, noise_variance):
+    diff = symbols[:, None] - points[None, :]
+    sq_dist = diff.real * diff.real + diff.imag * diff.imag
+    k = bit_labels.shape[1]
+    llrs = np.empty((symbols.shape[0], k), dtype=np.float64)
+    for b in range(k):
+        zero_mask = bit_labels[:, b] == 0
+        llrs[:, b] = (
+            sq_dist[:, ~zero_mask].min(axis=1) - sq_dist[:, zero_mask].min(axis=1)
+        ) / noise_variance
+    return llrs.reshape(-1)
+
+
+def soft_demod_llrs(
+    symbols: np.ndarray,
+    points: np.ndarray,
+    bit_labels: np.ndarray,
+    noise_variance: float,
+) -> np.ndarray:
+    """Max-log-MAP bit LLRs, positive favours bit 0.
+
+    Same demapper as :meth:`Constellation.soft_bits` up to floating
+    summation detail (squared distances computed on split real/imag
+    parts instead of ``np.abs(...)**2``) — a statistical-tier kernel,
+    accepted by the equivalence suite rather than byte comparison.
+    """
+    if noise_variance <= 0:
+        raise ValueError(f"noise variance must be positive, got {noise_variance}")
+    symbols = np.ascontiguousarray(symbols)
+    points = np.ascontiguousarray(points)
+    bit_labels = np.ascontiguousarray(bit_labels)
+    if HAVE_NUMBA:
+        return _soft_demod_kernel(symbols, points, bit_labels, float(noise_variance))
+    notify_fallback("soft demodulation")
+    return _soft_demod_numpy(symbols, points, bit_labels, float(noise_variance))

@@ -35,10 +35,23 @@ __all__ = [
     "LinkBerAccumulator",
     "estimate_link_ber",
     "awgn_symbol_ber",
+    "LINK_BER_BACKENDS",
+    "BIT_EXACT_BACKENDS",
 ]
 
 #: Valid frame-chain backends for :func:`estimate_link_ber`.
-LINK_BER_BACKENDS = ("serial", "vectorized")
+#:
+#: ``serial``, ``vectorized`` and ``fused`` are **bit-exact tiers**:
+#: they return byte-identical estimates for any seed, chunking and
+#: scheduling (and therefore share sweep-cache entries).  ``fast`` is
+#: the **statistical tier**: a float32 fused program with bulk RNG
+#: draws and optional numba kernels — same physics, different
+#: floating-point sums — gated by the statistical-equivalence suite
+#: rather than golden fingerprints, with its own cache keyspace.
+LINK_BER_BACKENDS = ("serial", "vectorized", "fused", "fast")
+
+#: The backends whose estimates are bit-identical to ``serial``.
+BIT_EXACT_BACKENDS = ("serial", "vectorized", "fused")
 
 #: Process-wide memo of built :class:`~repro.sim.batch.BatchLinkSimulator`
 #: instances, keyed by (config hash, payload bits).  Simulators are
@@ -46,22 +59,26 @@ LINK_BER_BACKENDS = ("serial", "vectorized")
 #: across estimator calls and scheduler chunks changes nothing
 #: numerically — it only amortises the build cost, which matters when
 #: the adaptive scheduler advances many points chunk by chunk.
-_SIMULATOR_MEMO: OrderedDict[tuple[str, int], object] = OrderedDict()
+_SIMULATOR_MEMO: OrderedDict[tuple[str, int, bool], object] = OrderedDict()
 _SIMULATOR_MEMO_MAX = 32
 
 
-def _shared_simulator(config: LinkConfig, bits_per_frame: int):
+def _shared_simulator(config: LinkConfig, bits_per_frame: int, fast: bool = False):
     """A (possibly memoised) batch simulator for one operating point."""
-    from repro.sim.batch import BatchLinkSimulator
     from repro.sim.cache import CacheKeyError, stable_hash
 
+    if fast:
+        from repro.sim.fastlink import FastLinkSimulator as simulator_cls
+    else:
+        from repro.sim.batch import BatchLinkSimulator as simulator_cls
+
     try:
-        key = (stable_hash(config), int(bits_per_frame))
+        key = (stable_hash(config), int(bits_per_frame), bool(fast))
     except CacheKeyError:
-        return BatchLinkSimulator(config, num_payload_bits=bits_per_frame)
+        return simulator_cls(config, num_payload_bits=bits_per_frame)
     simulator = _SIMULATOR_MEMO.get(key)
     if simulator is None:
-        simulator = BatchLinkSimulator(config, num_payload_bits=bits_per_frame)
+        simulator = simulator_cls(config, num_payload_bits=bits_per_frame)
         _SIMULATOR_MEMO[key] = simulator
         while len(_SIMULATOR_MEMO) > _SIMULATOR_MEMO_MAX:
             _SIMULATOR_MEMO.popitem(last=False)
@@ -208,7 +225,9 @@ class LinkBerAccumulator:
 
     def _ensure_simulator(self):
         if self._simulator is None:
-            self._simulator = _shared_simulator(self.config, self.bits_per_frame)
+            self._simulator = _shared_simulator(
+                self.config, self.bits_per_frame, fast=self.backend == "fast"
+            )
         return self._simulator
 
     def advance(self) -> "LinkBerAccumulator":
@@ -218,10 +237,32 @@ class LinkBerAccumulator:
         stopping rule is checked frame-exactly inside the chunk, so
         overshoot frames of a vectorized chunk are dropped and the
         accumulated state is invariant to when/where chunks run.
+
+        The ``fused`` and ``fast`` backends hand the **whole remaining
+        budget** to one fused :meth:`simulate_point` call instead of a
+        chunk — a single ``advance()`` drives the point to :attr:`done`
+        (``chunk_frames`` is irrelevant to them), with the stopping rule
+        applied frame-exactly inside the array program.
         """
         if self.done:
             return self
-        if self.backend == "vectorized":
+        if self.backend in ("fused", "fast"):
+            simulator = self._ensure_simulator()
+            bits_per_scored_frame = simulator._padded_bits
+            # Frames the serial loop would still admit under the bit
+            # budget: the rule is checked *before* each frame, so the
+            # frame that crosses max_bits is still simulated.
+            max_frames = -((self.bits - self.max_bits) // bits_per_scored_frame)
+            errors, detected = simulator.simulate_point(
+                self._rng,
+                errors_needed=self.target_errors - self.errors,
+                max_frames=max_frames,
+            )
+            self.errors += int(errors.sum())
+            self.bits += errors.size * bits_per_scored_frame
+            self.frames += int(errors.size)
+            self.detected += int(np.count_nonzero(detected))
+        elif self.backend == "vectorized":
             # One batched pass per chunk; accumulate frame by frame so
             # the stopping rule stays frame-exact (overshoot frames are
             # dropped, leaving the estimate chunk-size invariant).
@@ -304,6 +345,17 @@ def estimate_link_ber(
         estimate is unaffected).  Every configuration batches exactly —
         Rician fading and blockage included; the old serial fallback
         for those configs is gone.
+
+        ``"fused"`` hands the whole remaining frame budget to one
+        fused :meth:`~repro.sim.batch.BatchLinkSimulator.simulate_point`
+        array program (geometrically-growing blocks, frame-exact early
+        exit on ``target_errors``) with no per-chunk re-entry into
+        Python; it is bit-identical to the other two and ignores
+        ``chunk_frames``.  ``"fast"`` is the compiled/float32
+        **statistical tier** (:mod:`repro.sim.fastlink`): same physics,
+        different floating-point sums and RNG batching — validated by
+        the statistical-equivalence suite, never byte-compared, and
+        cached under its own keyspace.
     """
     accumulator = LinkBerAccumulator(
         config,

@@ -1,0 +1,124 @@
+"""Reusable statistical-equivalence helpers for tier acceptance tests.
+
+The compiled fast tier (:class:`repro.sim.fastlink.FastLinkSimulator`)
+is a documented *statistical* tier: it promises the same BER/detection
+statistics as the bit-exact chain, not the same bytes.  Its acceptance
+tests therefore need principled "same distribution?" checks rather than
+``array_equal``.  Two standard ones live here:
+
+``wilson_ci_overlap``
+    Accept when the two estimates' Wilson score intervals intersect.
+    Conservative and robust at the tiny error counts a quick CI run
+    produces (including zero observed errors, where a Wald interval
+    would degenerate to a point).
+
+``two_proportion_z`` / ``proportions_differ``
+    The classic pooled two-sample proportion z-test.  Sharper than
+    interval overlap at large counts; ``proportions_differ`` returns
+    True only when the null (equal underlying rates) is rejected at
+    ``alpha``, so tests assert ``not proportions_differ(...)``.
+
+Both operate on raw ``(successes, trials)`` counts so they apply to bit
+errors over bits, frame detections over frames, or any other Bernoulli
+summary the simulators report.  Pure ``math`` — no scipy — so the
+helpers stay importable on the leanest CI leg.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "wilson_interval",
+    "wilson_ci_overlap",
+    "two_proportion_z",
+    "proportions_differ",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a Bernoulli rate.
+
+    Matches :meth:`repro.sim.monte_carlo.BerEstimate.confidence_interval`
+    (same centre/half-width algebra) but works on raw counts.  Returns
+    the vacuous ``(0.0, 1.0)`` when ``trials == 0``.
+    """
+    if successes < 0 or trials < 0 or successes > trials:
+        raise ValueError(
+            f"need 0 <= successes <= trials, got {successes}/{trials}"
+        )
+    if not math.isfinite(z) or z <= 0.0:
+        raise ValueError(f"z must be a positive finite quantile, got {z}")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    n = trials
+    denominator = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denominator
+    half_width = (
+        z * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denominator
+    )
+    return (max(0.0, centre - half_width), min(1.0, centre + half_width))
+
+
+def wilson_ci_overlap(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    z: float = 1.96,
+) -> bool:
+    """True when the two samples' Wilson intervals intersect.
+
+    The fast-tier acceptance criterion: two estimators of the same
+    underlying rate should produce overlapping intervals essentially
+    always at z=1.96 (the non-overlap probability of two independent
+    95% intervals on a shared rate is well under 5%).
+    """
+    lo_a, hi_a = wilson_interval(successes_a, trials_a, z)
+    lo_b, hi_b = wilson_interval(successes_b, trials_b, z)
+    return lo_a <= hi_b and lo_b <= hi_a
+
+
+def two_proportion_z(
+    successes_a: int, trials_a: int, successes_b: int, trials_b: int
+) -> float:
+    """Pooled two-sample proportion z-statistic.
+
+    Zero when the sample proportions are equal (including the pooled
+    degenerate cases p=0 and p=1, where the observed proportions are
+    necessarily identical and no evidence of a difference exists).
+    """
+    for s, n in ((successes_a, trials_a), (successes_b, trials_b)):
+        if s < 0 or n <= 0 or s > n:
+            raise ValueError(f"need 0 <= successes <= trials > 0, got {s}/{n}")
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / trials_a + 1.0 / trials_b)
+    if variance == 0.0:
+        return 0.0
+    return (p_a - p_b) / math.sqrt(variance)
+
+
+def proportions_differ(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    alpha: float = 1e-3,
+) -> bool:
+    """Two-sided test: is there evidence the underlying rates differ?
+
+    Returns True when the pooled z-test rejects equal rates at level
+    ``alpha``.  Equivalence tests assert the negation, so ``alpha``
+    defaults small (1e-3): an agreement test should only fail on strong
+    evidence, not on the 1-in-20 flukes alpha=0.05 would admit.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    z = two_proportion_z(successes_a, trials_a, successes_b, trials_b)
+    p_value = math.erfc(abs(z) / math.sqrt(2.0))
+    return p_value < alpha

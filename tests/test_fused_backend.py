@@ -1,0 +1,177 @@
+"""Equivalence contract of the fused whole-budget backend.
+
+The ``"fused"`` tier hands the entire remaining frame budget to one
+:meth:`~repro.sim.batch.BatchLinkSimulator.simulate_point` array
+program instead of re-entering Python per chunk.  Its contract is
+**byte identity** with the serial reference: same RNG serial order per
+frame, frame-exact early exit on ``target_errors``, invariant to chunk
+sizes, block-growth schedules, executor schedules, and which bit-exact
+tier warmed the cache.  These tests pin every face of that contract.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment
+from repro.core.link import LinkConfig
+from repro.sim.batch import BatchLinkSimulator
+from repro.sim.cache import ResultCache
+from repro.sim.executor import BerSweepTask, SweepExecutor
+from repro.sim.monte_carlo import (
+    BIT_EXACT_BACKENDS,
+    LinkBerAccumulator,
+    estimate_link_ber,
+)
+
+_NOISY = LinkConfig(distance_m=13.0, environment=Environment.typical_office())
+_RICIAN = LinkConfig(
+    distance_m=8.0, rician_k_db=6.0, environment=Environment.typical_office()
+)
+
+
+def _estimate(config, backend, *, chunk_frames=1, target_errors=50,
+              max_bits=24_576):
+    return estimate_link_ber(
+        config,
+        target_errors=target_errors,
+        max_bits=max_bits,
+        bits_per_frame=2048,
+        seed=0,
+        chunk_frames=chunk_frames,
+        backend=backend,
+    )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("config", [_NOISY, _RICIAN], ids=["awgn", "rician"])
+    def test_fused_equals_serial_and_vectorized(self, config):
+        serial = _estimate(config, "serial")
+        fused = _estimate(config, "fused")
+        vectorized = _estimate(config, "vectorized", chunk_frames=4)
+        assert fused == serial
+        assert fused == vectorized
+
+    @pytest.mark.parametrize("chunk_frames", [1, 3, 7, 64])
+    def test_fused_ignores_chunk_size(self, chunk_frames):
+        """chunk_frames is a no-op for the whole-budget program."""
+        baseline = _estimate(_NOISY, "fused", chunk_frames=1)
+        assert _estimate(_NOISY, "fused", chunk_frames=chunk_frames) == baseline
+
+    def test_early_exit_is_frame_exact(self):
+        """A tiny error target must stop fused on the same frame as serial."""
+        serial = _estimate(_NOISY, "serial", target_errors=2)
+        fused = _estimate(_NOISY, "fused", target_errors=2)
+        assert fused == serial
+        assert fused.bit_errors >= 2
+        # stopped early: budget would have allowed 12 frames
+        assert fused.frames < 12
+
+    @pytest.mark.parametrize("start_block", [1, 2, 5, 16, 128])
+    def test_block_growth_schedule_invariant(self, start_block):
+        """simulate_point results do not depend on the block schedule.
+
+        Overshoot frames inside a block consume RNG state the serial
+        path would never draw, but are discarded before absorption —
+        the accumulated counts must not see them.
+        """
+        simulator = BatchLinkSimulator(_NOISY, num_payload_bits=2048)
+        baseline = simulator.simulate_point(
+            np.random.default_rng(5), errors_needed=20, max_frames=12,
+            start_block=16,
+        )
+        got = simulator.simulate_point(
+            np.random.default_rng(5), errors_needed=20, max_frames=12,
+            start_block=start_block,
+        )
+        assert np.array_equal(got[0], baseline[0])
+        assert np.array_equal(got[1], baseline[1])
+
+
+class TestAccumulatorReplay:
+    def test_accumulator_matches_driver(self):
+        """Stepping the accumulator chunk by chunk equals one-shot fused."""
+        accumulator = LinkBerAccumulator(
+            _NOISY,
+            target_errors=50,
+            max_bits=24_576,
+            bits_per_frame=2048,
+            seed=0,
+            backend="fused",
+        )
+        while not accumulator.done:
+            accumulator = accumulator.advance()
+        assert accumulator.estimate() == _estimate(_NOISY, "fused")
+
+    def test_pickle_roundtrip_mid_flight(self):
+        """Fused accumulators stay picklable for the process backend."""
+        accumulator = LinkBerAccumulator(
+            _NOISY,
+            target_errors=2,
+            max_bits=24_576,
+            bits_per_frame=2048,
+            seed=0,
+            backend="fused",
+        )
+        revived = pickle.loads(pickle.dumps(accumulator))
+        while not revived.done:
+            revived = revived.advance()
+        assert revived.estimate() == _estimate(_NOISY, "fused", target_errors=2)
+
+
+class TestCacheKeyspace:
+    def _task(self, backend, chunk_frames=1):
+        return BerSweepTask(
+            config=_NOISY,
+            target_errors=20,
+            max_bits=8_192,
+            bits_per_frame=2048,
+            chunk_frames=chunk_frames,
+            link_backend=backend,
+        )
+
+    def test_bit_exact_tiers_share_cache_entries(self):
+        """serial/vectorized/fused (any chunking) → one cache key."""
+        keys = {
+            pickle.dumps(self._task(backend, chunk).cache_parts(13.0))
+            for backend in BIT_EXACT_BACKENDS
+            for chunk in (1, 8)
+        }
+        assert len(keys) == 1
+
+    def test_fast_tier_has_its_own_keyspace(self):
+        exact = pickle.dumps(self._task("serial").cache_parts(13.0))
+        fast = pickle.dumps(self._task("fast").cache_parts(13.0))
+        assert exact != fast
+
+    def test_cache_warmed_by_serial_serves_fused(self, tmp_path):
+        """Cross-backend cache replay is byte-identical."""
+        values = [12.0, 13.0]
+        cache = ResultCache(tmp_path / "cache")
+        cold = SweepExecutor("serial", cache=cache).run(
+            values, self._task("serial"), seed=0
+        )
+        warm = SweepExecutor("serial", cache=cache).run(
+            values, self._task("fused"), seed=0
+        )
+        assert warm.cache_hits == len(values)
+        assert [pickle.dumps(p.metric) for p in cold.points] == [
+            pickle.dumps(p.metric) for p in warm.points
+        ]
+
+    @pytest.mark.parametrize("schedule", ["uniform", "adaptive"])
+    def test_schedules_agree_under_fused(self, schedule):
+        """Uniform and adaptive schedules return identical fused points."""
+        values = [12.0, 13.0]
+        report = SweepExecutor("serial", schedule=schedule).run(
+            values, self._task("fused"), seed=0
+        )
+        baseline = SweepExecutor("serial").run(
+            values, self._task("serial"), seed=0
+        )
+        assert [p.metric for p in report.points] == [
+            p.metric for p in baseline.points
+        ]

@@ -37,6 +37,9 @@ def test_all_kernels_present(report):
         "link_end_to_end",
         "multipath_apply",
         "link_rician_end_to_end",
+        "link_end_to_end_fused",
+        "link_rician_end_to_end_fused",
+        "link_fast_tier",
         "sweep_adaptive_vs_uniform",
         "netsim_event_engine",
         "vanatta_pattern",
@@ -78,13 +81,39 @@ def test_link_end_to_end_not_slower(report):
     assert bench.speedup >= 1.0, f"batched chain slower: {bench.speedup:.1f}x"
 
 
-def test_multipath_apply_not_slower(report):
+def test_multipath_apply_faster(report):
     bench = report.by_name()["multipath_apply"]
-    # The cached tap grid + shared-FFT operator typically lands ~1.2x in
-    # full mode, but the absolute win is small enough that quick-mode
-    # noise can graze 1.0x; the 0.9 floor only guards against the kernel
-    # becoming genuinely *slower* than the per-call-rebuild reference.
-    assert bench.speedup >= 0.9, f"multipath apply slower: {bench.speedup:.1f}x"
+    # The per-shape delay plan (exp phase ramps hoisted out of the
+    # per-call path) raised this kernel from ~1.2x to ~1.4x; the floor
+    # moves up with it.  1.1x sits below quick-mode noise but catches a
+    # regression back to per-call ramp rebuilds.
+    assert bench.speedup >= 1.1, f"multipath apply barely faster: {bench.speedup:.1f}x"
+
+
+def test_link_end_to_end_fused_not_slower(report):
+    bench = report.by_name()["link_end_to_end_fused"]
+    # Whole-budget fused execution is bit-exactness-bounded like the
+    # chunked batch (same per-frame kernels, same RNG order); its win
+    # over the *serial* loop is typically ~2.5x.  The floor only
+    # guards against the fused path regressing below the serial chain.
+    assert bench.speedup >= 1.2, f"fused chain slower: {bench.speedup:.1f}x"
+
+
+def test_link_rician_end_to_end_fused_not_slower(report):
+    bench = report.by_name()["link_rician_end_to_end_fused"]
+    # Fading variant of the fused whole-budget path; typically ~1.6-1.9x
+    # over serial (bit-exactness-bounded: identical FFT delay operator
+    # per frame on both sides).
+    assert bench.speedup >= 1.1, f"fused fading chain slower: {bench.speedup:.1f}x"
+
+
+def test_link_fast_tier_at_least_2x(report):
+    bench = report.by_name()["link_fast_tier"]
+    # The statistical tier drops bit-exactness (complex64 chain, FFT
+    # sync, quantized Rician taps) and typically lands 5.5-6.7x over the
+    # serial reference even without numba; 2.5x is the acceptance floor
+    # that catches the tier silently rerouting through the exact chain.
+    assert bench.speedup >= 2.5, f"fast tier collapsed: {bench.speedup:.1f}x"
 
 
 def test_link_rician_end_to_end_batches_faster(report):

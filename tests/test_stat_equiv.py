@@ -1,0 +1,133 @@
+"""Unit tests for the reusable statistical-equivalence helpers.
+
+These helpers gate the fast-tier acceptance suite, so they get their
+own tests: a buggy interval (too narrow, off-centre) would let a broken
+fast tier pass, and an over-eager difference test would flake honest
+runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.stat_equiv import (
+    proportions_differ,
+    two_proportion_z,
+    wilson_ci_overlap,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_matches_ber_estimate_interval(self):
+        """Same algebra as the in-tree BerEstimate Wilson CI."""
+        from repro.sim.monte_carlo import BerEstimate
+
+        est = BerEstimate(
+            bit_errors=37, bits_tested=5000, frames=10, frames_detected=10
+        )
+        assert wilson_interval(37, 5000) == est.confidence_interval()
+
+    def test_contains_point_estimate(self):
+        for s, n in [(0, 50), (1, 50), (25, 50), (50, 50), (3, 10_000)]:
+            lo, hi = wilson_interval(s, n)
+            assert lo <= s / n <= hi
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_zero_errors_has_positive_upper_edge(self):
+        """Unlike Wald, Wilson never collapses 0/n to a point."""
+        lo, hi = wilson_interval(0, 1000)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_shrinks_with_sample_size(self):
+        narrow = wilson_interval(50, 10_000)
+        wide = wilson_interval(5, 1000)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_known_value(self):
+        # Hand-checked 95% Wilson interval for 5/100.
+        lo, hi = wilson_interval(5, 100)
+        assert lo == pytest.approx(0.02152, abs=2e-4)
+        assert hi == pytest.approx(0.11183, abs=2e-4)
+
+    def test_rejects_bad_counts_and_quantiles(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, z=0.0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, z=math.inf)
+
+
+class TestWilsonOverlap:
+    def test_same_counts_overlap(self):
+        assert wilson_ci_overlap(10, 1000, 10, 1000)
+
+    def test_symmetric(self):
+        args = (12, 900, 30, 1100)
+        assert wilson_ci_overlap(*args) == wilson_ci_overlap(
+            args[2], args[3], args[0], args[1]
+        )
+
+    def test_clearly_different_rates_do_not_overlap(self):
+        assert not wilson_ci_overlap(10, 10_000, 500, 10_000)
+
+    def test_zero_trials_overlaps_everything(self):
+        assert wilson_ci_overlap(0, 0, 9999, 10_000)
+
+    def test_shared_rate_overlaps_at_realistic_counts(self):
+        """Two honest estimators of one rate overlap (deterministic draws)."""
+        rng = np.random.default_rng(42)
+        p = 0.01
+        for _ in range(50):
+            a = int(rng.binomial(20_000, p))
+            b = int(rng.binomial(20_000, p))
+            assert wilson_ci_overlap(a, 20_000, b, 20_000)
+
+
+class TestTwoProportion:
+    def test_identical_proportions_give_zero(self):
+        assert two_proportion_z(10, 1000, 10, 1000) == 0.0
+
+    def test_degenerate_pooled_rates_give_zero(self):
+        assert two_proportion_z(0, 500, 0, 700) == 0.0
+        assert two_proportion_z(500, 500, 700, 700) == 0.0
+
+    def test_antisymmetric(self):
+        z = two_proportion_z(30, 1000, 60, 1000)
+        assert z == pytest.approx(-two_proportion_z(60, 1000, 30, 1000))
+
+    def test_known_value(self):
+        # 30/1000 vs 60/1000: pooled p=0.045, z ≈ -3.236 (hand-checked).
+        z = two_proportion_z(30, 1000, 60, 1000)
+        assert z == pytest.approx(-3.236, abs=5e-3)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            two_proportion_z(0, 0, 5, 10)
+
+    def test_differ_detects_real_gap(self):
+        assert proportions_differ(10, 10_000, 500, 10_000)
+
+    def test_differ_accepts_equal_rates(self):
+        rng = np.random.default_rng(7)
+        p = 0.02
+        for _ in range(50):
+            a = int(rng.binomial(30_000, p))
+            b = int(rng.binomial(30_000, p))
+            assert not proportions_differ(a, 30_000, b, 30_000)
+
+    def test_differ_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            proportions_differ(1, 10, 1, 10, alpha=0.0)
+        with pytest.raises(ValueError):
+            proportions_differ(1, 10, 1, 10, alpha=1.0)
