@@ -53,6 +53,13 @@ from repro.net import (
     run_multi_ap,
     run_netsim,
 )
+from repro.net.scenario.backoff import (
+    DEFAULT_STRATEGY,
+    strategy_names,
+    strategy_summaries,
+)
+from repro.net.scenario.mobile import TRAJECTORIES, MobileReaderConfig
+from repro.net.scenario.mobile import run_mobile_reader
 from repro.sim.cache import ResultCache
 from repro.sim.executor import BerSweepTask, FunctionTask, SweepExecutor
 from repro.sim.monte_carlo import LINK_BER_BACKENDS
@@ -219,6 +226,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "covers every event; the ring bounds the "
                              "dumped tail, so million-tag traces don't "
                              "blow RAM)")
+    netsim.add_argument("--strategy", default=DEFAULT_STRATEGY,
+                        metavar="NAME",
+                        help="ALOHA backoff/arbitration strategy "
+                             f"(registered: {', '.join(strategy_names())}; "
+                             f"default {DEFAULT_STRATEGY!r} is "
+                             "byte-identical to the seed MAC)")
+    netsim.add_argument("--list-strategies", action="store_true",
+                        help="list the registered backoff strategies and "
+                             "exit")
+    reader = netsim.add_argument_group(
+        "mobile reader (activated by --reader-trajectory)"
+    )
+    reader.add_argument("--reader-trajectory", default=None,
+                        choices=list(TRAJECTORIES),
+                        help="fly a drone/cart reader over a static tag "
+                             "field instead of a fixed AP")
+    reader.add_argument("--reader-speed", type=float, default=2.0,
+                        help="reader flight speed [m/s]")
+    reader.add_argument("--reader-altitude", type=float, default=2.0,
+                        help="reader height above the tag plane [m]")
+    reader.add_argument("--reader-radius", type=float, default=2.0,
+                        help="orbit radius [m] (circular trajectory)")
+    reader.add_argument("--field-size", type=float, default=6.0,
+                        help="tag field edge length [m] (tags uniform "
+                             "over the square)")
+    reader.add_argument("--reader-epoch-slots", type=int, default=50,
+                        help="slots between reader position updates")
+    reader.add_argument("--reader-warp", type=float, default=1000.0,
+                        help="vehicle seconds per MAC second")
+    reader.add_argument("--sensing-noise", type=float, default=0.0,
+                        help="Gaussian noise on the per-read sensing "
+                             "observables [dB]")
     metro = netsim.add_argument_group(
         "multi-AP metro deployment (activated by --grid)"
     )
@@ -357,6 +396,7 @@ _EXPERIMENT_INDEX = [
     ("E21", "metro scale: multi-AP roaming, handoff, relaying", "test_e21_metro_deployment"),
     ("E22", "sharded engine: million-tag runs, byte-identical", "test_e22_shard_scaling"),
     ("E23", "live AP service: overload shedding + bounded memory", "test_e23_live_service"),
+    ("E24", "scenario zoo: backoff shootout, mobile reader, AoA/range sensing", "test_e24_scenario_zoo"),
 ]
 
 
@@ -607,9 +647,11 @@ def _netsim_config(args: argparse.Namespace, **overrides: object) -> NetSimConfi
 
 
 def _print_netsim_report(config: NetSimConfig, seed: int,
-                         trace_path: str | None = None) -> int:
+                         trace_path: str | None = None,
+                         strategy: str | None = None) -> int:
     """Run one event-driven simulation and print its summary (shared)."""
-    report = run_netsim(config, seed=seed, trace_path=trace_path)
+    report = run_netsim(config, seed=seed, trace_path=trace_path,
+                        strategy=strategy)
     print(report.summary())
     if trace_path is not None:
         print(f"event trace         : {trace_path}")
@@ -729,20 +771,36 @@ def _cmd_netsim_metro(args: argparse.Namespace) -> int:
             from repro.net.shard import run_multi_ap_sharded
 
             executor = SweepExecutor("process", max_workers=args.workers)
-            report = run_multi_ap_sharded(
-                config,
-                seed=args.seed,
-                shards=args.shards,
-                trace_path=args.trace,
-                executor=executor,
-            )
+            try:
+                report = run_multi_ap_sharded(
+                    config,
+                    seed=args.seed,
+                    shards=args.shards,
+                    trace_path=args.trace,
+                    executor=executor,
+                    strategy=args.strategy,
+                )
+            except ValueError as error:
+                # The sharded engine only replays the default adaptive
+                # draw pattern; a non-default strategy is rejected
+                # loudly rather than silently diverging from serial.
+                print(str(error), file=sys.stderr)
+                return 2
             print(f"engine              : sharded x{args.shards}")
         else:
-            report = run_multi_ap(config, seed=args.seed, trace_path=args.trace)
+            report = run_multi_ap(config, seed=args.seed,
+                                  trace_path=args.trace,
+                                  strategy=args.strategy)
         print(report.summary())
         if args.trace is not None:
             print(f"event trace         : {args.trace}")
         return 0
+    if args.strategy != DEFAULT_STRATEGY:
+        print("--sweep-tags races populations, not strategies; "
+              "sweep tasks run the default strategy only "
+              "(use repro.net.scenario.shootout for strategy races)",
+              file=sys.stderr)
+        return 2
 
     try:
         populations = _parse_sweep_tags(args.sweep_tags)
@@ -786,10 +844,63 @@ def _cmd_netsim_metro(args: argparse.Namespace) -> int:
     return 0 if sweep.failed == 0 else 1
 
 
+def _cmd_netsim_reader(args: argparse.Namespace) -> int:
+    """The mobile-reader branch of ``repro netsim``."""
+    for flag, given in (("--grid", args.grid is not None),
+                        ("--sweep-tags", args.sweep_tags is not None),
+                        ("--shards", bool(args.shards)),
+                        ("--protocol", args.protocol != "aloha")):
+        if given:
+            print(f"--reader-trajectory is a single-AP ALOHA scenario; "
+                  f"drop {flag}", file=sys.stderr)
+            return 2
+    try:
+        config = MobileReaderConfig(
+            num_tags=args.tags,
+            num_slots=args.slots,
+            frame_bits=args.frame_bits,
+            environment=Environment.typical_office(),
+            field_size_m=args.field_size,
+            altitude_m=args.reader_altitude,
+            trajectory=args.reader_trajectory,
+            speed_m_s=args.reader_speed,
+            orbit_radius_m=args.reader_radius,
+            epoch_slots=args.reader_epoch_slots,
+            time_warp=args.reader_warp,
+            # Saturated traffic: sensing needs estimates all run long.
+            persistent=True,
+            blockage_rate_hz=args.blockage_rate,
+            sensing_noise_db=args.sensing_noise,
+            trace_capacity=args.trace_capacity,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    report = run_mobile_reader(config, seed=args.seed,
+                               trace_path=args.trace,
+                               strategy=args.strategy)
+    print(report.summary())
+    if args.trace is not None:
+        print(f"event trace         : {args.trace}")
+    return 0
+
+
 def _cmd_netsim(args: argparse.Namespace) -> int:
+    if args.list_strategies:
+        for name, summary in strategy_summaries():
+            marker = "*" if name == DEFAULT_STRATEGY else " "
+            print(f"{marker} {name:<12} {summary}")
+        print("(* = default, byte-identical to the seed MAC)")
+        return 0
+    if args.strategy not in strategy_names():
+        print(f"unknown backoff strategy {args.strategy!r}; choose from "
+              f"{', '.join(strategy_names())}", file=sys.stderr)
+        return 2
     if args.tags < 0 or args.slots < 1:
         print("need --tags >= 0 and --slots >= 1", file=sys.stderr)
         return 2
+    if args.reader_trajectory is not None:
+        return _cmd_netsim_reader(args)
     if args.grid is not None:
         return _cmd_netsim_metro(args)
     if args.shards:
@@ -812,9 +923,25 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if args.strategy != DEFAULT_STRATEGY:
+        if args.protocol != "aloha":
+            print("--strategy applies to the 'aloha' protocol only",
+                  file=sys.stderr)
+            return 2
+        if args.transmit_probability is not None:
+            print("--strategy and --transmit-probability are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
     if args.sweep_tags is None:
-        return _print_netsim_report(config, args.seed, trace_path=args.trace)
+        return _print_netsim_report(config, args.seed, trace_path=args.trace,
+                                    strategy=args.strategy)
 
+    if args.strategy != DEFAULT_STRATEGY:
+        print("--sweep-tags races populations, not strategies; "
+              "sweep tasks run the default strategy only "
+              "(use repro.net.scenario.shootout for strategy races)",
+              file=sys.stderr)
+        return 2
     try:
         populations = _parse_sweep_tags(args.sweep_tags)
     except ValueError:

@@ -26,7 +26,11 @@ Layers, bottom up:
   (:func:`~repro.net.shard.run_multi_ap_sharded`);
 * :mod:`repro.net.task` — the :class:`~repro.net.task.NetSimTask` /
   :class:`~repro.net.task.MultiAPTask` adapters that run populations
-  of simulations under :class:`~repro.sim.executor.SweepExecutor`.
+  of simulations under :class:`~repro.sim.executor.SweepExecutor`;
+* :mod:`repro.net.scenario` — the scenario zoo: pluggable backoff
+  strategies, mobile-reader trajectories and Van Atta AoA/range
+  sensing (:func:`~repro.net.scenario.mobile.run_mobile_reader`,
+  :func:`~repro.net.scenario.shootout.run_shootout`).
 """
 
 from repro.net.deployment import (
@@ -68,6 +72,21 @@ from repro.net.sim import (
 )
 from repro.net.task import MultiAPTask, NetSimTask
 
+# Scenario zoo last: it builds on sim/deployment/task above.
+from repro.net.scenario import (
+    BackoffStrategy,
+    MobileReaderConfig,
+    MobileReaderReport,
+    SCENARIO_REPORT_SCHEMA,
+    SensingSummary,
+    ShootoutReport,
+    ShootoutTask,
+    from_name,
+    run_mobile_reader,
+    run_shootout,
+    strategy_names,
+)
+
 __all__ = [
     "MULTI_AP_REPORT_SCHEMA",
     "Deployment",
@@ -103,4 +122,15 @@ __all__ = [
     "run_netsim",
     "MultiAPTask",
     "NetSimTask",
+    "BackoffStrategy",
+    "MobileReaderConfig",
+    "MobileReaderReport",
+    "SCENARIO_REPORT_SCHEMA",
+    "SensingSummary",
+    "ShootoutReport",
+    "ShootoutTask",
+    "from_name",
+    "run_mobile_reader",
+    "run_shootout",
+    "strategy_names",
 ]

@@ -924,6 +924,15 @@ class MultiApAlohaMac(MacProcess):
     one cell independent of every other cell's backlog, which is what
     lets :mod:`repro.net.shard` run disjoint AP sets on different
     worker processes and still reproduce the serial run bit for bit.
+
+    ``strategy`` swaps the per-cell arbitration rule for a
+    :class:`~repro.net.scenario.backoff.BackoffStrategy` — the same
+    draw-count-stable slot :class:`~repro.net.mac.SlottedAlohaMac`
+    carries (one uniform per contender per AP activation, from that
+    AP's stream).  Window state is per tag, so a tag keeps its backoff
+    history across handoffs.  The sharded engine supports only the
+    default rule and rejects anything else loudly
+    (:func:`repro.net.shard.run_multi_ap_sharded`).
     """
 
     def __init__(
@@ -937,6 +946,7 @@ class MultiApAlohaMac(MacProcess):
         frame_bits: int,
         persistent: bool = False,
         stop_when_drained: bool = True,
+        strategy=None,
     ) -> None:
         super().__init__(
             "ap/metro",
@@ -950,6 +960,7 @@ class MultiApAlohaMac(MacProcess):
         self.deployment = deployment
         self.shared = shared
         self.persistent = persistent
+        self.strategy = strategy
         self.ap_rngs: list[np.random.Generator] | None = None
         self.ap_slots = 0
         self.per_ap_reads = np.zeros(deployment.n_aps, dtype=np.int64)
@@ -997,21 +1008,35 @@ class MultiApAlohaMac(MacProcess):
                 self.slots_idle += 1
                 continue
             rng = self.ap_rngs[ap]
-            p = 1.0 / ids.size
-            self.offered_sum += 1.0
+            if self.strategy is None:
+                p = 1.0 / ids.size
+                self.offered_sum += 1.0
+            else:
+                p = self.strategy.transmit_probabilities(ids, slot)
+                self.offered_sum += (
+                    ids.size * p if isinstance(p, float) else float(p.sum())
+                )
             responders = ids[rng.random(ids.size) < p]
             if responders.size == 0:
                 self._count(SlotOutcome.IDLE)
+                if self.strategy is not None:
+                    self.strategy.observe_slot(responders, None)
                 continue
             if responders.size > 1:
                 self._count(SlotOutcome.COLLISION)
+                if self.strategy is not None:
+                    self.strategy.observe_slot(responders, False)
                 continue
             self._count(SlotOutcome.SINGLE)
             tag_id = int(responders[0])
             if rng.random() < self._success_p(tag_id, blocked):
                 self._record(tag_id, ap, slot)
+                delivered = True
             else:
                 self.reads_failed_channel += 1
+                delivered = False
+            if self.strategy is not None:
+                self.strategy.observe_slot(responders, delivered)
 
     def _record(self, tag_id: int, ap: int, slot: int) -> None:
         pop = self.population
@@ -1171,6 +1196,7 @@ def _build_metro(
     *,
     mac_cls: type[MultiApAlohaMac] = MultiApAlohaMac,
     assoc_cls: type[AssociationProcess] = AssociationProcess,
+    strategy=None,
 ) -> _MetroParts:
     """Register the metro process stack on ``sim`` (nothing runs yet).
 
@@ -1234,6 +1260,7 @@ def _build_metro(
             frame_bits=config.frame_bits,
             persistent=config.persistent,
             stop_when_drained=config.stop_when_drained,
+            strategy=strategy,
         )
     )
     assert isinstance(mobility, MobilityProcess)
@@ -1342,6 +1369,8 @@ def run_multi_ap(
     config: MultiAPConfig,
     seed: int | np.random.SeedSequence = 0,
     trace_path: str | Path | None = None,
+    *,
+    strategy=None,
 ) -> MultiAPReport:
     """Run one metro-scale simulation; deterministic in (config, seed).
 
@@ -1350,9 +1379,28 @@ def run_multi_ap(
     determinism check fails.  :func:`repro.net.shard.run_multi_ap_sharded`
     produces a byte-identical report and trace digest by running the
     same process stack sharded across worker processes.
+
+    ``strategy`` (registry name or fresh instance; see
+    :mod:`repro.net.scenario.backoff`) swaps the per-cell backoff rule.
+    A keyword, not a config field, so default-path report pickles stay
+    byte-identical; ``None``/``"adaptive-p"`` reproduce the seed run
+    bit for bit.  Only the default strategy is shardable — the sharded
+    engine rejects others loudly.
     """
+    # Late import: scenario builds on this module (no import cycle).
+    from repro.net.scenario.backoff import AdaptivePStrategy, resolve_strategy
+
+    strategy = resolve_strategy(strategy)
+    if (
+        isinstance(strategy, AdaptivePStrategy)
+        and strategy.transmit_probability is None
+    ):
+        # The metro MAC has no fixed-p knob; the default strategy IS
+        # the inline path — resolve to it so the draw arithmetic is
+        # the seed's own code.
+        strategy = None
     sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
-    parts = _build_metro(sim, config)
+    parts = _build_metro(sim, config, strategy=strategy)
     _run_metro(sim, parts)
     report = _finalize_metro(sim, parts)
     if trace_path is not None:

@@ -146,6 +146,21 @@ class LinkBudgetModel:
             self._gain_cache[bucket] = cached
         return cached
 
+    def angle_gain_delta_db(self, angle_deg: float) -> float:
+        """Public bucketed Van Atta angle response (sensing hook).
+
+        The roundtrip-gain delta vs boresight at ``angle_deg``,
+        quantised to the same 0.25° buckets every priced slot uses —
+        the observable the scenario layer's AoA estimator inverts
+        (:class:`repro.net.scenario.sensing.AoaRangeEstimator`).
+        """
+        return self._angle_gain_delta_db(float(angle_deg))
+
+    @property
+    def angle_bucket_deg(self) -> float:
+        """Width of one angle-response cache bucket, degrees."""
+        return _ANGLE_BUCKET_DEG
+
     def snr_db(
         self, distances_m: np.ndarray, angles_deg: np.ndarray | None = None
     ) -> np.ndarray:

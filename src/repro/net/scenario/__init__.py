@@ -1,0 +1,97 @@
+"""Scenario zoo: pluggable MAC strategies, mobile readers, sensing.
+
+Three coupled extensions over the :mod:`repro.net` event engine:
+
+* :mod:`~repro.net.scenario.backoff` — a registry of pluggable,
+  draw-count-stable backoff/arbitration strategies for the ALOHA MACs
+  (the default ``"adaptive-p"`` is byte-identical to the seed MAC);
+* :mod:`~repro.net.scenario.mobile` — a drone/cart reader flying
+  parametric trajectories over a static tag field, priced through the
+  exact link budget every epoch;
+* :mod:`~repro.net.scenario.sensing` — coarse AoA/range estimation
+  from the Van Atta angle response and the 40 dB/decade range law,
+  one estimate per delivered frame;
+* :mod:`~repro.net.scenario.shootout` — strategy races across regimes
+  on the sweep-executor stack, reporting cross-regime ranking flips.
+
+Import note: these modules import :mod:`repro.net.sim` and
+:mod:`repro.net.deployment` at module level, while those modules import
+:mod:`~repro.net.scenario.backoff` lazily inside their run functions —
+that one-way lazy edge is what keeps the package cycle-free.
+"""
+
+from repro.net.scenario.backoff import (
+    BACKOFF_STRATEGIES,
+    DEFAULT_STRATEGY,
+    AdaptivePStrategy,
+    AdaptiveScaledBackoff,
+    BackoffStrategy,
+    BinaryExponentialBackoff,
+    EiedBackoff,
+    FibonacciBackoff,
+    UniformBackoff,
+    from_name,
+    is_default_strategy,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+    strategy_summaries,
+)
+from repro.net.scenario.mobile import (
+    SCENARIO_REPORT_SCHEMA,
+    TRAJECTORIES,
+    CircularTrajectory,
+    MobileReaderConfig,
+    MobileReaderProcess,
+    MobileReaderReport,
+    TagFieldProcess,
+    WaypointTrajectory,
+    run_mobile_reader,
+)
+from repro.net.scenario.sensing import (
+    AoaRangeEstimate,
+    AoaRangeEstimator,
+    SensingProcess,
+    SensingSummary,
+)
+from repro.net.scenario.shootout import (
+    ShootoutReport,
+    ShootoutTask,
+    StrategyResult,
+    run_shootout,
+)
+
+__all__ = [
+    "BACKOFF_STRATEGIES",
+    "DEFAULT_STRATEGY",
+    "AdaptivePStrategy",
+    "AdaptiveScaledBackoff",
+    "BackoffStrategy",
+    "BinaryExponentialBackoff",
+    "EiedBackoff",
+    "FibonacciBackoff",
+    "UniformBackoff",
+    "from_name",
+    "is_default_strategy",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
+    "strategy_summaries",
+    "SCENARIO_REPORT_SCHEMA",
+    "TRAJECTORIES",
+    "CircularTrajectory",
+    "MobileReaderConfig",
+    "MobileReaderProcess",
+    "MobileReaderReport",
+    "TagFieldProcess",
+    "WaypointTrajectory",
+    "run_mobile_reader",
+    "AoaRangeEstimate",
+    "AoaRangeEstimator",
+    "SensingProcess",
+    "SensingSummary",
+    "ShootoutReport",
+    "ShootoutTask",
+    "StrategyResult",
+    "run_shootout",
+]

@@ -1,0 +1,433 @@
+"""Pluggable MAC backoff/arbitration strategies for the ALOHA MACs.
+
+The seed MAC hard-codes one arbitration rule — the adaptive
+``p = 1/backlog`` genie that knows the true contender count.  Real
+tags don't: they run window-based backoff state machines and only see
+their own slot outcomes.  This module makes the rule a swappable
+*strategy slot* on :class:`~repro.net.mac.SlottedAlohaMac` and
+:class:`~repro.net.deployment.MultiApAlohaMac`, with the design space
+the LoRaWAN/802.11 literature names: uniform, BEB, EIED, Fibonacci
+(EFB) and adaptively-scaled (ASB) backoff.
+
+Determinism contract (draw-count stability)
+-------------------------------------------
+Strategies are **pure deciders**: they own no RNG stream and never
+draw.  Each slot the MAC asks the strategy for per-contender transmit
+probabilities and then consumes *exactly one uniform per contender, in
+ascending tag-id order, from the MAC's own (per-AP) stream* — the same
+draw pattern for every strategy, including the default.  Window state
+updates are deterministic functions of the observed slot outcome.
+Toggling the strategy therefore never changes which stream any process
+draws from, nor how many draws a slot consumes per contender — only
+the *values* of the transmit probabilities.  The default
+``"adaptive-p"`` strategy reproduces the seed MAC's arithmetic exactly
+(scalar ``1.0 / backlog``), so golden trace digests do not move.
+
+A window-based strategy with per-tag contention window ``W`` is
+realised as its memoryless p-persistent equivalent: the tag transmits
+with probability ``1/W`` each slot (a geometric backoff counter with
+the same mean), which is what keeps the draw pattern identical across
+strategies.
+
+Tags cannot distinguish a collision from a channel-failed single —
+either way the frame goes unacknowledged — so both feed
+:meth:`BackoffStrategy.observe_slot` as a failure for every responder.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_STRATEGY",
+    "BackoffStrategy",
+    "AdaptivePStrategy",
+    "UniformBackoff",
+    "BinaryExponentialBackoff",
+    "EiedBackoff",
+    "FibonacciBackoff",
+    "AdaptiveScaledBackoff",
+    "register_strategy",
+    "from_name",
+    "resolve_strategy",
+    "is_default_strategy",
+    "strategy_names",
+    "strategy_summaries",
+]
+
+#: The seed MAC's arbitration rule; byte-identical to passing no
+#: strategy at all.
+DEFAULT_STRATEGY = "adaptive-p"
+
+#: Contention-window bounds shared by the windowed strategies
+#: (CW_min=2, CW_max=1024 — the classic 802.11-style range).
+_CW_MIN = 2.0
+_CW_MAX = 1024.0
+
+
+class BackoffStrategy:
+    """Protocol for one MAC arbitration rule (see module docstring).
+
+    Subclasses implement :meth:`transmit_probabilities` (per-contender
+    transmit probabilities for one slot) and :meth:`observe_slot` (the
+    deterministic state update from one slot's outcome).  Instances are
+    stateful and single-run: build a fresh one per simulation via
+    :func:`from_name`.
+    """
+
+    #: Registry key; set by :func:`register_strategy`.
+    name: str = ""
+    #: One-line description shown by ``repro netsim --list-strategies``.
+    summary: str = ""
+
+    def transmit_probabilities(
+        self, ids: np.ndarray, slot: int
+    ) -> float | np.ndarray:
+        """Transmit probability for each contender in ``ids``.
+
+        ``ids`` is the ascending-id contender array the MAC is about to
+        draw for.  Return either a scalar ``float`` (every contender
+        shares it — the MAC keeps the seed's scalar arithmetic, which
+        is what makes ``adaptive-p`` byte-identical) or a float array
+        aligned with ``ids``.  Must not draw randomness.
+        """
+        raise NotImplementedError
+
+    def observe_slot(
+        self, responders: np.ndarray, delivered: bool | None
+    ) -> None:
+        """Deterministic state update after one slot.
+
+        ``responders`` are the tags that transmitted (possibly empty);
+        ``delivered`` is ``True`` for a delivered single, ``False`` for
+        a failure (collision, or a channel-failed single — the tag sees
+        no ACK either way), and ``None`` for an idle slot.
+        """
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.summary}"
+
+
+#: name -> strategy class.  Populated by :func:`register_strategy`.
+BACKOFF_STRATEGIES: dict[str, type[BackoffStrategy]] = {}
+
+
+def register_strategy(name: str, summary: str):
+    """Class decorator: add a strategy to the registry under ``name``."""
+
+    def decorate(cls: type[BackoffStrategy]) -> type[BackoffStrategy]:
+        if name in BACKOFF_STRATEGIES:
+            raise ValueError(f"strategy {name!r} already registered")
+        cls.name = name
+        cls.summary = summary
+        BACKOFF_STRATEGIES[name] = cls
+        return cls
+
+    return decorate
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, registration order."""
+    return tuple(BACKOFF_STRATEGIES)
+
+
+def strategy_summaries() -> tuple[tuple[str, str], ...]:
+    """(name, one-line summary) pairs for ``--list-strategies``."""
+    return tuple(
+        (name, cls.summary) for name, cls in BACKOFF_STRATEGIES.items()
+    )
+
+
+def from_name(name: str, **params: object) -> BackoffStrategy:
+    """Build a fresh strategy instance from its registry name.
+
+    Raises a :class:`ValueError` naming every registered strategy when
+    ``name`` is unknown — the CLI turns that into exit 2.
+    """
+    cls = BACKOFF_STRATEGIES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown backoff strategy {name!r}; choose from "
+            f"{', '.join(strategy_names())}"
+        )
+    return cls(**params)  # type: ignore[call-arg]
+
+
+def resolve_strategy(
+    strategy: str | BackoffStrategy | None,
+) -> BackoffStrategy | None:
+    """Normalise a run entry point's ``strategy`` argument.
+
+    ``None`` means "the seed default" and resolves to ``None`` so the
+    MAC keeps its original inline code path untouched; a name resolves
+    through :func:`from_name`; an instance passes through (it must be
+    fresh — strategies carry per-run window state).
+    """
+    if strategy is None:
+        return None
+    if isinstance(strategy, BackoffStrategy):
+        return strategy
+    return from_name(strategy)
+
+
+def is_default_strategy(strategy: str | BackoffStrategy | None) -> bool:
+    """Whether ``strategy`` is the seed adaptive-p rule (any spelling)."""
+    if strategy is None or strategy == DEFAULT_STRATEGY:
+        return True
+    return isinstance(strategy, AdaptivePStrategy)
+
+
+class _WindowedStrategy(BackoffStrategy):
+    """Shared per-tag contention-window machinery.
+
+    Keeps one float window per tag id in an amortised-doubling array
+    (ids are sequential, so capacity follows the population); the
+    p-persistent equivalent transmits with probability ``1/W``.
+    """
+
+    def __init__(
+        self, cw_min: float = _CW_MIN, cw_max: float = _CW_MAX
+    ) -> None:
+        if not 1.0 <= cw_min <= cw_max:
+            raise ValueError(
+                f"need 1 <= cw_min <= cw_max, got {cw_min} / {cw_max}"
+            )
+        self.cw_min = float(cw_min)
+        self.cw_max = float(cw_max)
+        self._cw = np.full(1024, self.cw_min, dtype=np.float64)
+
+    def _ensure(self, needed: int) -> None:
+        if needed <= self._cw.size:
+            return
+        cap = self._cw.size
+        while cap < needed:
+            cap *= 2
+        grown = np.full(cap, self.cw_min, dtype=np.float64)
+        grown[: self._cw.size] = self._cw
+        self._cw = grown
+
+    def transmit_probabilities(
+        self, ids: np.ndarray, slot: int
+    ) -> np.ndarray:
+        self._ensure(int(ids[-1]) + 1)
+        return 1.0 / self._cw[ids]
+
+    def observe_slot(
+        self, responders: np.ndarray, delivered: bool | None
+    ) -> None:
+        if delivered is None or responders.size == 0:
+            return
+        if delivered:
+            self._on_success(responders)
+        else:
+            self._on_failure(responders)
+
+    def _on_success(self, responders: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _on_failure(self, responders: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+@register_strategy(
+    "adaptive-p",
+    "seed default: genie-aided p = 1/backlog (byte-identical baseline)",
+)
+class AdaptivePStrategy(BackoffStrategy):
+    """The seed MAC's rule as a strategy object.
+
+    Returns the scalar ``1.0 / backlog`` (or a fixed probability when
+    one is configured) so the MAC's arithmetic — ``offered_sum``
+    accumulation and the broadcast comparison draw — is bit-identical
+    to the inline default path.
+    """
+
+    def __init__(self, transmit_probability: float | None = None) -> None:
+        if transmit_probability is not None and not (
+            0.0 < transmit_probability <= 1.0
+        ):
+            raise ValueError(
+                "transmit_probability must be in (0, 1], got "
+                f"{transmit_probability}"
+            )
+        self.transmit_probability = transmit_probability
+
+    def transmit_probabilities(self, ids: np.ndarray, slot: int) -> float:
+        if self.transmit_probability is not None:
+            return self.transmit_probability
+        return 1.0 / ids.size
+
+    def observe_slot(
+        self, responders: np.ndarray, delivered: bool | None
+    ) -> None:
+        return None
+
+
+@register_strategy(
+    "uniform",
+    "fixed window: every tag transmits w.p. 1/W each slot (W=16)",
+)
+class UniformBackoff(BackoffStrategy):
+    """Backlog-blind fixed window — the dumbest implementable rule.
+
+    Models a fixed-frame deployment: fine when the window roughly
+    matches the backlog, collapses when contention outgrows it and
+    wastes slots when the field is sparse.
+    """
+
+    def __init__(self, window: float = 16.0) -> None:
+        if window < 1.0:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = float(window)
+
+    def transmit_probabilities(self, ids: np.ndarray, slot: int) -> float:
+        return 1.0 / self.window
+
+    def observe_slot(
+        self, responders: np.ndarray, delivered: bool | None
+    ) -> None:
+        return None
+
+
+@register_strategy(
+    "beb",
+    "binary exponential backoff: double on failure, reset on success",
+)
+class BinaryExponentialBackoff(_WindowedStrategy):
+    """Classic BEB (802.11 DCF flavour).
+
+    Aggressive at low load — the post-success reset to ``cw_min`` wins
+    short queues quickly — but the same reset re-ignites collisions
+    under sustained contention (the textbook BEB instability the
+    shootout exposes).
+    """
+
+    def _on_failure(self, responders: np.ndarray) -> None:
+        self._cw[responders] = np.minimum(
+            self._cw[responders] * 2.0, self.cw_max
+        )
+
+    def _on_success(self, responders: np.ndarray) -> None:
+        self._cw[responders] = self.cw_min
+
+
+@register_strategy(
+    "eied",
+    "exponential increase / exponential decrease (x2 up, /sqrt2 down)",
+)
+class EiedBackoff(_WindowedStrategy):
+    """EIED: multiplicative decrease instead of BEB's hard reset.
+
+    ``W *= 2`` on failure, ``W /= sqrt(2)`` on success — the window
+    remembers recent contention, trading a little low-load agility for
+    stability when the backlog stays high.
+    """
+
+    def __init__(
+        self,
+        cw_min: float = _CW_MIN,
+        cw_max: float = _CW_MAX,
+        increase: float = 2.0,
+        decrease: float = math.sqrt(2.0),
+    ) -> None:
+        super().__init__(cw_min, cw_max)
+        if increase <= 1.0 or decrease <= 1.0:
+            raise ValueError("increase and decrease factors must be > 1")
+        self.increase = float(increase)
+        self.decrease = float(decrease)
+
+    def _on_failure(self, responders: np.ndarray) -> None:
+        self._cw[responders] = np.minimum(
+            self._cw[responders] * self.increase, self.cw_max
+        )
+
+    def _on_success(self, responders: np.ndarray) -> None:
+        self._cw[responders] = np.maximum(
+            self._cw[responders] / self.decrease, self.cw_min
+        )
+
+
+@register_strategy(
+    "fibonacci",
+    "EFB: window walks the Fibonacci ladder (up on failure, down on success)",
+)
+class FibonacciBackoff(_WindowedStrategy):
+    """Fibonacci (EFB) backoff: sub-exponential window growth.
+
+    The window climbs the Fibonacci sequence on failure (growth ratio
+    -> the golden ratio, gentler than BEB's doubling) and steps back
+    down on success.  Per-tag state is the ladder index.
+    """
+
+    def __init__(
+        self, cw_min: float = _CW_MIN, cw_max: float = _CW_MAX
+    ) -> None:
+        super().__init__(cw_min, cw_max)
+        ladder = []
+        a, b = int(round(cw_min)), int(round(cw_min)) + 1
+        while a <= cw_max:
+            ladder.append(float(a))
+            a, b = b, a + b
+        self._ladder = np.array(ladder, dtype=np.float64)
+        self._idx = np.zeros(1024, dtype=np.int64)
+
+    def _ensure(self, needed: int) -> None:
+        if needed <= self._idx.size:
+            return
+        cap = self._idx.size
+        while cap < needed:
+            cap *= 2
+        grown = np.zeros(cap, dtype=np.int64)
+        grown[: self._idx.size] = self._idx
+        self._idx = grown
+
+    def transmit_probabilities(
+        self, ids: np.ndarray, slot: int
+    ) -> np.ndarray:
+        self._ensure(int(ids[-1]) + 1)
+        return 1.0 / self._ladder[self._idx[ids]]
+
+    def _on_failure(self, responders: np.ndarray) -> None:
+        self._idx[responders] = np.minimum(
+            self._idx[responders] + 1, self._ladder.size - 1
+        )
+
+    def _on_success(self, responders: np.ndarray) -> None:
+        self._idx[responders] = np.maximum(self._idx[responders] - 1, 0)
+
+
+@register_strategy(
+    "asb",
+    "adaptively-scaled backoff: pseudo-Bayesian backlog estimate drives p",
+)
+class AdaptiveScaledBackoff(BackoffStrategy):
+    """ASB via Rivest's pseudo-Bayesian broadcast estimate.
+
+    The AP-side rule ``adaptive-p`` cheats — it reads the true backlog
+    off the population.  ASB is the implementable version: a running
+    backlog estimate ``n_hat`` scales a shared window, updated only
+    from observable slot outcomes (idle/success: ``n_hat -= 1``;
+    collision: ``n_hat += 1/(e-2)`` — the classic pseudo-Bayesian
+    increments).  A channel-failed single is *not* a collision and
+    leaves the estimate untouched.
+    """
+
+    def __init__(self, initial_estimate: float = 1.0) -> None:
+        if initial_estimate < 1.0:
+            raise ValueError(
+                f"initial_estimate must be >= 1, got {initial_estimate}"
+            )
+        self._n_hat = float(initial_estimate)
+
+    def transmit_probabilities(self, ids: np.ndarray, slot: int) -> float:
+        return min(1.0, 1.0 / self._n_hat)
+
+    def observe_slot(
+        self, responders: np.ndarray, delivered: bool | None
+    ) -> None:
+        if responders.size > 1:
+            self._n_hat += 1.0 / (math.e - 2.0)
+        elif delivered is None or delivered:
+            self._n_hat = max(1.0, self._n_hat - 1.0)

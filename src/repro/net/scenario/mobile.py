@@ -1,0 +1,590 @@
+"""Mobile reader: a drone/cart AP flying over a static tag field.
+
+The mmTag deployments so far keep the AP(s) bolted down and move the
+*tags* (:mod:`repro.net.deployment`).  Warehouse-audit and UAV-RFID
+practice inverts that: a reader on a cart or drone sweeps a field of
+static shelf tags, and coverage comes from the trajectory rather than
+from AP density.  This module builds that scenario on the exact
+single-AP process stack:
+
+* tags sit at fixed ``(x, y)`` floor positions facing straight up
+  (:class:`TagFieldProcess` draws the field once, from its own stream);
+* the reader flies a parametric :class:`CircularTrajectory` or a
+  :class:`WaypointTrajectory` (reusing
+  :class:`repro.channel.waypoint.RandomWaypointModel` — the same walk
+  the metro tags use) at a fixed altitude;
+* every ``epoch_slots`` slots, :class:`MobileReaderProcess` reprices
+  the whole field through the **exact**
+  :class:`~repro.net.link_model.LinkBudgetModel` budget at the new
+  geometry — slant range ``sqrt(horizontal^2 + altitude^2)`` and
+  incidence angle ``atan2(horizontal, altitude)`` off the tag's upward
+  boresight — so per-slot success probabilities are always priced, never
+  interpolated;
+* the scenario zoo's :class:`~repro.net.scenario.sensing.SensingProcess`
+  rides the MAC's read hook, so every delivered frame also yields a
+  coarse AoA/range estimate.
+
+MAC horizons are milliseconds while flying is metres-per-second, so —
+exactly like the metro layer — ``time_warp`` compresses vehicle time
+into MAC time (the default packs ~100 s of flight into a 2000-slot
+run).
+
+Determinism: five processes registered unconditionally in a fixed
+order (field, reader, blockage, mac, sensing); each draws only from its
+own stream, so toggling the trajectory kind or sensing noise never
+shifts the MAC's (or any other process's) draw sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.environment import Environment
+from repro.channel.waypoint import RandomWaypointModel
+from repro.core.ap import APConfig
+from repro.core.tag import TagConfig
+from repro.net.engine import Process, Simulator
+from repro.net.link_model import LinkBudgetModel
+from repro.net.mac import BlockageProcess, SlottedAlohaMac
+from repro.net.population import TagPopulation
+from repro.net.scenario.sensing import SensingProcess, SensingSummary
+
+__all__ = [
+    "SCENARIO_REPORT_SCHEMA",
+    "TRAJECTORIES",
+    "CircularTrajectory",
+    "WaypointTrajectory",
+    "MobileReaderConfig",
+    "MobileReaderReport",
+    "TagFieldProcess",
+    "MobileReaderProcess",
+    "run_mobile_reader",
+]
+
+#: Schema version stamped into every :class:`MobileReaderReport`; same
+#: contract as :data:`repro.net.sim.NETSIM_REPORT_SCHEMA`.
+SCENARIO_REPORT_SCHEMA = 1
+
+#: Trajectory kinds :func:`run_mobile_reader` knows how to build.
+TRAJECTORIES = ("circular", "waypoint")
+
+
+class CircularTrajectory:
+    """Constant-speed circle above the field centre.
+
+    Position at flight time ``t`` is
+    ``(r cos(omega t), r sin(omega t))`` with ``omega = speed/radius``
+    — the standard UAV survey orbit.  Draw-free: the ``rng`` argument
+    of :meth:`positions` is accepted (uniform trajectory interface) and
+    unused.
+    """
+
+    name = "circular"
+
+    def __init__(self, radius_m: float, speed_m_s: float) -> None:
+        if radius_m <= 0:
+            raise ValueError(f"radius_m must be > 0, got {radius_m}")
+        if speed_m_s <= 0:
+            raise ValueError(f"speed_m_s must be > 0, got {speed_m_s}")
+        self.radius_m = radius_m
+        self.speed_m_s = speed_m_s
+
+    def positions(
+        self, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        omega = self.speed_m_s / self.radius_m
+        phase = omega * np.asarray(times_s, dtype=np.float64)
+        return np.stack(
+            [self.radius_m * np.cos(phase), self.radius_m * np.sin(phase)],
+            axis=1,
+        )
+
+
+class WaypointTrajectory:
+    """Random-waypoint sweep over the field, reusing the channel walk.
+
+    Wraps :class:`repro.channel.waypoint.RandomWaypointModel` — whose
+    walkable area must keep ``x > 0`` (it was built for an AP at the
+    origin) — and recentres the walk onto the field's
+    ``[-F/2, F/2]^2`` square.  The trace is sampled at the epoch
+    cadence from the *reader's* stream, so regenerating it never
+    touches the field, blockage, MAC or sensing streams.
+    """
+
+    name = "waypoint"
+
+    def __init__(
+        self,
+        field_size_m: float,
+        speed_min_m_s: float,
+        speed_max_m_s: float,
+        pause_max_s: float = 0.0,
+    ) -> None:
+        if field_size_m <= 0:
+            raise ValueError(f"field_size_m must be > 0, got {field_size_m}")
+        self.field_size_m = field_size_m
+        # Shift the field square x in [-F/2, F/2] to x in [eps, F] so
+        # the walk model's AP-at-origin guard is satisfied; positions()
+        # shifts back.
+        self._x_shift = field_size_m / 2.0 + 0.25
+        self.model = RandomWaypointModel(
+            x_min=0.25,
+            x_max=field_size_m + 0.25,
+            y_min=-field_size_m / 2.0,
+            y_max=field_size_m / 2.0,
+            speed_min_m_s=speed_min_m_s,
+            speed_max_m_s=speed_max_m_s,
+            pause_max_s=pause_max_s,
+        )
+
+    def positions(
+        self, times_s: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        times_s = np.asarray(times_s, dtype=np.float64)
+        if times_s.size < 2:
+            interval = 1.0
+        else:
+            interval = float(times_s[1] - times_s[0])
+        trace = self.model.generate_trace(
+            duration_s=max(float(times_s[-1]), interval),
+            sample_interval_s=interval,
+            rng=rng,
+        )
+        xy = np.array([(p.x_m, p.y_m) for p in trace])[: times_s.size]
+        xy[:, 0] -= self._x_shift
+        return xy
+
+
+@dataclass(frozen=True)
+class MobileReaderConfig:
+    """Everything one mobile-reader run depends on (seed excepted)."""
+
+    num_tags: int = 60
+    """Static tags scattered uniformly over the field floor."""
+    num_slots: int = 2000
+    frame_bits: int = 256
+
+    tag: TagConfig = field(default_factory=TagConfig)
+    ap: APConfig = field(default_factory=APConfig)
+    environment: Environment = field(default_factory=Environment.anechoic)
+
+    # -- geometry -------------------------------------------------------------
+    field_size_m: float = 6.0
+    """Tags are uniform over ``[-F/2, F/2]^2`` centred under the orbit."""
+    altitude_m: float = 2.0
+    """Reader height above the tag plane (tags face straight up)."""
+
+    # -- trajectory -----------------------------------------------------------
+    trajectory: str = "circular"
+    """One of :data:`TRAJECTORIES`."""
+    speed_m_s: float = 2.0
+    """Flight speed (circular) / max walk speed (waypoint)."""
+    orbit_radius_m: float = 2.0
+    """Circle radius (circular trajectory only)."""
+    epoch_slots: int = 50
+    """Slots between reader position updates / field repricings."""
+    time_warp: float = 1000.0
+    """Vehicle seconds per MAC second (the metro layer's warp trick:
+    flight dynamics are metres-per-second, MAC horizons milliseconds)."""
+
+    # -- traffic / blockage ---------------------------------------------------
+    persistent: bool = True
+    """Saturated traffic (default): tags keep contending after their
+    first read, so sensing accumulates estimates all run long.  Off =
+    one-shot discovery (coverage studies)."""
+    blockage_rate_hz: float = 0.0
+    blockage_mean_s: float = 0.05
+    blockage_attenuation_db: float = 20.0
+
+    # -- sensing --------------------------------------------------------------
+    sensing_noise_db: float = 0.0
+    """Gaussian measurement noise on the per-read SNR / angle-response
+    observables (dB); 0 = noiseless observables (errors then come only
+    from the 0.25° bucket grid)."""
+
+    # -- instrumentation ------------------------------------------------------
+    trace_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.num_tags < 0:
+            raise ValueError(f"num_tags must be >= 0, got {self.num_tags}")
+        if self.num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {self.num_slots}")
+        if self.frame_bits < 1:
+            raise ValueError(f"frame_bits must be >= 1, got {self.frame_bits}")
+        if self.field_size_m <= 0:
+            raise ValueError(
+                f"field_size_m must be > 0, got {self.field_size_m}"
+            )
+        if self.altitude_m <= 0:
+            raise ValueError(f"altitude_m must be > 0, got {self.altitude_m}")
+        if self.trajectory not in TRAJECTORIES:
+            raise ValueError(
+                f"unknown trajectory {self.trajectory!r}; "
+                f"choose from {TRAJECTORIES}"
+            )
+        if self.speed_m_s <= 0:
+            raise ValueError(f"speed_m_s must be > 0, got {self.speed_m_s}")
+        if self.orbit_radius_m <= 0:
+            raise ValueError(
+                f"orbit_radius_m must be > 0, got {self.orbit_radius_m}"
+            )
+        if self.epoch_slots < 1:
+            raise ValueError(
+                f"epoch_slots must be >= 1, got {self.epoch_slots}"
+            )
+        if self.time_warp <= 0:
+            raise ValueError(f"time_warp must be > 0, got {self.time_warp}")
+        if self.blockage_rate_hz < 0:
+            raise ValueError(
+                f"blockage_rate_hz must be >= 0, got {self.blockage_rate_hz}"
+            )
+        if self.sensing_noise_db < 0:
+            raise ValueError(
+                f"sensing_noise_db must be >= 0, got {self.sensing_noise_db}"
+            )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+
+    @classmethod
+    def field_names(cls) -> frozenset[str]:
+        """Names sweepable by scenario-layer sweep tasks."""
+        return frozenset(f.name for f in dataclass_fields(cls))
+
+
+class TagFieldProcess(Process):
+    """The static tag field: draws floor positions once, at start.
+
+    Tags enter the population with placeholder link pricing (zero
+    success probability); the reader process — registered immediately
+    after — prices the whole field at its start position before the
+    MAC clocks slot 0, so no slot ever sees the placeholders.
+    """
+
+    def __init__(
+        self, population: TagPopulation, config: MobileReaderConfig
+    ) -> None:
+        super().__init__("field")
+        self.population = population
+        self.config = config
+        self.xy = np.empty((0, 2))
+
+    def start(self) -> None:
+        assert self.rng is not None
+        n = self.config.num_tags
+        if n == 0:
+            return
+        half = self.config.field_size_m / 2.0
+        # Draw order: all x, then all y (one vectorised call each).
+        x = self.rng.uniform(-half, half, size=n)
+        y = self.rng.uniform(-half, half, size=n)
+        self.xy = np.stack([x, y], axis=1)
+        zeros = np.zeros(n)
+        self.population.add(np.ones(n), zeros, zeros, zeros, 0.0)
+        self.trace("deploy", count=int(n))
+
+
+class MobileReaderProcess(Process):
+    """The flying AP: per-epoch position updates, priced field repricing.
+
+    The trajectory is sampled at the (time-warped) epoch cadence in
+    :meth:`start` — waypoint traces draw only from this process's
+    stream — and epoch 0 is priced synchronously *inside* ``start()``,
+    before the MAC's first slot event exists, so slot 0 already sees
+    real link-budget probabilities.
+    """
+
+    def __init__(
+        self,
+        population: TagPopulation,
+        field_proc: TagFieldProcess,
+        link_model: LinkBudgetModel,
+        config: MobileReaderConfig,
+        slot_s: float,
+    ) -> None:
+        super().__init__("reader")
+        self.population = population
+        self.field_proc = field_proc
+        self.link_model = link_model
+        self.config = config
+        self.slot_s = slot_s
+        self.epoch_dt_s = config.epoch_slots * slot_s
+        self.n_epochs = -(-config.num_slots // config.epoch_slots)  # ceil
+        self.path_xy = np.empty((0, 2))
+        self.epochs_run = 0
+        self._epoch = 0
+
+    def _build_trajectory(self):
+        c = self.config
+        if c.trajectory == "circular":
+            return CircularTrajectory(c.orbit_radius_m, c.speed_m_s)
+        return WaypointTrajectory(
+            c.field_size_m,
+            speed_min_m_s=c.speed_m_s / 2.0,
+            speed_max_m_s=c.speed_m_s,
+        )
+
+    def start(self) -> None:
+        assert self.rng is not None
+        trajectory = self._build_trajectory()
+        # Flight time per epoch = warped MAC time, the metro trick.
+        flight_times = (
+            np.arange(self.n_epochs) * self.epoch_dt_s * self.config.time_warp
+        )
+        self.path_xy = trajectory.positions(flight_times, self.rng)
+        # Epoch 0 prices the field before the MAC's slot 0 (the MAC is
+        # registered after this process, so its start() hasn't run yet).
+        self._reprice(0)
+        self._epoch = 1
+        for k in range(1, self.n_epochs):
+            assert self.sim is not None
+            self.sim.schedule_at(
+                k * self.epoch_dt_s,
+                lambda e=k: self._epoch_event(e),
+                process=self.name,
+            )
+
+    def _epoch_event(self, epoch: int) -> None:
+        self._reprice(epoch)
+
+    def _reprice(self, epoch: int) -> None:
+        rx, ry = self.path_xy[epoch]
+        xy = self.field_proc.xy
+        n = xy.shape[0]
+        self.epochs_run += 1
+        if n == 0:
+            return
+        horizontal = np.hypot(xy[:, 0] - rx, xy[:, 1] - ry)
+        alt = self.config.altitude_m
+        distances = np.hypot(horizontal, alt)
+        # Tags face straight up: incidence angle off the tag boresight.
+        angles = np.degrees(np.arctan2(horizontal, alt))
+        clear_p = self.link_model.frame_success_probability(
+            distances, angles
+        )
+        blocked_p = self.link_model.frame_success_probability(
+            distances,
+            angles,
+            extra_attenuation_db=self.config.blockage_attenuation_db,
+        )
+        self.population.distance_m[:n] = distances
+        self.population.angle_deg[:n] = angles
+        self.population.clear_success_p[:n] = clear_p
+        self.population.blocked_success_p[:n] = blocked_p
+        self.trace(
+            "move",
+            epoch=int(epoch),
+            x=round(float(rx), 4),
+            y=round(float(ry), 4),
+        )
+
+
+@dataclass(frozen=True)
+class MobileReaderReport:
+    """The complete, picklable outcome of one :func:`run_mobile_reader`."""
+
+    config: MobileReaderConfig
+    seed_key: tuple[int, ...]
+    strategy: str
+
+    # -- air time -------------------------------------------------------------
+    slot_s: float
+    slots_run: int
+    duration_s: float
+    epochs_run: int
+    flight_time_s: float
+    """Vehicle-time length of the flown path (MAC time × warp)."""
+
+    # -- slot outcomes --------------------------------------------------------
+    slots_idle: int
+    slots_single: int
+    slots_collision: int
+    blocked_slots: int
+    reads_failed_channel: int
+    frames_delivered: int
+    offered_load_mean: float
+
+    # -- coverage -------------------------------------------------------------
+    tags_total: int
+    tags_read: int
+    coverage: float
+    """Fraction of the field read at least once during the flight."""
+    throughput_per_slot: float
+
+    # -- sensing --------------------------------------------------------------
+    sensing: SensingSummary
+
+    # -- audits ---------------------------------------------------------------
+    reader_path: tuple[tuple[float, float], ...]
+    """Per-epoch reader ``(x, y)`` positions (the flown path)."""
+    trace_digest: str
+    trace_events: int
+    events_processed: int
+
+    # -- provenance -----------------------------------------------------------
+    schema_version: int = SCENARIO_REPORT_SCHEMA
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest (CLI output)."""
+        lines = [
+            f"trajectory          : {self.config.trajectory} "
+            f"({self.config.speed_m_s:g} m/s at "
+            f"{self.config.altitude_m:g} m altitude, warp "
+            f"{self.config.time_warp:g}x)",
+            f"strategy            : {self.strategy}",
+            f"slots run           : {self.slots_run} of "
+            f"{self.config.num_slots} "
+            f"({self.epochs_run} epochs of {self.config.epoch_slots})",
+            f"flight time         : {self.flight_time_s:.1f} s "
+            f"({self.duration_s * 1e3:.2f} ms of air time)",
+            f"slot outcomes       : {self.slots_idle} idle / "
+            f"{self.slots_single} single / {self.slots_collision} collision",
+            f"frames delivered    : {self.frames_delivered} "
+            f"({self.reads_failed_channel} lost to channel)",
+            f"coverage            : {self.tags_read}/{self.tags_total} tags "
+            f"({self.coverage:.1%})",
+            f"throughput/slot     : {self.throughput_per_slot:.4f}",
+            self.sensing.summary(),
+            f"trace digest        : {self.trace_digest[:16]}...",
+        ]
+        return "\n".join(lines)
+
+
+def run_mobile_reader(
+    config: MobileReaderConfig,
+    seed: int | np.random.SeedSequence = 0,
+    trace_path: str | Path | None = None,
+    *,
+    strategy=None,
+) -> MobileReaderReport:
+    """Fly one mobile-reader mission; deterministic in (config, seed).
+
+    ``strategy`` swaps the ALOHA arbitration rule exactly as in
+    :func:`repro.net.sim.run_netsim` (``None`` = the default adaptive-p
+    MAC).  Registration order — field, reader, blockage, mac, sensing —
+    is the determinism contract; all five processes are registered
+    unconditionally.
+    """
+    from repro.net.scenario.backoff import (
+        AdaptivePStrategy,
+        DEFAULT_STRATEGY,
+        resolve_strategy,
+    )
+
+    strategy = resolve_strategy(strategy)
+    strategy_name = DEFAULT_STRATEGY if strategy is None else strategy.name
+    if (
+        isinstance(strategy, AdaptivePStrategy)
+        and strategy.transmit_probability is None
+    ):
+        strategy = None  # the seed inline path IS adaptive-p
+
+    sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
+    link_model = LinkBudgetModel(
+        config.tag, config.ap, config.environment, config.frame_bits
+    )
+    slot_s = link_model.slot_duration_s()
+    horizon_s = config.num_slots * slot_s
+    population = TagPopulation(expected_tags=config.num_tags)
+
+    # Registration order IS the determinism contract — never reorder,
+    # never register conditionally.
+    field_proc = sim.add_process(TagFieldProcess(population, config))
+    reader = sim.add_process(
+        MobileReaderProcess(population, field_proc, link_model, config, slot_s)
+    )
+    blockage = sim.add_process(
+        BlockageProcess(
+            rate_hz=config.blockage_rate_hz,
+            mean_duration_s=config.blockage_mean_s,
+            attenuation_db=config.blockage_attenuation_db,
+            slot_s=slot_s,
+            horizon_s=horizon_s,
+        )
+    )
+    mac = sim.add_process(
+        SlottedAlohaMac(
+            population,
+            blockage,
+            num_slots=config.num_slots,
+            slot_s=slot_s,
+            frame_bits=config.frame_bits,
+            persistent=config.persistent,
+            strategy=strategy,
+        )
+    )
+    sensing = sim.add_process(
+        SensingProcess(
+            population, link_model, noise_db=config.sensing_noise_db
+        )
+    )
+    sensing.attach(mac)
+
+    for process in (field_proc, reader, blockage, mac, sensing):
+        process.start()
+    sim.run(until=horizon_s)
+
+    assert isinstance(field_proc, TagFieldProcess)
+    assert isinstance(reader, MobileReaderProcess)
+    assert isinstance(mac, SlottedAlohaMac)
+    assert isinstance(sensing, SensingProcess)
+    n = len(population)
+    slots_run = mac.slots_run
+    duration_s = slots_run * slot_s
+    tags_read = int(population.read[:n].sum())
+
+    report = MobileReaderReport(
+        config=config,
+        seed_key=tuple(int(w) for w in sim.entropy.generate_state(4)),
+        strategy=strategy_name,
+        slot_s=slot_s,
+        slots_run=slots_run,
+        duration_s=duration_s,
+        epochs_run=reader.epochs_run,
+        flight_time_s=duration_s * config.time_warp,
+        slots_idle=mac.slots_idle,
+        slots_single=mac.slots_single,
+        slots_collision=mac.slots_collision,
+        blocked_slots=mac.blocked_slots,
+        reads_failed_channel=mac.reads_failed_channel,
+        frames_delivered=mac.frames_delivered,
+        offered_load_mean=(
+            mac.offered_sum / slots_run if slots_run else float("nan")
+        ),
+        tags_total=n,
+        tags_read=tags_read,
+        coverage=(tags_read / n if n else 0.0),
+        throughput_per_slot=(
+            mac.slots_single / slots_run if slots_run else 0.0
+        ),
+        sensing=sensing.summary(),
+        reader_path=tuple(
+            (round(float(x), 6), round(float(y), 6))
+            for x, y in reader.path_xy
+        ),
+        trace_digest=sim.trace.digest(),
+        trace_events=sim.trace.total,
+        events_processed=sim.events_processed,
+    )
+    if trace_path is not None:
+        sim.trace.dump(trace_path)
+    return report
+
+
+def _slant_geometry(
+    xy: np.ndarray, reader_xy: tuple[float, float], altitude_m: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """(distance, incidence angle) of upward-facing tags vs the reader.
+
+    Exposed for tests: the same formula :class:`MobileReaderProcess`
+    prices with, usable standalone to cross-check a repriced epoch.
+    """
+    horizontal = np.hypot(xy[:, 0] - reader_xy[0], xy[:, 1] - reader_xy[1])
+    distances = np.hypot(horizontal, altitude_m)
+    angles = np.degrees(np.arctan2(horizontal, altitude_m))
+    return distances, angles

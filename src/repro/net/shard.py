@@ -543,6 +543,7 @@ def run_multi_ap_sharded(
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     faults: object = None,
+    strategy: object = None,
 ) -> MultiAPReport:
     """Run one metro simulation sharded across worker processes.
 
@@ -561,7 +562,27 @@ def run_multi_ap_sharded(
     :class:`~repro.sim.faults.FaultPlan`) is forwarded to every epoch's
     executor run — a killed shard worker degrades the pool and the
     retry stack recovers the identical result.
+
+    ``strategy`` exists only for parity with :func:`run_multi_ap`'s
+    signature: the shard workers replay the adaptive ``p = 1/backlog``
+    draw pattern verbatim (they never run the strategy slot), so any
+    non-default backoff strategy is **rejected loudly** here rather
+    than silently diverging from the serial reference.  Mobile-reader
+    scenarios are likewise single-AP only
+    (:func:`repro.net.scenario.mobile.run_mobile_reader`) and never
+    reach this engine.
     """
+    from repro.net.scenario.backoff import is_default_strategy
+
+    if not is_default_strategy(strategy):  # loud, never silent divergence
+        name = getattr(strategy, "name", strategy)
+        raise ValueError(
+            f"run_multi_ap_sharded supports only the default "
+            f"'adaptive-p' backoff strategy; got {name!r}.  The shard "
+            "workers replay the adaptive draw pattern directly, so a "
+            "different strategy would silently diverge from serial — "
+            "use run_multi_ap(config, seed, strategy=...) instead"
+        )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     n_aps = config.grid_rows * config.grid_cols

@@ -267,6 +267,7 @@ def _build_mac(
     population: TagPopulation,
     blockage: BlockageProcess,
     slot_s: float,
+    strategy=None,
 ) -> MacProcess:
     common = dict(
         num_slots=config.num_slots,
@@ -280,7 +281,13 @@ def _build_mac(
             transmit_probability=config.transmit_probability,
             persistent=config.persistent,
             stop_when_drained=config.stop_when_drained,
+            strategy=strategy,
             **common,
+        )
+    if strategy is not None:
+        raise ValueError(
+            "backoff strategies apply to the 'aloha' protocol only, "
+            f"got protocol {config.protocol!r}"
         )
     if config.protocol == "inventory":
         return QInventoryMac(
@@ -303,6 +310,8 @@ def run_netsim(
     seed: int | np.random.SeedSequence = 0,
     trace_path: str | Path | None = None,
     trace_sink=None,
+    *,
+    strategy=None,
 ) -> NetSimReport:
     """Run one network-scale simulation; deterministic in (config, seed).
 
@@ -312,7 +321,30 @@ def run_netsim(
     :class:`~repro.net.engine.TraceEvent` as it is appended (the live AP
     service's embedded-producer tap); the sink never participates in the
     trace digest.
+
+    ``strategy`` (a registry name or fresh
+    :class:`~repro.net.scenario.backoff.BackoffStrategy` instance)
+    swaps the ALOHA MAC's arbitration rule.  It is deliberately a
+    keyword argument rather than a config field so default-path report
+    pickles stay byte-identical across this feature's introduction;
+    ``None`` and ``"adaptive-p"`` both reproduce the seed behaviour bit
+    for bit (the strategy slot is draw-count-stable — see
+    :mod:`repro.net.scenario.backoff`).
     """
+    # Late import: scenario builds on this module (no import cycle).
+    from repro.net.scenario.backoff import AdaptivePStrategy, resolve_strategy
+
+    strategy = resolve_strategy(strategy)
+    if (
+        isinstance(strategy, AdaptivePStrategy)
+        and strategy.transmit_probability is None
+        and (config.transmit_probability is not None or config.protocol != "aloha")
+    ):
+        # The bare default strategy name is a no-op spelling: a fixed
+        # transmit_probability config keeps the seed's inline fixed-p
+        # path, and non-ALOHA protocols (which have no strategy slot)
+        # accept the default name rather than rejecting it.
+        strategy = None
     sim = Simulator(seed=seed, trace_capacity=config.trace_capacity)
     sim.trace.sink = trace_sink
     link_model = LinkBudgetModel(
@@ -346,7 +378,9 @@ def run_netsim(
             horizon_s=horizon_s,
         )
     )
-    mac = sim.add_process(_build_mac(config, population, blockage, slot_s))
+    mac = sim.add_process(
+        _build_mac(config, population, blockage, slot_s, strategy)
+    )
     spot = sim.add_process(
         SpotCheckProcess(
             population,

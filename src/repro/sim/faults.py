@@ -536,10 +536,18 @@ def blockage_burst_plan(
     with mean ``mean_duration_s``; every burst attenuates the one-way
     link by ``attenuation_db`` (mmWave bodies: 15-30 dB).  The same
     seed always yields the same windows, so a goodput-vs-fault-rate
-    curve is reproducible point for point.  A ``Generator`` may be
-    passed instead of a seed to draw from an existing stream (the
-    event-engine processes own per-process streams; see
-    :class:`repro.net.mac.BlockageProcess`).
+    curve is reproducible point for point.
+
+    A ``Generator`` may be passed instead of a seed to draw from an
+    existing stream.  That is how the event engine consumes this plan:
+    :class:`repro.net.mac.BlockageProcess` draws it dry from its own
+    per-process stream at ``start()``.  In the multi-AP metro stack the
+    blockage process is slot 4 of the five fixed process streams
+    (mobility, assoc, relay, **blockage**, mac) spawned *before* the
+    per-AP MAC streams — a layout the process-sharded engine hard-codes
+    (``repro.net.shard._N_PROCESS_STREAMS``) so it can reconstruct the
+    per-AP generators without replaying the plan; see
+    :mod:`repro.net.shard`.
     """
     if duration_s <= 0:
         raise ValueError(f"duration_s must be > 0, got {duration_s}")

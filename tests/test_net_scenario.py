@@ -1,0 +1,477 @@
+"""Scenario zoo: backoff strategies, mobile reader, AoA/range sensing.
+
+The load-bearing contracts:
+
+* **Byte-identity of the default** — ``strategy=None`` and
+  ``strategy="adaptive-p"`` reproduce the seed MAC bit for bit (trace
+  digest AND report pickle), single-AP and metro.  This is the
+  acceptance gate that lets the strategy slot ship inside the frozen
+  determinism contract.
+* **Draw-count stability** — swapping strategies never shifts the RNG
+  stream of any *other* registered process (hypothesis property over
+  strategy pairs and churn/blockage regimes).
+* **Golden per-strategy digests** — each registered strategy's run is
+  itself deterministic, pinned by digest.
+* **Sharded parity** — the sharded metro engine accepts the default
+  strategy spellings and loudly rejects everything else.
+* **Sensing accuracy** — noiseless AoA inversion is exact to the 0.25°
+  bucket grid; the end-to-end mobile run's median AoA error stays
+  within one bucket.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.deployment import MultiAPConfig, run_multi_ap
+from repro.net.scenario.backoff import (
+    BACKOFF_STRATEGIES,
+    DEFAULT_STRATEGY,
+    AdaptivePStrategy,
+    AdaptiveScaledBackoff,
+    BackoffStrategy,
+    BinaryExponentialBackoff,
+    from_name,
+    is_default_strategy,
+    resolve_strategy,
+    strategy_names,
+    strategy_summaries,
+)
+from repro.net.scenario.mobile import (
+    CircularTrajectory,
+    MobileReaderConfig,
+    WaypointTrajectory,
+    run_mobile_reader,
+)
+from repro.net.scenario.sensing import AoaRangeEstimator, SensingSummary
+from repro.net.scenario.shootout import ShootoutReport, ShootoutTask, run_shootout
+from repro.net.link_model import LinkBudgetModel
+from repro.net.sim import NetSimConfig, run_netsim
+from repro.channel.environment import Environment
+from repro.core.ap import APConfig
+from repro.core.tag import TagConfig
+from repro.sim.executor import SweepExecutor
+
+#: The saturated 25-tag regime every golden digest below pins.
+_GOLDEN_CONFIG = NetSimConfig(
+    num_tags=25,
+    num_slots=300,
+    persistent=True,
+    min_distance_m=1.5,
+    max_distance_m=3.0,
+)
+
+#: strategy name -> sha256 trace digest of _GOLDEN_CONFIG at seed 0.
+#: "adaptive-p" equals the strategy=None seed digest by construction.
+_GOLDEN_DIGESTS = {
+    "adaptive-p": "c8382854f45d807d1247d289af828bf6d8291359ccf9fb8482432c321f219aa0",
+    "uniform": "aad94c1021125d312c09bdabfd2cc9f5d635f6d2cceaa733b206dfbf9b6d946c",
+    "beb": "a769d267a67e0223d93059a45e457266fa77656a45000157a7141fa2cf0d548d",
+    "eied": "5744f0d520d44b6a64f715c2c60e07a2d6f2bfdce8d83af20926208990f61466",
+    "fibonacci": "317e06fc123d95834b33e6424be2a20179abac4d111f5d7650d40d0282fb6591",
+    "asb": "fda2b49b80d0f8286ab7711ca7e20e2ec5b05391c185e371030ad15abd0d0d64",
+}
+
+
+class TestRegistry:
+    def test_five_plus_default_registered(self):
+        names = strategy_names()
+        assert DEFAULT_STRATEGY in names
+        assert len(names) >= 6  # adaptive-p + the five satellite rules
+        assert set(_GOLDEN_DIGESTS) == set(names)
+
+    def test_from_name_builds_fresh_instances(self):
+        a, b = from_name("beb"), from_name("beb")
+        assert isinstance(a, BinaryExponentialBackoff)
+        assert a is not b  # strategies carry per-run window state
+
+    def test_from_name_unknown_lists_registry(self):
+        with pytest.raises(ValueError, match="adaptive-p.*beb"):
+            from_name("definitely-not-a-strategy")
+
+    def test_resolve_strategy_spellings(self):
+        assert resolve_strategy(None) is None
+        assert isinstance(resolve_strategy("asb"), AdaptiveScaledBackoff)
+        inst = AdaptivePStrategy()
+        assert resolve_strategy(inst) is inst
+
+    def test_is_default_strategy_spellings(self):
+        assert is_default_strategy(None)
+        assert is_default_strategy("adaptive-p")
+        assert is_default_strategy(AdaptivePStrategy())
+        assert not is_default_strategy("beb")
+        assert not is_default_strategy(from_name("uniform"))
+
+    def test_summaries_cover_registry(self):
+        assert dict(strategy_summaries()).keys() == set(strategy_names())
+        for name, summary in strategy_summaries():
+            assert summary, f"{name} needs a one-line summary"
+
+    def test_registry_rejects_duplicate_names(self):
+        from repro.net.scenario.backoff import register_strategy
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_strategy("beb", "dup")
+            class Dup(BackoffStrategy):  # pragma: no cover - never used
+                pass
+
+
+class TestByteIdentity:
+    """strategy=None and strategy='adaptive-p' are the same universe."""
+
+    def test_single_ap_default_is_byte_identical(self):
+        base = run_netsim(_GOLDEN_CONFIG, seed=0)
+        named = run_netsim(_GOLDEN_CONFIG, seed=0, strategy="adaptive-p")
+        assert base.trace_digest == named.trace_digest
+        assert pickle.dumps(base) == pickle.dumps(named)
+        assert base.trace_digest == _GOLDEN_DIGESTS["adaptive-p"]
+
+    def test_single_ap_churn_blockage_default_identical(self):
+        config = NetSimConfig(
+            num_tags=30,
+            num_slots=400,
+            arrival_rate_hz=200.0,
+            mean_dwell_s=0.05,
+            blockage_rate_hz=40.0,
+            spot_check_every=100,
+            angle_spread_deg=30.0,
+        )
+        base = run_netsim(config, seed=3)
+        named = run_netsim(config, seed=3, strategy="adaptive-p")
+        assert pickle.dumps(base) == pickle.dumps(named)
+
+    def test_fixed_p_config_keeps_seed_path_under_default_name(self):
+        config = NetSimConfig(
+            num_tags=20, num_slots=200, transmit_probability=0.1
+        )
+        base = run_netsim(config, seed=0)
+        named = run_netsim(config, seed=0, strategy="adaptive-p")
+        assert pickle.dumps(base) == pickle.dumps(named)
+
+    def test_metro_default_is_byte_identical(self):
+        config = MultiAPConfig(
+            grid_rows=2, grid_cols=2, num_tags=60, num_slots=200,
+            epoch_slots=50,
+        )
+        base = run_multi_ap(config, seed=0)
+        named = run_multi_ap(config, seed=0, strategy="adaptive-p")
+        assert base.trace_digest == named.trace_digest
+        assert pickle.dumps(base) == pickle.dumps(named)
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize("name", sorted(_GOLDEN_DIGESTS))
+    def test_strategy_digest_pinned(self, name):
+        report = run_netsim(_GOLDEN_CONFIG, seed=0, strategy=name)
+        assert report.trace_digest == _GOLDEN_DIGESTS[name]
+
+    def test_all_non_default_digests_distinct(self):
+        assert len(set(_GOLDEN_DIGESTS.values())) == len(_GOLDEN_DIGESTS)
+
+    def test_strategy_on_metro_runs_deterministically(self):
+        config = MultiAPConfig(
+            grid_rows=2, grid_cols=2, num_tags=60, num_slots=200,
+            epoch_slots=50,
+        )
+        a = run_multi_ap(config, seed=0, strategy="beb")
+        b = run_multi_ap(config, seed=0, strategy="beb")
+        assert a.trace_digest == b.trace_digest
+        assert a.trace_digest != run_multi_ap(config, seed=0).trace_digest
+
+
+class TestDrawCountStability:
+    """Swapping strategies never shifts the other processes' streams.
+
+    The witness: every per-process RNG stream is a pure function of
+    (root seed, registration slot), and the MAC consumes draws only
+    from its own stream.  So across strategies the churn process must
+    deploy identical tag geometries, schedule identical arrivals and
+    dwell times, and the blockage process must generate identical
+    outage windows — observable as identical population distances and
+    identical blocked-slot counts.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        pair=st.tuples(
+            st.sampled_from(sorted(_GOLDEN_DIGESTS)),
+            st.sampled_from(sorted(_GOLDEN_DIGESTS)),
+        ),
+        seed=st.integers(0, 2**16),
+        churned=st.booleans(),
+    )
+    def test_other_streams_invariant_under_strategy_swap(
+        self, pair, seed, churned
+    ):
+        config = NetSimConfig(
+            num_tags=12,
+            num_slots=120,
+            persistent=True,
+            min_distance_m=1.5,
+            max_distance_m=3.0,
+            arrival_rate_hz=300.0 if churned else 0.0,
+            mean_dwell_s=0.05 if churned else None,
+            blockage_rate_hz=50.0 if churned else 0.0,
+        )
+        a = run_netsim(config, seed=seed, strategy=pair[0])
+        b = run_netsim(config, seed=seed, strategy=pair[1])
+        # Churn stream untouched: identical arrival counts and
+        # identical deployed geometry (seed_key pins the root).
+        assert a.seed_key == b.seed_key
+        assert a.arrivals == b.arrivals
+        assert a.tags_total == b.tags_total
+        # Blockage stream untouched: the outage plan is drawn before
+        # any MAC slot, so blocked-slot counts can differ only through
+        # early drain — persistent mode never drains.
+        assert a.slots_run == b.slots_run
+        assert a.blocked_slots == b.blocked_slots
+
+    def test_deployed_geometry_identical_across_strategies(self):
+        # Direct array-level witness, stronger than report fields.
+        from repro.net.engine import Simulator
+        from repro.net.link_model import LinkBudgetModel as LBM
+
+        geoms = {}
+        for name in ("uniform", "asb"):
+            seen = {}
+            config = NetSimConfig(
+                num_tags=15, num_slots=60, persistent=True,
+                arrival_rate_hz=500.0, mean_dwell_s=0.02,
+            )
+            report = run_netsim(config, seed=7, strategy=name)
+            geoms[name] = (report.arrivals, report.departures)
+        assert geoms["uniform"] == geoms["asb"]
+
+
+class TestShardParity:
+    def test_sharded_accepts_default_spellings(self):
+        from repro.net.shard import run_multi_ap_sharded
+
+        config = MultiAPConfig(
+            grid_rows=2, grid_cols=2, num_tags=40, num_slots=100,
+            epoch_slots=50,
+        )
+        serial = run_multi_ap(config, seed=0)
+        executor = SweepExecutor("serial")
+        for spelling in (None, "adaptive-p", AdaptivePStrategy()):
+            sharded = run_multi_ap_sharded(
+                config, seed=0, shards=2, executor=executor,
+                strategy=spelling,
+            )
+            assert sharded.trace_digest == serial.trace_digest
+
+    @pytest.mark.parametrize(
+        "bad", ["beb", "uniform", "eied", "fibonacci", "asb"]
+    )
+    def test_sharded_rejects_non_default_loudly(self, bad):
+        from repro.net.shard import run_multi_ap_sharded
+
+        config = MultiAPConfig(
+            grid_rows=2, grid_cols=2, num_tags=40, num_slots=100,
+        )
+        with pytest.raises(ValueError, match="adaptive-p"):
+            run_multi_ap_sharded(
+                config, seed=0, shards=2,
+                executor=SweepExecutor("serial"), strategy=bad,
+            )
+
+    def test_strategy_rejected_for_non_aloha_protocols(self):
+        config = NetSimConfig(
+            num_tags=10, num_slots=50, protocol="inventory"
+        )
+        with pytest.raises(ValueError, match="aloha"):
+            run_netsim(config, seed=0, strategy="beb")
+
+    def test_strategy_and_fixed_p_mutually_exclusive(self):
+        config = NetSimConfig(
+            num_tags=10, num_slots=50, transmit_probability=0.2
+        )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_netsim(config, seed=0, strategy="beb")
+
+
+class TestSensing:
+    def _link_model(self):
+        return LinkBudgetModel(
+            TagConfig(), APConfig(), Environment.anechoic(), 256
+        )
+
+    def test_noiseless_inversion_exact_to_bucket(self):
+        lm = self._link_model()
+        est = AoaRangeEstimator(lm)
+        for theta in np.linspace(0.0, 60.0, 121):
+            delta = lm.angle_gain_delta_db(theta)
+            aoa = est.invert_angle(delta)
+            bucket = round(theta / lm.angle_bucket_deg) * lm.angle_bucket_deg
+            assert aoa == pytest.approx(bucket, abs=1e-9)
+
+    def test_range_inversion_roundtrips_boresight(self):
+        lm = self._link_model()
+        est = AoaRangeEstimator(lm)
+        for d in (1.5, 2.0, 3.0, 4.5):
+            snr = float(lm.snr_db(np.array([d]))[0])
+            e = est.estimate(0, 0, snr, 0.0, d, 0.0)
+            assert e.est_range_m == pytest.approx(d, rel=1e-9)
+            assert e.est_aoa_deg == 0.0
+
+    def test_delta_table_monotone_nonincreasing(self):
+        est = AoaRangeEstimator(self._link_model())
+        assert np.all(np.diff(est.delta_db) <= 0)
+
+    def test_empty_summary_is_nan_safe(self):
+        s = SensingSummary.from_estimates([], 0.25)
+        assert s.n_estimates == 0
+        assert "no reads" in s.summary()
+
+    def test_estimator_rejects_bad_max_angle(self):
+        with pytest.raises(ValueError, match="max_angle_deg"):
+            AoaRangeEstimator(self._link_model(), max_angle_deg=0.0)
+
+
+class TestMobileReader:
+    _CONFIG = MobileReaderConfig(num_tags=30, num_slots=600, epoch_slots=50)
+
+    def test_deterministic_and_traced(self):
+        a = run_mobile_reader(self._CONFIG, seed=0)
+        b = run_mobile_reader(self._CONFIG, seed=0)
+        assert a.trace_digest == b.trace_digest
+        assert pickle.dumps(a) == pickle.dumps(b)
+        assert a.epochs_run == 12
+        assert a.reader_path == b.reader_path
+
+    def test_median_aoa_error_within_one_bucket(self):
+        report = run_mobile_reader(self._CONFIG, seed=0)
+        assert report.sensing.n_estimates > 50
+        assert report.sensing.aoa_error_p50_deg <= report.sensing.aoa_bucket_deg
+
+    def test_waypoint_trajectory_runs_and_differs(self):
+        circ = run_mobile_reader(self._CONFIG, seed=0)
+        wayp = run_mobile_reader(
+            MobileReaderConfig(
+                num_tags=30, num_slots=600, epoch_slots=50,
+                trajectory="waypoint",
+            ),
+            seed=0,
+        )
+        assert wayp.trace_digest != circ.trace_digest
+        assert wayp.tags_read > 0
+
+    def test_strategy_slot_applies_to_mobile_runs(self):
+        base = run_mobile_reader(self._CONFIG, seed=0)
+        beb = run_mobile_reader(self._CONFIG, seed=0, strategy="beb")
+        named = run_mobile_reader(self._CONFIG, seed=0, strategy="adaptive-p")
+        assert named.trace_digest == base.trace_digest
+        assert beb.trace_digest != base.trace_digest
+        assert beb.strategy == "beb"
+
+    def test_repriced_geometry_matches_slant_formula(self):
+        from repro.net.scenario.mobile import _slant_geometry
+
+        xy = np.array([[1.0, 2.0], [-2.0, 0.5], [0.0, 0.0]])
+        d, a = _slant_geometry(xy, (0.5, -0.5), altitude_m=2.0)
+        horiz = np.hypot(xy[:, 0] - 0.5, xy[:, 1] + 0.5)
+        assert d == pytest.approx(np.hypot(horiz, 2.0))
+        assert a == pytest.approx(np.degrees(np.arctan2(horiz, 2.0)))
+
+    def test_circular_trajectory_stays_on_circle(self):
+        traj = CircularTrajectory(radius_m=3.0, speed_m_s=1.5)
+        xy = traj.positions(np.linspace(0, 50, 37), rng=None)
+        assert np.hypot(xy[:, 0], xy[:, 1]) == pytest.approx(3.0)
+
+    def test_waypoint_trajectory_stays_in_field(self):
+        traj = WaypointTrajectory(6.0, speed_min_m_s=1.0, speed_max_m_s=2.0)
+        xy = traj.positions(
+            np.arange(40, dtype=float), np.random.default_rng(0)
+        )
+        assert np.all(np.abs(xy[:, 1]) <= 3.0 + 1e-9)
+        assert np.all(xy[:, 0] >= -3.0 - 1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="trajectory"):
+            MobileReaderConfig(trajectory="teleport")
+        with pytest.raises(ValueError, match="altitude"):
+            MobileReaderConfig(altitude_m=0.0)
+        with pytest.raises(ValueError, match="time_warp"):
+            MobileReaderConfig(time_warp=0.0)
+
+
+class TestShootout:
+    _CALM = NetSimConfig(
+        num_tags=25, num_slots=200, persistent=True,
+        min_distance_m=1.5, max_distance_m=3.0,
+    )
+
+    def test_task_validates_strategy_names(self):
+        with pytest.raises(ValueError, match="unknown strategies"):
+            ShootoutTask(config=self._CALM, strategies=("beb", "nope"))
+
+    def test_task_is_cacheable_and_seed_keyed(self):
+        task = ShootoutTask(config=self._CALM, seed=3)
+        parts = task.cache_parts(1.0)
+        assert parts["task"] is task
+        assert task.strategy_for(1) == task.strategies[1]
+        with pytest.raises(ValueError, match="outside"):
+            task.strategy_for(99)
+
+    def test_entrants_race_identical_universes(self):
+        # Draw-count stability makes the race fair: every entrant sees
+        # the same churn/blockage realisation under the shared seed.
+        task = ShootoutTask(
+            config=NetSimConfig(
+                num_tags=15, num_slots=100, persistent=True,
+                arrival_rate_hz=300.0, mean_dwell_s=0.05,
+            ),
+            strategies=("uniform", "beb"),
+            seed=5,
+        )
+        a = task.run(0, np.random.SeedSequence(999))
+        b = task.run(1, np.random.SeedSequence(111))
+        assert a.arrivals == b.arrivals  # executor seed is unused
+        assert a.seed_key == b.seed_key
+
+    def test_run_shootout_finds_the_calm_surge_flip(self):
+        surge = NetSimConfig(
+            num_tags=120, num_slots=300, persistent=True,
+            min_distance_m=1.5, max_distance_m=3.0,
+            arrival_rate_hz=300.0, mean_dwell_s=0.05,
+            blockage_rate_hz=40.0,
+        )
+        report = run_shootout(
+            {"calm": self._CALM, "surge": surge},
+            strategies=("uniform", "beb", "eied", "asb"),
+            seed=0,
+        )
+        assert isinstance(report, ShootoutReport)
+        assert report.regimes == ("calm", "surge")
+        flips = report.ranking_flips()
+        assert flips, "expected a cross-regime winner flip"
+        assert report.winner("calm") != report.winner("surge")
+        assert "ranking flip" in report.summary()
+
+    def test_ranking_is_deterministic_and_complete(self):
+        report = run_shootout(
+            {"calm": self._CALM}, strategies=("uniform", "beb"), seed=0
+        )
+        assert set(report.ranking("calm")) == {"uniform", "beb"}
+        with pytest.raises(ValueError, match="unknown regime"):
+            report.ranking("storm")
+
+    def test_shootout_composes_with_executor_cache(self, tmp_path):
+        from repro.sim.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        executor = SweepExecutor("serial", cache=cache)
+        kwargs = dict(
+            regimes={"calm": self._CALM},
+            strategies=("uniform", "beb"),
+            seed=0,
+            executor=executor,
+        )
+        first = run_shootout(**kwargs)
+        second = run_shootout(**kwargs)
+        assert first == second
+        assert cache.stats.hits >= 2  # second pass served from cache
